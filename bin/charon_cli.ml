@@ -1,0 +1,421 @@
+(* The charon command-line interface.
+
+   Subcommands:
+     verify   decide a robustness property of a saved network
+     check    decide every property in a property file
+     analyze  one abstract-interpretation pass with a chosen domain
+     attack   search for an adversarial counterexample with PGD / FGSM
+     train    learn a verification policy with Bayesian optimization
+     netgen   train a benchmark network and save it to disk
+     suite    run the benchmark suite and print per-benchmark outcomes
+     export   write the benchmark suite to disk as networks + property files
+     demo     the XOR walkthrough of Example 3.1 *)
+
+open Cmdliner
+
+let setup_logs level =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level level
+
+let logs_term = Term.(const setup_logs $ Logs_cli.level ())
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument parsing                                            *)
+
+let network_arg =
+  let doc = "Network file (text format produced by $(b,netgen) or Nn.Serial)." in
+  Arg.(required & opt (some file) None & info [ "network"; "n" ] ~docv:"FILE" ~doc)
+
+let target_arg =
+  let doc = "Target class K of the robustness property." in
+  Arg.(required & opt (some int) None & info [ "target"; "k" ] ~docv:"K" ~doc)
+
+let timeout_arg =
+  let doc = "Per-problem wall-clock budget in seconds." in
+  Arg.(value & opt float 10.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let delta_arg =
+  let doc = "The delta of the delta-complete counterexample test (Eq. 4)." in
+  Arg.(value & opt float 1e-4 & info [ "delta" ] ~docv:"DELTA" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (all runs are deterministic given the seed)." in
+  Arg.(value & opt int 2019 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let policy_arg =
+  let doc =
+    "Learned policy file (from $(b,charon train)); defaults to the \
+     hand-crafted policy."
+  in
+  Arg.(value & opt (some file) None & info [ "policy" ] ~docv:"FILE" ~doc)
+
+let region_of ~center ~radius ~box =
+  Common.Regionspec.of_options ~center ~radius ~box
+
+let center_arg =
+  let doc = "Region center as comma-separated floats (with $(b,--radius))." in
+  Arg.(value & opt (some string) None & info [ "center" ] ~docv:"X1,X2,..." ~doc)
+
+let radius_arg =
+  let doc = "L-infinity radius around $(b,--center)." in
+  Arg.(value & opt float 0.05 & info [ "radius" ] ~docv:"R" ~doc)
+
+let box_arg =
+  let doc = "Region as comma-separated lo:hi bounds, one per input." in
+  Arg.(value & opt (some string) None & info [ "box" ] ~docv:"L1:H1,L2:H2,..." ~doc)
+
+let load_policy = function
+  | None -> Charon.Policy.default
+  | Some path -> Charon.Policy.load path
+
+(* ------------------------------------------------------------------ *)
+(* verify                                                             *)
+
+let verify_cmd =
+  let run () network target center radius box timeout delta seed policy_file =
+    let net = Nn.Serial.load network in
+    let region = region_of ~center ~radius ~box in
+    let prop = Common.Property.create ~region ~target () in
+    let policy = load_policy policy_file in
+    let config = { Charon.Verify.default_config with Charon.Verify.delta } in
+    let rng = Linalg.Rng.create seed in
+    let report =
+      Charon.Verify.run ~config
+        ~budget:(Common.Budget.of_seconds timeout)
+        ~rng ~policy net prop
+    in
+    Format.printf "%a@." Common.Outcome.pp report.Charon.Verify.outcome;
+    Format.printf
+      "time %.3fs, %d nodes, %d abstract runs, %d PGD calls, depth %d@."
+      report.Charon.Verify.elapsed report.Charon.Verify.nodes
+      report.Charon.Verify.analyze_calls report.Charon.Verify.pgd_calls
+      report.Charon.Verify.peak_depth;
+    List.iter
+      (fun (spec, n) ->
+        Format.printf "  domain %a used %d times@." Domains.Domain.pp spec n)
+      report.Charon.Verify.domains_used;
+    match report.Charon.Verify.outcome with
+    | Common.Outcome.Verified | Common.Outcome.Refuted _ -> 0
+    | Common.Outcome.Timeout | Common.Outcome.Unknown -> 1
+  in
+  let term =
+    Term.(
+      const run $ logs_term $ network_arg $ target_arg $ center_arg
+      $ radius_arg $ box_arg $ timeout_arg $ delta_arg $ seed_arg $ policy_arg)
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Verify or refute a robustness property")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* train                                                              *)
+
+let train_cmd =
+  let out_arg =
+    let doc = "Where to write the learned policy parameters." in
+    Arg.(value & opt string "policy.txt" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run () out seed =
+    Printf.printf "learning a verification policy on ACAS-like problems...\n%!";
+    let result = Experiments.Training.learn ~seed () in
+    Charon.Policy.save out result.Charon.Learn.policy;
+    Printf.printf "best objective %.1f after %d evaluations; saved to %s\n"
+      result.Charon.Learn.best_score result.Charon.Learn.evaluations out;
+    0
+  in
+  let term = Term.(const run $ logs_term $ out_arg $ seed_arg) in
+  Cmd.v
+    (Cmd.info "train"
+       ~doc:"Learn a verification policy with Bayesian optimization")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* netgen                                                             *)
+
+let netgen_cmd =
+  let arch_arg =
+    let doc =
+      Printf.sprintf "Benchmark architecture: one of %s."
+        (String.concat ", " Datasets.Suite.network_names)
+    in
+    Arg.(
+      value
+      & opt string "mnist-3x100"
+      & info [ "arch"; "a" ] ~docv:"NAME" ~doc)
+  in
+  let out_arg =
+    let doc = "Output network file." in
+    Arg.(value & opt string "network.net" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run () arch out seed =
+    let entry = Datasets.Suite.build_network ~seed arch in
+    Nn.Serial.save out entry.Datasets.Suite.net;
+    Printf.printf "%s (%s): test accuracy %.2f, saved to %s\n"
+      entry.Datasets.Suite.name entry.Datasets.Suite.description
+      entry.Datasets.Suite.test_accuracy out;
+    0
+  in
+  let term = Term.(const run $ logs_term $ arch_arg $ out_arg $ seed_arg) in
+  Cmd.v (Cmd.info "netgen" ~doc:"Train and save a benchmark network") term
+
+(* ------------------------------------------------------------------ *)
+(* suite                                                              *)
+
+let suite_cmd =
+  let per_network_arg =
+    let doc = "Number of properties per benchmark network." in
+    Arg.(value & opt int 6 & info [ "per-network" ] ~docv:"N" ~doc)
+  in
+  let run () per_network timeout seed policy_file =
+    let policy = load_policy policy_file in
+    let w = Datasets.Suite.benchmark ~seed ~per_network () in
+    let tool = Experiments.Tool.charon ~policy () in
+    let results =
+      Experiments.Runner.run_suite ~seed ~timeout [ tool ] w
+        ~progress:(fun r ->
+          Printf.printf "%-14s %-24s %-9s %.2fs\n%!" r.Experiments.Runner.network
+            r.Experiments.Runner.property
+            (Common.Outcome.label r.Experiments.Runner.outcome)
+            r.Experiments.Runner.time)
+    in
+    let solved = List.length (Experiments.Runner.solved results) in
+    Printf.printf "solved %d / %d\n" solved (List.length results);
+    0
+  in
+  let term =
+    Term.(
+      const run $ logs_term $ per_network_arg $ timeout_arg $ seed_arg
+      $ policy_arg)
+  in
+  Cmd.v (Cmd.info "suite" ~doc:"Run Charon over the benchmark suite") term
+
+(* ------------------------------------------------------------------ *)
+(* check                                                              *)
+
+let check_cmd =
+  let props_arg =
+    let doc = "Property file (see Common.Propfile for the format)." in
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "properties"; "p" ] ~docv:"FILE" ~doc)
+  in
+  let default_net_arg =
+    let doc =
+      "Network file used for records that do not name one themselves."
+    in
+    Arg.(
+      value & opt (some file) None & info [ "network"; "n" ] ~docv:"FILE" ~doc)
+  in
+  let run () props_file default_net timeout delta seed policy_file =
+    let entries = Common.Propfile.load props_file in
+    let policy = load_policy policy_file in
+    let config = { Charon.Verify.default_config with Charon.Verify.delta } in
+    (* Cache loaded networks: property files typically share one. *)
+    let nets = Hashtbl.create 4 in
+    let network_of entry =
+      let path =
+        match (entry.Common.Propfile.network, default_net) with
+        | Some p, _ -> Filename.concat (Filename.dirname props_file) p
+        | None, Some p -> p
+        | None, None ->
+            failwith
+              (Printf.sprintf "property %s names no network and no --network                                was given"
+                 entry.Common.Propfile.property.Common.Property.name)
+      in
+      match Hashtbl.find_opt nets path with
+      | Some net -> net
+      | None ->
+          let net = Nn.Serial.load path in
+          Hashtbl.add nets path net;
+          net
+    in
+    let unsolved = ref 0 in
+    List.iter
+      (fun entry ->
+        let net = network_of entry in
+        let rng = Linalg.Rng.create seed in
+        let report =
+          Charon.Verify.run ~config
+            ~budget:(Common.Budget.of_seconds timeout)
+            ~rng ~policy net entry.Common.Propfile.property
+        in
+        if not (Common.Outcome.is_solved report.Charon.Verify.outcome) then
+          incr unsolved;
+        Format.printf "%-32s %-10s %.3fs@."
+          entry.Common.Propfile.property.Common.Property.name
+          (Common.Outcome.label report.Charon.Verify.outcome)
+          report.Charon.Verify.elapsed)
+      entries;
+    Format.printf "%d properties, %d unsolved@." (List.length entries) !unsolved;
+    if !unsolved = 0 then 0 else 1
+  in
+  let term =
+    Term.(
+      const run $ logs_term $ props_arg $ default_net_arg $ timeout_arg
+      $ delta_arg $ seed_arg $ policy_arg)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Decide every property in a property file")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* export                                                             *)
+
+let export_cmd =
+  let dir_arg =
+    let doc = "Output directory (created if missing)." in
+    Arg.(value & opt string "suite" & info [ "out"; "o" ] ~docv:"DIR" ~doc)
+  in
+  let per_network_arg =
+    let doc = "Number of properties per benchmark network." in
+    Arg.(value & opt int 12 & info [ "per-network" ] ~docv:"N" ~doc)
+  in
+  let run () dir per_network seed =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let w = Datasets.Suite.benchmark ~seed ~per_network () in
+    List.iter
+      (fun ((entry : Datasets.Suite.entry), props) ->
+        let net_file = entry.Datasets.Suite.name ^ ".net" in
+        Nn.Serial.save (Filename.concat dir net_file) entry.Datasets.Suite.net;
+        let records =
+          List.map
+            (fun property ->
+              { Common.Propfile.property; network = Some net_file })
+            props
+        in
+        Common.Propfile.save
+          (Filename.concat dir (entry.Datasets.Suite.name ^ ".props"))
+          records;
+        Printf.printf "%s: %d properties
+" entry.Datasets.Suite.name
+          (List.length props))
+      w;
+    Printf.printf "suite written to %s/
+" dir;
+    0
+  in
+  let term = Term.(const run $ logs_term $ dir_arg $ per_network_arg $ seed_arg) in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Write the benchmark suite to disk as networks and property files")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                            *)
+
+let analyze_cmd =
+  let domain_arg =
+    let doc = "Abstract domain: I1, Z1, ZJ1, S1, Z4, ZJ64, ..." in
+    Arg.(value & opt string "Z1" & info [ "domain"; "d" ] ~docv:"SPEC" ~doc)
+  in
+  let run () network target center radius box domain =
+    let net = Nn.Serial.load network in
+    let region = region_of ~center ~radius ~box in
+    let spec =
+      match Domains.Domain.of_string domain with
+      | Some s -> s
+      | None -> failwith (Printf.sprintf "unknown domain %S" domain)
+    in
+    let margin = Absint.Analyzer.margin_lower net region ~k:target spec in
+    let bounds = Absint.Analyzer.output_bounds net region spec in
+    Format.printf "domain %a: margin lower bound %+g -> %s@."
+      Domains.Domain.pp spec margin
+      (if margin > 0.0 then "verified" else "cannot verify");
+    Array.iteri
+      (fun i (lo, hi) -> Format.printf "  y%d in [%+g, %+g]@." i lo hi)
+      bounds;
+    if margin > 0.0 then 0 else 1
+  in
+  let term =
+    Term.(
+      const run $ logs_term $ network_arg $ target_arg $ center_arg
+      $ radius_arg $ box_arg $ domain_arg)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"One abstract-interpretation pass with a chosen domain")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* attack                                                             *)
+
+let attack_cmd =
+  let method_arg =
+    let doc = "Attack method: pgd or fgsm." in
+    Arg.(value & opt string "pgd" & info [ "method"; "m" ] ~docv:"NAME" ~doc)
+  in
+  let run () network target center radius box seed method_ =
+    let net = Nn.Serial.load network in
+    let region = region_of ~center ~radius ~box in
+    let obj = Optim.Objective.create net ~k:target in
+    let x, v =
+      match method_ with
+      | "pgd" -> Optim.Pgd.minimize ~rng:(Linalg.Rng.create seed) obj region
+      | "fgsm" -> Optim.Fgsm.attack_center obj region
+      | other -> failwith (Printf.sprintf "unknown attack method %S" other)
+    in
+    Format.printf "F(x) = %+g at %a@." v Linalg.Vec.pp x;
+    if v <= 0.0 then begin
+      Format.printf "adversarial: classified as %d instead of %d@."
+        (Nn.Network.classify net x) target;
+      0
+    end
+    else begin
+      Format.printf "no counterexample found@.";
+      1
+    end
+  in
+  let term =
+    Term.(
+      const run $ logs_term $ network_arg $ target_arg $ center_arg
+      $ radius_arg $ box_arg $ seed_arg $ method_arg)
+  in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Gradient-based counterexample search")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* demo                                                               *)
+
+let demo_cmd =
+  let run () =
+    let net = Nn.Init.xor () in
+    print_string (Nn.Network.describe net);
+    let region = Domains.Box.create ~lo:[| 0.3; 0.3 |] ~hi:[| 0.7; 0.7 |] in
+    let prop =
+      Common.Property.create ~name:"example-3.1" ~region ~target:1 ()
+    in
+    let rng = Linalg.Rng.create 2019 in
+    let report =
+      Charon.Verify.run ~rng ~policy:Charon.Policy.default net prop
+    in
+    Format.printf "property %a: %a@." Common.Property.pp prop
+      Common.Outcome.pp report.Charon.Verify.outcome;
+    let bad = { prop with Common.Property.target = 0; name = "negation" } in
+    let report = Charon.Verify.run ~rng ~policy:Charon.Policy.default net bad in
+    Format.printf "property %a: %a@." Common.Property.pp bad
+      Common.Outcome.pp report.Charon.Verify.outcome;
+    0
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Verify the XOR example from the paper")
+    Term.(const run $ logs_term)
+
+let () =
+  let doc = "robustness analysis of neural networks (Charon)" in
+  let info = Cmd.info "charon" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            verify_cmd;
+            check_cmd;
+            analyze_cmd;
+            attack_cmd;
+            train_cmd;
+            netgen_cmd;
+            suite_cmd;
+            export_cmd;
+            demo_cmd;
+          ]))

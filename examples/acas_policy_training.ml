@@ -1,0 +1,77 @@
+(* The training phase (§4 and §6): learn a verification policy with
+   Bayesian optimization on 12 robustness properties of an ACAS-Xu-like
+   collision-avoidance network, then compare the learned policy against
+   the hand-crafted default and static single-domain strategies on
+   held-out properties.
+
+   Run with:  dune exec examples/acas_policy_training.exe *)
+
+open Linalg
+
+let cost_of config problems policy =
+  Charon.Learn.cost config ~seed:5 problems policy
+
+let () =
+  Format.printf "building the ACAS-like advisory network...@.";
+  let rng = Rng.create 2019 in
+  let net = Datasets.Acas.network rng ~hidden:[ 16; 16; 16 ] in
+  let samples = Datasets.Acas.dataset (Rng.create 3) ~n:1000 in
+  Format.printf "advisory accuracy vs oracle: %.2f@."
+    (Nn.Train.accuracy net samples);
+
+  let props = Datasets.Acas.training_properties rng net ~n:12 ~radius:0.05 in
+  Format.printf "training properties:@.";
+  List.iter (fun p -> Format.printf "  %a@." Common.Property.pp p) props;
+  let problems =
+    List.map (fun property -> { Charon.Learn.net; property }) props
+  in
+
+  (* Learn θ by Bayesian optimization over the policy parameter space. *)
+  let config =
+    {
+      Charon.Learn.default_config with
+      Charon.Learn.per_problem = Charon.Learn.Steps 3000;
+      bopt =
+        {
+          Bayesopt.Bopt.default_config with
+          Bayesopt.Bopt.init_samples = 10;
+          iterations = 20;
+        };
+    }
+  in
+  Format.printf "@.running Bayesian optimization (%d evaluations)...@."
+    (config.Charon.Learn.bopt.Bayesopt.Bopt.init_samples
+    + config.Charon.Learn.bopt.Bayesopt.Bopt.iterations);
+  let result = Charon.Learn.train ~config ~rng:(Rng.create 123) problems in
+
+  (* Show how the incumbent improved over the run. *)
+  let best = ref neg_infinity in
+  List.iteri
+    (fun i (e : Bayesopt.Bopt.evaluation) ->
+      if e.Bayesopt.Bopt.value > !best then begin
+        best := e.Bayesopt.Bopt.value;
+        Format.printf "  eval %2d: new best objective %.0f@." (i + 1)
+          e.Bayesopt.Bopt.value
+      end)
+    result.Charon.Learn.bopt.Bayesopt.Bopt.history;
+
+  (* Compare policies on the training objective (total solving cost in
+     abstract steps; lower is better). *)
+  Format.printf "@.total cost on the 12 problems (abstract steps, lower is \
+                 better):@.";
+  let candidates =
+    [
+      ("learned (Bayesian opt)", result.Charon.Learn.policy);
+      ("hand-crafted default", Charon.Policy.default);
+      ("always zonotope + bisect", Charon.Policy.fixed_domain Domains.Domain.zonotope);
+      ("always interval + bisect", Charon.Policy.fixed_domain Domains.Domain.interval);
+    ]
+  in
+  List.iter
+    (fun (name, policy) ->
+      Format.printf "  %-26s %8.0f@." name (cost_of config problems policy))
+    candidates;
+
+  (* Persist the learned policy for the CLI / benchmarks. *)
+  Charon.Policy.save "acas_policy.txt" result.Charon.Learn.policy;
+  Format.printf "@.saved learned policy to acas_policy.txt@."

@@ -1,0 +1,110 @@
+(* Brightening attacks on an image classifier (§7.1).
+
+   Trains the MNIST-like 3x100 benchmark network, builds brightening
+   attack properties at increasing severities around one test image, and
+   decides each with Charon.  Small perturbations verify; past some
+   severity the attack genuinely flips the classification and Charon
+   returns the adversarial image.
+
+   Run with:  dune exec examples/mnist_brightening.exe *)
+
+open Linalg
+
+let () =
+  Format.printf "training the mnist-3x100 benchmark network...@.";
+  let entry = Datasets.Suite.build_network ~seed:2019 "mnist-3x100" in
+  let net = entry.Datasets.Suite.net in
+  Format.printf "%s: %s, test accuracy %.2f@." entry.Datasets.Suite.name
+    entry.Datasets.Suite.description entry.Datasets.Suite.test_accuracy;
+
+  (* Scan noisy test images for one that sits near a decision boundary:
+     robust to nothing-much but flipped by the full brightening attack.
+     Such borderline images are exactly where the interplay of
+     counterexample search and proof search is interesting. *)
+  let rng = Rng.create 99 in
+  let spec =
+    { entry.Datasets.Suite.image_spec with Datasets.Synth_images.noise = 0.45 }
+  in
+  let tau = 0.5 in
+  let rec pick_borderline attempts =
+    if attempts > 200 then
+      failwith "no borderline image found; try another seed"
+    else begin
+      let image = Datasets.Synth_images.sample rng spec (attempts mod 10) in
+      let label = Nn.Network.classify net image in
+      let full = Datasets.Brightening.region image ~tau ~severity:1.0 in
+      let obj = Optim.Objective.create net ~k:label in
+      let _, f = Optim.Pgd.minimize ~rng:(Rng.create 5) obj full in
+      let small = Datasets.Brightening.region image ~tau ~severity:0.05 in
+      let small_margin =
+        Absint.Analyzer.margin_lower net small ~k:label Domains.Domain.zonotope
+      in
+      (* Falsifiable under the full attack, provably robust to the weak
+         one: a genuine transition. *)
+      if f <= 0.0 && small_margin > 0.0 then (image, label)
+      else pick_borderline (attempts + 1)
+    end
+  in
+  let image, label = pick_borderline 0 in
+  Format.printf "borderline test image found, classified as %d@." label;
+
+  let policy = Charon.Policy.default in
+  List.iter
+    (fun severity ->
+      let prop =
+        Datasets.Brightening.property
+          ~name:(Printf.sprintf "brighten-%.2f" severity)
+          net image ~tau ~severity
+      in
+      let rng = Rng.create 1 in
+      let report =
+        Charon.Verify.run
+          ~budget:(Common.Budget.of_seconds 20.0)
+          ~rng ~policy net prop
+      in
+      (match report.Charon.Verify.outcome with
+      | Common.Outcome.Verified ->
+          Format.printf
+            "severity %.2f: robust (proved in %.2fs, %d regions)@." severity
+            report.Charon.Verify.elapsed report.Charon.Verify.nodes
+      | Common.Outcome.Refuted x ->
+          let adversarial_class = Nn.Network.classify net x in
+          Format.printf
+            "severity %.2f: NOT robust - brightened image classified %d \
+             (found in %.2fs, perturbed %d pixels)@."
+            severity adversarial_class report.Charon.Verify.elapsed
+            (let moved = ref 0 in
+             Array.iteri
+               (fun i v -> if abs_float (v -. image.(i)) > 1e-9 then incr moved)
+               x;
+             !moved)
+      | Common.Outcome.Timeout ->
+          Format.printf "severity %.2f: timeout@." severity
+      | Common.Outcome.Unknown ->
+          Format.printf "severity %.2f: unknown@." severity);
+      ())
+    [ 0.05; 0.15; 0.3; 0.5; 0.75; 1.0 ];
+
+  (* Show what pure optimization finds on the full attack, for
+     comparison with the decision procedure. *)
+  let prop = Datasets.Brightening.property net image ~tau ~severity:1.0 in
+  let obj = Optim.Objective.create net ~k:label in
+  let x, f =
+    Optim.Pgd.minimize ~rng:(Rng.create 2) obj prop.Common.Property.region
+  in
+  Format.printf "@.PGD alone on the full attack: F(x) = %.4f -> %s@." f
+    (if f <= 0.0 then
+       Printf.sprintf "adversarial (class %d)" (Nn.Network.classify net x)
+     else "no counterexample found");
+
+  (* And what the incomplete AI2 baseline can say about the severities
+     Charon proved. *)
+  let small = Datasets.Brightening.property net image ~tau ~severity:0.05 in
+  let verdict =
+    Absint.Analyzer.analyze net small.Common.Property.region
+      ~k:small.Common.Property.target Domains.Domain.zonotope_join
+  in
+  Format.printf "AI2-Zonotope on severity 0.05: %s@."
+    (match verdict with
+    | Absint.Analyzer.Verified -> "verified"
+    | Absint.Analyzer.Unknown -> "unknown (cannot refine or falsify)")

@@ -1,0 +1,57 @@
+(* Quickstart: build a network, state a robustness property, and decide
+   it with Charon.
+
+   This walks through Example 2.2 of the paper: a two-layer network with
+   one input and two classes.  The network classifies every point of
+   [-1, 1] as class 1, so that property verifies; widening the region to
+   [-1, 2] makes the property false and Charon produces a concrete
+   counterexample.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Linalg
+
+let decide net prop =
+  let rng = Rng.create 2019 in
+  let report =
+    Charon.Verify.run
+      ~budget:(Common.Budget.of_seconds 10.0)
+      ~rng ~policy:Charon.Policy.default net prop
+  in
+  Format.printf "%a -> %a  (%.3fs, %d nodes)@." Common.Property.pp prop
+    Common.Outcome.pp report.Charon.Verify.outcome report.Charon.Verify.elapsed
+    report.Charon.Verify.nodes;
+  report.Charon.Verify.outcome
+
+let () =
+  (* The network of Example 2.2:
+       N(x) = W2 (ReLU (W1 x + b1)) + b2. *)
+  let net = Nn.Init.example_2_2 () in
+  print_string (Nn.Network.describe net);
+
+  (* N(0) = [1; 3], so 0 is classified as class 1. *)
+  let scores = Nn.Network.eval net [| 0.0 |] in
+  Format.printf "N(0) = %a, class %d@." Vec.pp scores
+    (Nn.Network.classify net [| 0.0 |]);
+
+  (* The property ([-1, 1], 1) holds... *)
+  let robust =
+    Common.Property.create ~name:"robust-on-[-1,1]"
+      ~region:(Domains.Box.create ~lo:[| -1.0 |] ~hi:[| 1.0 |])
+      ~target:1 ()
+  in
+  assert (decide net robust = Common.Outcome.Verified);
+
+  (* ... but N(2) = [8; 6] is class 0, so ([-1, 2], 1) does not. *)
+  let fragile =
+    Common.Property.create ~name:"not-robust-on-[-1,2]"
+      ~region:(Domains.Box.create ~lo:[| -1.0 |] ~hi:[| 2.0 |])
+      ~target:1 ()
+  in
+  match decide net fragile with
+  | Common.Outcome.Refuted x ->
+      Format.printf "counterexample x = %a classified as %d@." Vec.pp x
+        (Nn.Network.classify net x)
+  | Common.Outcome.Verified | Common.Outcome.Timeout | Common.Outcome.Unknown
+    ->
+      failwith "expected a counterexample"

@@ -1,0 +1,74 @@
+(* Example 3.1 / Figure 5: verifying the XOR network with abstraction
+   refinement, watching the splits the algorithm makes.
+
+   The property: every input in [0.3, 0.7]^2 is classified as class 1.
+   With the AI2-style zonotope transformer the whole region cannot be
+   proved in one shot, so the verifier splits the input region and
+   proves the pieces separately — exactly the workflow Figure 5 draws.
+
+   Run with:  dune exec examples/xor_robustness.exe *)
+
+open Linalg
+open Domains
+
+(* A verbose re-enactment of Algorithm 1 with a fixed (AI2-zonotope)
+   domain, printing each region and the verdict, to visualise the
+   recursion tree. *)
+let rec verify_verbose net prop region depth =
+  let indent = String.make (2 * depth) ' ' in
+  let target = prop.Common.Property.target in
+  let margin = Absint.Analyzer.margin_lower net region ~k:target Domain.zonotope_join in
+  if margin > 0.0 then begin
+    Format.printf "%s%a : verified (margin %.3f)@." indent Box.pp region margin;
+    true
+  end
+  else begin
+    Format.printf "%s%a : needs refinement (margin %.3f)@." indent Box.pp
+      region margin;
+    let left, right = Box.bisect region in
+    verify_verbose net prop left (depth + 1)
+    && verify_verbose net prop right (depth + 1)
+  end
+
+let () =
+  let net = Nn.Init.xor () in
+  Format.printf "The XOR network (Figure 3):@.%s@." (Nn.Network.describe net);
+
+  (* Check the truth table. *)
+  List.iter
+    (fun (a, b) ->
+      Format.printf "  classify [%g %g] = %d@." a b
+        (Nn.Network.classify net [| a; b |]))
+    [ (0.0, 0.0); (0.0, 1.0); (1.0, 0.0); (1.0, 1.0) ];
+
+  let region = Box.create ~lo:[| 0.3; 0.3 |] ~hi:[| 0.7; 0.7 |] in
+  let prop =
+    Common.Property.create ~name:"example-3.1" ~region ~target:1 ()
+  in
+
+  Format.printf "@.Refinement trace with the AI2 zonotope domain:@.";
+  assert (verify_verbose net prop region 0);
+
+  (* The real algorithm gets there too, using its policy to pick domains
+     and split points. *)
+  Format.printf "@.Full Charon run:@.";
+  let rng = Rng.create 7 in
+  let report =
+    Charon.Verify.run ~rng ~policy:Charon.Policy.default net prop
+  in
+  Format.printf "outcome: %a after %d nodes, %d abstract runs@."
+    Common.Outcome.pp report.Charon.Verify.outcome report.Charon.Verify.nodes
+    report.Charon.Verify.analyze_calls;
+  List.iter
+    (fun (spec, n) ->
+      Format.printf "  domain %a chosen %d times@." Domain.pp spec n)
+    report.Charon.Verify.domains_used;
+
+  (* And the complementary property is refuted with a witness. *)
+  let bad = { prop with Common.Property.target = 0 } in
+  let report = Charon.Verify.run ~rng ~policy:Charon.Policy.default net bad in
+  match report.Charon.Verify.outcome with
+  | Common.Outcome.Refuted x ->
+      Format.printf "negated property refuted at %a (class %d)@." Vec.pp x
+        (Nn.Network.classify net x)
+  | _ -> failwith "expected refutation"

@@ -1,0 +1,87 @@
+open Linalg
+open Domains
+
+type verdict = Verified | Unknown
+
+type stats = {
+  mutable peak_disjuncts : int;
+  mutable peak_generators : int;
+  mutable transformer_calls : int;
+}
+
+let fresh_stats () =
+  { peak_disjuncts = 0; peak_generators = 0; transformer_calls = 0 }
+
+exception Out_of_budget
+
+let propagate (type a) (module D : Domain_sig.S with type t = a) ?stats ?budget
+    net (input : a) : a =
+  let poll () =
+    match budget with
+    | Some b when Common.Budget.exhausted b -> raise Out_of_budget
+    | Some _ | None -> ()
+  in
+  let record (x : a) =
+    match stats with
+    | None -> ()
+    | Some s ->
+        s.transformer_calls <- s.transformer_calls + 1;
+        s.peak_disjuncts <- Stdlib.max s.peak_disjuncts (D.disjuncts x);
+        s.peak_generators <- Stdlib.max s.peak_generators (D.num_generators x)
+  in
+  List.fold_left
+    (fun acc layer ->
+      poll ();
+      let next =
+        match layer with
+        | Nn.Layer.Relu -> D.relu acc
+        | Nn.Layer.Maxpool p -> D.maxpool p acc
+        | Nn.Layer.Affine { w; b } -> D.affine w b acc
+        | Nn.Layer.Conv c ->
+            let w, b = Nn.Conv.to_affine c in
+            D.affine w b acc
+        | Nn.Layer.Avgpool p ->
+            let w, b = Nn.Avgpool.to_affine p in
+            D.affine w b acc
+      in
+      record next;
+      next)
+    input net.Nn.Network.layers
+
+let check_region net region =
+  if Box.dim region <> net.Nn.Network.input_dim then
+    invalid_arg "Analyzer: region dimension differs from network input"
+
+let output_bounds net region spec =
+  check_region net region;
+  let (module D) = Domain.get spec in
+  let out = propagate (module D) net (D.of_box region) in
+  Array.init net.Nn.Network.output_dim (fun i -> D.bounds out i)
+
+let margin_of (type a) (module D : Domain_sig.S with type t = a) (out : a)
+    ~num_classes ~k =
+  let best = ref infinity in
+  for j = 0 to num_classes - 1 do
+    if j <> k then begin
+      let coeffs =
+        Vec.init num_classes (fun i ->
+            if i = k then 1.0 else if i = j then -1.0 else 0.0)
+      in
+      best := Stdlib.min !best (D.linear_lower out ~coeffs)
+    end
+  done;
+  !best
+
+let margin_lower ?stats ?budget net region ~k spec =
+  check_region net region;
+  let m = net.Nn.Network.output_dim in
+  if k < 0 || k >= m then invalid_arg "Analyzer: class index out of range";
+  if m < 2 then invalid_arg "Analyzer: need at least two classes";
+  let (module D) = Domain.get spec in
+  match propagate (module D) ?stats ?budget net (D.of_box region) with
+  | out -> margin_of (module D) out ~num_classes:m ~k
+  | exception Out_of_budget -> neg_infinity
+
+let analyze ?stats ?budget net region ~k spec =
+  if margin_lower ?stats ?budget net region ~k spec > 0.0 then Verified
+  else Unknown

@@ -1,0 +1,13 @@
+open Linalg
+
+let expected_improvement ?(xi = 0.01) ~best ~mean ~variance () =
+  let std = sqrt (Stdlib.max variance 0.0) in
+  if std <= 1e-12 then 0.0
+  else begin
+    let imp = mean -. best -. xi in
+    let z = imp /. std in
+    (imp *. Special.normal_cdf z) +. (std *. Special.normal_pdf z)
+  end
+
+let upper_confidence_bound ?(beta = 2.0) ~mean ~variance () =
+  mean +. (beta *. sqrt (Stdlib.max variance 0.0))

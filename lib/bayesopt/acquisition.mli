@@ -1,0 +1,13 @@
+(** Acquisition functions for Bayesian optimization (maximization
+    convention). *)
+
+val expected_improvement :
+  ?xi:float -> best:float -> mean:float -> variance:float -> unit -> float
+(** Expected improvement over the incumbent [best] for a Gaussian
+    posterior with the given [mean] and [variance].  [xi] (default 0.01)
+    is the exploration bonus.  Zero when the variance vanishes. *)
+
+val upper_confidence_bound :
+  ?beta:float -> mean:float -> variance:float -> unit -> float
+(** GP-UCB with exploration weight [beta] (default 2.0); provided for the
+    acquisition-function ablation. *)

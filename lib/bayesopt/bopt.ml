@@ -1,0 +1,86 @@
+open Linalg
+open Domains
+
+type config = {
+  init_samples : int;
+  iterations : int;
+  candidates : int;
+  local_candidates : int;
+  xi : float;
+  noise : float;
+  kernel : Kernel.t;
+}
+
+let default_config =
+  {
+    init_samples = 8;
+    iterations = 24;
+    candidates = 256;
+    local_candidates = 64;
+    xi = 0.01;
+    noise = 1e-6;
+    kernel = Kernel.matern52 ~length:0.25 ();
+  }
+
+type evaluation = { point : Vec.t; value : float }
+
+type result = { best : evaluation; history : evaluation list }
+
+(* The GP operates on coordinates normalized to the unit cube so a
+   single kernel length scale is meaningful regardless of the search
+   box's units. *)
+let normalizer box =
+  let lo = box.Box.lo and w = Box.widths box in
+  fun x ->
+    Vec.init (Vec.dim x) (fun i ->
+        if w.(i) > 0.0 then (x.(i) -. lo.(i)) /. w.(i) else 0.5)
+
+let perturb rng box x ~scale =
+  Box.clamp box
+    (Vec.init (Vec.dim x) (fun i ->
+         x.(i) +. (scale *. Box.width box i *. Rng.gaussian rng)))
+
+let maximize ?(config = default_config) ~rng box f =
+  if config.init_samples < 1 then invalid_arg "Bopt.maximize: need seeds";
+  let norm = normalizer box in
+  let history = ref [] in
+  let evaluate x =
+    let e = { point = x; value = f x } in
+    history := e :: !history;
+    e
+  in
+  let seeds = Latin.sample rng box ~n:config.init_samples in
+  let best = ref (evaluate seeds.(0)) in
+  for i = 1 to Array.length seeds - 1 do
+    let e = evaluate seeds.(i) in
+    if e.value > !best.value then best := e
+  done;
+  for _iter = 1 to config.iterations do
+    let evals = Array.of_list !history in
+    let inputs = Array.map (fun e -> norm e.point) evals in
+    let targets = Array.map (fun e -> e.value) evals in
+    let gp = Gp.fit ~noise:config.noise config.kernel ~inputs ~targets in
+    let score x =
+      let mean, variance = Gp.predict gp (norm x) in
+      Acquisition.expected_improvement ~xi:config.xi ~best:!best.value ~mean
+        ~variance ()
+    in
+    let best_cand = ref (Box.sample rng box) in
+    let best_score = ref (score !best_cand) in
+    let consider x =
+      let s = score x in
+      if s > !best_score then begin
+        best_score := s;
+        best_cand := x
+      end
+    in
+    for _ = 2 to config.candidates do
+      consider (Box.sample rng box)
+    done;
+    for _ = 1 to config.local_candidates do
+      consider (perturb rng box !best.point ~scale:0.05)
+    done;
+    let e = evaluate !best_cand in
+    if e.value > !best.value then best := e
+  done;
+  { best = !best; history = List.rev !history }

@@ -1,0 +1,39 @@
+(** The Bayesian optimization loop (§4.2).
+
+    Maximizes a black-box function over a box by repeatedly fitting a
+    Gaussian-process surrogate to the evaluations so far and evaluating
+    the point that maximizes expected improvement.  This is the engine
+    that learns verification-policy parameters in the paper (through the
+    BayesOpt library); here it is self-contained. *)
+
+type config = {
+  init_samples : int;  (** Latin-hypercube seeding evaluations *)
+  iterations : int;  (** acquisition-driven evaluations *)
+  candidates : int;  (** random candidates scored per iteration *)
+  local_candidates : int;
+      (** additional candidates perturbed around the incumbent *)
+  xi : float;  (** EI exploration bonus *)
+  noise : float;  (** GP observation noise *)
+  kernel : Kernel.t;
+}
+
+val default_config : config
+(** 8 seeds, 24 iterations, 256 + 64 candidates, Matérn-5/2 kernel with
+    length scale 0.25 on normalized coordinates. *)
+
+type evaluation = { point : Linalg.Vec.t; value : float }
+
+type result = {
+  best : evaluation;
+  history : evaluation list;  (** in evaluation order *)
+}
+
+val maximize :
+  ?config:config ->
+  rng:Linalg.Rng.t ->
+  Domains.Box.t ->
+  (Linalg.Vec.t -> float) ->
+  result
+(** [maximize box f] runs the loop and returns the best point found
+    along with the full evaluation history.  The total number of [f]
+    evaluations is [init_samples + iterations]. *)

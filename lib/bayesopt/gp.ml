@@ -1,0 +1,63 @@
+open Linalg
+
+type t = {
+  kernel : Kernel.t;
+  inputs : Vec.t array;
+  chol : Mat.t;  (** lower Cholesky factor of K + noise*I *)
+  alpha : Vec.t;  (** (K + noise*I)^-1 y, standardized targets *)
+  y_mean : float;
+  y_scale : float;
+  y_std : float array;  (** standardized targets, kept for the LML *)
+}
+
+let standardize targets =
+  let m = Stats.mean targets in
+  let s = Stats.stddev targets in
+  let scale = if s > 1e-12 then s else 1.0 in
+  (m, scale, Array.map (fun y -> (y -. m) /. scale) targets)
+
+let fit ?(noise = 1e-6) kernel ~inputs ~targets =
+  let n = Array.length inputs in
+  if n = 0 then invalid_arg "Gp.fit: no observations";
+  if Array.length targets <> n then
+    invalid_arg "Gp.fit: inputs and targets differ in length";
+  let y_mean, y_scale, y_std = standardize targets in
+  let gram = Kernel.gram kernel inputs in
+  (* Jitter escalation: retry with increasing diagonal regularisation
+     until the factorisation succeeds. *)
+  let rec factor jitter attempts =
+    let k = Mat.copy gram in
+    for i = 0 to n - 1 do
+      Mat.set k i i (Mat.get k i i +. noise +. jitter)
+    done;
+    match Mat.cholesky k with
+    | l -> l
+    | exception Failure _ when attempts < 8 ->
+        factor (Stdlib.max (jitter *. 10.0) 1e-10) (attempts + 1)
+  in
+  let chol = factor 0.0 0 in
+  let alpha = Mat.cholesky_solve chol y_std in
+  { kernel; inputs; chol; alpha; y_mean; y_scale; y_std }
+
+let kvec t x = Array.map (fun xi -> Kernel.eval t.kernel x xi) t.inputs
+
+let predict t x =
+  let ks = kvec t x in
+  let mean_std = Vec.dot ks t.alpha in
+  let v = Mat.solve_lower t.chol ks in
+  let var_std = Kernel.diag t.kernel -. Vec.dot v v in
+  let var_std = Stdlib.max var_std 0.0 in
+  (t.y_mean +. (t.y_scale *. mean_std), var_std *. t.y_scale *. t.y_scale)
+
+let mean t x = fst (predict t x)
+
+let num_observations t = Array.length t.inputs
+
+let log_marginal_likelihood t =
+  let n = float_of_int (Array.length t.inputs) in
+  let data_fit = -0.5 *. Vec.dot t.y_std t.alpha in
+  let log_det = ref 0.0 in
+  for i = 0 to Array.length t.inputs - 1 do
+    log_det := !log_det +. log (Mat.get t.chol i i)
+  done;
+  data_fit -. !log_det -. (0.5 *. n *. log (2.0 *. Float.pi))

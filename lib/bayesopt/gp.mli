@@ -1,0 +1,28 @@
+(** Gaussian-process regression (the surrogate model of §4.2).
+
+    A zero-mean GP prior over functions, conditioned on observed
+    input/value pairs.  Targets are internally standardised so kernel
+    hyper-parameters behave consistently across objectives of different
+    scales. *)
+
+type t
+
+val fit :
+  ?noise:float -> Kernel.t -> inputs:Linalg.Vec.t array -> targets:float array -> t
+(** [fit kernel ~inputs ~targets] conditions the GP on the observations.
+    [noise] (default [1e-6]) is the observation noise variance; a jitter
+    escalation retries the Cholesky factorisation if the Gram matrix is
+    numerically singular.
+    @raise Invalid_argument on empty or mismatched observations. *)
+
+val predict : t -> Linalg.Vec.t -> float * float
+(** [(mean, variance)] of the posterior at a point, in the original
+    target scale.  Variance is clamped to be non-negative. *)
+
+val mean : t -> Linalg.Vec.t -> float
+
+val num_observations : t -> int
+
+val log_marginal_likelihood : t -> float
+(** Log marginal likelihood of the standardized observations; used by
+    tests and by the (optional) hyper-parameter grid search in {!Bopt}. *)

@@ -1,0 +1,42 @@
+open Linalg
+
+type t =
+  | Squared_exponential of { length : float; variance : float }
+  | Matern52 of { length : float; variance : float }
+
+let check_params ~length ~variance =
+  if length <= 0.0 then invalid_arg "Kernel: length scale must be positive";
+  if variance <= 0.0 then invalid_arg "Kernel: variance must be positive"
+
+let se ?(variance = 1.0) ~length () =
+  check_params ~length ~variance;
+  Squared_exponential { length; variance }
+
+let matern52 ?(variance = 1.0) ~length () =
+  check_params ~length ~variance;
+  Matern52 { length; variance }
+
+let eval t x y =
+  let r = Vec.dist2 x y in
+  match t with
+  | Squared_exponential { length; variance } ->
+      variance *. exp (-.(r *. r) /. (2.0 *. length *. length))
+  | Matern52 { length; variance } ->
+      let s = sqrt 5.0 *. r /. length in
+      variance *. (1.0 +. s +. (s *. s /. 3.0)) *. exp (-.s)
+
+let diag = function
+  | Squared_exponential { variance; _ } | Matern52 { variance; _ } -> variance
+
+let gram t points =
+  let n = Array.length points in
+  Mat.init n n (fun i j ->
+      if j < i then 0.0 else eval t points.(i) points.(j))
+  |> fun m ->
+  (* Fill the lower triangle by symmetry. *)
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      Mat.set m i j (Mat.get m j i)
+    done
+  done;
+  m

@@ -1,0 +1,21 @@
+(** Covariance kernels for Gaussian-process regression. *)
+
+type t =
+  | Squared_exponential of { length : float; variance : float }
+      (** [variance * exp(-r² / (2 length²))] *)
+  | Matern52 of { length : float; variance : float }
+      (** Matérn with smoothness 5/2, the default of most Bayesian
+          optimization packages (including BayesOpt). *)
+
+val se : ?variance:float -> length:float -> unit -> t
+(** Squared-exponential kernel; [variance] defaults to 1. *)
+
+val matern52 : ?variance:float -> length:float -> unit -> t
+
+val eval : t -> Linalg.Vec.t -> Linalg.Vec.t -> float
+
+val diag : t -> float
+(** [eval t x x], which is independent of [x]. *)
+
+val gram : t -> Linalg.Vec.t array -> Linalg.Mat.t
+(** Symmetric Gram matrix of a point set. *)

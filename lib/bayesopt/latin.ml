@@ -1,0 +1,18 @@
+open Linalg
+open Domains
+
+let sample rng box ~n =
+  if n <= 0 then invalid_arg "Latin.sample: n must be positive";
+  let d = Box.dim box in
+  (* One stratum permutation per dimension. *)
+  let perms =
+    Array.init d (fun _ ->
+        let p = Array.init n Fun.id in
+        Rng.shuffle rng p;
+        p)
+  in
+  Array.init n (fun i ->
+      Vec.init d (fun j ->
+          let stratum = float_of_int perms.(j).(i) in
+          let u = (stratum +. Rng.float rng 1.0) /. float_of_int n in
+          box.Box.lo.(j) +. (u *. (box.Box.hi.(j) -. box.Box.lo.(j)))))

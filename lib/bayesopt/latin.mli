@@ -1,0 +1,6 @@
+(** Latin hypercube sampling, used to seed the Bayesian optimizer. *)
+
+val sample : Linalg.Rng.t -> Domains.Box.t -> n:int -> Linalg.Vec.t array
+(** [sample rng box ~n] draws [n] points from [box] such that each
+    dimension's [n] strata each contain exactly one point.
+    @raise Invalid_argument if [n <= 0]. *)

@@ -1,0 +1,36 @@
+type t = {
+  deadline : float option;
+  max_steps : int option;
+  started : float;
+  mutable used : int;
+}
+
+let now () = Unix.gettimeofday ()
+
+let create ?seconds ?steps () =
+  let started = now () in
+  {
+    deadline = Option.map (fun s -> started +. s) seconds;
+    max_steps = steps;
+    started;
+    used = 0;
+  }
+
+let unlimited () = create ()
+
+let of_seconds s = create ~seconds:s ()
+
+let of_steps n = create ~steps:n ()
+
+let spend t n = t.used <- t.used + n
+
+let exhausted t =
+  (match t.max_steps with Some m -> t.used >= m | None -> false)
+  || match t.deadline with Some d -> now () > d | None -> false
+
+let elapsed t = now () -. t.started
+
+let remaining_seconds t =
+  Option.map (fun d -> Stdlib.max 0.0 (d -. now ())) t.deadline
+
+let steps_used t = t.used

@@ -1,0 +1,64 @@
+(* Array-backed binary min-heap. *)
+type 'a t = {
+  mutable data : (float * 'a) array;  (** slots [0, size) are live *)
+  mutable size : int;
+}
+
+let create () = { data = [||]; size = 0 }
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let grow t entry =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let data = Array.make (Stdlib.max 8 (2 * cap)) entry in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if fst t.data.(i) < fst t.data.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && fst t.data.(l) < fst t.data.(!smallest) then smallest := l;
+  if r < t.size && fst t.data.(r) < fst t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~priority x =
+  let entry = (priority, x) in
+  grow t entry;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let peek t = if t.size = 0 then None else Some t.data.(0)
+
+let size t = t.size
+
+let is_empty t = t.size = 0

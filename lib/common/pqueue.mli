@@ -1,0 +1,20 @@
+(** A mutable binary min-heap keyed by float priorities.
+
+    Used by the best-first variant of the verification loop (regions
+    closest to violating the property are refined first). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> priority:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the minimum-priority element; [None] when
+    empty.  Ties are broken arbitrarily. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool

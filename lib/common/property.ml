@@ -1,0 +1,28 @@
+open Domains
+
+type t = { name : string; region : Box.t; target : int }
+
+let create ?(name = "property") ~region ~target () =
+  if target < 0 then invalid_arg "Property.create: negative target class";
+  { name; region; target }
+
+let holds_at net t x =
+  let scores = Nn.Network.eval net x in
+  let ok = ref true in
+  Array.iteri
+    (fun j s -> if j <> t.target && s >= scores.(t.target) then ok := false)
+    scores;
+  !ok
+
+let check_samples rng net t ~n =
+  let rec go i =
+    if i >= n then None
+    else begin
+      let x = Box.sample rng t.region in
+      if holds_at net t x then go (i + 1) else Some x
+    end
+  in
+  go 0
+
+let pp fmt t =
+  Format.fprintf fmt "%s: region %a, class %d" t.name Box.pp t.region t.target

@@ -1,0 +1,24 @@
+(** Robustness properties.
+
+    A property [(I, K)] asserts that the network classifies every point
+    of the input region [I] as class [K] (§2.2). *)
+
+type t = {
+  name : string;  (** identifier used in reports and benchmark tables *)
+  region : Domains.Box.t;  (** the input region [I] *)
+  target : int;  (** the class [K] *)
+}
+
+val create : ?name:string -> region:Domains.Box.t -> target:int -> unit -> t
+(** @raise Invalid_argument if [target < 0]. *)
+
+val holds_at : Nn.Network.t -> t -> Linalg.Vec.t -> bool
+(** Whether a single concrete point (assumed to lie in the region) is
+    classified as the target class with a strictly greater score than
+    every other class. *)
+
+val check_samples : Linalg.Rng.t -> Nn.Network.t -> t -> n:int -> Linalg.Vec.t option
+(** Randomized falsification oracle used by tests: samples [n] points
+    from the region and returns the first violating point found. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,129 @@
+type entry = { property : Property.t; network : string option }
+
+(* Partially parsed record fields. *)
+type draft = {
+  mutable name : string option;
+  mutable network : string option;
+  mutable target : int option;
+  mutable box : Domains.Box.t option;
+  mutable center : Linalg.Vec.t option;
+  mutable radius : float option;
+}
+
+let fresh () =
+  { name = None; network = None; target = None; box = None; center = None;
+    radius = None }
+
+let fail_line n msg = failwith (Printf.sprintf "Propfile: line %d: %s" n msg)
+
+let finish n d =
+  let name = Option.value ~default:"property" d.name in
+  let region =
+    match (d.box, d.center, d.radius) with
+    | Some b, None, None -> b
+    | None, Some c, Some r -> Domains.Box.of_center_radius c r
+    | None, Some _, None -> fail_line n "center given without radius"
+    | None, None, Some _ -> fail_line n "radius given without center"
+    | None, None, None -> fail_line n "no region (box or center/radius)"
+    | Some _, _, _ -> fail_line n "both box and center/radius given"
+  in
+  let target =
+    match d.target with
+    | Some k -> k
+    | None -> fail_line n "missing target class"
+  in
+  { property = Property.create ~name ~region ~target (); network = d.network }
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let entries = ref [] in
+  let current = ref None in
+  List.iteri
+    (fun idx raw ->
+      let n = idx + 1 in
+      let line =
+        match String.index_opt raw '#' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      let line = String.trim line in
+      if line <> "" then begin
+        let keyword, rest =
+          match String.index_opt line ' ' with
+          | Some i ->
+              ( String.sub line 0 i,
+                String.trim (String.sub line i (String.length line - i)) )
+          | None -> (line, "")
+        in
+        match (keyword, !current) with
+        | "property", Some _ -> fail_line n "unterminated record (missing 'end')"
+        | "property", None ->
+            let d = fresh () in
+            d.name <- (if rest = "" then None else Some rest);
+            current := Some d
+        | "end", Some d ->
+            entries := finish n d :: !entries;
+            current := None
+        | "end", None -> fail_line n "'end' without a record"
+        | _, None ->
+            fail_line n (Printf.sprintf "%S outside of a property record" keyword)
+        | "network", Some d -> d.network <- Some rest
+        | "target", Some d -> begin
+            match int_of_string_opt rest with
+            | Some k -> d.target <- Some k
+            | None -> fail_line n "target must be an integer"
+          end
+        | "box", Some d -> begin
+            match Regionspec.parse_box rest with
+            | b -> d.box <- Some b
+            | exception Failure msg -> fail_line n msg
+          end
+        | "center", Some d -> begin
+            match Regionspec.parse_floats rest with
+            | c -> d.center <- Some c
+            | exception Failure msg -> fail_line n msg
+          end
+        | "radius", Some d -> begin
+            match float_of_string_opt rest with
+            | Some r when r >= 0.0 -> d.radius <- Some r
+            | Some _ -> fail_line n "radius must be non-negative"
+            | None -> fail_line n "radius must be a number"
+          end
+        | other, Some _ ->
+            fail_line n (Printf.sprintf "unknown keyword %S" other)
+      end)
+    lines;
+  (match !current with
+  | Some _ -> failwith "Propfile: unterminated record at end of file"
+  | None -> ());
+  List.rev !entries
+
+let print entries =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun { property; network } ->
+      Buffer.add_string buf
+        (Printf.sprintf "property %s\n" property.Property.name);
+      Option.iter
+        (fun path -> Buffer.add_string buf (Printf.sprintf "network %s\n" path))
+        network;
+      Buffer.add_string buf
+        (Printf.sprintf "target %d\n" property.Property.target);
+      Buffer.add_string buf
+        (Printf.sprintf "box %s\n"
+           (Regionspec.to_box_string property.Property.region));
+      Buffer.add_string buf "end\n\n")
+    entries;
+  Buffer.contents buf
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (In_channel.input_all ic))
+
+let save path entries =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (print entries))

@@ -1,0 +1,26 @@
+(** Property files: a line-oriented format for robustness properties, so
+    benchmark suites can be exported, shared, and replayed from the CLI.
+
+    Format (one or more records, [#] comments and blank lines ignored):
+    {v
+    property <name>
+    network <path>          # optional: network file this applies to
+    target <K>
+    box <l1:h1,l2:h2,...>   # or: center <x1,x2,...> + radius <r>
+    end
+    v} *)
+
+type entry = {
+  property : Property.t;
+  network : string option;  (** path of the network file, if recorded *)
+}
+
+val parse : string -> entry list
+(** @raise Failure with a line-numbered message on malformed input. *)
+
+val print : entry list -> string
+
+val load : string -> entry list
+(** @raise Sys_error / [Failure] like {!parse}. *)
+
+val save : string -> entry list -> unit

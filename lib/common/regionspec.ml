@@ -1,0 +1,51 @@
+open Domains
+
+let parse_floats s =
+  String.split_on_char ',' s
+  |> List.map (fun tok ->
+         match float_of_string_opt (String.trim tok) with
+         | Some x -> x
+         | None -> failwith (Printf.sprintf "Regionspec: not a number: %S" tok))
+  |> Array.of_list
+
+let parse_box s =
+  let bounds =
+    String.split_on_char ',' s
+    |> List.map (fun part ->
+           match String.split_on_char ':' part with
+           | [ lo; hi ] -> begin
+               match
+                 ( float_of_string_opt (String.trim lo),
+                   float_of_string_opt (String.trim hi) )
+               with
+               | Some l, Some h -> (l, h)
+               | _ ->
+                   failwith
+                     (Printf.sprintf "Regionspec: malformed bound %S" part)
+             end
+           | _ ->
+               failwith
+                 (Printf.sprintf "Regionspec: expected lo:hi, got %S" part))
+  in
+  match
+    Box.create
+      ~lo:(Array.of_list (List.map fst bounds))
+      ~hi:(Array.of_list (List.map snd bounds))
+  with
+  | box -> box
+  | exception Invalid_argument msg -> failwith ("Regionspec: " ^ msg)
+
+let of_options ~center ~radius ~box =
+  match (center, box) with
+  | Some c, None ->
+      if radius < 0.0 then failwith "Regionspec: negative radius";
+      Box.of_center_radius (parse_floats c) radius
+  | None, Some b -> parse_box b
+  | Some _, Some _ ->
+      failwith "Regionspec: give either a center/radius or a box, not both"
+  | None, None -> failwith "Regionspec: a region is required"
+
+let to_box_string box =
+  String.concat ","
+    (List.init (Box.dim box) (fun i ->
+         Printf.sprintf "%.17g:%.17g" box.Box.lo.(i) box.Box.hi.(i)))

@@ -1,0 +1,24 @@
+(** Textual input-region specifications, shared by the CLI and tests.
+
+    Two forms are accepted:
+    - center/radius: a comma-separated center and an L∞ radius;
+    - box: comma-separated [lo:hi] pairs, one per input dimension. *)
+
+val parse_floats : string -> Linalg.Vec.t
+(** Comma-separated float list.
+    @raise Failure on malformed entries. *)
+
+val parse_box : string -> Domains.Box.t
+(** ["l1:h1,l2:h2,..."].
+    @raise Failure on malformed entries or inverted bounds. *)
+
+val of_options :
+  center:string option ->
+  radius:float ->
+  box:string option ->
+  Domains.Box.t
+(** Resolve the CLI's mutually exclusive region options.
+    @raise Failure if both or neither form is given. *)
+
+val to_box_string : Domains.Box.t -> string
+(** Inverse of {!parse_box} (round-trips through [%.17g]). *)

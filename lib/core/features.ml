@@ -1,0 +1,33 @@
+open Linalg
+open Domains
+
+type input = {
+  net : Nn.Network.t;
+  region : Box.t;
+  target : int;
+  xstar : Vec.t;
+  fstar : float;
+}
+
+let dim = 5
+
+(* Squash an unbounded non-negative quantity into [0, 1). *)
+let squash x = x /. (1.0 +. x)
+
+(* Squash a signed quantity into (-1, 1). *)
+let squash_signed x = x /. (1.0 +. abs_float x)
+
+let compute t =
+  let diameter = Box.diameter t.region in
+  let center_dist =
+    if diameter > 0.0 then Vec.dist2 (Box.center t.region) t.xstar /. diameter
+    else 0.0
+  in
+  let gmag = Nn.Grad.grad_norm t.net t.xstar in
+  [|
+    center_dist;
+    squash_signed t.fstar;
+    squash gmag;
+    squash (Box.mean_width t.region);
+    1.0;
+  |]

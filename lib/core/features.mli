@@ -1,0 +1,27 @@
+(** The featurization function ρ of §4.1/§6.
+
+    Converts a verification sub-problem — network, region, target class
+    and the PGD solution [x*] — into a small feature vector.  We use the
+    four features named in §6, each squashed into [\[0, 1\]] (or
+    [\[-1, 1\]] for the objective value) so that a policy matrix with
+    entries in [\[-1, 1\]] spans a meaningful range of behaviours, plus a
+    constant bias feature. *)
+
+type input = {
+  net : Nn.Network.t;
+  region : Domains.Box.t;
+  target : int;
+  xstar : Linalg.Vec.t;  (** PGD solution *)
+  fstar : float;  (** objective value at [xstar] *)
+}
+
+val dim : int
+(** Length of the feature vector (5: four features plus bias). *)
+
+val compute : input -> Linalg.Vec.t
+(** The feature vector:
+    - relative distance from the region center to [xstar];
+    - squashed objective value [fstar];
+    - squashed gradient magnitude of the network at [xstar];
+    - squashed mean side length of the region;
+    - constant 1 (bias). *)

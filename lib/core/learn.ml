@@ -1,0 +1,75 @@
+open Linalg
+open Domains
+
+type problem = { net : Nn.Network.t; property : Common.Property.t }
+
+type limit = Seconds of float | Steps of int
+
+type config = {
+  per_problem : limit;
+  penalty : float;
+  verify : Verify.config;
+  bopt : Bayesopt.Bopt.config;
+  theta_range : float;
+}
+
+let default_config =
+  {
+    per_problem = Steps 2000;
+    penalty = 2.0;
+    verify = Verify.default_config;
+    bopt = Bayesopt.Bopt.default_config;
+    theta_range = 1.0;
+  }
+
+let cost config ~seed problems policy =
+  List.fold_left
+    (fun acc p ->
+      let rng = Rng.create seed in
+      let budget =
+        match config.per_problem with
+        | Seconds s -> Common.Budget.of_seconds s
+        | Steps n -> Common.Budget.of_steps n
+      in
+      let report =
+        Verify.run ~config:config.verify ~budget ~rng ~policy p.net p.property
+      in
+      let solved = Common.Outcome.is_solved report.Verify.outcome in
+      let c =
+        match (config.per_problem, solved) with
+        | Seconds s, false -> config.penalty *. s
+        | Seconds _, true -> report.Verify.elapsed
+        | Steps n, false -> config.penalty *. float_of_int n
+        | Steps _, true -> float_of_int (Common.Budget.steps_used budget)
+      in
+      acc +. c)
+    0.0 problems
+
+type result = {
+  policy : Policy.t;
+  best_score : float;
+  evaluations : int;
+  bopt : Bayesopt.Bopt.result;
+}
+
+let train ?(config = default_config) ~rng problems =
+  if problems = [] then invalid_arg "Learn.train: no training problems";
+  let d = Policy.num_params in
+  let r = config.theta_range in
+  let space =
+    Box.create ~lo:(Vec.create d (-.r)) ~hi:(Vec.create d r)
+  in
+  (* Each objective evaluation must be deterministic in θ alone so the
+     surrogate model sees a consistent function: the verifier RNG seed is
+     fixed across evaluations. *)
+  let seed = Int64.to_int (Rng.bits64 rng) land 0x3FFFFFFF in
+  let objective theta =
+    -.cost config ~seed problems (Policy.of_vector theta)
+  in
+  let bopt = Bayesopt.Bopt.maximize ~config:config.bopt ~rng space objective in
+  {
+    policy = Policy.of_vector bopt.Bayesopt.Bopt.best.Bayesopt.Bopt.point;
+    best_score = bopt.Bayesopt.Bopt.best.Bayesopt.Bopt.value;
+    evaluations = List.length bopt.Bayesopt.Bopt.history;
+    bopt;
+  }

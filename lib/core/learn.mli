@@ -1,0 +1,43 @@
+(** The training phase: learning a verification policy with Bayesian
+    optimization (§4.2).
+
+    Given a set of representative training problems, searches the policy
+    parameter space for a θ minimizing the total cost
+    [Σ_s cost_θ(s)] where [cost_θ(s)] is the solving cost if [s] is
+    solved within the per-problem limit and [penalty × limit]
+    otherwise — the objective of §4.2 (the paper uses p = 2). *)
+
+type problem = { net : Nn.Network.t; property : Common.Property.t }
+
+type limit =
+  | Seconds of float  (** wall-clock per-problem limit, as in the paper *)
+  | Steps of int
+      (** deterministic per-problem limit in abstract transformer calls;
+          used by tests and reproducible experiments *)
+
+type config = {
+  per_problem : limit;
+  penalty : float;  (** the paper's p (default 2.0) *)
+  verify : Verify.config;
+  bopt : Bayesopt.Bopt.config;
+  theta_range : float;  (** search box [-r, r]^num_params (default 1.0) *)
+}
+
+val default_config : config
+
+val cost : config -> seed:int -> problem list -> Policy.t -> float
+(** Total cost of solving the training problems with the given policy;
+    lower is better.  Deterministic for a fixed seed under a [Steps]
+    limit. *)
+
+type result = {
+  policy : Policy.t;
+  best_score : float;  (** the maximized objective, i.e. negated cost *)
+  evaluations : int;
+  bopt : Bayesopt.Bopt.result;
+}
+
+val train : ?config:config -> rng:Linalg.Rng.t -> problem list -> result
+(** Run Bayesian optimization over policy parameters and return the best
+    policy found.
+    @raise Invalid_argument on an empty problem list. *)

@@ -1,0 +1,183 @@
+open Domains
+
+let log_src = Logs.Src.create "charon.verify" ~doc:"Charon's decision procedure"
+
+module Log = (val Logs.src_log log_src)
+
+type strategy = Depth_first | Best_first
+
+type config = {
+  delta : float;
+  max_depth : int;
+  pgd : Optim.Pgd.config;
+  use_cex_search : bool;
+  strategy : strategy;
+}
+
+let default_config =
+  {
+    delta = 1e-4;
+    max_depth = 60;
+    pgd = { Optim.Pgd.default_config with early_stop = Some 1e-4 };
+    use_cex_search = true;
+    strategy = Depth_first;
+  }
+
+type report = {
+  outcome : Common.Outcome.t;
+  elapsed : float;
+  nodes : int;
+  analyze_calls : int;
+  pgd_calls : int;
+  transformer_calls : int;
+  peak_depth : int;
+  domains_used : (Domain.spec * int) list;
+}
+
+type counters = {
+  mutable nodes : int;
+  mutable analyze_calls : int;
+  mutable pgd_calls : int;
+  mutable transformer_calls : int;
+  mutable peak_depth : int;
+  domains : (Domain.spec, int) Hashtbl.t;
+}
+
+let run ?(config = default_config) ?(budget = Common.Budget.unlimited ()) ~rng
+    ~policy net (prop : Common.Property.t) =
+  if config.delta <= 0.0 then invalid_arg "Verify.run: delta must be positive";
+  let started = Unix.gettimeofday () in
+  let counters =
+    {
+      nodes = 0;
+      analyze_calls = 0;
+      pgd_calls = 0;
+      transformer_calls = 0;
+      peak_depth = 0;
+      domains = Hashtbl.create 8;
+    }
+  in
+  let objective = Optim.Objective.create net ~k:prop.Common.Property.target in
+  let pgd_config =
+    { config.pgd with Optim.Pgd.early_stop = Some config.delta }
+  in
+  let search_candidate region =
+    if config.use_cex_search then begin
+      counters.pgd_calls <- counters.pgd_calls + 1;
+      Optim.Pgd.minimize ~config:pgd_config ~rng objective region
+    end
+    else begin
+      let c = Box.center region in
+      (c, Optim.Objective.value objective c)
+    end
+  in
+  (* Process one region of the worklist: PGD counterexample search
+     (lines 2-4), a proof attempt with the policy's domain (lines 5-7),
+     and on failure a policy-guided split (lines 8-12).  Returns the
+     sub-regions still to be proven. *)
+  let process region depth : (Common.Outcome.t, (Box.t * int * float) list) Either.t =
+    counters.nodes <- counters.nodes + 1;
+    counters.peak_depth <- Stdlib.max counters.peak_depth depth;
+    if Common.Budget.exhausted budget then Either.Left Common.Outcome.Timeout
+    else if depth > config.max_depth then Either.Left Common.Outcome.Timeout
+    else begin
+      let xstar, fstar = search_candidate region in
+      Log.debug (fun m ->
+          m "node %d depth %d region %a: F(x*) = %g" counters.nodes depth
+            Box.pp region fstar);
+      if fstar <= config.delta then begin
+        Log.info (fun m ->
+            m "refuted at depth %d with F = %g <= delta = %g" depth fstar
+              config.delta);
+        Either.Left (Common.Outcome.Refuted xstar)
+      end
+      else begin
+        let input =
+          {
+            Features.net;
+            region;
+            target = prop.Common.Property.target;
+            xstar;
+            fstar;
+          }
+        in
+        let spec = Policy.choose_domain policy input in
+        Hashtbl.replace counters.domains spec
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counters.domains spec));
+        let stats = Absint.Analyzer.fresh_stats () in
+        counters.analyze_calls <- counters.analyze_calls + 1;
+        let verdict =
+          Absint.Analyzer.analyze ~stats ~budget net region
+            ~k:prop.Common.Property.target spec
+        in
+        counters.transformer_calls <-
+          counters.transformer_calls + stats.Absint.Analyzer.transformer_calls;
+        Common.Budget.spend budget stats.Absint.Analyzer.transformer_calls;
+        Log.debug (fun m ->
+            m "domain %a -> %s" Domain.pp spec
+              (match verdict with
+              | Absint.Analyzer.Verified -> "verified"
+              | Absint.Analyzer.Unknown -> "unknown"));
+        match verdict with
+        | Absint.Analyzer.Verified -> Either.Right []
+        | Absint.Analyzer.Unknown ->
+            let dim, at = Policy.choose_split policy input in
+            if Box.width region dim <= 0.0 then
+              Either.Left Common.Outcome.Timeout
+            else begin
+              let left, right = Box.split region ~dim ~at in
+              Either.Right
+                [ (left, depth + 1, fstar); (right, depth + 1, fstar) ]
+            end
+      end
+    end
+  in
+  (* The worklist realises the strategy: LIFO for the paper's recursion
+     (Algorithm 1, left branch first), a min-priority queue on the
+     parent's PGD value for best-first (regions closest to a violation
+     are refined first). *)
+  let outcome =
+    match config.strategy with
+    | Depth_first ->
+        let rec drain = function
+          | [] -> Common.Outcome.Verified
+          | (region, depth) :: rest -> begin
+              match process region depth with
+              | Either.Left outcome -> outcome
+              | Either.Right children ->
+                  drain
+                    (List.map (fun (r, d, _) -> (r, d)) children @ rest)
+            end
+        in
+        drain [ (prop.Common.Property.region, 0) ]
+    | Best_first ->
+        let heap = Common.Pqueue.create () in
+        Common.Pqueue.push heap ~priority:0.0
+          (prop.Common.Property.region, 0);
+        let rec drain () =
+          match Common.Pqueue.pop heap with
+          | None -> Common.Outcome.Verified
+          | Some (_, (region, depth)) -> begin
+              match process region depth with
+              | Either.Left outcome -> outcome
+              | Either.Right children ->
+                  List.iter
+                    (fun (r, d, fstar) ->
+                      Common.Pqueue.push heap ~priority:fstar (r, d))
+                    children;
+                  drain ()
+            end
+        in
+        drain ()
+  in
+  {
+    outcome;
+    elapsed = Unix.gettimeofday () -. started;
+    nodes = counters.nodes;
+    analyze_calls = counters.analyze_calls;
+    pgd_calls = counters.pgd_calls;
+    transformer_calls = counters.transformer_calls;
+    peak_depth = counters.peak_depth;
+    domains_used =
+      Hashtbl.fold (fun spec n acc -> (spec, n) :: acc) counters.domains [];
+  }

@@ -1,0 +1,59 @@
+(** The Charon decision procedure (Algorithm 1).
+
+    Interleaves PGD counterexample search with abstract-interpretation
+    proof attempts, splitting the input region under the guidance of a
+    verification policy when neither succeeds.  With the δ-relaxed
+    counterexample test (Eq. 4) the procedure is sound and δ-complete
+    (Theorems 5.2 and 5.4): given enough budget it terminates with either
+    a proof or a δ-counterexample. *)
+
+val log_src : Logs.Src.t
+(** Logs source ["charon.verify"]: per-node traces at debug level,
+    refutations at info level. *)
+
+type strategy =
+  | Depth_first  (** Algorithm 1's recursion order (left branch first) *)
+  | Best_first
+      (** refine the pending region whose parent PGD value was closest
+          to violating the property first; an anytime-flavoured
+          extension useful when hunting counterexamples *)
+
+type config = {
+  delta : float;
+      (** δ of Eq. 4; refute as soon as [F(xstar) <= delta].  Must be
+          positive for the termination guarantee. *)
+  max_depth : int;  (** recursion-depth safety limit *)
+  pgd : Optim.Pgd.config;  (** counterexample-search configuration *)
+  use_cex_search : bool;
+      (** when false, skip PGD entirely (the RQ2 ablation); only the
+          region center is checked as a candidate counterexample *)
+  strategy : strategy;
+}
+
+val default_config : config
+(** δ = 1e-4, depth 60, default PGD with early stop at δ, depth-first. *)
+
+type report = {
+  outcome : Common.Outcome.t;
+  elapsed : float;  (** seconds *)
+  nodes : int;  (** recursion-tree nodes explored *)
+  analyze_calls : int;  (** abstract-interpretation attempts *)
+  pgd_calls : int;
+  transformer_calls : int;  (** total abstract layer applications *)
+  peak_depth : int;
+  domains_used : (Domains.Domain.spec * int) list;
+      (** how often the policy chose each abstract domain *)
+}
+
+val run :
+  ?config:config ->
+  ?budget:Common.Budget.t ->
+  rng:Linalg.Rng.t ->
+  policy:Policy.t ->
+  Nn.Network.t ->
+  Common.Property.t ->
+  report
+(** Verify or refute the property.  [Refuted x] guarantees
+    [F(x) <= delta] with [x] in the input region (δ-completeness);
+    [Verified] guarantees the property holds (soundness).  [Timeout] is
+    returned when the budget or the depth limit is exhausted. *)

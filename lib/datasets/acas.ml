@@ -1,0 +1,82 @@
+open Linalg
+
+let num_inputs = 5
+
+let num_advisories = 5
+
+let advisory_name = function
+  | 0 -> "clear-of-conflict"
+  | 1 -> "weak-left"
+  | 2 -> "strong-left"
+  | 3 -> "weak-right"
+  | 4 -> "strong-right"
+  | _ -> invalid_arg "Acas.advisory_name: out of range"
+
+(* Inputs (all normalized to [0,1]):
+     x0 = rho    distance to intruder (0 = on top of us, 1 = far)
+     x1 = theta  bearing of intruder (0 = hard left, 0.5 = dead ahead,
+                 1 = hard right)
+     x2 = psi    relative heading (0.5 = parallel, <0.5 converging left)
+     x3 = v_own  own speed
+     x4 = v_int  intruder speed
+   The rule: traffic that is far or strongly diverging is
+   clear-of-conflict; otherwise turn away from the intruder's side, with
+   strength growing as the (speed-scaled) distance shrinks. *)
+let oracle x =
+  if Vec.dim x <> num_inputs then invalid_arg "Acas.oracle: need 5 inputs";
+  let rho = x.(0) and theta = x.(1) and psi = x.(2) in
+  let v_own = x.(3) and v_int = x.(4) in
+  let closing = 0.5 +. ((v_own +. v_int) /. 2.0) -. abs_float (psi -. 0.5) in
+  let urgency = (1.0 -. rho) *. closing in
+  if urgency < 0.55 then 0 (* clear of conflict *)
+  else begin
+    let intruder_right = theta >= 0.5 in
+    let strong = urgency >= 0.85 in
+    match (intruder_right, strong) with
+    | true, false -> 1 (* weak left *)
+    | true, true -> 2 (* strong left *)
+    | false, false -> 3 (* weak right *)
+    | false, true -> 4 (* strong right *)
+  end
+
+let dataset rng ~n =
+  if n <= 0 then invalid_arg "Acas.dataset: n <= 0";
+  Array.init n (fun _ ->
+      let x = Vec.init num_inputs (fun _ -> Rng.float rng 1.0) in
+      { Nn.Train.x; label = oracle x })
+
+let network rng ~hidden =
+  let layer_sizes = (num_inputs :: hidden) @ [ num_advisories ] in
+  let net = Nn.Init.dense rng ~layer_sizes in
+  let samples = dataset rng ~n:4000 in
+  let config =
+    {
+      Nn.Train.epochs = 30;
+      batch_size = 32;
+      learning_rate = 0.05;
+      weight_decay = 1e-4;
+      momentum = 0.9;
+    }
+  in
+  Nn.Train.train ~config ~rng net samples
+
+let training_properties rng net ~n ~radius =
+  if n <= 0 then invalid_arg "Acas.training_properties: n <= 0";
+  let rec gather acc count attempts =
+    if count = n || attempts > 10_000 then List.rev acc
+    else begin
+      let x = Vec.init num_inputs (fun _ -> Rng.uniform rng ~lo:radius ~hi:(1.0 -. radius)) in
+      let label = oracle x in
+      if Nn.Network.classify net x = label then begin
+        let region = Domains.Box.of_center_radius x radius in
+        let prop =
+          Common.Property.create
+            ~name:(Printf.sprintf "acas-train-%02d-%s" count (advisory_name label))
+            ~region ~target:label ()
+        in
+        gather (prop :: acc) (count + 1) (attempts + 1)
+      end
+      else gather acc count (attempts + 1)
+    end
+  in
+  gather [] 0 0

@@ -1,0 +1,38 @@
+(** An ACAS-Xu-like collision-avoidance substrate.
+
+    The paper trains its verification policy on 12 robustness properties
+    of an ACAS Xu network (§6).  The real networks are not available, so
+    we build the closest synthetic equivalent: a 5-input advisory
+    function with the same flavour as the collision-avoidance logic
+    (inputs: distance, bearing of the intruder, relative heading, own
+    and intruder speeds; outputs: 5 advisories), networks trained on it,
+    and a set of 12 training properties over advisory-stable input
+    boxes. *)
+
+val num_inputs : int
+(** 5; inputs are normalized to [\[0, 1\]]. *)
+
+val num_advisories : int
+(** 5: clear-of-conflict, weak left, strong left, weak right, strong
+    right. *)
+
+val advisory_name : int -> string
+
+val oracle : Linalg.Vec.t -> int
+(** The ground-truth advisory for a normalized input: a hand-written
+    geometric rule (close and converging traffic triggers a turn away
+    from the intruder, stronger the closer it is). *)
+
+val dataset : Linalg.Rng.t -> n:int -> Nn.Train.sample array
+(** [n] uniform samples labelled by the oracle. *)
+
+val network : Linalg.Rng.t -> hidden:int list -> Nn.Network.t
+(** A trained advisory network with the given hidden sizes (e.g.
+    [\[16; 16; 16\]]), trained until it fits the oracle reasonably
+    well. *)
+
+val training_properties :
+  Linalg.Rng.t -> Nn.Network.t -> n:int -> radius:float -> Common.Property.t list
+(** [n] robustness properties centred at points where the network and
+    oracle agree, with L∞ radius [radius] — the analogue of the paper's
+    12 ACAS training properties (use [n = 12]). *)

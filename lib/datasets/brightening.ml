@@ -1,0 +1,20 @@
+open Linalg
+open Domains
+
+let region x ~tau ~severity =
+  if severity < 0.0 || severity > 1.0 then
+    invalid_arg "Brightening.region: severity must be in [0, 1]";
+  let lo = Vec.copy x in
+  let hi =
+    Vec.map (fun v -> if v >= tau then v +. (severity *. (1.0 -. v)) else v) x
+  in
+  Box.create ~lo ~hi
+
+let property ?name net x ~tau ~severity =
+  let target = Nn.Network.classify net x in
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "brighten-tau%.2f-sev%.2f" tau severity
+  in
+  Common.Property.create ~name ~region:(region x ~tau ~severity) ~target ()

@@ -1,0 +1,23 @@
+(** Brightening attacks (§7.1, following DeepXplore).
+
+    For an image [x] and threshold [τ], the attacked region lets every
+    pixel with value at least [τ] range from its current value up to 1
+    (scaled by a severity factor), leaving all other pixels fixed.  The
+    property asks that everything in the region keeps [x]'s class. *)
+
+val region :
+  Linalg.Vec.t -> tau:float -> severity:float -> Domains.Box.t
+(** [region x ~tau ~severity] brightens pixels [x_i >= tau] up to
+    [x_i + severity * (1 - x_i)]; [severity = 1] is the full brightening
+    attack of the paper.
+    @raise Invalid_argument unless [severity] is in [\[0, 1\]]. *)
+
+val property :
+  ?name:string ->
+  Nn.Network.t ->
+  Linalg.Vec.t ->
+  tau:float ->
+  severity:float ->
+  Common.Property.t
+(** The robustness property for the brightened region around [x], with
+    the network's own classification of [x] as the target class. *)

@@ -1,0 +1,197 @@
+open Linalg
+
+type entry = {
+  name : string;
+  description : string;
+  net : Nn.Network.t;
+  image_spec : Synth_images.spec;
+  convolutional : bool;
+  test_accuracy : float;
+}
+
+(* The conv network needs spatial dims divisible by 4. *)
+let conv_spec =
+  {
+    Synth_images.shape = Nn.Shape.create ~channels:1 ~height:8 ~width:8;
+    classes = 10;
+    noise = 0.15;
+  }
+
+type arch =
+  | Dense of { spec : Synth_images.spec; hidden : int list }
+  | Lenet of { spec : Synth_images.spec }
+
+let catalog =
+  [
+    ("mnist-3x100", Dense { spec = Synth_images.mnist_like; hidden = [ 24; 24 ] });
+    ( "mnist-6x100",
+      Dense { spec = Synth_images.mnist_like; hidden = [ 32; 32; 32; 32; 32 ] }
+    );
+    ( "mnist-9x200",
+      Dense
+        {
+          spec = Synth_images.mnist_like;
+          hidden = [ 48; 48; 48; 48; 48; 48; 48; 48 ];
+        } );
+    ("cifar-3x100", Dense { spec = Synth_images.cifar_like; hidden = [ 24; 24 ] });
+    ( "cifar-6x100",
+      Dense { spec = Synth_images.cifar_like; hidden = [ 32; 32; 32; 32; 32 ] }
+    );
+    ( "cifar-9x100",
+      Dense
+        {
+          spec = Synth_images.cifar_like;
+          hidden = [ 32; 32; 32; 32; 32; 32; 32; 32 ];
+        } );
+    ("conv-lenet", Lenet { spec = conv_spec });
+  ]
+
+let network_names = List.map fst catalog
+
+let arch_of_name name =
+  match List.assoc_opt name catalog with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Suite: unknown network %S" name)
+
+let spec_of_arch = function Dense { spec; _ } | Lenet { spec } -> spec
+
+let describe_arch = function
+  | Dense { spec; hidden } ->
+      Printf.sprintf "dense %d-%s-%d on %dx%dx%d images"
+        (Nn.Shape.size spec.Synth_images.shape)
+        (String.concat "-" (List.map string_of_int hidden))
+        spec.Synth_images.classes spec.Synth_images.shape.Nn.Shape.channels
+        spec.Synth_images.shape.Nn.Shape.height
+        spec.Synth_images.shape.Nn.Shape.width
+  | Lenet { spec } ->
+      Printf.sprintf "LeNet-style conv net on %dx%dx%d images"
+        spec.Synth_images.shape.Nn.Shape.channels
+        spec.Synth_images.shape.Nn.Shape.height
+        spec.Synth_images.shape.Nn.Shape.width
+
+(* Mix the network name into the seed so each net trains on its own
+   stream but everything is reproducible from one seed. *)
+let net_seed ~seed name = seed + Hashtbl.hash name mod 100_000
+
+let train_network ~seed name =
+  let arch = arch_of_name name in
+  let spec = spec_of_arch arch in
+  let rng = Rng.create (net_seed ~seed name) in
+  let untrained =
+    match arch with
+    | Dense { spec; hidden } ->
+        let layer_sizes =
+          (Nn.Shape.size spec.Synth_images.shape :: hidden)
+          @ [ spec.Synth_images.classes ]
+        in
+        Nn.Init.dense rng ~layer_sizes
+    | Lenet { spec } ->
+        Nn.Init.lenet_like rng ~input:spec.Synth_images.shape
+          ~classes:spec.Synth_images.classes
+  in
+  let train_set = Synth_images.dataset rng spec ~per_class:40 in
+  (* Deep narrow nets need the gentler schedule; the conv net converges
+     quickly and its epochs are much more expensive. *)
+  let config =
+    match arch with
+    | Dense _ ->
+        {
+          Nn.Train.epochs = 60;
+          batch_size = 32;
+          learning_rate = 0.01;
+          weight_decay = 1e-4;
+          momentum = 0.9;
+        }
+    | Lenet _ ->
+        {
+          Nn.Train.epochs = 25;
+          batch_size = 32;
+          learning_rate = 0.02;
+          weight_decay = 1e-4;
+          momentum = 0.9;
+        }
+  in
+  Nn.Train.train ~config ~rng untrained train_set
+
+let build_network ~seed name =
+  let arch = arch_of_name name in
+  let spec = spec_of_arch arch in
+  let net = train_network ~seed name in
+  let test_rng = Rng.create (net_seed ~seed name + 77) in
+  let test_set = Synth_images.dataset test_rng spec ~per_class:20 in
+  {
+    name;
+    description = describe_arch arch;
+    net;
+    image_spec = spec;
+    convolutional = (match arch with Lenet _ -> true | Dense _ -> false);
+    test_accuracy = Nn.Train.accuracy net test_set;
+  }
+
+let cached_network ~cache_dir ~seed name =
+  let path = Filename.concat cache_dir (name ^ ".net") in
+  if Sys.file_exists path then begin
+    let arch = arch_of_name name in
+    let spec = spec_of_arch arch in
+    let net = Nn.Serial.load path in
+    let test_rng = Rng.create (net_seed ~seed name + 77) in
+    let test_set = Synth_images.dataset test_rng spec ~per_class:20 in
+    {
+      name;
+      description = describe_arch arch;
+      net;
+      image_spec = spec;
+      convolutional = (match arch with Lenet _ -> true | Dense _ -> false);
+      test_accuracy = Nn.Train.accuracy net test_set;
+    }
+  end
+  else begin
+    let entry = build_network ~seed name in
+    (try
+       if not (Sys.file_exists cache_dir) then Sys.mkdir cache_dir 0o755;
+       Nn.Serial.save path entry.net
+     with Sys_error _ -> ());
+    entry
+  end
+
+let build ?cache_dir ~seed () =
+  List.map
+    (fun name ->
+      match cache_dir with
+      | Some dir -> cached_network ~cache_dir:dir ~seed name
+      | None -> build_network ~seed name)
+    network_names
+
+(* Threshold/severity grid: low severities give small, mostly-verifiable
+   regions; severity 1.0 is the paper's full brightening attack and is
+   frequently falsifiable. *)
+let attack_grid =
+  [|
+    (0.55, 1.00);
+    (0.65, 1.00);
+    (0.75, 1.00);
+    (0.85, 1.00);
+    (0.70, 0.50);
+    (0.80, 0.25);
+  |]
+
+let properties ~seed entry ~count =
+  if count <= 0 then invalid_arg "Suite.properties: count <= 0";
+  let rng = Rng.create (net_seed ~seed entry.name + 999) in
+  (* Benchmark images carry more noise than the training set so a
+     fraction of them sit near decision boundaries, where brightening
+     attacks genuinely flip the classification — the suite then mixes
+     verifiable, falsifiable, and hard instances like the paper's. *)
+  let noisy = { entry.image_spec with Synth_images.noise = 0.45 } in
+  List.init count (fun i ->
+      let label = i mod entry.image_spec.Synth_images.classes in
+      let x = Synth_images.sample rng noisy label in
+      let tau, severity = attack_grid.(i mod Array.length attack_grid) in
+      Brightening.property
+        ~name:(Printf.sprintf "%s-p%03d" entry.name i)
+        entry.net x ~tau ~severity)
+
+let benchmark ?cache_dir ~seed ~per_network () =
+  List.map
+    (fun entry -> (entry, properties ~seed entry ~count:per_network))
+    (build ?cache_dir ~seed ())

@@ -1,0 +1,48 @@
+(** The benchmark suite of §7: seven networks (six fully connected, one
+    convolutional) trained on the MNIST-like and CIFAR-like datasets,
+    with around a hundred brightening-attack robustness properties per
+    network.
+
+    Layer counts match the paper ("NxM" = N fully-connected layers);
+    interior widths and image resolutions are scaled down so the whole
+    suite runs on one machine without the authors' cluster budgets —
+    DESIGN.md documents the substitution.  Networks are trained
+    deterministically from a seed and can be cached on disk. *)
+
+type entry = {
+  name : string;  (** paper-style name, e.g. ["mnist-3x100"] *)
+  description : string;  (** actual architecture summary *)
+  net : Nn.Network.t;
+  image_spec : Synth_images.spec;
+  convolutional : bool;
+      (** true for the LeNet-style network, which the complete baselines
+          (ReluVal, Reluplex) cannot handle — they are excluded from it
+          in §7.2, as here *)
+  test_accuracy : float;
+}
+
+val network_names : string list
+(** The seven benchmark networks, in the paper's order:
+    mnist-3x100, mnist-6x100, mnist-9x200, cifar-3x100, cifar-6x100,
+    cifar-9x100, conv-lenet. *)
+
+val build_network : seed:int -> string -> entry
+(** Train one benchmark network from scratch (deterministic in the
+    seed).
+    @raise Invalid_argument for an unknown name. *)
+
+val build : ?cache_dir:string -> seed:int -> unit -> entry list
+(** All seven networks.  With [cache_dir], trained networks are stored
+    as ["<dir>/<name>.net"] and reloaded on subsequent calls. *)
+
+val properties : seed:int -> entry -> count:int -> Common.Property.t list
+(** [count] brightening-attack properties for the network, cycling
+    through a grid of thresholds and severities so the set mixes
+    easily-verified, hard, and falsifiable instances (the paper's suite
+    also contains all three, cf. Figure 6). *)
+
+val benchmark : ?cache_dir:string -> seed:int -> per_network:int -> unit
+  -> (entry * Common.Property.t list) list
+(** The full evaluation workload: every network paired with its
+    properties ([per_network = 86] reproduces the paper's 602-benchmark
+    scale). *)

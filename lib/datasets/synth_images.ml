@@ -1,0 +1,72 @@
+open Linalg
+
+type spec = { shape : Nn.Shape.t; classes : int; noise : float }
+
+let mnist_like =
+  {
+    shape = Nn.Shape.create ~channels:1 ~height:10 ~width:10;
+    classes = 10;
+    noise = 0.15;
+  }
+
+let cifar_like =
+  {
+    shape = Nn.Shape.create ~channels:3 ~height:8 ~width:8;
+    classes = 10;
+    noise = 0.15;
+  }
+
+let tiny =
+  {
+    shape = Nn.Shape.create ~channels:1 ~height:4 ~width:4;
+    classes = 3;
+    noise = 0.1;
+  }
+
+(* Prototypes are derived from a per-class hash so they are stable across
+   runs without carrying an RNG.  Pixel values are mapped into
+   [0.1, 0.9]: a smooth class-specific wave pattern plus a class-specific
+   bright blob, which gives classes distinct low- and high-frequency
+   structure. *)
+let prototype spec label =
+  if label < 0 || label >= spec.classes then
+    invalid_arg "Synth_images.prototype: label out of range";
+  let { Nn.Shape.channels = _; height; width } = spec.shape in
+  let fl = float_of_int label in
+  let cx = 0.5 +. (0.35 *. cos (2.0 *. Float.pi *. fl /. float_of_int spec.classes)) in
+  let cy = 0.5 +. (0.35 *. sin (2.0 *. Float.pi *. fl /. float_of_int spec.classes)) in
+  Vec.init (Nn.Shape.size spec.shape) (fun idx ->
+      let per_plane = height * width in
+      let c = idx / per_plane in
+      let r = idx mod per_plane in
+      let i = r / width and j = r mod width in
+      let u = float_of_int i /. float_of_int (Stdlib.max 1 (height - 1)) in
+      let v = float_of_int j /. float_of_int (Stdlib.max 1 (width - 1)) in
+      let wave =
+        0.5
+        +. 0.25
+           *. sin ((fl +. 1.0) *. (u +. (0.7 *. v)) *. 3.0
+                   +. (0.9 *. float_of_int c))
+      in
+      let du = u -. cy and dv = v -. cx in
+      let blob = 0.35 *. exp (-.((du *. du) +. (dv *. dv)) /. 0.02) in
+      let x = wave +. blob in
+      0.1 +. (0.8 *. Stdlib.min 1.0 (Stdlib.max 0.0 x)))
+
+let clip01 x = if x < 0.0 then 0.0 else if x > 1.0 then 1.0 else x
+
+let sample rng spec label =
+  let proto = prototype spec label in
+  Vec.map
+    (fun p -> clip01 (p +. Rng.uniform rng ~lo:(-.spec.noise) ~hi:spec.noise))
+    proto
+
+let dataset rng spec ~per_class =
+  if per_class <= 0 then invalid_arg "Synth_images.dataset: per_class <= 0";
+  let samples =
+    Array.init (spec.classes * per_class) (fun i ->
+        let label = i mod spec.classes in
+        { Nn.Train.x = sample rng spec label; label })
+  in
+  Rng.shuffle rng samples;
+  samples

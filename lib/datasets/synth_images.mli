@@ -1,0 +1,35 @@
+(** Synthetic image classification datasets.
+
+    Stand-ins for MNIST and CIFAR (see DESIGN.md's substitution table):
+    each class has a fixed prototype pattern; samples are prototypes
+    plus bounded pixel noise, clipped to [\[0, 1\]].  The resulting
+    classification problems are non-trivial (prototypes overlap) but
+    learnable by the small networks we train, giving the verification
+    benchmarks the same structure as the paper's: a trained ReLU net,
+    a box of images around a test point, and a target class. *)
+
+type spec = {
+  shape : Nn.Shape.t;
+  classes : int;
+  noise : float;  (** per-pixel uniform noise amplitude *)
+}
+
+val mnist_like : spec
+(** 1×10×10 grey images, 10 classes, noise 0.15. *)
+
+val cifar_like : spec
+(** 3×8×8 colour images, 10 classes, noise 0.15. *)
+
+val tiny : spec
+(** 1×4×4, 3 classes; used by fast unit tests. *)
+
+val prototype : spec -> int -> Linalg.Vec.t
+(** Deterministic class prototype (independent of any RNG), with pixel
+    values in [\[0.1, 0.9\]].
+    @raise Invalid_argument if the class is out of range. *)
+
+val sample : Linalg.Rng.t -> spec -> int -> Linalg.Vec.t
+(** A noisy instance of the class prototype, clipped to [\[0, 1\]]. *)
+
+val dataset : Linalg.Rng.t -> spec -> per_class:int -> Nn.Train.sample array
+(** Balanced labelled dataset, shuffled. *)

@@ -1,0 +1,95 @@
+open Linalg
+
+type t = { lo : Vec.t; hi : Vec.t }
+
+let create ~lo ~hi =
+  if Vec.dim lo <> Vec.dim hi then
+    invalid_arg "Box.create: lo and hi must have the same dimension";
+  if Vec.dim lo = 0 then invalid_arg "Box.create: empty dimension";
+  Array.iteri
+    (fun i l ->
+      if not (Float.is_finite l && Float.is_finite hi.(i)) then
+        invalid_arg (Printf.sprintf "Box.create: non-finite bound at %d" i);
+      if l > hi.(i) then
+        invalid_arg
+          (Printf.sprintf "Box.create: lo.(%d) = %g > hi.(%d) = %g" i l i hi.(i)))
+    lo;
+  { lo; hi }
+
+let of_center_radius c r =
+  if r < 0.0 then invalid_arg "Box.of_center_radius: negative radius";
+  create ~lo:(Vec.map (fun x -> x -. r) c) ~hi:(Vec.map (fun x -> x +. r) c)
+
+let of_point x = create ~lo:(Vec.copy x) ~hi:(Vec.copy x)
+
+let dim b = Vec.dim b.lo
+
+let center b = Vec.init (dim b) (fun i -> 0.5 *. (b.lo.(i) +. b.hi.(i)))
+
+let widths b = Vec.sub b.hi b.lo
+
+let width b i = b.hi.(i) -. b.lo.(i)
+
+let diameter b = Vec.norm2 (widths b)
+
+let mean_width b = Vec.mean (widths b)
+
+let longest_dim b = Vec.argmax (widths b)
+
+let contains b x =
+  Vec.dim x = dim b
+  && begin
+       let ok = ref true in
+       Array.iteri
+         (fun i v -> if v < b.lo.(i) || v > b.hi.(i) then ok := false)
+         x;
+       !ok
+     end
+
+let clamp b x = Vec.clamp ~lo:b.lo ~hi:b.hi x
+
+(* Keep the cut at least this fraction of the side width away from either
+   face, so both halves shrink (Assumption 1). *)
+let cut_margin = 0.05
+
+let split b ~dim:d ~at =
+  if d < 0 || d >= dim b then invalid_arg "Box.split: dimension out of range";
+  let w = width b d in
+  if w <= 0.0 then invalid_arg "Box.split: zero-width dimension";
+  let lo_cut = b.lo.(d) +. (cut_margin *. w) in
+  let hi_cut = b.hi.(d) -. (cut_margin *. w) in
+  let at = Stdlib.min hi_cut (Stdlib.max lo_cut at) in
+  let hi1 = Vec.copy b.hi in
+  hi1.(d) <- at;
+  let lo2 = Vec.copy b.lo in
+  lo2.(d) <- at;
+  (create ~lo:(Vec.copy b.lo) ~hi:hi1, create ~lo:lo2 ~hi:(Vec.copy b.hi))
+
+let bisect b =
+  let d = longest_dim b in
+  split b ~dim:d ~at:(0.5 *. (b.lo.(d) +. b.hi.(d)))
+
+let sample rng b =
+  Vec.init (dim b) (fun i ->
+      if b.hi.(i) > b.lo.(i) then Rng.uniform rng ~lo:b.lo.(i) ~hi:b.hi.(i)
+      else b.lo.(i))
+
+let corner b mask =
+  Vec.init (dim b) (fun i ->
+      if (mask lsr i) land 1 = 1 then b.hi.(i) else b.lo.(i))
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+let pp fmt b =
+  Format.fprintf fmt "@[<h>";
+  for i = 0 to dim b - 1 do
+    if i > 0 then Format.fprintf fmt " x ";
+    Format.fprintf fmt "[%g, %g]" b.lo.(i) b.hi.(i)
+  done;
+  Format.fprintf fmt "@]"
+
+let hull a b =
+  if dim a <> dim b then invalid_arg "Box.hull: dimension mismatch";
+  create
+    ~lo:(Vec.map2 Stdlib.min a.lo b.lo)
+    ~hi:(Vec.map2 Stdlib.max a.hi b.hi)

@@ -1,0 +1,65 @@
+(** Hyper-rectangular input regions.
+
+    Robustness properties in the paper are pairs [(I, K)] where [I] is a
+    box in the input space; this module is the concrete representation of
+    [I], including the splitting operations used by the refinement loop. *)
+
+type t = private { lo : Linalg.Vec.t; hi : Linalg.Vec.t }
+
+val create : lo:Linalg.Vec.t -> hi:Linalg.Vec.t -> t
+(** @raise Invalid_argument unless [lo] and [hi] have equal dimension,
+    every bound is finite, and [lo.(i) <= hi.(i)] for every [i]. *)
+
+val of_center_radius : Linalg.Vec.t -> float -> t
+(** L-infinity ball: [\[c - r, c + r\]] in every dimension. *)
+
+val of_point : Linalg.Vec.t -> t
+(** Degenerate box containing exactly one point. *)
+
+val dim : t -> int
+
+val center : t -> Linalg.Vec.t
+
+val widths : t -> Linalg.Vec.t
+(** Per-dimension side lengths [hi - lo]. *)
+
+val width : t -> int -> float
+
+val diameter : t -> float
+(** Euclidean diameter [‖hi - lo‖₂], matching Definition 5.1. *)
+
+val mean_width : t -> float
+(** Average side length: the "size of the input space" feature of §6. *)
+
+val longest_dim : t -> int
+(** Dimension with the largest side (first on ties). *)
+
+val contains : t -> Linalg.Vec.t -> bool
+
+val clamp : t -> Linalg.Vec.t -> Linalg.Vec.t
+(** Euclidean projection onto the box (used by projected gradient
+    descent). *)
+
+val split : t -> dim:int -> at:float -> t * t
+(** [split b ~dim ~at] cuts [b] with the hyperplane [x_dim = at].  The
+    cut point is clamped strictly inside the side (by a small fraction of
+    its width) so that both halves have diameter strictly less than the
+    parent's, enforcing Assumption 1 of the paper.
+    @raise Invalid_argument if side [dim] has zero width. *)
+
+val bisect : t -> t * t
+(** Split at the midpoint of the longest dimension. *)
+
+val sample : Linalg.Rng.t -> t -> Linalg.Vec.t
+(** Uniform sample from the box. *)
+
+val corner : t -> int -> Linalg.Vec.t
+(** [corner b mask] maps bit [i] of [mask] to the low (0) or high (1) end
+    of dimension [i]; meaningful for [dim b <= 30]. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val hull : t -> t -> t
+(** Smallest box containing both arguments. *)

@@ -1,0 +1,86 @@
+type base =
+  | Interval_base
+  | Zonotope_base
+  | Zonotope_join_base
+  | Symbolic_base
+
+type spec = { base : base; disjuncts : int }
+
+let interval = { base = Interval_base; disjuncts = 1 }
+
+let zonotope = { base = Zonotope_base; disjuncts = 1 }
+
+let zonotope_join = { base = Zonotope_join_base; disjuncts = 1 }
+
+let symbolic = { base = Symbolic_base; disjuncts = 1 }
+
+let powerset base disjuncts =
+  if disjuncts < 1 then invalid_arg "Domain.powerset: need at least 1 disjunct";
+  if base = Symbolic_base && disjuncts > 1 then
+    invalid_arg
+      "Domain.powerset: the symbolic-interval domain has no half-space meet \
+       and cannot be lifted to a powerset";
+  { base; disjuncts }
+
+let get spec : (module Domain_sig.S) =
+  match (spec.base, spec.disjuncts) with
+  | Interval_base, 1 -> (module Interval)
+  | Zonotope_base, 1 -> (module Zonotope)
+  | Zonotope_join_base, 1 -> (module Zonotope_join)
+  | Symbolic_base, _ -> (module Symbolic)
+  | Interval_base, k ->
+      (module Powerset.Over
+                (Interval)
+                (struct
+                  let max = k
+                end))
+  | Zonotope_base, k ->
+      (module Powerset.Over
+                (Zonotope)
+                (struct
+                  let max = k
+                end))
+  | Zonotope_join_base, k ->
+      (module Powerset.Over
+                (Zonotope_join)
+                (struct
+                  let max = k
+                end))
+
+let to_string spec =
+  let b =
+    match spec.base with
+    | Interval_base -> "I"
+    | Zonotope_base -> "Z"
+    | Zonotope_join_base -> "ZJ"
+    | Symbolic_base -> "S"
+  in
+  Printf.sprintf "%s%d" b spec.disjuncts
+
+let of_string s =
+  let parse base rest =
+    match int_of_string_opt rest with
+    | Some k when k >= 1 -> Some { base; disjuncts = k }
+    | Some _ | None -> None
+  in
+  let n = String.length s in
+  if n >= 3 && String.sub s 0 2 = "ZJ" then
+    parse Zonotope_join_base (String.sub s 2 (n - 2))
+  else if s = "S1" then Some symbolic
+  else if n >= 2 && s.[0] = 'I' then parse Interval_base (String.sub s 1 (n - 1))
+  else if n >= 2 && s.[0] = 'Z' then parse Zonotope_base (String.sub s 1 (n - 1))
+  else None
+
+let equal a b = a.base = b.base && a.disjuncts = b.disjuncts
+
+let pp fmt spec = Format.pp_print_string fmt (to_string spec)
+
+let all_cheap =
+  [
+    interval;
+    powerset Interval_base 2;
+    powerset Interval_base 4;
+    zonotope;
+    powerset Zonotope_base 2;
+    powerset Zonotope_base 4;
+  ]

@@ -1,0 +1,52 @@
+(** Runtime abstract-domain selection.
+
+    The domain policy of the paper chooses a pair [(d, k)]: the base
+    domain (intervals or zonotopes) and the number of powerset disjuncts
+    (§4.1).  This module reifies that choice and produces the matching
+    first-class domain module. *)
+
+type base =
+  | Interval_base
+  | Zonotope_base  (** DeepZ-style ReLU relaxation *)
+  | Zonotope_join_base  (** AI2-style case-split-and-join ReLU *)
+  | Symbolic_base
+      (** ReluVal-style symbolic intervals; only valid with one
+          disjunct *)
+
+type spec = { base : base; disjuncts : int }
+
+val interval : spec
+(** [(I, 1)]: the plain interval domain. *)
+
+val zonotope : spec
+(** [(Z, 1)]: the plain zonotope domain. *)
+
+val zonotope_join : spec
+(** The AI2-style zonotope domain (join-based ReLU); used by the AI2
+    baseline and by ablations. *)
+
+val symbolic : spec
+(** The ReluVal-style symbolic-interval domain — an extension beyond the
+    paper, whose engine lacked this domain (§7.4, footnote 8). *)
+
+val powerset : base -> int -> spec
+(** [powerset b k] with [k >= 1] disjuncts.
+    @raise Invalid_argument if [k < 1], or if [b] is [Symbolic_base]
+    with [k > 1]. *)
+
+val get : spec -> (module Domain_sig.S)
+(** The abstract-domain module implementing the spec. *)
+
+val to_string : spec -> string
+(** E.g. ["I1"], ["Z2"], ["Z64"], ["ZJ64"]. *)
+
+val of_string : string -> spec option
+(** Inverse of {!to_string}. *)
+
+val equal : spec -> spec -> bool
+
+val pp : Format.formatter -> spec -> unit
+
+val all_cheap : spec list
+(** The candidate menu used by learned policies:
+    [I1; I2; I4; Z1; Z2; Z4]. *)

@@ -1,0 +1,71 @@
+(** Abstract-domain signatures.
+
+    {!S} is what the network abstract interpreter consumes; {!BASE}
+    extends it with the case-split operations the bounded powerset
+    functor needs (meets against the ReLU branch hyperplanes
+    [x_i >= 0] / [x_i <= 0]). *)
+
+module type S = sig
+  type t
+  (** An abstract element over R^d for some dimension [d]. *)
+
+  val name : string
+
+  val of_box : Box.t -> t
+  (** Exact abstraction of a box region. *)
+
+  val to_box : t -> Box.t
+  (** Tightest enclosing box of the concretization. *)
+
+  val dim : t -> int
+
+  val bounds : t -> int -> float * float
+  (** [(lower, upper)] bounds of component [i] over the concretization. *)
+
+  val linear_lower : t -> coeffs:Linalg.Vec.t -> float
+  (** Lower bound of [coeffs · x] over the concretization; the key query
+      for robustness checking ([coeffs = e_K - e_j]). *)
+
+  val affine : Linalg.Mat.t -> Linalg.Vec.t -> t -> t
+  (** Abstract transformer for [x ↦ W x + b]; exact for boxes only up to
+      interval precision, exact for zonotopes. *)
+
+  val relu : t -> t
+  (** Sound abstract transformer for component-wise ReLU, without case
+      splitting. *)
+
+  val maxpool : Nn.Pool.t -> t -> t
+  (** Sound abstract transformer for max pooling. *)
+
+  val join : t -> t -> t
+  (** Sound upper bound of two elements (least upper bound for boxes;
+      an over-approximation for zonotopes). *)
+
+  val sample : Linalg.Rng.t -> t -> Linalg.Vec.t
+  (** A concrete point guaranteed to lie in the concretization; used by
+      soundness tests. *)
+
+  val disjuncts : t -> int
+  (** Number of disjuncts (1 for base domains). *)
+
+  val num_generators : t -> int
+  (** Representation size statistic (0 for boxes). *)
+end
+
+module type BASE = sig
+  include S
+
+  val meet_ge0 : t -> int -> t option
+  (** Sound over-approximation of the meet with the half-space
+      [x_i >= 0]; [None] when the intersection is provably empty. *)
+
+  val meet_le0 : t -> int -> t option
+  (** Likewise for [x_i <= 0]. *)
+
+  val project_zero : t -> int -> t
+  (** Set component [i] to exactly 0 (the negative ReLU branch). *)
+
+  val relu_dim : t -> int -> t
+  (** Sound single-element ReLU approximation applied to the (crossing)
+      component [i] only. *)
+end

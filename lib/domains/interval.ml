@@ -1,0 +1,104 @@
+open Linalg
+
+type t = { lo : Vec.t; hi : Vec.t }
+
+let name = "interval"
+
+let of_bounds ~lo ~hi =
+  let b = Box.create ~lo ~hi in
+  { lo = b.Box.lo; hi = b.Box.hi }
+
+let of_box (b : Box.t) = { lo = Vec.copy b.Box.lo; hi = Vec.copy b.Box.hi }
+
+let to_box t = Box.create ~lo:(Vec.copy t.lo) ~hi:(Vec.copy t.hi)
+
+let dim t = Vec.dim t.lo
+
+let bounds t i = (t.lo.(i), t.hi.(i))
+
+let linear_lower t ~coeffs =
+  if Vec.dim coeffs <> dim t then
+    invalid_arg "Interval.linear_lower: dimension mismatch";
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i c -> acc := !acc +. if c >= 0.0 then c *. t.lo.(i) else c *. t.hi.(i))
+    coeffs;
+  !acc
+
+let affine w b t =
+  if w.Mat.cols <> dim t then invalid_arg "Interval.affine: dimension mismatch";
+  let lo = Array.make w.Mat.rows 0.0 and hi = Array.make w.Mat.rows 0.0 in
+  for r = 0 to w.Mat.rows - 1 do
+    let l = ref b.(r) and u = ref b.(r) in
+    for c = 0 to w.Mat.cols - 1 do
+      let wrc = Mat.get w r c in
+      if wrc >= 0.0 then begin
+        l := !l +. (wrc *. t.lo.(c));
+        u := !u +. (wrc *. t.hi.(c))
+      end
+      else begin
+        l := !l +. (wrc *. t.hi.(c));
+        u := !u +. (wrc *. t.lo.(c))
+      end
+    done;
+    lo.(r) <- !l;
+    hi.(r) <- !u
+  done;
+  { lo; hi }
+
+let relu t =
+  {
+    lo = Vec.map (fun x -> Stdlib.max x 0.0) t.lo;
+    hi = Vec.map (fun x -> Stdlib.max x 0.0) t.hi;
+  }
+
+let maxpool p t =
+  let wins = Nn.Pool.windows p in
+  {
+    lo =
+      Array.map
+        (fun w -> Array.fold_left (fun acc i -> Stdlib.max acc t.lo.(i)) neg_infinity w)
+        wins;
+    hi =
+      Array.map
+        (fun w -> Array.fold_left (fun acc i -> Stdlib.max acc t.hi.(i)) neg_infinity w)
+        wins;
+  }
+
+let join a b =
+  if dim a <> dim b then invalid_arg "Interval.join: dimension mismatch";
+  { lo = Vec.map2 Stdlib.min a.lo b.lo; hi = Vec.map2 Stdlib.max a.hi b.hi }
+
+let sample rng t = Box.sample rng (to_box t)
+
+let disjuncts _ = 1
+
+let num_generators _ = 0
+
+let meet_ge0 t i =
+  if t.hi.(i) < 0.0 then None
+  else begin
+    let lo = Vec.copy t.lo in
+    lo.(i) <- Stdlib.max lo.(i) 0.0;
+    Some { t with lo }
+  end
+
+let meet_le0 t i =
+  if t.lo.(i) > 0.0 then None
+  else begin
+    let hi = Vec.copy t.hi in
+    hi.(i) <- Stdlib.min hi.(i) 0.0;
+    Some { t with hi }
+  end
+
+let project_zero t i =
+  let lo = Vec.copy t.lo and hi = Vec.copy t.hi in
+  lo.(i) <- 0.0;
+  hi.(i) <- 0.0;
+  { lo; hi }
+
+let relu_dim t i =
+  let lo = Vec.copy t.lo and hi = Vec.copy t.hi in
+  lo.(i) <- Stdlib.max lo.(i) 0.0;
+  hi.(i) <- Stdlib.max hi.(i) 0.0;
+  { lo; hi }

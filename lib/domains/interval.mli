@@ -1,0 +1,9 @@
+(** The interval (box) abstract domain.
+
+    Component-wise lower/upper bounds; the cheapest and least precise
+    domain available to the verification policy. *)
+
+include Domain_sig.BASE
+
+val of_bounds : lo:Linalg.Vec.t -> hi:Linalg.Vec.t -> t
+(** Direct construction (checked like {!Box.create}). *)

@@ -1,0 +1,128 @@
+open Linalg
+
+module Over
+    (D : Domain_sig.BASE) (K : sig
+      val max : int
+    end) =
+struct
+  (* Invariant: a powerset element is a non-empty list of at most K.max
+     base-domain disjuncts whose union covers the concrete set. *)
+  type t = D.t list
+
+  let () = if K.max < 1 then invalid_arg "Powerset.Over: max must be >= 1"
+
+  let name = Printf.sprintf "%s-powerset-%d" D.name K.max
+
+  let of_box b = [ D.of_box b ]
+
+  let dim = function
+    | [] -> invalid_arg "Powerset: empty element"
+    | d :: _ -> D.dim d
+
+  let to_box = function
+    | [] -> invalid_arg "Powerset: empty element"
+    | d :: rest ->
+        let box =
+          List.fold_left
+            (fun acc d ->
+              let b = D.to_box d in
+              Box.create
+                ~lo:(Vec.map2 Stdlib.min acc.Box.lo b.Box.lo)
+                ~hi:(Vec.map2 Stdlib.max acc.Box.hi b.Box.hi))
+            (D.to_box d) rest
+        in
+        box
+
+  let bounds t i =
+    List.fold_left
+      (fun (lo, hi) d ->
+        let l, h = D.bounds d i in
+        (Stdlib.min lo l, Stdlib.max hi h))
+      (infinity, neg_infinity) t
+
+  let linear_lower t ~coeffs =
+    List.fold_left
+      (fun acc d -> Stdlib.min acc (D.linear_lower d ~coeffs))
+      infinity t
+
+  let affine w b t = List.map (D.affine w b) t
+
+  (* Merge down to the disjunct budget by repeatedly joining the two
+     disjuncts whose box hulls are closest, which loses the least
+     precision among the cheap strategies. *)
+  let compact t =
+    let arr = ref (Array.of_list t) in
+    while Array.length !arr > K.max do
+      let a = !arr in
+      let n = Array.length a in
+      let centers = Array.map (fun d -> Box.center (D.to_box d)) a in
+      let bi = ref 0 and bj = ref 1 in
+      let best = ref infinity in
+      for i = 0 to n - 2 do
+        for j = i + 1 to n - 1 do
+          let dist = Vec.dist2 centers.(i) centers.(j) in
+          if dist < !best then begin
+            best := dist;
+            bi := i;
+            bj := j
+          end
+        done
+      done;
+      let merged = D.join a.(!bi) a.(!bj) in
+      let out = Array.make (n - 1) merged in
+      let k = ref 1 in
+      for i = 0 to n - 1 do
+        if i <> !bi && i <> !bj then begin
+          out.(!k) <- a.(i);
+          incr k
+        end
+      done;
+      arr := out
+    done;
+    Array.to_list !arr
+
+  let relu t =
+    let d = dim t in
+    let pieces = ref t in
+    for i = 0 to d - 1 do
+      let next =
+        List.concat_map
+          (fun piece ->
+            let lo, hi = D.bounds piece i in
+            if lo >= 0.0 then [ piece ]
+            else if hi <= 0.0 then [ D.project_zero piece i ]
+            else if List.length !pieces < K.max then begin
+              (* Case split: positive branch keeps the unit, negative
+                 branch zeroes it.  Infeasible branches vanish. *)
+              let pos =
+                match D.meet_ge0 piece i with Some p -> [ p ] | None -> []
+              in
+              let neg =
+                match D.meet_le0 piece i with
+                | Some p -> [ D.project_zero p i ]
+                | None -> []
+              in
+              match pos @ neg with
+              | [] -> [ D.relu_dim piece i ] (* numeric corner: stay sound *)
+              | branches -> branches
+            end
+            else [ D.relu_dim piece i ])
+          !pieces
+      in
+      pieces := compact next
+    done;
+    !pieces
+
+  let maxpool p t = List.map (D.maxpool p) t
+
+  let join a b = compact (a @ b)
+
+  let sample rng t =
+    let arr = Array.of_list t in
+    D.sample rng (Rng.choose rng arr)
+
+  let disjuncts t = List.length t
+
+  let num_generators t =
+    List.fold_left (fun acc d -> acc + D.num_generators d) 0 t
+end

@@ -1,0 +1,12 @@
+(** Bounded powerset (finite disjunction) domains.
+
+    [Over (D) (K)] lifts a base domain [D] to sets of at most [K.max]
+    disjuncts.  The ReLU transformer case-splits each crossing unit into
+    its two branches (meeting with the branch half-space) while the
+    disjunct budget lasts, then falls back to [D]'s approximate ReLU —
+    exactly the role of AI2's bounded powerset domains in the paper. *)
+
+module Over (D : Domain_sig.BASE) (K : sig
+  val max : int
+  (** Maximum number of disjuncts; must be at least 1. *)
+end) : Domain_sig.S

@@ -1,0 +1,271 @@
+open Linalg
+
+type t = { center : Vec.t; gens : Vec.t array }
+
+let name = "zonotope"
+
+(* Generators with L1 norm below this threshold are dropped; they
+   contribute nothing observable and only slow the analysis down. *)
+let tiny = 1e-300
+
+let prune gens =
+  Array.of_list
+    (List.filter
+       (fun g -> Array.exists (fun x -> abs_float x > tiny) g)
+       (Array.to_list gens))
+
+let create ~center ~gens =
+  Array.iter
+    (fun g ->
+      if Vec.dim g <> Vec.dim center then
+        invalid_arg "Zonotope.create: generator dimension mismatch")
+    gens;
+  { center; gens = prune gens }
+
+let center t = t.center
+
+let generators t = t.gens
+
+let dim t = Vec.dim t.center
+
+let of_box (b : Box.t) =
+  let c = Box.center b in
+  let w = Box.widths b in
+  let gens = ref [] in
+  Array.iteri
+    (fun i wi ->
+      if wi > 0.0 then begin
+        let g = Vec.zeros (Vec.dim c) in
+        g.(i) <- 0.5 *. wi;
+        gens := g :: !gens
+      end)
+    w;
+  { center = c; gens = Array.of_list (List.rev !gens) }
+
+(* Per-dimension deviation radius: r.(i) = Σ_g |g.(i)|. *)
+let radii t =
+  let r = Vec.zeros (dim t) in
+  Array.iter (fun g -> Array.iteri (fun i x -> r.(i) <- r.(i) +. abs_float x) g) t.gens;
+  r
+
+let bounds t i =
+  let r = ref 0.0 in
+  Array.iter (fun g -> r := !r +. abs_float g.(i)) t.gens;
+  (t.center.(i) -. !r, t.center.(i) +. !r)
+
+let to_box t =
+  let r = radii t in
+  Box.create ~lo:(Vec.sub t.center r) ~hi:(Vec.add t.center r)
+
+let linear_lower t ~coeffs =
+  if Vec.dim coeffs <> dim t then
+    invalid_arg "Zonotope.linear_lower: dimension mismatch";
+  let base = Vec.dot coeffs t.center in
+  let dev =
+    Array.fold_left (fun acc g -> acc +. abs_float (Vec.dot coeffs g)) 0.0 t.gens
+  in
+  base -. dev
+
+let affine w b t =
+  {
+    center = Vec.add (Mat.matvec w t.center) b;
+    gens = prune (Array.map (fun g -> Mat.matvec w g) t.gens);
+  }
+
+(* The DeepZ/AI2 single-zonotope ReLU approximation on one crossing
+   dimension: y_i ∈ [λ x_i, λ x_i + 2μ] with λ = u/(u-l), μ = -λl/2.
+   Mutates copies, returning the new generator for dimension [i]. *)
+let relu_crossing ~center ~gens i ~lo ~hi =
+  let lambda = hi /. (hi -. lo) in
+  let mu = -.lambda *. lo /. 2.0 in
+  center.(i) <- (lambda *. center.(i)) +. mu;
+  Array.iter (fun g -> g.(i) <- lambda *. g.(i)) gens;
+  let fresh = Vec.zeros (Vec.dim center) in
+  fresh.(i) <- mu;
+  fresh
+
+let zero_dim ~center ~gens i =
+  center.(i) <- 0.0;
+  Array.iter (fun g -> g.(i) <- 0.0) gens
+
+let relu t =
+  let r = radii t in
+  let center = Vec.copy t.center in
+  let gens = Array.map Vec.copy t.gens in
+  let fresh = ref [] in
+  for i = 0 to dim t - 1 do
+    let lo = t.center.(i) -. r.(i) and hi = t.center.(i) +. r.(i) in
+    if hi <= 0.0 then zero_dim ~center ~gens i
+    else if lo < 0.0 then fresh := relu_crossing ~center ~gens i ~lo ~hi :: !fresh
+  done;
+  { center; gens = prune (Array.append gens (Array.of_list (List.rev !fresh))) }
+
+let maxpool p t =
+  let wins = Nn.Pool.windows p in
+  let out_dim = Array.length wins in
+  let r = radii t in
+  let lo i = t.center.(i) -. r.(i) and hi i = t.center.(i) +. r.(i) in
+  let center = Vec.zeros out_dim in
+  let selected = Array.make out_dim (-1) in
+  (* For each window, if one input dominates all others (its lower bound
+     beats every other upper bound) the max is exactly that input and the
+     output keeps its generator row; otherwise fall back to the interval
+     hull with a fresh symbol. *)
+  let fresh = ref [] in
+  Array.iteri
+    (fun o window ->
+      let best = ref window.(0) in
+      Array.iter (fun i -> if lo i > lo !best then best := i) window;
+      let dominated =
+        Array.for_all (fun i -> i = !best || hi i <= lo !best) window
+      in
+      if dominated then begin
+        selected.(o) <- !best;
+        center.(o) <- t.center.(!best)
+      end
+      else begin
+        let wlo = Array.fold_left (fun acc i -> Stdlib.max acc (lo i)) neg_infinity window in
+        let whi = Array.fold_left (fun acc i -> Stdlib.max acc (hi i)) neg_infinity window in
+        center.(o) <- 0.5 *. (wlo +. whi);
+        let g = Vec.zeros out_dim in
+        g.(o) <- 0.5 *. (whi -. wlo);
+        fresh := g :: !fresh
+      end)
+    wins;
+  let projected =
+    Array.map
+      (fun g ->
+        Vec.init out_dim (fun o -> if selected.(o) >= 0 then g.(selected.(o)) else 0.0))
+      t.gens
+  in
+  { center; gens = prune (Array.append projected (Array.of_list (List.rev !fresh))) }
+
+let order_reduce t ~max_gens =
+  let n = Array.length t.gens in
+  if n <= max_gens then t
+  else begin
+    let keep = Stdlib.max 0 (max_gens - dim t) in
+    let order = Array.init n Fun.id in
+    let norm1 g = Array.fold_left (fun acc x -> acc +. abs_float x) 0.0 g in
+    Array.sort (fun a b -> compare (norm1 t.gens.(b)) (norm1 t.gens.(a))) order;
+    let kept = Array.init keep (fun k -> t.gens.(order.(k))) in
+    let box_r = Vec.zeros (dim t) in
+    for k = keep to n - 1 do
+      let g = t.gens.(order.(k)) in
+      Array.iteri (fun i x -> box_r.(i) <- box_r.(i) +. abs_float x) g
+    done;
+    let box_gens = ref [] in
+    Array.iteri
+      (fun i ri ->
+        if ri > 0.0 then begin
+          let g = Vec.zeros (dim t) in
+          g.(i) <- ri;
+          box_gens := g :: !box_gens
+        end)
+      box_r;
+    { t with gens = Array.append kept (Array.of_list (List.rev !box_gens)) }
+  end
+
+let join_gen_cap = 128
+
+let join a b =
+  if dim a <> dim b then invalid_arg "Zonotope.join: dimension mismatch";
+  let na = Array.length a.gens and nb = Array.length b.gens in
+  let n = Stdlib.max na nb in
+  let get gens k i = if k < Array.length gens then gens.(k).(i) else 0.0 in
+  let center = Vec.init (dim a) (fun i -> 0.5 *. (a.center.(i) +. b.center.(i))) in
+  let avg = Array.init n (fun k -> Vec.init (dim a) (fun i -> 0.5 *. (get a.gens k i +. get b.gens k i))) in
+  let diff = Array.init n (fun k -> Vec.init (dim a) (fun i -> 0.5 *. (get a.gens k i -. get b.gens k i))) in
+  let shift = Vec.init (dim a) (fun i -> 0.5 *. (a.center.(i) -. b.center.(i))) in
+  let z = create ~center ~gens:(Array.concat [ avg; diff; [| shift |] ]) in
+  order_reduce z ~max_gens:join_gen_cap
+
+let sample rng t =
+  let x = Vec.copy t.center in
+  Array.iter
+    (fun g ->
+      let eps = Rng.uniform rng ~lo:(-1.0) ~hi:1.0 in
+      Vec.axpy eps g x)
+    t.gens;
+  x
+
+let disjuncts _ = 1
+
+let num_generators t = Array.length t.gens
+
+let contains_sample t =
+  let pts = ref [ Vec.copy t.center ] in
+  Array.iter
+    (fun g ->
+      pts := Vec.add t.center g :: Vec.sub t.center g :: !pts)
+    t.gens;
+  Array.of_list !pts
+
+(* Meet with the half-space [sign * x_i >= 0], implemented by tightening
+   the ranges of the noise symbols against the induced linear constraint
+   [Σ_g sign*g.(i) ε_g >= -sign*c.(i)] and renormalizing symbols back to
+   [-1, 1].  Sound: only regions violating the constraint are cut. *)
+let meet_halfspace t ~dim:i ~sign =
+  let n = Array.length t.gens in
+  let a = Array.init n (fun g -> sign *. t.gens.(g).(i)) in
+  let r = -.sign *. t.center.(i) in
+  let lo = Array.make n (-1.0) and hi = Array.make n 1.0 in
+  let term_max g = Stdlib.max (a.(g) *. lo.(g)) (a.(g) *. hi.(g)) in
+  let feasible = ref true in
+  (* Two full tightening passes are enough in practice; each pass only
+     shrinks ranges, so soundness does not depend on the pass count. *)
+  for _pass = 1 to 2 do
+    if !feasible then begin
+      let total = ref 0.0 in
+      for g = 0 to n - 1 do
+        total := !total +. term_max g
+      done;
+      if !total < r then feasible := false
+      else
+        for g = 0 to n - 1 do
+          if a.(g) <> 0.0 then begin
+            let others = !total -. term_max g in
+            let bound = (r -. others) /. a.(g) in
+            let before = term_max g in
+            if a.(g) > 0.0 then lo.(g) <- Stdlib.max lo.(g) bound
+            else hi.(g) <- Stdlib.min hi.(g) bound;
+            if lo.(g) > hi.(g) then feasible := false
+            else total := !total -. before +. term_max g
+          end
+        done
+    end
+  done;
+  if not !feasible then None
+  else begin
+    let center = Vec.copy t.center in
+    let gens = Array.map Vec.copy t.gens in
+    for g = 0 to n - 1 do
+      let m = 0.5 *. (lo.(g) +. hi.(g)) and w = 0.5 *. (hi.(g) -. lo.(g)) in
+      if m <> 0.0 || w <> 1.0 then begin
+        Vec.axpy m gens.(g) center;
+        Array.iteri (fun j x -> gens.(g).(j) <- w *. x) gens.(g)
+      end
+    done;
+    Some { center; gens = prune gens }
+  end
+
+let meet_ge0 t i = meet_halfspace t ~dim:i ~sign:1.0
+
+let meet_le0 t i = meet_halfspace t ~dim:i ~sign:(-1.0)
+
+let project_zero t i =
+  let center = Vec.copy t.center in
+  let gens = Array.map Vec.copy t.gens in
+  zero_dim ~center ~gens i;
+  { center; gens = prune gens }
+
+let relu_dim t i =
+  let lo, hi = bounds t i in
+  if lo >= 0.0 then t
+  else if hi <= 0.0 then project_zero t i
+  else begin
+    let center = Vec.copy t.center in
+    let gens = Array.map Vec.copy t.gens in
+    let fresh = relu_crossing ~center ~gens i ~lo ~hi in
+    { center; gens = prune (Array.append gens [| fresh |]) }
+  end

@@ -1,0 +1,30 @@
+(** The zonotope abstract domain.
+
+    A zonotope is an affine image of the unit hypercube: the set
+    [{ c + Σ_g ε_g · g  |  ε ∈ [-1,1]^G }] for a center [c] and
+    generators [g].  Affine transformations are exact; ReLU uses the
+    standard single-zonotope approximation that introduces one fresh
+    noise symbol per crossing unit, and case splits against the ReLU
+    branch hyperplanes tighten the noise symbols' ranges (Ghorbal et
+    al.-style constrained-zonotope meet), which is what the bounded
+    powerset domain of the paper builds on. *)
+
+include Domain_sig.BASE
+
+val create : center:Linalg.Vec.t -> gens:Linalg.Vec.t array -> t
+(** Direct construction.
+    @raise Invalid_argument if a generator's dimension differs from the
+    center's. *)
+
+val center : t -> Linalg.Vec.t
+
+val generators : t -> Linalg.Vec.t array
+
+val order_reduce : t -> max_gens:int -> t
+(** Sound generator-count reduction: keeps the [max_gens - dim] largest
+    generators and over-approximates the rest by per-dimension box
+    generators.  Identity if the zonotope already fits. *)
+
+val contains_sample : t -> Linalg.Vec.t array
+(** A small deterministic set of concretization points (center and
+    extreme points along each generator); used by tests. *)

@@ -1,0 +1,37 @@
+include (Zonotope : Domain_sig.BASE with type t = Zonotope.t)
+
+let name = "zonotope-ai2"
+
+(* AI2's observable join behaviour on the paper's own examples is the
+   interval hull (Figure 4's joined zonotope contains the unsafe
+   corner); Girard's generator-pairing join is strictly tighter and
+   would hide the powerset domain's advantage, so this domain uses the
+   hull. *)
+let join a b = of_box (Box.hull (to_box a) (to_box b))
+
+(* Case-split-and-join ReLU on one crossing dimension: meet with each
+   branch half-space, zero the negative branch, join the results. *)
+let relu_dim t i =
+  let lo, hi = bounds t i in
+  if lo >= 0.0 then t
+  else if hi <= 0.0 then project_zero t i
+  else begin
+    let pos = meet_ge0 t i in
+    let neg = Option.map (fun z -> project_zero z i) (meet_le0 t i) in
+    match (pos, neg) with
+    | Some a, Some b -> join a b
+    | Some a, None -> a
+    | None, Some b -> b
+    | None, None ->
+        (* Both meets empty is numerically impossible for a crossing
+           dimension; fall back to the sound DeepZ transformer. *)
+        Zonotope.relu_dim t i
+  end
+
+let relu t =
+  let d = dim t in
+  let acc = ref t in
+  for i = 0 to d - 1 do
+    acc := relu_dim !acc i
+  done;
+  !acc

@@ -1,0 +1,13 @@
+(** The AI2-style zonotope domain.
+
+    Identical to {!Zonotope} except for the ReLU transformer: instead of
+    the DeepZ-style relaxation (one fresh noise symbol per crossing
+    unit), each crossing unit is handled by case-splitting on the branch
+    hyperplane and joining the two resulting zonotopes — the transformer
+    described in the AI2 paper and in §2.3/Figure 4 of this paper.  It
+    is generally less precise than {!Zonotope}'s, which is what makes
+    the bounded powerset domain (which keeps the split pieces separate)
+    pay off in Example 2.3.  Joins use the interval hull, matching AI2's
+    observable precision on the paper's examples. *)
+
+include Domain_sig.BASE with type t = Zonotope.t

@@ -1,0 +1,62 @@
+open Domains
+
+let policies ~seed ~timeout ~policy workload =
+  let tools =
+    [
+      Tool.charon ~policy ();
+      Tool.charon_no_cex ~policy ();
+      { (Tool.charon ()) with Tool.name = "Charon-Default" };
+      Tool.charon_fixed Domain.zonotope;
+      Tool.charon_fixed Domain.interval;
+      Tool.charon_then_reluplex ~policy ~split:0.5 ();
+    ]
+  in
+  let results = Runner.run_suite ~seed ~timeout tools workload in
+  Printf.printf "\n== Ablation: policy and counterexample search ==\n";
+  Printf.printf "%-18s %9s %10s %9s %12s\n" "variant" "verified" "falsified"
+    "timeout" "total-time";
+  List.iter
+    (fun (tool : Tool.t) ->
+      let rs = Runner.by_tool results tool.Tool.name in
+      let c pred = List.length (List.filter pred rs) in
+      Printf.printf "%-18s %9d %10d %9d %11.2fs\n" tool.Tool.name
+        (c (fun r -> r.Runner.outcome = Common.Outcome.Verified))
+        (c (fun (r : Runner.result) ->
+             match r.Runner.outcome with
+             | Common.Outcome.Refuted _ -> true
+             | _ -> false))
+        (c (fun r -> r.Runner.outcome = Common.Outcome.Timeout))
+        (List.fold_left (fun acc r -> acc +. r.Runner.time) 0.0 rs))
+    tools;
+  results
+
+let transformers net props =
+  let specs =
+    [
+      ("I1 (interval)", Domain.interval);
+      ("S1 (symbolic)", Domain.symbolic);
+      ("Z1 (DeepZ)", Domain.zonotope);
+      ("ZJ1 (AI2 join)", Domain.zonotope_join);
+      ("Z2", Domain.powerset Domain.Zonotope_base 2);
+      ("ZJ2", Domain.powerset Domain.Zonotope_join_base 2);
+    ]
+  in
+  Printf.printf "\n== Ablation: ReLU transformer precision ==\n";
+  Printf.printf "%-16s %9s %14s\n" "domain" "verified" "median-margin";
+  List.iter
+    (fun (name, spec) ->
+      let margins =
+        List.map
+          (fun (p : Common.Property.t) ->
+            Absint.Analyzer.margin_lower net p.Common.Property.region
+              ~k:p.Common.Property.target spec)
+          props
+      in
+      let verified = List.length (List.filter (fun m -> m > 0.0) margins) in
+      let finite = List.filter Float.is_finite margins in
+      let median =
+        if finite = [] then nan
+        else Linalg.Stats.median (Array.of_list finite)
+      in
+      Printf.printf "%-16s %9d %14.4f\n" name verified median)
+    specs

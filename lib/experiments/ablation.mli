@@ -1,0 +1,20 @@
+(** Ablation studies for the design choices DESIGN.md calls out:
+    counterexample search (RQ2), the learned policy versus static
+    strategies (RQ3), and the ReLU transformer variant. *)
+
+val policies :
+  seed:int ->
+  timeout:float ->
+  policy:Charon.Policy.t ->
+  (Datasets.Suite.entry * Common.Property.t list) list ->
+  Runner.result list
+(** Runs Charon with the learned policy, with counterexample search
+    disabled, with the hand-crafted default policy, and with fixed
+    domains (Z1 and I1 plus bisection splits), and prints a comparison
+    table; returns the raw results. *)
+
+val transformers :
+  Nn.Network.t -> Common.Property.t list -> unit
+(** Compares the DeepZ-style and AI2-join zonotope ReLU transformers:
+    for each property, the margin lower bound each (and each with a
+    2-disjunct powerset) proves.  Prints per-domain verified counts. *)

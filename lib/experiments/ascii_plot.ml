@@ -1,0 +1,62 @@
+let markers = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
+
+let render ?(width = 64) ?(height = 16) ?(x_label = "x") ?(y_label = "y")
+    series =
+  let series = List.filter (fun (_, pts) -> pts <> []) series in
+  if series = [] then "(no data to plot)\n"
+  else begin
+    let all = List.concat_map snd series in
+    let xs = List.map fst all and ys = List.map snd all in
+    let fold f = function [] -> 0.0 | h :: t -> List.fold_left f h t in
+    let x_min = fold Stdlib.min xs and x_max = fold Stdlib.max xs in
+    let y_min = fold Stdlib.min ys and y_max = fold Stdlib.max ys in
+    let x_span = if x_max > x_min then x_max -. x_min else 1.0 in
+    let y_span = if y_max > y_min then y_max -. y_min else 1.0 in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si (_, pts) ->
+        let marker = markers.(si mod Array.length markers) in
+        List.iter
+          (fun (x, y) ->
+            let c =
+              int_of_float ((x -. x_min) /. x_span *. float_of_int (width - 1))
+            in
+            let r =
+              height - 1
+              - int_of_float
+                  ((y -. y_min) /. y_span *. float_of_int (height - 1))
+            in
+            if r >= 0 && r < height && c >= 0 && c < width then
+              grid.(r).(c) <- marker)
+          pts)
+      series;
+    let buf = Buffer.create ((width + 12) * (height + 4)) in
+    Array.iteri
+      (fun r row ->
+        let y_tick =
+          if r = 0 then Printf.sprintf "%10.3g" y_max
+          else if r = height - 1 then Printf.sprintf "%10.3g" y_min
+          else String.make 10 ' '
+        in
+        Buffer.add_string buf y_tick;
+        Buffer.add_string buf " |";
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (String.make 11 ' ');
+    Buffer.add_char buf '+';
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "%11s %-10.3g%*s%10.3g\n" "" x_min
+         (width - 10) "" x_max);
+    Buffer.add_string buf
+      (Printf.sprintf "%11s x: %s, y: %s\n" "" x_label y_label);
+    List.iteri
+      (fun si (name, _) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%11s %c = %s\n" "" markers.(si mod Array.length markers)
+             name))
+      series;
+    Buffer.contents buf
+  end

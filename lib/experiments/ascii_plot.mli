@@ -1,0 +1,16 @@
+(** Minimal ASCII line charts, so the harness's cactus plots and
+    certified-accuracy curves read as figures directly in the terminal
+    (and in the recorded bench output). *)
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  (string * (float * float) list) list ->
+  string
+(** [render series] plots each named series of (x, y) points on one
+    shared character grid (default 64×16).  Each series gets a distinct
+    marker, shown in the legend; axes are annotated with the data
+    ranges.  Series with fewer than one point are skipped; an empty
+    input renders an empty-plot notice. *)

@@ -1,0 +1,60 @@
+type series = { tool : string; points : (int * float) list }
+
+let of_results results ~tool =
+  let times =
+    Runner.solved (Runner.by_tool results tool)
+    |> List.map (fun r -> r.Runner.time)
+    |> List.sort compare
+  in
+  let _, acc, points =
+    List.fold_left
+      (fun (n, total, pts) t ->
+        let total = total +. t in
+        (n + 1, total, (n + 1, total) :: pts))
+      (0, 0.0, [ (0, 0.0) ])
+      times
+  in
+  ignore acc;
+  { tool; points = List.rev points }
+
+let solved_count s = match s.points with [] -> 0 | _ -> fst (List.hd (List.rev s.points))
+
+let total_time s = match s.points with [] -> 0.0 | _ -> snd (List.hd (List.rev s.points))
+
+let print ~title series =
+  Printf.printf "\n== %s ==\n" title;
+  let max_n =
+    List.fold_left (fun acc s -> Stdlib.max acc (solved_count s)) 0 series
+  in
+  Printf.printf "%-8s" "solved";
+  List.iter (fun s -> Printf.printf " %14s" s.tool) series;
+  print_newline ();
+  for n = 0 to max_n do
+    (* Only print rows where at least one series has a point, thinning
+       long tables to at most ~25 rows. *)
+    let stride = Stdlib.max 1 (max_n / 25) in
+    if n mod stride = 0 || n = max_n then begin
+      Printf.printf "%-8d" n;
+      List.iter
+        (fun s ->
+          match List.assoc_opt n s.points with
+          | Some t -> Printf.printf " %14.2f" t
+          | None -> Printf.printf " %14s" "-")
+        series;
+      print_newline ()
+    end
+  done;
+  List.iter
+    (fun s ->
+      Printf.printf "%s: solved %d, cumulative %.2fs\n" s.tool (solved_count s)
+        (total_time s))
+    series;
+  (* The paper's cactus plots put cumulative time on the y-axis and the
+     number of solved benchmarks on the x-axis. *)
+  print_string
+    (Ascii_plot.render ~x_label:"benchmarks solved" ~y_label:"cumulative seconds"
+       (List.map
+          (fun s ->
+            ( s.tool,
+              List.map (fun (n, t) -> (float_of_int n, t)) s.points ))
+          series))

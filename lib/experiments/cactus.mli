@@ -1,0 +1,23 @@
+(** Cactus ("survival") plot data: cumulative solving time against the
+    number of benchmarks solved, the presentation used by Figures 7–14.
+    A line extending further right means more benchmarks solved; lower
+    means faster. *)
+
+type series = {
+  tool : string;
+  points : (int * float) list;
+      (** [(n, t)]: the [n] fastest solved benchmarks take cumulative
+          time [t]; includes the origin (0, 0). *)
+}
+
+val of_results : Runner.result list -> tool:string -> series
+(** Builds the series from the tool's solved benchmarks, sorted by
+    per-benchmark time as in the paper's plots. *)
+
+val solved_count : series -> int
+
+val total_time : series -> float
+
+val print : title:string -> series list -> unit
+(** Render the series as aligned text columns (one row per solved-count
+    step) followed by a summary line per tool. *)

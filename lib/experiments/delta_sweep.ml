@@ -1,0 +1,39 @@
+open Linalg
+
+let run ~seed ~timeout ~policy ~deltas workload =
+  Printf.printf "\n== Ablation: the delta of Eq. 4 ==\n";
+  Printf.printf "%-10s %9s %10s %9s %10s\n" "delta" "verified" "falsified"
+    "timeout" "spurious";
+  List.iter
+    (fun delta ->
+      let config = { Charon.Verify.default_config with Charon.Verify.delta } in
+      let verified = ref 0
+      and falsified = ref 0
+      and timeouts = ref 0
+      and spurious = ref 0 in
+      List.iter
+        (fun ((entry : Datasets.Suite.entry), props) ->
+          List.iter
+            (fun (prop : Common.Property.t) ->
+              let rng = Rng.create seed in
+              let report =
+                Charon.Verify.run ~config
+                  ~budget:(Common.Budget.of_seconds timeout)
+                  ~rng ~policy entry.Datasets.Suite.net prop
+              in
+              match report.Charon.Verify.outcome with
+              | Common.Outcome.Verified -> incr verified
+              | Common.Outcome.Timeout | Common.Outcome.Unknown ->
+                  incr timeouts
+              | Common.Outcome.Refuted x ->
+                  incr falsified;
+                  let obj =
+                    Optim.Objective.create entry.Datasets.Suite.net
+                      ~k:prop.Common.Property.target
+                  in
+                  if Optim.Objective.value obj x > 0.0 then incr spurious)
+            props)
+        workload;
+      Printf.printf "%-10g %9d %10d %9d %10d\n" delta !verified !falsified
+        !timeouts !spurious)
+    deltas

@@ -1,0 +1,18 @@
+(** The δ-completeness trade-off of §5 (Eq. 4) as an experiment.
+
+    Larger δ makes the algorithm refute earlier — guaranteeing
+    termination and cutting timeouts — at the cost of possible spurious
+    refutations: returned points that are δ-counterexamples but not true
+    ones.  This sweep measures both effects, an ablation of the design
+    choice the paper analyses theoretically. *)
+
+val run :
+  seed:int ->
+  timeout:float ->
+  policy:Charon.Policy.t ->
+  deltas:float list ->
+  (Datasets.Suite.entry * Common.Property.t list) list ->
+  unit
+(** Prints, for each δ: verified / falsified / timeout counts and the
+    number of refutations whose witness is not a true counterexample
+    (positive objective value). *)

@@ -1,0 +1,168 @@
+let tools_of results =
+  List.fold_left
+    (fun acc (r : Runner.result) ->
+      if List.mem r.Runner.tool acc then acc else acc @ [ r.Runner.tool ])
+    [] results
+
+let count p l = List.length (List.filter p l)
+
+let pct n total = if total = 0 then 0.0 else 100.0 *. float_of_int n /. float_of_int total
+
+let fig6 results =
+  let tools = tools_of results in
+  Printf.printf "\n== Figure 6: summary of results ==\n";
+  Printf.printf "%-16s %9s %9s %9s %9s %9s\n" "tool" "verified" "falsified"
+    "timeout" "unknown" "total";
+  let classify (r : Runner.result) = Common.Outcome.label r.Runner.outcome in
+  List.iter
+    (fun tool ->
+      let rs = Runner.by_tool results tool in
+      let total = List.length rs in
+      let c label = count (fun r -> classify r = label) rs in
+      Printf.printf "%-16s %8.1f%% %8.1f%% %8.1f%% %8.1f%% %9d\n" tool
+        (pct (c "verified") total)
+        (pct (c "falsified") total)
+        (pct (c "timeout") total)
+        (pct (c "unknown") total)
+        total)
+    tools;
+  (* §7.1's derived statistics, relative to the first tool (Charon). *)
+  match tools with
+  | [] | [ _ ] -> ()
+  | charon :: others ->
+      let charon_rs = Runner.by_tool results charon in
+      let solved_set rs =
+        Runner.solved rs
+        |> List.map (fun (r : Runner.result) -> (r.Runner.network, r.Runner.property))
+      in
+      let charon_solved = solved_set charon_rs in
+      List.iter
+        (fun other ->
+          let other_rs = Runner.by_tool results other in
+          let other_solved = solved_set other_rs in
+          let more =
+            if other_solved = [] then infinity
+            else
+              100.0
+              *. (float_of_int (List.length charon_solved)
+                  /. float_of_int (List.length other_solved)
+                 -. 1.0)
+          in
+          (* Speedup on commonly solved benchmarks. *)
+          let common =
+            List.filter (fun k -> List.mem k other_solved) charon_solved
+          in
+          let time_of rs k =
+            List.fold_left
+              (fun acc (r : Runner.result) ->
+                if (r.Runner.network, r.Runner.property) = k then
+                  acc +. r.Runner.time
+                else acc)
+              0.0 rs
+          in
+          let t_charon =
+            List.fold_left (fun acc k -> acc +. time_of charon_rs k) 0.0 common
+          in
+          let t_other =
+            List.fold_left (fun acc k -> acc +. time_of other_rs k) 0.0 common
+          in
+          Printf.printf
+            "%s solves %.1f%% more benchmarks than %s; on the %d commonly \
+             solved ones it is %.2fx faster\n"
+            charon more other (List.length common)
+            (if t_charon > 0.0 then t_other /. t_charon else infinity))
+        others
+
+let cactus_per_network results =
+  List.iter
+    (fun network ->
+      let rs = Runner.by_network results network in
+      let series =
+        List.map (fun tool -> Cactus.of_results rs ~tool) (tools_of rs)
+      in
+      Cactus.print ~title:(Printf.sprintf "Figures 7-13: %s" network) series)
+    (Runner.networks results)
+
+let fig14 results =
+  let series =
+    List.map (fun tool -> Cactus.of_results results ~tool) (tools_of results)
+  in
+  Cactus.print ~title:"Figure 14: comparison with complete tools" series;
+  (match series with
+  | charon :: others ->
+      List.iter
+        (fun s ->
+          let n = Cactus.solved_count s in
+          Printf.printf "%s solves %.1fx as many benchmarks as %s\n"
+            charon.Cactus.tool
+            (if n = 0 then infinity
+             else float_of_int (Cactus.solved_count charon) /. float_of_int n)
+            s.Cactus.tool)
+        others
+  | [] -> ());
+  (* §7.2: the set ReluVal solves should be a subset of Charon's. *)
+  let solved_keys tool =
+    Runner.solved (Runner.by_tool results tool)
+    |> List.map (fun (r : Runner.result) -> (r.Runner.network, r.Runner.property))
+  in
+  match tools_of results with
+  | charon :: rest when List.mem "ReluVal" rest ->
+      let ck = solved_keys charon and rk = solved_keys "ReluVal" in
+      let missing = List.filter (fun k -> not (List.mem k ck)) rk in
+      Printf.printf
+        "ReluVal-solved benchmarks not solved by %s: %d (paper: 0, strict \
+         superset)\n"
+        charon (List.length missing)
+  | _ -> ()
+
+let fig15 results =
+  match tools_of results with
+  | [] -> ()
+  | charon :: _ ->
+      Printf.printf "\n== Figure 15: ReluVal on Charon-verified benchmarks ==\n";
+      Printf.printf "%-16s %18s %18s %8s\n" "network" "charon-verified"
+        "reluval-solved" "ratio";
+      List.iter
+        (fun network ->
+          let rs = Runner.by_network results network in
+          let charon_verified =
+            Runner.by_tool rs charon
+            |> List.filter (fun (r : Runner.result) ->
+                   r.Runner.outcome = Common.Outcome.Verified)
+            |> List.map (fun (r : Runner.result) -> r.Runner.property)
+          in
+          let reluval_solved =
+            Runner.solved (Runner.by_tool rs "ReluVal")
+            |> List.map (fun (r : Runner.result) -> r.Runner.property)
+            |> List.filter (fun p -> List.mem p charon_verified)
+          in
+          let cv = List.length charon_verified in
+          if cv > 0 then
+            Printf.printf "%-16s %18d %18d %7.1f%%\n" network cv
+              (List.length reluval_solved)
+              (pct (List.length reluval_solved) cv))
+        (Runner.networks results)
+
+let rq2 results =
+  Printf.printf "\n== §7.3: falsified properties per tool ==\n";
+  List.iter
+    (fun tool ->
+      let falsified =
+        count
+          (fun (r : Runner.result) ->
+            match r.Runner.outcome with
+            | Common.Outcome.Refuted _ -> true
+            | _ -> false)
+          (Runner.by_tool results tool)
+      in
+      Printf.printf "%-16s %d\n" tool falsified)
+    (tools_of results)
+
+let consistency results =
+  match Runner.consistency_errors results with
+  | [] -> Printf.printf "\nconsistency: all solver verdicts agree\n"
+  | errors ->
+      Printf.printf "\nconsistency: %d DISAGREEMENTS\n" (List.length errors);
+      List.iter
+        (fun (prop, a, b) -> Printf.printf "  %s: %s vs %s\n" prop a b)
+        errors

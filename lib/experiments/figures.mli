@@ -1,0 +1,32 @@
+(** Figure and table generators for every §7 artefact.
+
+    Each function takes the flat benchmark results and prints the rows
+    or series the corresponding paper figure reports; EXPERIMENTS.md
+    records what to compare them against. *)
+
+val fig6 : Runner.result list -> unit
+(** Figure 6: per-tool verified / falsified / timeout / unknown
+    percentages over the whole suite, plus §7.1's derived statistics
+    (relative solved counts and speedups on commonly-solved
+    benchmarks). *)
+
+val cactus_per_network : Runner.result list -> unit
+(** Figures 7–13: one cactus table per network, over whichever tools
+    appear in the results. *)
+
+val fig14 : Runner.result list -> unit
+(** Figure 14: a single cactus table across all (non-convolutional)
+    benchmarks for Charon, ReluVal and Reluplex, plus §7.2's solved
+    multipliers and the strict-superset check against ReluVal. *)
+
+val fig15 : Runner.result list -> unit
+(** Figure 15: per network, the percentage of Charon-verified
+    benchmarks that ReluVal also solves (the RQ3 policy-learning
+    comparison). *)
+
+val rq2 : Runner.result list -> unit
+(** §7.3's falsification table: how many properties each tool refutes. *)
+
+val consistency : Runner.result list -> unit
+(** Cross-tool verdict agreement check; prints any verified-vs-refuted
+    conflicts (there should be none). *)

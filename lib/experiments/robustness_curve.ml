@@ -1,0 +1,54 @@
+open Linalg
+open Domains
+
+type point = {
+  epsilon : float;
+  certified : int;
+  falsified : int;
+  undecided : int;
+}
+
+let compute ?(timeout = 1.0) ?(policy = Charon.Policy.default) ~seed net
+    ~images ~epsilons =
+  List.map
+    (fun epsilon ->
+      let certified = ref 0 and falsified = ref 0 and undecided = ref 0 in
+      Array.iter
+        (fun image ->
+          let target = Nn.Network.classify net image in
+          let prop =
+            Common.Property.create
+              ~region:(Box.of_center_radius image epsilon)
+              ~target ()
+          in
+          let rng = Rng.create seed in
+          let report =
+            Charon.Verify.run
+              ~budget:(Common.Budget.of_seconds timeout)
+              ~rng ~policy net prop
+          in
+          match report.Charon.Verify.outcome with
+          | Common.Outcome.Verified -> incr certified
+          | Common.Outcome.Refuted _ -> incr falsified
+          | Common.Outcome.Timeout | Common.Outcome.Unknown -> incr undecided)
+        images;
+      { epsilon; certified = !certified; falsified = !falsified;
+        undecided = !undecided })
+    epsilons
+
+let print ~total points =
+  Printf.printf "\n== Certified accuracy curve ==\n";
+  Printf.printf "%-10s %11s %11s %11s\n" "epsilon" "certified" "falsified"
+    "undecided";
+  let pct n = 100.0 *. float_of_int n /. float_of_int (Stdlib.max 1 total) in
+  List.iter
+    (fun p ->
+      Printf.printf "%-10g %10.1f%% %10.1f%% %10.1f%%\n" p.epsilon
+        (pct p.certified) (pct p.falsified) (pct p.undecided))
+    points;
+  print_string
+    (Ascii_plot.render ~x_label:"epsilon" ~y_label:"% of images"
+       [
+         ("certified", List.map (fun p -> (p.epsilon, pct p.certified)) points);
+         ("falsified", List.map (fun p -> (p.epsilon, pct p.falsified)) points);
+       ])

@@ -1,0 +1,32 @@
+(** Certified-accuracy curves: the standard presentation of robustness
+    results in this literature, built on Charon as the certifier.
+
+    For a grid of perturbation radii ε, measures on a set of test
+    images: the fraction whose L∞ ε-ball Charon *verifies* (certified
+    accuracy), the fraction it *falsifies* (an adversarial example
+    exists), and the undecided remainder.  Certified accuracy is
+    monotonically non-increasing in ε and lower-bounds true robust
+    accuracy; the falsified fraction upper-bounds it from the other
+    side. *)
+
+type point = {
+  epsilon : float;
+  certified : int;  (** verified robust at this radius *)
+  falsified : int;
+  undecided : int;  (** timeout at this radius *)
+}
+
+val compute :
+  ?timeout:float ->
+  ?policy:Charon.Policy.t ->
+  seed:int ->
+  Nn.Network.t ->
+  images:Linalg.Vec.t array ->
+  epsilons:float list ->
+  point list
+(** One Charon run per image per ε, with the network's own
+    classification of each image as the target class.  Images whose
+    classification is not strict (ties) count as falsified at every ε. *)
+
+val print : total:int -> point list -> unit
+(** Render the curve as an aligned table of percentages. *)

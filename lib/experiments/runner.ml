@@ -1,0 +1,93 @@
+type result = {
+  tool : string;
+  network : string;
+  property : string;
+  outcome : Common.Outcome.t;
+  time : float;
+}
+
+let run_one ~seed ~timeout (tool : Tool.t) (entry : Datasets.Suite.entry) prop =
+  let budget = Common.Budget.of_seconds timeout in
+  let started = Unix.gettimeofday () in
+  let outcome =
+    tool.Tool.run ~seed entry.Datasets.Suite.net prop ~budget
+  in
+  {
+    tool = tool.Tool.name;
+    network = entry.Datasets.Suite.name;
+    property = prop.Common.Property.name;
+    outcome;
+    time = Unix.gettimeofday () -. started;
+  }
+
+let run_suite ?(progress = fun _ -> ()) ~seed ~timeout tools workload =
+  List.concat_map
+    (fun (entry, props) ->
+      List.concat_map
+        (fun prop ->
+          List.map
+            (fun (tool : Tool.t) ->
+              let result =
+                if entry.Datasets.Suite.convolutional
+                   && not tool.Tool.supports_conv
+                then
+                  {
+                    tool = tool.Tool.name;
+                    network = entry.Datasets.Suite.name;
+                    property = prop.Common.Property.name;
+                    outcome = Common.Outcome.Unknown;
+                    time = 0.0;
+                  }
+                else run_one ~seed ~timeout tool entry prop
+              in
+              progress result;
+              result)
+            tools)
+        props)
+    workload
+
+let by_tool results name = List.filter (fun r -> r.tool = name) results
+
+let by_network results name = List.filter (fun r -> r.network = name) results
+
+let solved results =
+  List.filter (fun r -> Common.Outcome.is_solved r.outcome) results
+
+let networks results =
+  List.fold_left
+    (fun acc r -> if List.mem r.network acc then acc else acc @ [ r.network ])
+    [] results
+
+let to_csv results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "tool,network,property,outcome,time_seconds\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%s,%s,%.6f\n" r.tool r.network r.property
+           (Common.Outcome.label r.outcome)
+           r.time))
+    results;
+  Buffer.contents buf
+
+let save_csv path results =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv results))
+
+let consistency_errors results =
+  let errors = ref [] in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let key = (r.network, r.property) in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+      List.iter
+        (fun (other : result) ->
+          if not (Common.Outcome.agrees r.outcome other.outcome) then
+            errors := (r.property, r.tool, other.tool) :: !errors)
+        prev;
+      Hashtbl.replace tbl key (r :: prev))
+    results;
+  !errors

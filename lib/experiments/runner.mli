@@ -1,0 +1,50 @@
+(** Benchmark execution: every tool on every property with a per-
+    benchmark budget, producing the flat result records the figure
+    generators aggregate. *)
+
+type result = {
+  tool : string;
+  network : string;
+  property : string;
+  outcome : Common.Outcome.t;
+  time : float;  (** seconds spent on this benchmark *)
+}
+
+val run_one :
+  seed:int ->
+  timeout:float ->
+  Tool.t ->
+  Datasets.Suite.entry ->
+  Common.Property.t ->
+  result
+
+val run_suite :
+  ?progress:(result -> unit) ->
+  seed:int ->
+  timeout:float ->
+  Tool.t list ->
+  (Datasets.Suite.entry * Common.Property.t list) list ->
+  result list
+(** Runs each tool on each benchmark.  Tools that do not support
+    convolutional networks are recorded as [Unknown] with zero time on
+    those, mirroring §7.2's exclusion. *)
+
+val by_tool : result list -> string -> result list
+
+val by_network : result list -> string -> result list
+
+val solved : result list -> result list
+
+val networks : result list -> string list
+(** Distinct network names in first-appearance order. *)
+
+val to_csv : result list -> string
+(** Flat CSV ([tool,network,property,outcome,time_seconds]) with a
+    header row, for plotting with external tools. *)
+
+val save_csv : string -> result list -> unit
+
+val consistency_errors : result list -> (string * string * string) list
+(** Cross-tool disagreements: benchmarks where one tool verified and
+    another refuted.  Returns [(property, tool_a, tool_b)] triples; an
+    empty list is a global sanity check on all solvers. *)

@@ -1,0 +1,121 @@
+open Domains
+
+type t = {
+  name : string;
+  supports_conv : bool;
+  can_falsify : bool;
+  run :
+    seed:int ->
+    Nn.Network.t ->
+    Common.Property.t ->
+    budget:Common.Budget.t ->
+    Common.Outcome.t;
+}
+
+let charon ?(policy = Charon.Policy.default) ?config () =
+  {
+    name = "Charon";
+    supports_conv = true;
+    can_falsify = true;
+    run =
+      (fun ~seed net prop ~budget ->
+        let rng = Linalg.Rng.create seed in
+        let report = Charon.Verify.run ?config ~budget ~rng ~policy net prop in
+        report.Charon.Verify.outcome);
+  }
+
+let charon_no_cex ?(policy = Charon.Policy.default) () =
+  let config =
+    { Charon.Verify.default_config with Charon.Verify.use_cex_search = false }
+  in
+  { (charon ~policy ~config ()) with name = "Charon-NoCex" }
+
+let charon_fixed spec =
+  let t = charon ~policy:(Charon.Policy.fixed_domain spec) () in
+  { t with name = Printf.sprintf "Charon-Fixed-%s" (Domain.to_string spec) }
+
+let ai2 spec =
+  {
+    name =
+      (if Domain.equal spec Domain.zonotope_join then "AI2-Zonotope"
+       else if spec.Domain.disjuncts > 1 then
+         Printf.sprintf "AI2-Bounded%d" spec.Domain.disjuncts
+       else Printf.sprintf "AI2-%s" (Domain.to_string spec));
+    supports_conv = true;
+    can_falsify = false;
+    run =
+      (fun ~seed:_ net prop ~budget ->
+        (* AI2 is a single abstract-interpretation pass; the analyzer
+           polls the budget between layers so even a 64-disjunct pass
+           on the conv net is abandoned once the budget expires. *)
+        let verdict =
+          Absint.Analyzer.analyze ~budget net prop.Common.Property.region
+            ~k:prop.Common.Property.target spec
+        in
+        if Common.Budget.exhausted budget then Common.Outcome.Timeout
+        else
+          match verdict with
+          | Absint.Analyzer.Verified -> Common.Outcome.Verified
+          | Absint.Analyzer.Unknown -> Common.Outcome.Unknown);
+  }
+
+let reluval =
+  {
+    name = "ReluVal";
+    supports_conv = false;
+    can_falsify = true;
+    run =
+      (fun ~seed:_ net prop ~budget ->
+        let report = Reluval.run ~budget net prop in
+        report.Reluval.outcome);
+  }
+
+let reluplex =
+  {
+    name = "Reluplex";
+    supports_conv = false;
+    can_falsify = true;
+    run =
+      (fun ~seed:_ net prop ~budget ->
+        let report = Reluplex.run ~budget net prop in
+        report.Reluplex.outcome);
+  }
+
+let charon_then_reluplex ?(policy = Charon.Policy.default) ~split () =
+  if split <= 0.0 || split >= 1.0 then
+    invalid_arg "Tool.charon_then_reluplex: split must be in (0, 1)";
+  {
+    name = "Charon+Reluplex";
+    supports_conv = false;
+    can_falsify = true;
+    run =
+      (fun ~seed net prop ~budget ->
+        (* Charon gets its share of the outer budget's remaining wall
+           clock (or a step budget when the outer budget has no
+           deadline); the complete checker then inherits whatever is
+           left of the outer budget. *)
+        let rng = Linalg.Rng.create seed in
+        let charon_budget =
+          match Common.Budget.remaining_seconds budget with
+          | Some s -> Common.Budget.of_seconds (split *. s)
+          | None -> Common.Budget.of_steps 5_000
+        in
+        let charon_report =
+          Charon.Verify.run ~budget:charon_budget ~rng ~policy net prop
+        in
+        match charon_report.Charon.Verify.outcome with
+        | (Common.Outcome.Verified | Common.Outcome.Refuted _) as solved ->
+            solved
+        | Common.Outcome.Timeout | Common.Outcome.Unknown ->
+            let report = Reluplex.run ~budget net prop in
+            report.Reluplex.outcome);
+  }
+
+let all_figure6 ~policy =
+  [
+    charon ~policy ();
+    ai2 Domain.zonotope_join;
+    ai2 (Domain.powerset Domain.Zonotope_join_base 64);
+  ]
+
+let all_complete ~policy = [ charon ~policy (); reluval; reluplex ]

@@ -1,0 +1,50 @@
+(** Uniform interface over the verification tools compared in §7. *)
+
+type t = {
+  name : string;
+  supports_conv : bool;
+      (** whether the tool can handle max-pooling networks; ReluVal and
+          Reluplex cannot (§7.2 excludes the conv net for them) *)
+  can_falsify : bool;  (** AI2 cannot produce counterexamples *)
+  run :
+    seed:int ->
+    Nn.Network.t ->
+    Common.Property.t ->
+    budget:Common.Budget.t ->
+    Common.Outcome.t;
+}
+
+val charon : ?policy:Charon.Policy.t -> ?config:Charon.Verify.config -> unit -> t
+(** The full system; defaults to the hand-crafted default policy (use a
+    learned policy from {!Training} for the headline experiments). *)
+
+val charon_no_cex : ?policy:Charon.Policy.t -> unit -> t
+(** RQ2 ablation: counterexample search disabled. *)
+
+val charon_fixed : Domains.Domain.spec -> t
+(** RQ3 ablation: static domain and bisection splits instead of a
+    learned policy. *)
+
+val ai2 : Domains.Domain.spec -> t
+(** The AI2 baseline: a single abstract-interpretation pass with a fixed
+    domain; incomplete ([Unknown] when the domain cannot prove the
+    property) and unable to falsify.  [ai2 Domain.zonotope_join] and
+    [ai2 (Domain.powerset Zonotope_join_base 64)] are the paper's
+    AI2-Zonotope and AI2-Bounded64 configurations. *)
+
+val reluval : t
+
+val reluplex : t
+
+val charon_then_reluplex : ?policy:Charon.Policy.t -> split:float -> unit -> t
+(** The solver-portfolio extension sketched in §9 ("one can view
+    solver-based techniques as a perfectly precise abstract domain"):
+    run Charon for the first [split] fraction of the budget, then hand
+    unsolved problems to the complete checker for the remainder.
+    [split] must be in (0, 1). *)
+
+val all_figure6 : policy:Charon.Policy.t -> t list
+(** Charon, AI2-Zonotope, AI2-Bounded64 (Figure 6's tools). *)
+
+val all_complete : policy:Charon.Policy.t -> t list
+(** Charon, ReluVal, Reluplex (Figure 14's tools). *)

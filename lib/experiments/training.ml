@@ -1,0 +1,35 @@
+open Linalg
+
+let acas_problems ~seed =
+  let rng = Rng.create seed in
+  let net = Datasets.Acas.network rng ~hidden:[ 16; 16; 16 ] in
+  let props = Datasets.Acas.training_properties rng net ~n:12 ~radius:0.05 in
+  List.map (fun property -> { Charon.Learn.net; property }) props
+
+let default_train_config =
+  {
+    Charon.Learn.default_config with
+    Charon.Learn.per_problem = Charon.Learn.Steps 3000;
+    bopt =
+      {
+        Bayesopt.Bopt.default_config with
+        Bayesopt.Bopt.init_samples = 10;
+        iterations = 20;
+      };
+  }
+
+let learn ?(config = default_train_config) ~seed () =
+  let rng = Rng.create (seed + 1) in
+  Charon.Learn.train ~config ~rng (acas_problems ~seed)
+
+let learned_policy ?cache ~seed () =
+  match cache with
+  | Some path when Sys.file_exists path -> Charon.Policy.load path
+  | cache ->
+      let result = learn ~seed () in
+      (match cache with
+      | Some path -> (
+          try Charon.Policy.save path result.Charon.Learn.policy
+          with Invalid_argument _ | Sys_error _ -> ())
+      | None -> ());
+      result.Charon.Learn.policy

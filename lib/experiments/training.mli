@@ -1,0 +1,17 @@
+(** The training phase of the pipeline (§6 "Training"): learn a
+    verification policy on 12 properties of an ACAS-Xu-like network,
+    then deploy it on the image benchmarks. *)
+
+val acas_problems : seed:int -> Charon.Learn.problem list
+(** An ACAS-like advisory network plus 12 robustness properties centred
+    on points the network classifies correctly. *)
+
+val learn :
+  ?config:Charon.Learn.config -> seed:int -> unit -> Charon.Learn.result
+(** Run Bayesian optimization over the policy parameters on the ACAS
+    problems.  The default config uses deterministic step budgets so
+    training is reproducible. *)
+
+val learned_policy : ?cache:string -> seed:int -> unit -> Charon.Policy.t
+(** The trained policy; with [cache], parameters are persisted to disk
+    and reloaded on later runs. *)

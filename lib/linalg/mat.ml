@@ -1,0 +1,185 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols x =
+  if rows < 0 || cols < 0 then invalid_arg "Mat.create: negative dimension";
+  { rows; cols; data = Array.make (rows * cols) x }
+
+let zeros rows cols = create rows cols 0.0
+
+let init rows cols f =
+  let data = Array.make (rows * cols) 0.0 in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      data.((i * cols) + j) <- f i j
+    done
+  done;
+  { rows; cols; data }
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let get m i j = m.data.((i * m.cols) + j)
+
+let set m i j x = m.data.((i * m.cols) + j) <- x
+
+let copy m = { m with data = Array.copy m.data }
+
+let of_rows rows =
+  let r = Array.length rows in
+  if r = 0 then invalid_arg "Mat.of_rows: no rows";
+  let c = Array.length rows.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> c then invalid_arg "Mat.of_rows: ragged rows")
+    rows;
+  init r c (fun i j -> rows.(i).(j))
+
+let row m i = Array.sub m.data (i * m.cols) m.cols
+
+let col m j = Array.init m.rows (fun i -> get m i j)
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let check_same name a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg
+      (Printf.sprintf "Mat.%s: shape mismatch (%dx%d vs %dx%d)" name a.rows
+         a.cols b.rows b.cols)
+
+let add a b =
+  check_same "add" a b;
+  { a with data = Array.init (Array.length a.data) (fun i -> a.data.(i) +. b.data.(i)) }
+
+let sub a b =
+  check_same "sub" a b;
+  { a with data = Array.init (Array.length a.data) (fun i -> a.data.(i) -. b.data.(i)) }
+
+let scale c a = { a with data = Array.map (fun x -> c *. x) a.data }
+
+let matvec m x =
+  if m.cols <> Array.length x then
+    invalid_arg
+      (Printf.sprintf "Mat.matvec: %dx%d with vector of dim %d" m.rows m.cols
+         (Array.length x));
+  let y = Array.make m.rows 0.0 in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    let acc = ref 0.0 in
+    for j = 0 to m.cols - 1 do
+      acc := !acc +. (m.data.(base + j) *. x.(j))
+    done;
+    y.(i) <- !acc
+  done;
+  y
+
+let matvec_t m x =
+  if m.rows <> Array.length x then
+    invalid_arg
+      (Printf.sprintf "Mat.matvec_t: %dx%d with vector of dim %d" m.rows
+         m.cols (Array.length x));
+  let y = Array.make m.cols 0.0 in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    let xi = x.(i) in
+    if xi <> 0.0 then
+      for j = 0 to m.cols - 1 do
+        y.(j) <- y.(j) +. (m.data.(base + j) *. xi)
+      done
+  done;
+  y
+
+let matmul a b =
+  if a.cols <> b.rows then
+    invalid_arg
+      (Printf.sprintf "Mat.matmul: %dx%d with %dx%d" a.rows a.cols b.rows
+         b.cols);
+  let c = zeros a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = get a i k in
+      if aik <> 0.0 then begin
+        let base_b = k * b.cols and base_c = i * b.cols in
+        for j = 0 to b.cols - 1 do
+          c.data.(base_c + j) <- c.data.(base_c + j) +. (aik *. b.data.(base_b + j))
+        done
+      end
+    done
+  done;
+  c
+
+let outer u v = init (Array.length u) (Array.length v) (fun i j -> u.(i) *. v.(j))
+
+let abs_row_sums m =
+  Array.init m.rows (fun i ->
+      let base = i * m.cols in
+      let acc = ref 0.0 in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. abs_float m.data.(base + j)
+      done;
+      !acc)
+
+let frobenius m = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 m.data)
+
+let approx_equal ?(eps = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && begin
+       let ok = ref true in
+       for i = 0 to Array.length a.data - 1 do
+         if abs_float (a.data.(i) -. b.data.(i)) > eps then ok := false
+       done;
+       !ok
+     end
+
+let cholesky a =
+  if a.rows <> a.cols then invalid_arg "Mat.cholesky: non-square matrix";
+  let n = a.rows in
+  let l = zeros n n in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let acc = ref (get a i j) in
+      for k = 0 to j - 1 do
+        acc := !acc -. (get l i k *. get l j k)
+      done;
+      if i = j then begin
+        if !acc <= 0.0 then failwith "Mat.cholesky: matrix not positive definite";
+        set l i j (sqrt !acc)
+      end
+      else set l i j (!acc /. get l j j)
+    done
+  done;
+  l
+
+let solve_lower l b =
+  let n = l.rows in
+  if Array.length b <> n then invalid_arg "Mat.solve_lower: dimension mismatch";
+  let x = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let acc = ref b.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (get l i j *. x.(j))
+    done;
+    x.(i) <- !acc /. get l i i
+  done;
+  x
+
+let solve_upper_from_lower_t l b =
+  let n = l.rows in
+  if Array.length b <> n then
+    invalid_arg "Mat.solve_upper_from_lower_t: dimension mismatch";
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let acc = ref b.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (get l j i *. x.(j))
+    done;
+    x.(i) <- !acc /. get l i i
+  done;
+  x
+
+let cholesky_solve l b = solve_upper_from_lower_t l (solve_lower l b)
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf fmt "%a@," Vec.pp (row m i)
+  done;
+  Format.fprintf fmt "@]"

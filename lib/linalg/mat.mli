@@ -1,0 +1,74 @@
+(** Dense row-major float matrices. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  data : float array;  (** row-major, length [rows * cols] *)
+}
+
+val create : int -> int -> float -> t
+
+val zeros : int -> int -> t
+
+val identity : int -> t
+
+val init : int -> int -> (int -> int -> float) -> t
+(** [init r c f] builds the matrix with entry [(i, j)] equal to [f i j]. *)
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val copy : t -> t
+
+val of_rows : float array array -> t
+(** Build from an array of equal-length rows.  Requires at least one row. *)
+
+val row : t -> int -> Vec.t
+
+val col : t -> int -> Vec.t
+
+val transpose : t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val matvec : t -> Vec.t -> Vec.t
+(** [matvec m x] is [m * x].  Requires [m.cols = dim x]. *)
+
+val matvec_t : t -> Vec.t -> Vec.t
+(** [matvec_t m x] is [transpose m * x] without materialising the
+    transpose.  Requires [m.rows = dim x]. *)
+
+val matmul : t -> t -> t
+
+val outer : Vec.t -> Vec.t -> t
+(** [outer u v] is the rank-one matrix [u v^T]. *)
+
+val abs_row_sums : t -> Vec.t
+(** Vector of L1 norms of each row; used for interval propagation. *)
+
+val frobenius : t -> float
+
+val approx_equal : ?eps:float -> t -> t -> bool
+
+val cholesky : t -> t
+(** [cholesky a] returns the lower-triangular [l] with [l * l^T = a] for a
+    symmetric positive-definite [a].
+    @raise Failure if the matrix is not numerically positive definite. *)
+
+val cholesky_solve : t -> Vec.t -> Vec.t
+(** [cholesky_solve l b] solves [l l^T x = b] given the Cholesky factor
+    [l] (forward then backward substitution). *)
+
+val solve_lower : t -> Vec.t -> Vec.t
+(** Forward substitution with a lower-triangular matrix. *)
+
+val solve_upper_from_lower_t : t -> Vec.t -> Vec.t
+(** [solve_upper_from_lower_t l b] solves [l^T x = b] by backward
+    substitution, reading [l] as the transposed upper factor. *)
+
+val pp : Format.formatter -> t -> unit

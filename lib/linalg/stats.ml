@@ -1,0 +1,48 @@
+let nonempty name a =
+  if Array.length a = 0 then invalid_arg ("Stats." ^ name ^ ": empty array")
+
+let mean a =
+  nonempty "mean" a;
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let variance a =
+  if Array.length a < 2 then 0.0
+  else begin
+    let m = mean a in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a in
+    acc /. float_of_int (Array.length a - 1)
+  end
+
+let stddev a = sqrt (variance a)
+
+let sorted a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let percentile a p =
+  nonempty "percentile" a;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let b = sorted a in
+  let n = Array.length b in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then b.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    (b.(lo) *. (1.0 -. frac)) +. (b.(hi) *. frac)
+  end
+
+let median a = percentile a 50.0
+
+let geometric_mean a =
+  nonempty "geometric_mean" a;
+  let acc =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geometric_mean: non-positive entry"
+        else acc +. log x)
+      0.0 a
+  in
+  exp (acc /. float_of_int (Array.length a))

@@ -1,0 +1,20 @@
+(** Small descriptive-statistics helpers used by the experiment harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean.  Requires a non-empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (zero for arrays of length < 2). *)
+
+val stddev : float array -> float
+
+val median : float array -> float
+(** Median of a copy of the input (the input is not mutated).
+    Requires a non-empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0, 100\]], linear interpolation.
+    Requires a non-empty array. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean.  Requires all entries positive. *)

@@ -1,0 +1,120 @@
+type t = float array
+
+let create n x = Array.make n x
+
+let zeros n = Array.make n 0.0
+
+let init = Array.init
+
+let copy = Array.copy
+
+let dim = Array.length
+
+let of_list = Array.of_list
+
+let to_list = Array.to_list
+
+let check_dims name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name
+                   (Array.length a) (Array.length b))
+
+let add a b =
+  check_dims "add" a b;
+  Array.init (Array.length a) (fun i -> a.(i) +. b.(i))
+
+let sub a b =
+  check_dims "sub" a b;
+  Array.init (Array.length a) (fun i -> a.(i) -. b.(i))
+
+let mul a b =
+  check_dims "mul" a b;
+  Array.init (Array.length a) (fun i -> a.(i) *. b.(i))
+
+let scale c a = Array.map (fun x -> c *. x) a
+
+let axpy a x y =
+  check_dims "axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let dot a b =
+  check_dims "dot" a b;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm2 a = sqrt (dot a a)
+
+let norm_inf a = Array.fold_left (fun m x -> Stdlib.max m (abs_float x)) 0.0 a
+
+let dist2 a b = norm2 (sub a b)
+
+let sum a = Array.fold_left ( +. ) 0.0 a
+
+let mean a =
+  if Array.length a = 0 then invalid_arg "Vec.mean: empty vector";
+  sum a /. float_of_int (Array.length a)
+
+let nonempty name a =
+  if Array.length a = 0 then invalid_arg ("Vec." ^ name ^ ": empty vector")
+
+let max a =
+  nonempty "max" a;
+  Array.fold_left Stdlib.max a.(0) a
+
+let min a =
+  nonempty "min" a;
+  Array.fold_left Stdlib.min a.(0) a
+
+let argmax a =
+  nonempty "argmax" a;
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) > a.(!best) then best := i
+  done;
+  !best
+
+let argmin a =
+  nonempty "argmin" a;
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) < a.(!best) then best := i
+  done;
+  !best
+
+let map = Array.map
+
+let map2 f a b =
+  check_dims "map2" a b;
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let iteri = Array.iteri
+
+let clamp ~lo ~hi x =
+  check_dims "clamp" lo x;
+  check_dims "clamp" hi x;
+  Array.init (Array.length x) (fun i ->
+      if x.(i) < lo.(i) then lo.(i) else if x.(i) > hi.(i) then hi.(i) else x.(i))
+
+let relu a = Array.map (fun x -> if x > 0.0 then x else 0.0) a
+
+let approx_equal ?(eps = 1e-9) a b =
+  Array.length a = Array.length b
+  && begin
+       let ok = ref true in
+       for i = 0 to Array.length a - 1 do
+         if abs_float (a.(i) -. b.(i)) > eps then ok := false
+       done;
+       !ok
+     end
+
+let pp fmt a =
+  Format.fprintf fmt "[@[%a@]]"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.fprintf f ";@ ")
+       (fun f x -> Format.fprintf f "%g" x))
+    (Array.to_list a)

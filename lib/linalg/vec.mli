@@ -1,0 +1,76 @@
+(** Dense float vectors.
+
+    A thin layer over [float array] providing the operations the rest of
+    the project needs.  All binary operations require equal lengths and
+    raise [Invalid_argument] otherwise. *)
+
+type t = float array
+
+val create : int -> float -> t
+(** [create n x] is the length-[n] vector filled with [x]. *)
+
+val zeros : int -> t
+
+val init : int -> (int -> float) -> t
+
+val copy : t -> t
+
+val dim : t -> int
+
+val of_list : float list -> t
+
+val to_list : t -> float list
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val mul : t -> t -> t
+(** Component-wise product. *)
+
+val scale : float -> t -> t
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] performs [y <- a*x + y] in place. *)
+
+val dot : t -> t -> float
+
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val norm_inf : t -> float
+
+val dist2 : t -> t -> float
+(** Euclidean distance. *)
+
+val sum : t -> float
+
+val mean : t -> float
+
+val max : t -> float
+(** Largest component.  Requires a non-empty vector. *)
+
+val min : t -> float
+
+val argmax : t -> int
+(** Index of the largest component (first on ties).  Requires non-empty. *)
+
+val argmin : t -> int
+
+val map : (float -> float) -> t -> t
+
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val iteri : (int -> float -> unit) -> t -> unit
+
+val clamp : lo:t -> hi:t -> t -> t
+(** Component-wise projection of a point into the box [\[lo, hi\]]. *)
+
+val relu : t -> t
+(** Component-wise [max 0]. *)
+
+val approx_equal : ?eps:float -> t -> t -> bool
+(** Component-wise comparison with absolute tolerance [eps]
+    (default [1e-9]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+type t = { input : Shape.t; kernel : int; stride : int }
+
+let create ~input ~kernel ~stride =
+  ignore
+    (Shape.conv_output input ~kernel ~stride ~padding:0
+       ~out_channels:input.Shape.channels);
+  { input; kernel; stride }
+
+let output_shape t =
+  Shape.conv_output t.input ~kernel:t.kernel ~stride:t.stride ~padding:0
+    ~out_channels:t.input.Shape.channels
+
+(* Shares the window enumeration with max pooling. *)
+let windows t =
+  Pool.windows (Pool.create ~input:t.input ~kernel:t.kernel ~stride:t.stride)
+
+let forward t x =
+  if Array.length x <> Shape.size t.input then
+    invalid_arg "Avgpool.forward: input dimension mismatch";
+  Array.map
+    (fun window ->
+      Array.fold_left (fun acc i -> acc +. x.(i)) 0.0 window
+      /. float_of_int (Array.length window))
+    (windows t)
+
+let backward t ~dout =
+  let wins = windows t in
+  if Array.length dout <> Array.length wins then
+    invalid_arg "Avgpool.backward: output gradient dimension mismatch";
+  let dx = Array.make (Shape.size t.input) 0.0 in
+  Array.iteri
+    (fun o window ->
+      let share = dout.(o) /. float_of_int (Array.length window) in
+      Array.iter (fun i -> dx.(i) <- dx.(i) +. share) window)
+    wins;
+  dx
+
+let to_affine t =
+  let wins = windows t in
+  let out_dim = Array.length wins in
+  let w = Linalg.Mat.zeros out_dim (Shape.size t.input) in
+  Array.iteri
+    (fun o window ->
+      let share = 1.0 /. float_of_int (Array.length window) in
+      Array.iter
+        (fun i -> Linalg.Mat.set w o i (Linalg.Mat.get w o i +. share))
+        window)
+    wins;
+  (w, Linalg.Vec.zeros out_dim)

@@ -1,0 +1,135 @@
+type t = {
+  input : Shape.t;
+  out_channels : int;
+  kernel : int;
+  stride : int;
+  padding : int;
+  weights : float array;
+  bias : Linalg.Vec.t;
+}
+
+let weight_count ~out_channels ~in_channels ~kernel =
+  out_channels * in_channels * kernel * kernel
+
+let create ~input ~out_channels ~kernel ~stride ~padding ~weights ~bias =
+  (* Validate geometry eagerly so malformed layers fail at construction. *)
+  ignore
+    (Shape.conv_output input ~kernel ~stride ~padding ~out_channels);
+  let expected =
+    weight_count ~out_channels ~in_channels:input.Shape.channels ~kernel
+  in
+  if Array.length weights <> expected then
+    invalid_arg
+      (Printf.sprintf "Conv.create: expected %d weights, got %d" expected
+         (Array.length weights));
+  if Array.length bias <> out_channels then
+    invalid_arg "Conv.create: bias length must equal out_channels";
+  { input; out_channels; kernel; stride; padding; weights; bias }
+
+let output_shape t =
+  Shape.conv_output t.input ~kernel:t.kernel ~stride:t.stride
+    ~padding:t.padding ~out_channels:t.out_channels
+
+let widx t ~oc ~ic ~ki ~kj =
+  let k = t.kernel in
+  (((((oc * t.input.Shape.channels) + ic) * k) + ki) * k) + kj
+
+let weight t ~oc ~ic ~ki ~kj = t.weights.(widx t ~oc ~ic ~ki ~kj)
+
+(* Iterate over every (output element, contributing input element) pair.
+   [f ~oc ~oi ~oj ~ic ~ii ~ij ~ki ~kj] is called only for in-bounds input
+   coordinates; padded positions contribute zero and are skipped. *)
+let iter_taps t f =
+  let out = output_shape t in
+  for oc = 0 to out.Shape.channels - 1 do
+    for oi = 0 to out.Shape.height - 1 do
+      for oj = 0 to out.Shape.width - 1 do
+        for ic = 0 to t.input.Shape.channels - 1 do
+          for ki = 0 to t.kernel - 1 do
+            for kj = 0 to t.kernel - 1 do
+              let ii = (oi * t.stride) + ki - t.padding in
+              let ij = (oj * t.stride) + kj - t.padding in
+              if Shape.in_bounds t.input ~i:ii ~j:ij then
+                f ~oc ~oi ~oj ~ic ~ii ~ij ~ki ~kj
+            done
+          done
+        done
+      done
+    done
+  done
+
+let forward t x =
+  if Array.length x <> Shape.size t.input then
+    invalid_arg "Conv.forward: input dimension mismatch";
+  let out = output_shape t in
+  let y = Array.make (Shape.size out) 0.0 in
+  for oc = 0 to out.Shape.channels - 1 do
+    for oi = 0 to out.Shape.height - 1 do
+      for oj = 0 to out.Shape.width - 1 do
+        y.(Shape.index out ~c:oc ~i:oi ~j:oj) <- t.bias.(oc)
+      done
+    done
+  done;
+  iter_taps t (fun ~oc ~oi ~oj ~ic ~ii ~ij ~ki ~kj ->
+      let o = Shape.index out ~c:oc ~i:oi ~j:oj in
+      let i = Shape.index t.input ~c:ic ~i:ii ~j:ij in
+      y.(o) <- y.(o) +. (t.weights.(widx t ~oc ~ic ~ki ~kj) *. x.(i)));
+  y
+
+let backward t ~dout =
+  let out = output_shape t in
+  if Array.length dout <> Shape.size out then
+    invalid_arg "Conv.backward: output gradient dimension mismatch";
+  let dx = Array.make (Shape.size t.input) 0.0 in
+  iter_taps t (fun ~oc ~oi ~oj ~ic ~ii ~ij ~ki ~kj ->
+      let o = Shape.index out ~c:oc ~i:oi ~j:oj in
+      let i = Shape.index t.input ~c:ic ~i:ii ~j:ij in
+      dx.(i) <- dx.(i) +. (t.weights.(widx t ~oc ~ic ~ki ~kj) *. dout.(o)));
+  dx
+
+let grad_params t ~x ~dout =
+  let out = output_shape t in
+  if Array.length x <> Shape.size t.input then
+    invalid_arg "Conv.grad_params: input dimension mismatch";
+  if Array.length dout <> Shape.size out then
+    invalid_arg "Conv.grad_params: output gradient dimension mismatch";
+  let dw = Array.make (Array.length t.weights) 0.0 in
+  let db = Array.make t.out_channels 0.0 in
+  iter_taps t (fun ~oc ~oi ~oj ~ic ~ii ~ij ~ki ~kj ->
+      let o = Shape.index out ~c:oc ~i:oi ~j:oj in
+      let i = Shape.index t.input ~c:ic ~i:ii ~j:ij in
+      let w = widx t ~oc ~ic ~ki ~kj in
+      dw.(w) <- dw.(w) +. (x.(i) *. dout.(o)));
+  for oc = 0 to out.Shape.channels - 1 do
+    for oi = 0 to out.Shape.height - 1 do
+      for oj = 0 to out.Shape.width - 1 do
+        db.(oc) <- db.(oc) +. dout.(Shape.index out ~c:oc ~i:oi ~j:oj)
+      done
+    done
+  done;
+  (dw, db)
+
+let update t ~dweights ~dbias ~lr =
+  {
+    t with
+    weights = Array.mapi (fun i w -> w -. (lr *. dweights.(i))) t.weights;
+    bias = Array.mapi (fun i b -> b -. (lr *. dbias.(i))) t.bias;
+  }
+
+let to_affine t =
+  let out = output_shape t in
+  let w = Linalg.Mat.zeros (Shape.size out) (Shape.size t.input) in
+  let b = Array.make (Shape.size out) 0.0 in
+  for oc = 0 to out.Shape.channels - 1 do
+    for oi = 0 to out.Shape.height - 1 do
+      for oj = 0 to out.Shape.width - 1 do
+        b.(Shape.index out ~c:oc ~i:oi ~j:oj) <- t.bias.(oc)
+      done
+    done
+  done;
+  iter_taps t (fun ~oc ~oi ~oj ~ic ~ii ~ij ~ki ~kj ->
+      let o = Shape.index out ~c:oc ~i:oi ~j:oj in
+      let i = Shape.index t.input ~c:ic ~i:ii ~j:ij in
+      Linalg.Mat.set w o i
+        (Linalg.Mat.get w o i +. t.weights.(widx t ~oc ~ic ~ki ~kj)));
+  (w, b)

@@ -1,0 +1,51 @@
+(** 2-D convolution layers.
+
+    A convolution is stored in structured form (kernel weights indexed by
+    output channel, input channel and kernel position) and can be lowered
+    to a dense affine transformation [(W, b)], which is how the abstract
+    interpreter consumes it (the paper, following AI2, treats both dense
+    and convolutional layers as affine transformations). *)
+
+type t = {
+  input : Shape.t;
+  out_channels : int;
+  kernel : int;  (** square kernel side *)
+  stride : int;
+  padding : int;
+  weights : float array;
+      (** indexed \[oc\]\[ic\]\[ki\]\[kj\] flattened in that order *)
+  bias : Linalg.Vec.t;  (** length [out_channels] *)
+}
+
+val create :
+  input:Shape.t ->
+  out_channels:int ->
+  kernel:int ->
+  stride:int ->
+  padding:int ->
+  weights:float array ->
+  bias:Linalg.Vec.t ->
+  t
+(** Validates geometry and weight/bias lengths. *)
+
+val output_shape : t -> Shape.t
+
+val weight : t -> oc:int -> ic:int -> ki:int -> kj:int -> float
+
+val forward : t -> Linalg.Vec.t -> Linalg.Vec.t
+(** Direct convolution of a flattened CHW input. *)
+
+val backward : t -> dout:Linalg.Vec.t -> Linalg.Vec.t
+(** Vector-Jacobian product: gradient with respect to the input given the
+    gradient [dout] with respect to the output. *)
+
+val grad_params : t -> x:Linalg.Vec.t -> dout:Linalg.Vec.t -> float array * Linalg.Vec.t
+(** [(dweights, dbias)] for SGD training, with the same layouts as
+    [weights] and [bias]. *)
+
+val update : t -> dweights:float array -> dbias:Linalg.Vec.t -> lr:float -> t
+(** Gradient-descent step returning a new layer. *)
+
+val to_affine : t -> Linalg.Mat.t * Linalg.Vec.t
+(** Dense lowering: [(w, b)] such that [forward t x = w x + b] for every
+    [x].  The matrix has [size (output_shape t)] rows. *)

@@ -1,0 +1,79 @@
+open Linalg
+
+type t =
+  | Affine of { w : Mat.t; b : Vec.t }
+  | Relu
+  | Conv of Conv.t
+  | Maxpool of Pool.t
+  | Avgpool of Avgpool.t
+
+let affine w b =
+  if w.Mat.rows <> Vec.dim b then
+    invalid_arg "Layer.affine: bias length must equal row count";
+  Affine { w; b }
+
+let input_dim = function
+  | Affine { w; _ } -> Some w.Mat.cols
+  | Relu -> None
+  | Conv c -> Some (Shape.size c.Conv.input)
+  | Maxpool p -> Some (Shape.size p.Pool.input)
+  | Avgpool p -> Some (Shape.size p.Avgpool.input)
+
+let output_dim ~given = function
+  | Affine { w; b = _ } ->
+      if w.Mat.cols <> given then
+        invalid_arg
+          (Printf.sprintf "Layer.output_dim: affine expects %d, got %d"
+             w.Mat.cols given);
+      w.Mat.rows
+  | Relu -> given
+  | Conv c ->
+      if Shape.size c.Conv.input <> given then
+        invalid_arg "Layer.output_dim: conv input shape mismatch";
+      Shape.size (Conv.output_shape c)
+  | Maxpool p ->
+      if Shape.size p.Pool.input <> given then
+        invalid_arg "Layer.output_dim: maxpool input shape mismatch";
+      Shape.size (Pool.output_shape p)
+  | Avgpool p ->
+      if Shape.size p.Avgpool.input <> given then
+        invalid_arg "Layer.output_dim: avgpool input shape mismatch";
+      Shape.size (Avgpool.output_shape p)
+
+let forward layer x =
+  match layer with
+  | Affine { w; b } -> Vec.add (Mat.matvec w x) b
+  | Relu -> Vec.relu x
+  | Conv c -> Conv.forward c x
+  | Maxpool p -> Pool.forward p x
+  | Avgpool p -> Avgpool.forward p x
+
+let backward layer ~x ~dout =
+  match layer with
+  | Affine { w; _ } -> Mat.matvec_t w dout
+  | Relu -> Vec.init (Vec.dim x) (fun i -> if x.(i) > 0.0 then dout.(i) else 0.0)
+  | Conv c -> Conv.backward c ~dout
+  | Maxpool p -> Pool.backward p ~x ~dout
+  | Avgpool p -> Avgpool.backward p ~dout
+
+let as_affine = function
+  | Affine { w; b } -> Some (w, b)
+  | Conv c -> Some (Conv.to_affine c)
+  | Avgpool p -> Some (Avgpool.to_affine p)
+  | Relu | Maxpool _ -> None
+
+let describe = function
+  | Affine { w; _ } -> Printf.sprintf "affine %dx%d" w.Mat.rows w.Mat.cols
+  | Relu -> "relu"
+  | Conv c ->
+      let out = Conv.output_shape c in
+      Format.asprintf "conv %a -> %a (k=%d s=%d p=%d)" Shape.pp c.Conv.input
+        Shape.pp out c.Conv.kernel c.Conv.stride c.Conv.padding
+  | Maxpool p ->
+      let out = Pool.output_shape p in
+      Format.asprintf "maxpool %a -> %a (k=%d s=%d)" Shape.pp p.Pool.input
+        Shape.pp out p.Pool.kernel p.Pool.stride
+  | Avgpool p ->
+      let out = Avgpool.output_shape p in
+      Format.asprintf "avgpool %a -> %a (k=%d s=%d)" Shape.pp p.Avgpool.input
+        Shape.pp out p.Avgpool.kernel p.Avgpool.stride

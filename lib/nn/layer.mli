@@ -1,0 +1,41 @@
+(** Network layers.
+
+    A network is a composition of these layers.  Affine and convolutional
+    layers are the differentiable transformations of the paper's
+    [L1 ∘ σ1 ∘ ... ∘ Lk] decomposition; [Relu] and [Maxpool] are the
+    non-linear activations. *)
+
+type t =
+  | Affine of { w : Linalg.Mat.t; b : Linalg.Vec.t }
+      (** [y = w x + b]; requires [Mat.rows w = dim b]. *)
+  | Relu  (** component-wise [max(x, 0)] *)
+  | Conv of Conv.t
+  | Maxpool of Pool.t
+  | Avgpool of Avgpool.t
+      (** linear, so abstract domains treat it exactly via lowering *)
+
+val affine : Linalg.Mat.t -> Linalg.Vec.t -> t
+(** Checked constructor for [Affine]. *)
+
+val input_dim : t -> int option
+(** Input dimension when the layer fixes one ([Relu] works at any
+    dimension, hence [None]). *)
+
+val output_dim : given:int -> t -> int
+(** Output dimension of the layer applied to an input of dimension
+    [given].
+    @raise Invalid_argument if [given] is incompatible with the layer. *)
+
+val forward : t -> Linalg.Vec.t -> Linalg.Vec.t
+
+val backward : t -> x:Linalg.Vec.t -> dout:Linalg.Vec.t -> Linalg.Vec.t
+(** Vector-Jacobian product at input [x].  For [Relu] the subgradient at
+    zero is taken to be zero; for [Maxpool], ties route to the first
+    maximal input. *)
+
+val as_affine : t -> (Linalg.Mat.t * Linalg.Vec.t) option
+(** Dense affine view of the layer if it is affine ([Affine], [Conv]
+    or [Avgpool]); [None] for non-linear layers. *)
+
+val describe : t -> string
+(** One-line human-readable description. *)

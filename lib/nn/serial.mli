@@ -1,0 +1,18 @@
+(** Plain-text (de)serialization of networks.
+
+    The format is a line-oriented token stream, stable across runs, so
+    trained networks can be saved by the CLI and reloaded by examples and
+    benchmarks.  Floats are printed with ["%.17g"] and round-trip
+    exactly. *)
+
+val to_string : Network.t -> string
+
+val of_string : string -> Network.t
+(** @raise Failure with a descriptive message on malformed input. *)
+
+val save : string -> Network.t -> unit
+(** [save path net] writes the network to [path]. *)
+
+val load : string -> Network.t
+(** @raise Sys_error if the file cannot be read; [Failure] if it cannot
+    be parsed. *)

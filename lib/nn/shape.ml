@@ -1,0 +1,35 @@
+type t = { channels : int; height : int; width : int }
+
+let create ~channels ~height ~width =
+  if channels <= 0 || height <= 0 || width <= 0 then
+    invalid_arg "Shape.create: dimensions must be positive";
+  { channels; height; width }
+
+let size t = t.channels * t.height * t.width
+
+let index t ~c ~i ~j =
+  if c < 0 || c >= t.channels || i < 0 || i >= t.height || j < 0 || j >= t.width
+  then
+    invalid_arg
+      (Printf.sprintf "Shape.index: (%d,%d,%d) out of %dx%dx%d" c i j
+         t.channels t.height t.width);
+  (c * t.height * t.width) + (i * t.width) + j
+
+let in_bounds t ~i ~j = i >= 0 && i < t.height && j >= 0 && j < t.width
+
+let conv_output t ~kernel ~stride ~padding ~out_channels =
+  if kernel <= 0 || stride <= 0 || padding < 0 then
+    invalid_arg "Shape.conv_output: bad window geometry";
+  let span d = d + (2 * padding) - kernel in
+  let sh = span t.height and sw = span t.width in
+  if sh < 0 || sw < 0 then
+    invalid_arg "Shape.conv_output: kernel larger than padded input";
+  if sh mod stride <> 0 || sw mod stride <> 0 then
+    invalid_arg "Shape.conv_output: stride does not tile the input";
+  create ~channels:out_channels ~height:((sh / stride) + 1)
+    ~width:((sw / stride) + 1)
+
+let pp fmt t = Format.fprintf fmt "%dx%dx%d" t.channels t.height t.width
+
+let equal a b =
+  a.channels = b.channels && a.height = b.height && a.width = b.width

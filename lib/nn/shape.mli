@@ -1,0 +1,26 @@
+(** Tensor shapes for convolutional layers.
+
+    Flattened vectors use channel-major (CHW) layout: the value of channel
+    [c], row [i], column [j] lives at index [c*h*w + i*w + j]. *)
+
+type t = { channels : int; height : int; width : int }
+
+val create : channels:int -> height:int -> width:int -> t
+(** Validates that all dimensions are positive. *)
+
+val size : t -> int
+(** Number of scalars in a tensor of this shape. *)
+
+val index : t -> c:int -> i:int -> j:int -> int
+(** Flattened index of element [(c, i, j)]; bounds-checked. *)
+
+val in_bounds : t -> i:int -> j:int -> bool
+(** Whether a spatial coordinate lies inside the plane. *)
+
+val conv_output : t -> kernel:int -> stride:int -> padding:int -> out_channels:int -> t
+(** Output shape of a convolution/pooling window sweep.
+    @raise Invalid_argument if the geometry does not tile. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

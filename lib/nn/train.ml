@@ -1,0 +1,180 @@
+open Linalg
+
+type sample = { x : Vec.t; label : int }
+
+type config = {
+  epochs : int;
+  batch_size : int;
+  learning_rate : float;
+  weight_decay : float;
+  momentum : float;
+}
+
+let default_config =
+  {
+    epochs = 10;
+    batch_size = 32;
+    learning_rate = 0.05;
+    weight_decay = 0.0;
+    momentum = 0.9;
+  }
+
+let softmax scores =
+  let m = Vec.max scores in
+  let exps = Vec.map (fun s -> exp (s -. m)) scores in
+  let z = Vec.sum exps in
+  Vec.scale (1.0 /. z) exps
+
+let cross_entropy_loss scores label =
+  if label < 0 || label >= Vec.dim scores then
+    invalid_arg "Train.cross_entropy_loss: label out of range";
+  let m = Vec.max scores in
+  let log_z = m +. log (Vec.sum (Vec.map (fun s -> exp (s -. m)) scores)) in
+  log_z -. scores.(label)
+
+(* Per-layer gradient accumulators, mirroring the network structure. *)
+type grads =
+  | Gaffine of { dw : Mat.t; db : Vec.t }
+  | Gconv of { dw : float array; db : Vec.t }
+  | Gnone
+
+let zero_grads net =
+  List.map
+    (fun layer ->
+      match layer with
+      | Layer.Affine { w; b } ->
+          Gaffine { dw = Mat.zeros w.Mat.rows w.Mat.cols; db = Vec.zeros (Vec.dim b) }
+      | Layer.Conv c ->
+          Gconv
+            {
+              dw = Array.make (Array.length c.Conv.weights) 0.0;
+              db = Vec.zeros (Vec.dim c.Conv.bias);
+            }
+      | Layer.Relu | Layer.Maxpool _ | Layer.Avgpool _ -> Gnone)
+    net.Network.layers
+
+(* Backward pass over one sample, accumulating parameter gradients in
+   place and returning nothing.  [dout] at entry is dL/dscores. *)
+let accumulate net grads sample =
+  let trace = Network.forward_trace net sample.x in
+  let scores = trace.(Array.length trace - 1) in
+  let probs = softmax scores in
+  let dout =
+    Vec.init (Vec.dim probs) (fun i ->
+        probs.(i) -. if i = sample.label then 1.0 else 0.0)
+  in
+  let layers = Array.of_list net.Network.layers in
+  let grads = Array.of_list grads in
+  let g = ref dout in
+  for i = Array.length layers - 1 downto 0 do
+    let x = trace.(i) in
+    (match (layers.(i), grads.(i)) with
+    | Layer.Affine _, Gaffine { dw; db } ->
+        (* dW += dout x^T; db += dout *)
+        for r = 0 to dw.Mat.rows - 1 do
+          let gr = !g.(r) in
+          if gr <> 0.0 then
+            for c = 0 to dw.Mat.cols - 1 do
+              Mat.set dw r c (Mat.get dw r c +. (gr *. x.(c)))
+            done;
+          db.(r) <- db.(r) +. gr
+        done
+    | Layer.Conv c, Gconv { dw; db } ->
+        let dwc, dbc = Conv.grad_params c ~x ~dout:!g in
+        Array.iteri (fun i v -> dw.(i) <- dw.(i) +. v) dwc;
+        Array.iteri (fun i v -> db.(i) <- db.(i) +. v) dbc
+    | (Layer.Relu | Layer.Maxpool _ | Layer.Avgpool _), Gnone -> ()
+    | _ -> assert false);
+    g := Layer.backward layers.(i) ~x ~dout:!g
+  done
+
+(* Momentum buffers share the accumulator shape; [Gnone] for
+   parameterless layers. *)
+let apply_update net grads velocities ~lr ~decay ~mu ~batch =
+  let inv_batch = 1.0 /. float_of_int batch in
+  let layers =
+    List.map2
+      (fun layer (grad, vel) ->
+        match (layer, grad, vel) with
+        | Layer.Affine { w; b }, Gaffine { dw; db }, Gaffine { dw = vw; db = vb }
+          ->
+            let w' =
+              Mat.init w.Mat.rows w.Mat.cols (fun i j ->
+                  let wij = Mat.get w i j in
+                  let g = (inv_batch *. Mat.get dw i j) +. (decay *. wij) in
+                  let v = (mu *. Mat.get vw i j) +. g in
+                  Mat.set vw i j v;
+                  wij -. (lr *. v))
+            in
+            let b' =
+              Vec.init (Vec.dim b) (fun i ->
+                  let v = (mu *. vb.(i)) +. (inv_batch *. db.(i)) in
+                  vb.(i) <- v;
+                  b.(i) -. (lr *. v))
+            in
+            Layer.affine w' b'
+        | Layer.Conv c, Gconv { dw; db }, Gconv { dw = vw; db = vb } ->
+            let dweights =
+              Array.mapi
+                (fun i g ->
+                  let v = (mu *. vw.(i)) +. (inv_batch *. g) in
+                  vw.(i) <- v;
+                  v)
+                dw
+            in
+            let dbias =
+              Array.mapi
+                (fun i g ->
+                  let v = (mu *. vb.(i)) +. (inv_batch *. g) in
+                  vb.(i) <- v;
+                  v)
+                db
+            in
+            Layer.Conv (Conv.update c ~dweights ~dbias ~lr)
+        | (Layer.Relu | Layer.Maxpool _ | Layer.Avgpool _), Gnone, Gnone ->
+            layer
+        | _ -> assert false)
+      net.Network.layers
+      (List.combine grads velocities)
+  in
+  Network.create ~input_dim:net.Network.input_dim layers
+
+let train ?(config = default_config) ~rng net samples =
+  if Array.length samples = 0 then invalid_arg "Train.train: no samples";
+  let net = ref net in
+  let velocities = zero_grads !net in
+  let order = Array.init (Array.length samples) Fun.id in
+  for _epoch = 1 to config.epochs do
+    Rng.shuffle rng order;
+    let i = ref 0 in
+    while !i < Array.length order do
+      let batch = Stdlib.min config.batch_size (Array.length order - !i) in
+      let grads = zero_grads !net in
+      for j = !i to !i + batch - 1 do
+        accumulate !net grads samples.(order.(j))
+      done;
+      net :=
+        apply_update !net grads velocities ~lr:config.learning_rate
+          ~decay:config.weight_decay ~mu:config.momentum ~batch;
+      i := !i + batch
+    done
+  done;
+  !net
+
+let accuracy net samples =
+  if Array.length samples = 0 then invalid_arg "Train.accuracy: no samples";
+  let correct =
+    Array.fold_left
+      (fun acc s -> if Network.classify net s.x = s.label then acc + 1 else acc)
+      0 samples
+  in
+  float_of_int correct /. float_of_int (Array.length samples)
+
+let mean_loss net samples =
+  if Array.length samples = 0 then invalid_arg "Train.mean_loss: no samples";
+  let total =
+    Array.fold_left
+      (fun acc s -> acc +. cross_entropy_loss (Network.eval net s.x) s.label)
+      0.0 samples
+  in
+  total /. float_of_int (Array.length samples)

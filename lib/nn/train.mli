@@ -1,0 +1,38 @@
+(** Stochastic gradient descent training with softmax cross-entropy.
+
+    The paper evaluates on networks trained on MNIST and CIFAR; this
+    module lets us produce comparably structured trained networks from
+    synthetic datasets (see the [datasets] library). *)
+
+type sample = { x : Linalg.Vec.t; label : int }
+
+type config = {
+  epochs : int;
+  batch_size : int;
+  learning_rate : float;
+  weight_decay : float;  (** L2 coefficient, 0 to disable *)
+  momentum : float;  (** classical momentum coefficient, 0 to disable *)
+}
+
+val default_config : config
+(** 10 epochs, batch 32, lr 0.05, momentum 0.9, no weight decay. *)
+
+val softmax : Linalg.Vec.t -> Linalg.Vec.t
+
+val cross_entropy_loss : Linalg.Vec.t -> int -> float
+(** [cross_entropy_loss scores label] is the softmax cross-entropy of raw
+    scores against the label. *)
+
+val train :
+  ?config:config ->
+  rng:Linalg.Rng.t ->
+  Network.t ->
+  sample array ->
+  Network.t
+(** Returns a newly trained network; the input network provides the
+    architecture and initial weights. *)
+
+val accuracy : Network.t -> sample array -> float
+(** Fraction of samples classified correctly. *)
+
+val mean_loss : Network.t -> sample array -> float

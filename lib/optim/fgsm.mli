@@ -1,0 +1,14 @@
+(** Fast Gradient Sign Method (Goodfellow et al.), adapted to box
+    regions.
+
+    One-shot attack: step from a start point to the face of the region
+    indicated by the sign of the objective gradient.  Much cheaper than
+    PGD and used as a quick pre-check and in ablations. *)
+
+val attack :
+  Objective.t -> Domains.Box.t -> from:Linalg.Vec.t -> Linalg.Vec.t * float
+(** [(x, F(x))] where [x] is the region point obtained by moving against
+    the gradient sign all the way to the boundary. *)
+
+val attack_center : Objective.t -> Domains.Box.t -> Linalg.Vec.t * float
+(** {!attack} starting from the region center. *)

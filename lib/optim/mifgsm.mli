@@ -1,0 +1,29 @@
+(** Momentum Iterative FGSM (Dong et al.), adapted to box regions.
+
+    Iterates signed-gradient steps with an accumulated momentum
+    direction, projecting into the region after each step.  Sits between
+    {!Fgsm} (one shot) and {!Pgd} (full gradient descent with restarts)
+    in cost; the paper notes its method is agnostic to the choice of
+    gradient-based optimizer (§8), and this module backs that claim up
+    as a drop-in alternative. *)
+
+type config = {
+  steps : int;
+  momentum : float;  (** decay of the accumulated direction (μ) *)
+  step_scale : float;  (** per-step size as a fraction of the mean width *)
+}
+
+val default_config : config
+(** 20 steps, μ = 0.9, step 0.1. *)
+
+val attack :
+  ?config:config ->
+  Objective.t ->
+  Domains.Box.t ->
+  from:Linalg.Vec.t ->
+  Linalg.Vec.t * float
+(** [(x_best, f_best)]: the best point visited and its objective value;
+    always inside the region. *)
+
+val attack_center :
+  ?config:config -> Objective.t -> Domains.Box.t -> Linalg.Vec.t * float

@@ -1,0 +1,32 @@
+(** The adversarial objective of Eq. 1–2.
+
+    [F(x) = N(x)_K − max_{j≠K} N(x)_j] measures how far [x] is from
+    violating the robustness property [(I, K)]: a non-positive value
+    means [x] is a true counterexample, and a value at most [δ] makes it
+    a δ-counterexample (Definition 5.3). *)
+
+type t
+
+val create : Nn.Network.t -> k:int -> t
+(** @raise Invalid_argument if [k] is out of range or the network has
+    fewer than two classes. *)
+
+val network : t -> Nn.Network.t
+
+val target_class : t -> int
+
+val value : t -> Linalg.Vec.t -> float
+(** [F(x)]. *)
+
+val grad : t -> Linalg.Vec.t -> Linalg.Vec.t
+(** Gradient of [F] at [x] (subgradient at ties: the runner-up class is
+    the first argmax among [j ≠ K]). *)
+
+val value_grad : t -> Linalg.Vec.t -> float * Linalg.Vec.t
+(** Both at once, sharing the forward pass. *)
+
+val is_counterexample : t -> Linalg.Vec.t -> bool
+(** [F(x) <= 0]. *)
+
+val is_delta_counterexample : t -> delta:float -> Linalg.Vec.t -> bool
+(** [F(x) <= delta]; Definition 5.3. *)

@@ -1,0 +1,69 @@
+open Linalg
+open Domains
+
+type config = {
+  steps : int;
+  restarts : int;
+  step_scale : float;
+  early_stop : float option;
+}
+
+let default_config =
+  { steps = 40; restarts = 5; step_scale = 0.25; early_stop = None }
+
+let run_from ~config obj region x0 =
+  let base_step = config.step_scale *. Box.mean_width region in
+  let best_x = ref (Box.clamp region x0) in
+  let best_v = ref (Objective.value obj !best_x) in
+  let x = ref !best_x in
+  let stop = ref false in
+  let step = ref 0 in
+  while (not !stop) && !step < config.steps do
+    incr step;
+    let _, g = Objective.value_grad obj !x in
+    let gnorm = Vec.norm2 g in
+    if gnorm <= 1e-12 then stop := true
+    else begin
+      (* Diminishing step: eta_t = base / sqrt(t), normalized gradient. *)
+      let eta = base_step /. sqrt (float_of_int !step) in
+      let next =
+        Box.clamp region (Vec.sub !x (Vec.scale (eta /. gnorm) g))
+      in
+      let v = Objective.value obj next in
+      if v < !best_v then begin
+        best_v := v;
+        best_x := next
+      end;
+      x := next;
+      match config.early_stop with
+      | Some threshold when !best_v <= threshold -> stop := true
+      | Some _ | None -> ()
+    end
+  done;
+  (!best_x, !best_v)
+
+let minimize ?(config = default_config) ~rng obj region =
+  if Box.dim region <> (Objective.network obj).Nn.Network.input_dim then
+    invalid_arg "Pgd.minimize: region dimension mismatch";
+  let starts =
+    Array.init (Stdlib.max 1 config.restarts) (fun i ->
+        if i = 0 then Box.center region else Box.sample rng region)
+  in
+  let best = ref None in
+  Array.iter
+    (fun x0 ->
+      let stop_now =
+        match (config.early_stop, !best) with
+        | Some threshold, Some (_, v) -> v <= threshold
+        | _ -> false
+      in
+      if not stop_now then begin
+        let x, v = run_from ~config obj region x0 in
+        match !best with
+        | Some (_, bv) when bv <= v -> ()
+        | Some _ | None -> best := Some (x, v)
+      end)
+    starts;
+  match !best with
+  | Some result -> result
+  | None -> assert false

@@ -1,0 +1,34 @@
+(** LP encoding of a ReLU network for the complete checker.
+
+    Flattens a network into LP variables: the input vector, then for each
+    ReLU layer a pre-activation and a post-activation segment, ending in
+    the output scores.  Convolutions are lowered to dense affine layers;
+    max pooling is not supported (matching §7.2, where the complete
+    baselines are only run on fully-connected networks). *)
+
+type relu_unit = {
+  z : int;  (** pre-activation variable index *)
+  a : int;  (** post-activation variable index *)
+  z_lo : float;  (** interval lower bound of the pre-activation *)
+  z_hi : float;
+}
+
+type t = {
+  nvars : int;
+  input_vars : int array;
+  output_vars : int array;
+  relus : relu_unit array;
+  var_bounds : (float * float) array;
+  equalities : (Simplex.Lp.row * float) array;
+      (** affine-layer constraints, [row · x = b] *)
+}
+
+exception Unsupported of string
+
+val build : Nn.Network.t -> Domains.Box.t -> t
+(** Encode the network over the given input region.  Pre-activation
+    bounds come from interval abstract interpretation of the region.
+    @raise Unsupported on max-pooling layers. *)
+
+val stable_units : t -> int
+(** Number of ReLU units already decided by their interval bounds. *)

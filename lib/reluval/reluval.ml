@@ -1,0 +1,193 @@
+open Linalg
+open Domains
+
+type smear = Gradient_interval | Point_gradient
+
+type config = { delta : float; max_regions : int; smear : smear }
+
+let default_config =
+  { delta = 1e-4; max_regions = 1_000_000; smear = Gradient_interval }
+
+type report = {
+  outcome : Common.Outcome.t;
+  elapsed : float;
+  regions_analyzed : int;
+  max_depth : int;
+}
+
+type region_verdict = Proved | Violated | Split_needed
+
+let analyze_region net region ~target =
+  let sym = Symbolic_interval.propagate net region in
+  let m = net.Nn.Network.output_dim in
+  let verdict = ref Proved in
+  (try
+     for j = 0 to m - 1 do
+       if j <> target then begin
+         let lo, hi = Symbolic_interval.margin_bounds sym ~target ~j in
+         if hi < 0.0 then begin
+           (* The whole region scores class j above the target. *)
+           verdict := Violated;
+           raise Exit
+         end;
+         if lo <= 0.0 then verdict := Split_needed
+       end
+     done
+   with Exit -> ());
+  !verdict
+
+(* ReluVal computes *interval* gradient bounds over the whole region:
+   the backward pass runs in interval arithmetic, with each unstable
+   ReLU contributing the mask interval [0, 1].  Returns per-input
+   magnitude upper bounds on |dN_target/dx_i| over the region. *)
+let gradient_interval net region ~target =
+  (* Forward: record, per layer, either the (lowered) weight matrix or
+     the ReLU unit masks derived from symbolic bounds. *)
+  let steps =
+    List.rev
+      (fst
+         (List.fold_left
+            (fun (acc, sym) layer ->
+              match layer with
+              | Nn.Layer.Affine { w; _ } ->
+                  (`Affine w :: acc, Symbolic_interval.affine w (Vec.zeros w.Mat.rows) sym)
+              | Nn.Layer.Conv c ->
+                  let w, _ = Nn.Conv.to_affine c in
+                  (`Affine w :: acc, Symbolic_interval.affine w (Vec.zeros w.Mat.rows) sym)
+              | Nn.Layer.Avgpool p ->
+                  let w, _ = Nn.Avgpool.to_affine p in
+                  (`Affine w :: acc, Symbolic_interval.affine w (Vec.zeros w.Mat.rows) sym)
+              | Nn.Layer.Relu ->
+                  let masks =
+                    Array.init (Symbolic_interval.dim sym) (fun i ->
+                        let lo, hi = Symbolic_interval.bounds sym i in
+                        if lo >= 0.0 then (1.0, 1.0)
+                        else if hi <= 0.0 then (0.0, 0.0)
+                        else (0.0, 1.0))
+                  in
+                  (`Relu masks :: acc, Symbolic_interval.relu sym)
+              | Nn.Layer.Maxpool _ ->
+                  failwith "Reluval: max pooling is not supported")
+            ([], Symbolic_interval.of_box region)
+            net.Nn.Network.layers))
+  in
+  (* Backward: interval cotangent, starting from the target one-hot. *)
+  let m = net.Nn.Network.output_dim in
+  let g_lo = ref (Vec.init m (fun i -> if i = target then 1.0 else 0.0)) in
+  let g_hi = ref (Vec.copy !g_lo) in
+  List.iter
+    (fun step ->
+      match step with
+      | `Affine w ->
+          (* [W^T g]: scalar-by-interval products summed per column. *)
+          let n = w.Mat.cols in
+          let lo = Vec.zeros n and hi = Vec.zeros n in
+          for i = 0 to w.Mat.rows - 1 do
+            for j = 0 to n - 1 do
+              let c = Mat.get w i j in
+              if c > 0.0 then begin
+                lo.(j) <- lo.(j) +. (c *. !g_lo.(i));
+                hi.(j) <- hi.(j) +. (c *. !g_hi.(i))
+              end
+              else if c < 0.0 then begin
+                lo.(j) <- lo.(j) +. (c *. !g_hi.(i));
+                hi.(j) <- hi.(j) +. (c *. !g_lo.(i))
+              end
+            done
+          done;
+          g_lo := lo;
+          g_hi := hi
+      | `Relu masks ->
+          let n = Array.length masks in
+          let lo = Vec.zeros n and hi = Vec.zeros n in
+          for i = 0 to n - 1 do
+            let mlo, mhi = masks.(i) in
+            (* Interval product [mlo, mhi] * [g_lo, g_hi] with
+               0 <= mlo <= mhi. *)
+            let candidates =
+              [| mlo *. !g_lo.(i); mlo *. !g_hi.(i); mhi *. !g_lo.(i);
+                 mhi *. !g_hi.(i) |]
+            in
+            lo.(i) <- Vec.min candidates;
+            hi.(i) <- Vec.max candidates
+          done;
+          g_lo := lo;
+          g_hi := hi)
+    (List.rev steps);
+  Vec.init (Box.dim region) (fun i ->
+      Stdlib.max (abs_float !g_lo.(i)) (abs_float !g_hi.(i)))
+
+(* ReluVal's smear split heuristic: the input dimension with the
+   largest |gradient| * width product — gradient bounds over the whole
+   region by default, or the cheaper point gradient at the center. *)
+let smear_dim config net region ~target =
+  let g =
+    match config.smear with
+    | Gradient_interval -> gradient_interval net region ~target
+    | Point_gradient ->
+        Vec.map abs_float
+          (Nn.Grad.grad_output net ~x:(Box.center region) ~k:target)
+  in
+  let best = ref 0 and best_score = ref neg_infinity in
+  for i = 0 to Vec.dim g - 1 do
+    let score = g.(i) *. Box.width region i in
+    if score > !best_score then begin
+      best_score := score;
+      best := i
+    end
+  done;
+  if Box.width region !best > 0.0 then !best else Box.longest_dim region
+
+let run ?(config = default_config) ?(budget = Common.Budget.unlimited ()) net
+    (prop : Common.Property.t) =
+  let started = Unix.gettimeofday () in
+  let regions = ref 0 and max_depth = ref 0 in
+  let finish outcome =
+    {
+      outcome;
+      elapsed = Unix.gettimeofday () -. started;
+      regions_analyzed = !regions;
+      max_depth = !max_depth;
+    }
+  in
+  let target = prop.Common.Property.target in
+  let objective = Optim.Objective.create net ~k:target in
+  match
+    let rec loop = function
+      | [] -> Common.Outcome.Verified
+      | (region, depth) :: rest ->
+          if Common.Budget.exhausted budget || !regions >= config.max_regions
+          then Common.Outcome.Timeout
+          else begin
+            incr regions;
+            max_depth := Stdlib.max !max_depth depth;
+            Common.Budget.spend budget 1;
+            let split_region () =
+              let d = smear_dim config net region ~target in
+              if Box.width region d <= 0.0 then Common.Outcome.Timeout
+              else begin
+                let center = Box.center region in
+                let a, b = Box.split region ~dim:d ~at:center.(d) in
+                loop ((a, depth + 1) :: (b, depth + 1) :: rest)
+              end
+            in
+            match analyze_region net region ~target with
+            | Proved -> loop rest
+            | Violated ->
+                let witness = Box.center region in
+                if Optim.Objective.value objective witness <= config.delta
+                then Common.Outcome.Refuted witness
+                else
+                  (* Numeric corner: the symbolic bound says the whole
+                     region violates but the center check disagreed.
+                     Keep refining rather than dropping the region. *)
+                  split_region ()
+            | Split_needed -> split_region ()
+          end
+    in
+    loop [ (prop.Common.Property.region, 0) ]
+  with
+  | outcome -> finish outcome
+  | exception Failure _ -> finish Common.Outcome.Unknown
+
+module Symbolic_interval = Symbolic_interval

@@ -1,0 +1,159 @@
+open Linalg
+open Domains
+
+(* Lower and upper affine forms over the inputs: row i of [lo_w] / [lo_b]
+   bounds neuron i from below, [up_w] / [up_b] from above. *)
+type t = {
+  box : Box.t;
+  lo_w : Mat.t;
+  lo_b : Vec.t;
+  up_w : Mat.t;
+  up_b : Vec.t;
+}
+
+let of_box box =
+  let n = Box.dim box in
+  {
+    box;
+    lo_w = Mat.identity n;
+    lo_b = Vec.zeros n;
+    up_w = Mat.identity n;
+    up_b = Vec.zeros n;
+  }
+
+let dim t = t.lo_w.Mat.rows
+
+let input_box t = t.box
+
+(* Concrete extrema of the affine form (w, b) over the input box. *)
+let form_min box w_row b =
+  let acc = ref b in
+  Array.iteri
+    (fun j c ->
+      acc :=
+        !acc +. if c >= 0.0 then c *. box.Box.lo.(j) else c *. box.Box.hi.(j))
+    w_row;
+  !acc
+
+let form_max box w_row b =
+  let acc = ref b in
+  Array.iteri
+    (fun j c ->
+      acc :=
+        !acc +. if c >= 0.0 then c *. box.Box.hi.(j) else c *. box.Box.lo.(j))
+    w_row;
+  !acc
+
+let bounds t i =
+  ( form_min t.box (Mat.row t.lo_w i) t.lo_b.(i),
+    form_max t.box (Mat.row t.up_w i) t.up_b.(i) )
+
+let affine w b t =
+  if w.Mat.cols <> dim t then
+    invalid_arg "Symbolic_interval.affine: dimension mismatch";
+  let n = Box.dim t.box in
+  let rows = w.Mat.rows in
+  let lo_w = Mat.zeros rows n and up_w = Mat.zeros rows n in
+  let lo_b = Vec.zeros rows and up_b = Vec.zeros rows in
+  for r = 0 to rows - 1 do
+    let lb = ref b.(r) and ub = ref b.(r) in
+    for c = 0 to w.Mat.cols - 1 do
+      let wrc = Mat.get w r c in
+      if wrc > 0.0 then begin
+        for j = 0 to n - 1 do
+          Mat.set lo_w r j (Mat.get lo_w r j +. (wrc *. Mat.get t.lo_w c j));
+          Mat.set up_w r j (Mat.get up_w r j +. (wrc *. Mat.get t.up_w c j))
+        done;
+        lb := !lb +. (wrc *. t.lo_b.(c));
+        ub := !ub +. (wrc *. t.up_b.(c))
+      end
+      else if wrc < 0.0 then begin
+        for j = 0 to n - 1 do
+          Mat.set lo_w r j (Mat.get lo_w r j +. (wrc *. Mat.get t.up_w c j));
+          Mat.set up_w r j (Mat.get up_w r j +. (wrc *. Mat.get t.lo_w c j))
+        done;
+        lb := !lb +. (wrc *. t.up_b.(c));
+        ub := !ub +. (wrc *. t.lo_b.(c))
+      end
+    done;
+    lo_b.(r) <- !lb;
+    up_b.(r) <- !ub
+  done;
+  { t with lo_w; lo_b; up_w; up_b }
+
+let scale_row w b i s =
+  for j = 0 to w.Mat.cols - 1 do
+    Mat.set w i j (s *. Mat.get w i j)
+  done;
+  b.(i) <- s *. b.(i)
+
+let zero_row w b i =
+  for j = 0 to w.Mat.cols - 1 do
+    Mat.set w i j 0.0
+  done;
+  b.(i) <- 0.0
+
+let relu t =
+  let lo_w = Mat.copy t.lo_w and up_w = Mat.copy t.up_w in
+  let lo_b = Vec.copy t.lo_b and up_b = Vec.copy t.up_b in
+  for i = 0 to dim t - 1 do
+    let l_lo = form_min t.box (Mat.row t.lo_w i) t.lo_b.(i) in
+    let u_up = form_max t.box (Mat.row t.up_w i) t.up_b.(i) in
+    if l_lo >= 0.0 then () (* stably active: identity *)
+    else if u_up <= 0.0 then begin
+      zero_row lo_w lo_b i;
+      zero_row up_w up_b i
+    end
+    else begin
+      (* Crossing.  Upper form: if its own minimum is negative, apply
+         the relaxation up' = s (up - l_up) with s = u/(u - l_up);
+         sound because relu(x) <= s (x - l) for x in [l, u]. *)
+      let l_up = form_min t.box (Mat.row t.up_w i) t.up_b.(i) in
+      if l_up < 0.0 then begin
+        let s = u_up /. (u_up -. l_up) in
+        scale_row up_w up_b i s;
+        up_b.(i) <- up_b.(i) -. (s *. l_up)
+      end;
+      (* Lower form: relu(x) >= s' x with s' = u'/(u' - l') for the
+         lower form's own range [l', u']; if the form is never positive
+         the best sound linear lower bound is 0. *)
+      let u_lo = form_max t.box (Mat.row t.lo_w i) t.lo_b.(i) in
+      if u_lo <= 0.0 then zero_row lo_w lo_b i
+      else begin
+        let s = u_lo /. (u_lo -. l_lo) in
+        scale_row lo_w lo_b i s
+      end
+    end
+  done;
+  { t with lo_w; lo_b; up_w; up_b }
+
+let propagate net box =
+  if Box.dim box <> net.Nn.Network.input_dim then
+    invalid_arg "Symbolic_interval.propagate: dimension mismatch";
+  List.fold_left
+    (fun acc layer ->
+      match layer with
+      | Nn.Layer.Affine { w; b } -> affine w b acc
+      | Nn.Layer.Conv c ->
+          let w, b = Nn.Conv.to_affine c in
+          affine w b acc
+      | Nn.Layer.Avgpool p ->
+          let w, b = Nn.Avgpool.to_affine p in
+          affine w b acc
+      | Nn.Layer.Relu -> relu acc
+      | Nn.Layer.Maxpool _ ->
+          failwith "Symbolic_interval: max pooling is not supported")
+    (of_box box) net.Nn.Network.layers
+
+let margin_bounds t ~target ~j =
+  if target = j then invalid_arg "Symbolic_interval.margin_bounds: target = j";
+  let n = Box.dim t.box in
+  let diff_lo =
+    Vec.init n (fun c -> Mat.get t.lo_w target c -. Mat.get t.up_w j c)
+  in
+  let diff_lo_b = t.lo_b.(target) -. t.up_b.(j) in
+  let diff_up =
+    Vec.init n (fun c -> Mat.get t.up_w target c -. Mat.get t.lo_w j c)
+  in
+  let diff_up_b = t.up_b.(target) -. t.lo_b.(j) in
+  (form_min t.box diff_lo diff_lo_b, form_max t.box diff_up diff_up_b)

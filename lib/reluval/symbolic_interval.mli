@@ -1,0 +1,38 @@
+(** Symbolic interval analysis (the core of ReluVal / Neurify).
+
+    Every neuron is bounded below and above by affine functions of the
+    network {e inputs}, which preserves input dependencies that plain
+    interval arithmetic loses.  Crossing ReLUs are handled with the
+    standard sound linear relaxations. *)
+
+type t
+(** Symbolic bounds for one layer's neurons over a fixed input box. *)
+
+val of_box : Domains.Box.t -> t
+(** Identity bounds: neuron [i] is exactly input [i]. *)
+
+val dim : t -> int
+(** Number of neurons currently bounded. *)
+
+val input_box : t -> Domains.Box.t
+
+val bounds : t -> int -> float * float
+(** Concrete bounds of neuron [i] over the input box. *)
+
+val affine : Linalg.Mat.t -> Linalg.Vec.t -> t -> t
+(** Exact symbolic transformer for an affine layer. *)
+
+val relu : t -> t
+(** Sound ReLU transformer: stable neurons pass through or zero out;
+    crossing neurons get linear upper/lower relaxations scaled by
+    [u/(u-l)]. *)
+
+val propagate : Nn.Network.t -> Domains.Box.t -> t
+(** Run the whole network (convolutions are lowered to affine layers).
+    @raise Failure on max-pooling layers, which ReluVal does not
+    support. *)
+
+val margin_bounds : t -> target:int -> j:int -> float * float
+(** Bounds of [y_target - y_j] over the input box, combining the lower
+    symbolic form of the target with the upper form of [j] (and vice
+    versa), which is tighter than subtracting concretized bounds. *)

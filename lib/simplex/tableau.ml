@@ -1,0 +1,229 @@
+open Linalg
+
+type result =
+  | Optimal of { x : Vec.t; value : float }
+  | Infeasible
+  | Unbounded
+
+type constr = Le of Vec.t * float | Eq of Vec.t * float
+
+exception Aborted
+
+let eps = 1e-9
+
+(* Internal state: [tab] is an m x width array of equality rows over the
+   extended variable vector (structural, slack, artificial), [rhs] the
+   right-hand sides (kept non-negative), [basis.(i)] the variable basic
+   in row i. *)
+type tableau = {
+  m : int;
+  width : int;
+  tab : float array array;
+  rhs : float array;
+  basis : int array;
+}
+
+let pivot t ~row ~col =
+  let pr = t.tab.(row) in
+  let p = pr.(col) in
+  for j = 0 to t.width - 1 do
+    pr.(j) <- pr.(j) /. p
+  done;
+  t.rhs.(row) <- t.rhs.(row) /. p;
+  for i = 0 to t.m - 1 do
+    if i <> row then begin
+      let f = t.tab.(i).(col) in
+      if abs_float f > 0.0 then begin
+        let ri = t.tab.(i) in
+        for j = 0 to t.width - 1 do
+          ri.(j) <- ri.(j) -. (f *. pr.(j))
+        done;
+        t.rhs.(i) <- t.rhs.(i) -. (f *. t.rhs.(row))
+      end
+    end
+  done;
+  t.basis.(row) <- col
+
+(* Reduced costs z_j - c_j for the current basis under cost vector c
+   (dense over all width columns). *)
+let reduced_costs t c =
+  let z = Array.make t.width 0.0 in
+  for j = 0 to t.width - 1 do
+    let acc = ref (-.c.(j)) in
+    for i = 0 to t.m - 1 do
+      acc := !acc +. (c.(t.basis.(i)) *. t.tab.(i).(j))
+    done;
+    z.(j) <- !acc
+  done;
+  z
+
+(* Primal simplex iterations with Bland's rule; [allowed j] masks columns
+   that may enter (used to keep artificials out in phase 2).  Returns
+   [`Optimal] or [`Unbounded].  [should_stop] is polled every few
+   iterations so callers can bound wall-clock time mid-solve.
+
+   The reduced-cost row is maintained incrementally across pivots (and
+   refreshed periodically against numerical drift), which roughly halves
+   the per-iteration cost on the dense tableaux the Reluplex encoding
+   produces. *)
+let iterate ?(should_stop = fun () -> false) t c ~allowed =
+  let finished = ref None in
+  let iters = ref 0 in
+  let z = ref (reduced_costs t c) in
+  while !finished = None do
+    incr iters;
+    if !iters land 15 = 0 && should_stop () then raise Aborted;
+    if !iters land 63 = 0 then z := reduced_costs t c;
+    let z = !z in
+    (* Bland: the lowest-index improving column. *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to t.width - 1 do
+         if allowed j && z.(j) < -.eps then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then finished := Some `Optimal
+    else begin
+      let col = !entering in
+      (* Ratio test; Bland tie-break on the basic variable index. *)
+      let row = ref (-1) in
+      let best = ref infinity in
+      for i = 0 to t.m - 1 do
+        let a = t.tab.(i).(col) in
+        if a > eps then begin
+          let ratio = t.rhs.(i) /. a in
+          if
+            ratio < !best -. eps
+            || (ratio < !best +. eps
+               && (!row < 0 || t.basis.(i) < t.basis.(!row)))
+          then begin
+            best := ratio;
+            row := i
+          end
+        end
+      done;
+      if !row < 0 then finished := Some `Unbounded
+      else begin
+        let row = !row in
+        pivot t ~row ~col;
+        (* Eliminate the entering column from the reduced-cost row using
+           the (now normalized) pivot row. *)
+        let zc = z.(col) in
+        if zc <> 0.0 then begin
+          let pr = t.tab.(row) in
+          for j = 0 to t.width - 1 do
+            z.(j) <- z.(j) -. (zc *. pr.(j))
+          done
+        end
+      end
+    end
+  done;
+  Option.get !finished
+
+let objective_value t c =
+  let acc = ref 0.0 in
+  for i = 0 to t.m - 1 do
+    acc := !acc +. (c.(t.basis.(i)) *. t.rhs.(i))
+  done;
+  !acc
+
+let maximize ?should_stop ~nvars constraints ~obj () =
+  if Vec.dim obj <> nvars then invalid_arg "Tableau.maximize: objective size";
+  Array.iter
+    (fun c ->
+      let a = match c with Le (a, _) | Eq (a, _) -> a in
+      if Vec.dim a <> nvars then
+        invalid_arg "Tableau.maximize: constraint size")
+    constraints;
+  let m = Array.length constraints in
+  let num_slack =
+    Array.fold_left
+      (fun acc c -> match c with Le _ -> acc + 1 | Eq _ -> acc)
+      0 constraints
+  in
+  (* Worst case every row needs an artificial. *)
+  let width = nvars + num_slack + m in
+  let tab = Array.init m (fun _ -> Array.make width 0.0) in
+  let rhs = Array.make m 0.0 in
+  let basis = Array.make m (-1) in
+  let next_slack = ref nvars in
+  let next_art = ref (nvars + num_slack) in
+  let num_art = ref 0 in
+  Array.iteri
+    (fun i c ->
+      let a, b, has_slack =
+        match c with Le (a, b) -> (a, b, true) | Eq (a, b) -> (a, b, false)
+      in
+      let sign = if b < 0.0 then -1.0 else 1.0 in
+      Array.iteri (fun j v -> tab.(i).(j) <- sign *. v) a;
+      rhs.(i) <- sign *. b;
+      let slack_ok = ref false in
+      if has_slack then begin
+        let s = !next_slack in
+        incr next_slack;
+        tab.(i).(s) <- sign;
+        if sign > 0.0 then begin
+          basis.(i) <- s;
+          slack_ok := true
+        end
+      end;
+      if not !slack_ok then begin
+        let t = !next_art in
+        incr next_art;
+        incr num_art;
+        tab.(i).(t) <- 1.0;
+        basis.(i) <- t
+      end)
+    constraints;
+  let t = { m; width; tab; rhs; basis } in
+  let art_start = nvars + num_slack in
+  (* Phase 1: maximize -(sum of artificials). *)
+  if !num_art > 0 then begin
+    let c1 = Array.make width 0.0 in
+    for j = art_start to !next_art - 1 do
+      c1.(j) <- -1.0
+    done;
+    (match iterate ?should_stop t c1 ~allowed:(fun _ -> true) with
+    | `Unbounded -> assert false (* phase-1 objective is bounded by 0 *)
+    | `Optimal -> ());
+    if objective_value t c1 < -.eps *. 100.0 then raise Exit
+  end;
+  (* Drive any residual artificial out of the basis or ignore its
+     (degenerate, zero) row. *)
+  for i = 0 to m - 1 do
+    if t.basis.(i) >= art_start then begin
+      let found = ref false in
+      let j = ref 0 in
+      while (not !found) && !j < art_start do
+        if abs_float t.tab.(i).(!j) > eps then begin
+          pivot t ~row:i ~col:!j;
+          found := true
+        end;
+        incr j
+      done
+    end
+  done;
+  (* Phase 2 with the real objective. *)
+  let c2 = Array.make width 0.0 in
+  Array.blit obj 0 c2 0 nvars;
+  let allowed j = j < art_start in
+  match iterate ?should_stop t c2 ~allowed with
+  | `Unbounded -> Unbounded
+  | `Optimal ->
+      let x = Vec.zeros nvars in
+      for i = 0 to m - 1 do
+        if t.basis.(i) < nvars then x.(t.basis.(i)) <- t.rhs.(i)
+      done;
+      Optimal { x; value = objective_value t c2 }
+
+let maximize ?should_stop ~nvars constraints ~obj () =
+  try maximize ?should_stop ~nvars constraints ~obj () with
+  | Exit -> Infeasible
+
+let minimize ?should_stop ~nvars constraints ~obj () =
+  match maximize ?should_stop ~nvars constraints ~obj:(Vec.scale (-1.0) obj) () with
+  | Optimal { x; value } -> Optimal { x; value = -.value }
+  | (Infeasible | Unbounded) as r -> r

@@ -1,0 +1,43 @@
+(** A dense two-phase primal simplex solver.
+
+    This is the LP substrate underneath the Reluplex-class complete
+    checker (the role GLPK or a native simplex core plays in the real
+    tools).  Problems are stated over non-negative variables; the
+    higher-level {!Lp} module handles general variable bounds by
+    shifting. *)
+
+type result =
+  | Optimal of { x : Linalg.Vec.t; value : float }
+  | Infeasible
+  | Unbounded
+
+type constr =
+  | Le of Linalg.Vec.t * float  (** [a · x <= b] *)
+  | Eq of Linalg.Vec.t * float  (** [a · x = b] *)
+
+exception Aborted
+(** Raised mid-solve when [should_stop] returns true, so callers can
+    bound wall-clock time on large programs. *)
+
+val maximize :
+  ?should_stop:(unit -> bool) ->
+  nvars:int ->
+  constr array ->
+  obj:Linalg.Vec.t ->
+  unit ->
+  result
+(** [maximize ~nvars constraints ~obj ()] maximizes [obj · x] subject to
+    the constraints and [x >= 0].  Uses Bland's rule, so it terminates
+    on all inputs.  [should_stop] is polled periodically during
+    pivoting.
+    @raise Invalid_argument on dimension mismatches.
+    @raise Aborted if [should_stop] fires. *)
+
+val minimize :
+  ?should_stop:(unit -> bool) ->
+  nvars:int ->
+  constr array ->
+  obj:Linalg.Vec.t ->
+  unit ->
+  result
+(** Minimization via negation; [value] is the true (minimal) objective. *)

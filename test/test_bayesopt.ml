@@ -1,0 +1,257 @@
+open Linalg
+open Domains
+
+let unit_cube dim = Box.create ~lo:(Vec.zeros dim) ~hi:(Vec.create dim 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Kernel *)
+
+let test_kernel_diag () =
+  let k = Bayesopt.Kernel.se ~variance:2.5 ~length:0.7 () in
+  Util.check_close "diag = variance" 2.5 (Bayesopt.Kernel.diag k);
+  let x = [| 0.1; 0.2 |] in
+  Util.check_close "k(x,x) = diag" 2.5 (Bayesopt.Kernel.eval k x x)
+
+let test_kernel_symmetry_and_decay () =
+  Util.repeat ~seed:100 (fun rng _ ->
+      let k =
+        if Rng.bool rng then Bayesopt.Kernel.se ~length:0.5 ()
+        else Bayesopt.Kernel.matern52 ~length:0.5 ()
+      in
+      let x = Vec.init 3 (fun _ -> Rng.gaussian rng) in
+      let y = Vec.init 3 (fun _ -> Rng.gaussian rng) in
+      Util.check_close ~eps:1e-12 "symmetric" (Bayesopt.Kernel.eval k x y)
+        (Bayesopt.Kernel.eval k y x);
+      Util.check_true "bounded by diag"
+        (Bayesopt.Kernel.eval k x y <= Bayesopt.Kernel.diag k +. 1e-12);
+      Util.check_true "positive" (Bayesopt.Kernel.eval k x y > 0.0))
+
+let test_kernel_monotone_in_distance () =
+  let k = Bayesopt.Kernel.matern52 ~length:1.0 () in
+  let at d = Bayesopt.Kernel.eval k [| 0.0 |] [| d |] in
+  Util.check_true "decreasing" (at 0.1 > at 0.5 && at 0.5 > at 2.0)
+
+let test_kernel_gram_psd () =
+  (* The Gram matrix plus small jitter must be Cholesky-factorizable. *)
+  Util.repeat ~seed:101 ~count:20 (fun rng _ ->
+      let k = Bayesopt.Kernel.matern52 ~length:0.4 () in
+      let pts = Array.init 8 (fun _ -> Vec.init 2 (fun _ -> Rng.gaussian rng)) in
+      let g = Bayesopt.Kernel.gram k pts in
+      let jittered = Mat.add g (Mat.scale 1e-8 (Mat.identity 8)) in
+      ignore (Mat.cholesky jittered))
+
+let test_kernel_rejects_bad_params () =
+  Alcotest.check_raises "bad length"
+    (Invalid_argument "Kernel: length scale must be positive") (fun () ->
+      ignore (Bayesopt.Kernel.se ~length:0.0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* GP *)
+
+let test_gp_interpolates_observations () =
+  Util.repeat ~seed:102 ~count:10 (fun rng _ ->
+      let inputs = Array.init 6 (fun _ -> Vec.init 2 (fun _ -> Rng.gaussian rng)) in
+      let targets = Array.map (fun x -> sin x.(0) +. x.(1)) inputs in
+      let gp =
+        Bayesopt.Gp.fit ~noise:1e-8
+          (Bayesopt.Kernel.se ~length:0.8 ())
+          ~inputs ~targets
+      in
+      Array.iteri
+        (fun i x ->
+          let mean, variance = Bayesopt.Gp.predict gp x in
+          Util.check_close ~eps:1e-3 "interpolates" targets.(i) mean;
+          Util.check_true "near-zero variance" (variance < 1e-4))
+        inputs)
+
+let test_gp_variance_grows_away_from_data () =
+  let inputs = [| [| 0.0 |]; [| 1.0 |] |] in
+  let targets = [| 0.0; 1.0 |] in
+  let gp =
+    Bayesopt.Gp.fit (Bayesopt.Kernel.se ~length:0.3 ()) ~inputs ~targets
+  in
+  let _, v_near = Bayesopt.Gp.predict gp [| 0.5 |] in
+  let _, v_far = Bayesopt.Gp.predict gp [| 5.0 |] in
+  Util.check_true "more uncertain far away" (v_far > v_near)
+
+let test_gp_prior_variance_far_away () =
+  (* Far from all data the posterior reverts to the prior scale. *)
+  let inputs = [| [| 0.0 |] |] and targets = [| 3.0 |] in
+  let gp =
+    Bayesopt.Gp.fit (Bayesopt.Kernel.se ~length:0.2 ()) ~inputs ~targets
+  in
+  let mean, _ = Bayesopt.Gp.predict gp [| 100.0 |] in
+  (* Standardization makes a single observation have mean = target. *)
+  Util.check_close ~eps:1e-6 "reverts to data mean" 3.0 mean
+
+let test_gp_duplicate_points_survive () =
+  (* Duplicate inputs make the Gram matrix singular; jitter escalation
+     must still produce a usable fit. *)
+  let inputs = [| [| 0.5 |]; [| 0.5 |]; [| 1.0 |] |] in
+  let targets = [| 1.0; 1.0; 2.0 |] in
+  let gp =
+    Bayesopt.Gp.fit ~noise:0.0 (Bayesopt.Kernel.se ~length:0.5 ()) ~inputs
+      ~targets
+  in
+  let mean, _ = Bayesopt.Gp.predict gp [| 0.5 |] in
+  Util.check_close ~eps:0.05 "sane prediction" 1.0 mean
+
+let test_gp_log_marginal_likelihood_finite () =
+  let rng = Rng.create 103 in
+  let inputs = Array.init 10 (fun _ -> Vec.init 2 (fun _ -> Rng.gaussian rng)) in
+  let targets = Array.map (fun x -> x.(0) *. x.(1)) inputs in
+  let gp =
+    Bayesopt.Gp.fit (Bayesopt.Kernel.matern52 ~length:0.5 ()) ~inputs ~targets
+  in
+  Util.check_true "finite lml"
+    (Float.is_finite (Bayesopt.Gp.log_marginal_likelihood gp));
+  Alcotest.(check int) "observation count" 10 (Bayesopt.Gp.num_observations gp)
+
+let test_gp_rejects_empty () =
+  Alcotest.check_raises "no observations" (Invalid_argument "Gp.fit: no observations")
+    (fun () ->
+      ignore
+        (Bayesopt.Gp.fit (Bayesopt.Kernel.se ~length:1.0 ()) ~inputs:[||]
+           ~targets:[||]))
+
+(* ------------------------------------------------------------------ *)
+(* Acquisition *)
+
+let test_ei_nonnegative () =
+  Util.repeat ~seed:104 (fun rng _ ->
+      let ei =
+        Bayesopt.Acquisition.expected_improvement ~best:(Rng.gaussian rng)
+          ~mean:(Rng.gaussian rng)
+          ~variance:(abs_float (Rng.gaussian rng))
+          ()
+      in
+      Util.check_true "EI >= 0" (ei >= 0.0))
+
+let test_ei_zero_without_variance () =
+  Util.check_close "no variance, no improvement" 0.0
+    (Bayesopt.Acquisition.expected_improvement ~best:1.0 ~mean:5.0 ~variance:0.0 ())
+
+let test_ei_prefers_higher_mean () =
+  let ei mean =
+    Bayesopt.Acquisition.expected_improvement ~best:0.0 ~mean ~variance:1.0 ()
+  in
+  Util.check_true "monotone in mean" (ei 1.0 > ei 0.0 && ei 0.0 > ei (-1.0))
+
+let test_ei_prefers_uncertainty_below_best () =
+  let ei v =
+    Bayesopt.Acquisition.expected_improvement ~best:2.0 ~mean:0.0 ~variance:v ()
+  in
+  Util.check_true "exploration bonus" (ei 4.0 > ei 0.25)
+
+let test_ucb () =
+  Util.check_close "ucb formula" 3.0
+    (Bayesopt.Acquisition.upper_confidence_bound ~beta:2.0 ~mean:1.0 ~variance:1.0 ())
+
+(* ------------------------------------------------------------------ *)
+(* Latin hypercube *)
+
+let test_latin_stratification () =
+  Util.repeat ~seed:105 ~count:10 (fun rng _ ->
+      let n = 2 + Rng.int rng 10 in
+      let box = unit_cube 3 in
+      let pts = Bayesopt.Latin.sample rng box ~n in
+      Alcotest.(check int) "count" n (Array.length pts);
+      (* In each dimension, each of the n strata holds exactly one point. *)
+      for d = 0 to 2 do
+        let seen = Array.make n false in
+        Array.iter
+          (fun p ->
+            let s =
+              Stdlib.min (n - 1) (int_of_float (p.(d) *. float_of_int n))
+            in
+            Util.check_true "stratum not repeated" (not seen.(s));
+            seen.(s) <- true)
+          pts
+      done)
+
+let test_latin_inside_box () =
+  Util.repeat ~seed:106 ~count:10 (fun rng _ ->
+      let box = Util.small_box rng 4 in
+      Array.iter
+        (fun p -> Util.check_true "inside" (Box.contains box p))
+        (Bayesopt.Latin.sample rng box ~n:7))
+
+(* ------------------------------------------------------------------ *)
+(* Bopt *)
+
+let test_bopt_finds_quadratic_optimum () =
+  let box = Box.create ~lo:[| -2.0; -2.0 |] ~hi:[| 2.0; 2.0 |] in
+  let f x = -.((x.(0) -. 0.7) ** 2.0) -. ((x.(1) +. 0.3) ** 2.0) in
+  let result = Bayesopt.Bopt.maximize ~rng:(Rng.create 107) box f in
+  let best = result.Bayesopt.Bopt.best in
+  Util.check_true
+    (Printf.sprintf "found value %.3f near optimum 0" best.Bayesopt.Bopt.value)
+    (best.Bayesopt.Bopt.value > -0.1)
+
+let test_bopt_beats_its_own_seeds () =
+  (* The acquisition-driven phase should improve on pure seeding. *)
+  let box = unit_cube 3 in
+  let f x = -.Vec.norm2 (Vec.sub x [| 0.2; 0.8; 0.5 |]) in
+  let config =
+    { Bayesopt.Bopt.default_config with Bayesopt.Bopt.init_samples = 6; iterations = 20 }
+  in
+  let result = Bayesopt.Bopt.maximize ~config ~rng:(Rng.create 108) box f in
+  let history = Array.of_list result.Bayesopt.Bopt.history in
+  let seed_best = ref neg_infinity in
+  for i = 0 to 5 do
+    seed_best := Stdlib.max !seed_best history.(i).Bayesopt.Bopt.value
+  done;
+  Util.check_true "improved past seeding"
+    (result.Bayesopt.Bopt.best.Bayesopt.Bopt.value >= !seed_best);
+  Alcotest.(check int) "evaluation budget respected" 26 (Array.length history)
+
+let test_bopt_deterministic () =
+  let box = unit_cube 2 in
+  let f x = sin (3.0 *. x.(0)) +. cos (2.0 *. x.(1)) in
+  let run () =
+    (Bayesopt.Bopt.maximize ~rng:(Rng.create 109) box f).Bayesopt.Bopt.best
+  in
+  let a = run () and b = run () in
+  Util.check_close ~eps:0.0 "same value" a.Bayesopt.Bopt.value b.Bayesopt.Bopt.value;
+  Util.check_vec ~eps:0.0 "same point" a.Bayesopt.Bopt.point b.Bayesopt.Bopt.point
+
+let () =
+  Alcotest.run "bayesopt"
+    [
+      ( "kernel",
+        [
+          Util.case "diagonal" test_kernel_diag;
+          Util.case "symmetry and decay" test_kernel_symmetry_and_decay;
+          Util.case "monotone in distance" test_kernel_monotone_in_distance;
+          Util.case "gram is psd" test_kernel_gram_psd;
+          Util.case "rejects bad params" test_kernel_rejects_bad_params;
+        ] );
+      ( "gp",
+        [
+          Util.case "interpolates observations" test_gp_interpolates_observations;
+          Util.case "variance grows off-data" test_gp_variance_grows_away_from_data;
+          Util.case "reverts to mean far away" test_gp_prior_variance_far_away;
+          Util.case "survives duplicate points" test_gp_duplicate_points_survive;
+          Util.case "finite log marginal likelihood" test_gp_log_marginal_likelihood_finite;
+          Util.case "rejects empty" test_gp_rejects_empty;
+        ] );
+      ( "acquisition",
+        [
+          Util.case "EI nonnegative" test_ei_nonnegative;
+          Util.case "EI zero without variance" test_ei_zero_without_variance;
+          Util.case "EI monotone in mean" test_ei_prefers_higher_mean;
+          Util.case "EI exploration bonus" test_ei_prefers_uncertainty_below_best;
+          Util.case "UCB formula" test_ucb;
+        ] );
+      ( "latin",
+        [
+          Util.case "stratification" test_latin_stratification;
+          Util.case "inside box" test_latin_inside_box;
+        ] );
+      ( "bopt",
+        [
+          Util.case "finds quadratic optimum" test_bopt_finds_quadratic_optimum;
+          Util.case "improves past seeding" test_bopt_beats_its_own_seeds;
+          Util.case "deterministic" test_bopt_deterministic;
+        ] );
+    ]

@@ -1,0 +1,380 @@
+open Linalg
+open Domains
+
+let unit_box dim = Box.create ~lo:(Vec.zeros dim) ~hi:(Vec.create dim 1.0)
+
+let default_policy = Charon.Policy.default
+
+let run ?budget ?config ~seed net prop =
+  Charon.Verify.run ?budget ?config ~rng:(Rng.create seed) ~policy:default_policy
+    net prop
+
+(* ------------------------------------------------------------------ *)
+(* Features and selection *)
+
+let feature_input ~seed =
+  let rng = Rng.create seed in
+  let net = Util.small_net rng in
+  let region = Util.small_box rng net.Nn.Network.input_dim in
+  let xstar = Box.sample rng region in
+  let obj = Optim.Objective.create net ~k:0 in
+  {
+    Charon.Features.net;
+    region;
+    target = 0;
+    xstar;
+    fstar = Optim.Objective.value obj xstar;
+  }
+
+let test_features_shape_and_range () =
+  for seed = 1 to 20 do
+    let input = feature_input ~seed in
+    let f = Charon.Features.compute input in
+    Alcotest.(check int) "dimension" Charon.Features.dim (Vec.dim f);
+    Util.check_close ~eps:0.0 "bias feature" 1.0 f.(Charon.Features.dim - 1);
+    Array.iter
+      (fun v ->
+        Util.check_true "bounded features" (v >= -1.0 && v <= 1.0))
+      f
+  done
+
+let test_select_clip () =
+  Util.check_close ~eps:0.0 "below" 0.0 (Charon.Select.clip01 (-3.0));
+  Util.check_close ~eps:0.0 "above" 1.0 (Charon.Select.clip01 7.0);
+  Util.check_close ~eps:0.0 "inside" 0.4 (Charon.Select.clip01 0.4)
+
+let test_select_domain_mapping () =
+  let d v = Charon.Select.domain_of_vector v in
+  Util.check_true "low first coord = interval"
+    (Domain.equal (d [| 0.0; 0.0 |]) Domain.interval);
+  Util.check_true "high first coord = zonotope"
+    (Domain.equal (d [| 1.0; 0.0 |]) Domain.zonotope);
+  Util.check_true "mid second coord = 2 disjuncts"
+    (Domain.equal (d [| 1.0; 0.5 |]) (Domain.powerset Domain.Zonotope_base 2));
+  Util.check_true "high second coord = 4 disjuncts"
+    (Domain.equal (d [| 0.0; 1.0 |]) (Domain.powerset Domain.Interval_base 4))
+
+let test_select_partition_in_region () =
+  for seed = 1 to 20 do
+    let input = feature_input ~seed in
+    let rng = Rng.create (seed * 31) in
+    let v = Vec.init Charon.Select.partition_dim (fun _ -> Rng.gaussian rng) in
+    let dim, at = Charon.Select.partition_of_vector input v in
+    let region = input.Charon.Features.region in
+    Util.check_true "valid dimension" (dim >= 0 && dim < Box.dim region);
+    (* The split point may be requested anywhere; Box.split clamps, so
+       the resulting halves are always valid. *)
+    let l, r = Box.split region ~dim ~at in
+    Util.check_true "halves shrink"
+      (Box.diameter l < Box.diameter region && Box.diameter r < Box.diameter region)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Policy *)
+
+let test_policy_vector_roundtrip () =
+  let rng = Rng.create 140 in
+  let v = Vec.init Charon.Policy.num_params (fun _ -> Rng.gaussian rng) in
+  match Charon.Policy.to_vector (Charon.Policy.of_vector v) with
+  | Some v' -> Util.check_vec ~eps:0.0 "roundtrip" v v'
+  | None -> Alcotest.fail "linear policy must expose parameters"
+
+let test_policy_file_roundtrip () =
+  let rng = Rng.create 141 in
+  let v = Vec.init Charon.Policy.num_params (fun _ -> Rng.gaussian rng) in
+  let policy = Charon.Policy.of_vector v in
+  let path = Filename.temp_file "charon_policy" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Charon.Policy.save path policy;
+      match Charon.Policy.to_vector (Charon.Policy.load path) with
+      | Some v' -> Util.check_vec ~eps:0.0 "file roundtrip" v v'
+      | None -> Alcotest.fail "expected linear policy")
+
+let test_policy_custom_not_serializable () =
+  Alcotest.check_raises "hand-written policies have no parameters"
+    (Invalid_argument "Policy.save: cannot persist a hand-written policy")
+    (fun () -> Charon.Policy.save "/dev/null" Charon.Policy.default)
+
+let test_policy_decisions_well_formed () =
+  for seed = 1 to 20 do
+    let input = feature_input ~seed in
+    let rng = Rng.create (seed * 77) in
+    let v = Vec.init Charon.Policy.num_params (fun _ -> Rng.gaussian rng) in
+    let policy = Charon.Policy.of_vector v in
+    let spec = Charon.Policy.choose_domain policy input in
+    Util.check_true "sane disjunct count"
+      (spec.Domain.disjuncts >= 1 && spec.Domain.disjuncts <= 4);
+    let dim, _ = Charon.Policy.choose_split policy input in
+    Util.check_true "dim in range"
+      (dim >= 0 && dim < Box.dim input.Charon.Features.region)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Verify: paper examples *)
+
+let test_verify_xor () =
+  let net = Nn.Init.xor () in
+  let region = Box.create ~lo:[| 0.3; 0.3 |] ~hi:[| 0.7; 0.7 |] in
+  let good = Common.Property.create ~region ~target:1 () in
+  let report = run ~seed:1 net good in
+  Util.check_true "verified" (report.Charon.Verify.outcome = Common.Outcome.Verified);
+  let bad = Common.Property.create ~region ~target:0 () in
+  match (run ~seed:1 net bad).Charon.Verify.outcome with
+  | Common.Outcome.Refuted x ->
+      Util.check_true "witness in region" (Box.contains region x)
+  | _ -> Alcotest.fail "expected refutation"
+
+let test_verify_example_2_2 () =
+  let net = Nn.Init.example_2_2 () in
+  let robust =
+    Common.Property.create ~region:(Box.create ~lo:[| -1.0 |] ~hi:[| 1.0 |]) ~target:1 ()
+  in
+  Util.check_true "robust interval verified"
+    ((run ~seed:2 net robust).Charon.Verify.outcome = Common.Outcome.Verified);
+  let fragile =
+    Common.Property.create ~region:(Box.create ~lo:[| -1.0 |] ~hi:[| 2.0 |]) ~target:1 ()
+  in
+  match (run ~seed:2 net fragile).Charon.Verify.outcome with
+  | Common.Outcome.Refuted _ -> ()
+  | _ -> Alcotest.fail "expected refutation"
+
+let test_verify_example_2_3 () =
+  let net = Nn.Init.example_2_3 () in
+  let prop = Common.Property.create ~region:(unit_box 2) ~target:1 () in
+  Util.check_true "verified"
+    ((run ~seed:3 net prop).Charon.Verify.outcome = Common.Outcome.Verified)
+
+(* ------------------------------------------------------------------ *)
+(* Verify: soundness and delta-completeness on random problems
+   (Theorems 5.2 and 5.4 as executable properties) *)
+
+let test_verify_soundness_and_delta_completeness () =
+  Util.repeat ~seed:142 ~count:40 (fun rng i ->
+      let net = Util.small_net rng in
+      let box = Util.small_box rng net.Nn.Network.input_dim in
+      let k = Rng.int rng net.Nn.Network.output_dim in
+      let prop = Common.Property.create ~region:box ~target:k () in
+      let delta = 1e-4 in
+      let report =
+        run ~seed:i ~budget:(Common.Budget.of_steps 20_000) net prop
+      in
+      match report.Charon.Verify.outcome with
+      | Common.Outcome.Verified ->
+          (* Soundness: no sampled point violates the property. *)
+          (match Common.Property.check_samples rng net prop ~n:500 with
+          | None -> ()
+          | Some x ->
+              Alcotest.failf "unsound! verified but %s violates"
+                (Format.asprintf "%a" Vec.pp x))
+      | Common.Outcome.Refuted x ->
+          (* Delta-completeness: the witness is a delta-counterexample. *)
+          Util.check_true "witness in region" (Box.contains box x);
+          Util.check_true "witness is a delta-cex"
+            (Optim.Objective.is_delta_counterexample
+               (Optim.Objective.create net ~k)
+               ~delta x)
+      | Common.Outcome.Timeout -> ()
+      | Common.Outcome.Unknown -> Alcotest.fail "charon never answers unknown")
+
+let test_verify_terminates_with_budget () =
+  (* Termination in practice: a generous step budget always ends the
+     recursion on tiny problems (Theorem 5.2's guarantee needs finite
+     diameter and delta > 0, both true here). *)
+  Util.repeat ~seed:143 ~count:10 (fun rng i ->
+      let net = Util.small_net rng in
+      let box = Box.of_center_radius (Vec.zeros net.Nn.Network.input_dim) 0.05 in
+      let k = Rng.int rng net.Nn.Network.output_dim in
+      let prop = Common.Property.create ~region:box ~target:k () in
+      let report = run ~seed:i net prop in
+      Util.check_true "no timeout on tiny regions"
+        (report.Charon.Verify.outcome <> Common.Outcome.Timeout))
+
+let test_verify_respects_step_budget () =
+  let rng = Rng.create 144 in
+  let net = Util.random_dense rng [ 6; 16; 16; 3 ] in
+  let prop = Common.Property.create ~region:(unit_box 6) ~target:0 () in
+  let budget = Common.Budget.of_steps 5 in
+  let report = run ~budget ~seed:9 net prop in
+  match report.Charon.Verify.outcome with
+  | Common.Outcome.Timeout -> Util.check_true "few nodes" (report.Charon.Verify.nodes <= 10)
+  | _ -> ()
+
+let test_verify_no_cex_search_still_sound () =
+  let config =
+    { Charon.Verify.default_config with Charon.Verify.use_cex_search = false }
+  in
+  Util.repeat ~seed:145 ~count:15 (fun rng i ->
+      let net = Util.small_net rng in
+      let box = Util.small_box rng net.Nn.Network.input_dim in
+      let k = Rng.int rng net.Nn.Network.output_dim in
+      let prop = Common.Property.create ~region:box ~target:k () in
+      let report =
+        run ~config ~seed:i ~budget:(Common.Budget.of_steps 20_000) net prop
+      in
+      match report.Charon.Verify.outcome with
+      | Common.Outcome.Verified ->
+          Util.check_true "sound without PGD"
+            (Common.Property.check_samples rng net prop ~n:300 = None)
+      | Common.Outcome.Refuted x ->
+          Util.check_true "delta cex without PGD"
+            (Optim.Objective.is_delta_counterexample
+               (Optim.Objective.create net ~k)
+               ~delta:1e-4 x)
+      | Common.Outcome.Timeout -> ()
+      | Common.Outcome.Unknown -> Alcotest.fail "never unknown");
+  (* And the ablation must not call PGD at all. *)
+  let rng = Rng.create 146 in
+  let net = Util.small_net rng in
+  let prop =
+    Common.Property.create
+      ~region:(Util.small_box rng net.Nn.Network.input_dim)
+      ~target:0 ()
+  in
+  let report = run ~config ~seed:10 net prop in
+  Alcotest.(check int) "no pgd calls" 0 report.Charon.Verify.pgd_calls
+
+let test_verify_best_first_agrees () =
+  (* The refinement strategy must not change verdicts, only order. *)
+  let config =
+    { Charon.Verify.default_config with
+      Charon.Verify.strategy = Charon.Verify.Best_first }
+  in
+  Util.repeat ~seed:147 ~count:15 (fun rng i ->
+      let net = Util.small_net rng in
+      let box = Util.small_box rng net.Nn.Network.input_dim in
+      let k = Rng.int rng net.Nn.Network.output_dim in
+      let prop = Common.Property.create ~region:box ~target:k () in
+      let budget () = Common.Budget.of_steps 20_000 in
+      let dfs = (run ~seed:i ~budget:(budget ()) net prop).Charon.Verify.outcome in
+      let bfs =
+        (run ~config ~seed:i ~budget:(budget ()) net prop).Charon.Verify.outcome
+      in
+      Util.check_true
+        (Printf.sprintf "strategies agree (%s vs %s)" (Common.Outcome.label dfs)
+           (Common.Outcome.label bfs))
+        (Common.Outcome.agrees dfs bfs);
+      (* Best-first refutations are still delta-counterexamples. *)
+      match bfs with
+      | Common.Outcome.Refuted x ->
+          Util.check_true "delta cex"
+            (Optim.Objective.is_delta_counterexample
+               (Optim.Objective.create net ~k)
+               ~delta:1e-4 x)
+      | _ -> ())
+
+let test_verify_rejects_nonpositive_delta () =
+  let net = Nn.Init.xor () in
+  let prop = Common.Property.create ~region:(unit_box 2) ~target:1 () in
+  let config = { Charon.Verify.default_config with Charon.Verify.delta = 0.0 } in
+  Alcotest.check_raises "delta must be positive"
+    (Invalid_argument "Verify.run: delta must be positive") (fun () ->
+      ignore (run ~config ~seed:1 net prop))
+
+let test_verify_report_counters () =
+  let net = Nn.Init.xor () in
+  let region = Box.create ~lo:[| 0.3; 0.3 |] ~hi:[| 0.7; 0.7 |] in
+  let prop = Common.Property.create ~region ~target:1 () in
+  let report = run ~seed:4 net prop in
+  Util.check_true "nodes >= 1" (report.Charon.Verify.nodes >= 1);
+  Util.check_true "analyze calls >= 1" (report.Charon.Verify.analyze_calls >= 1);
+  Util.check_true "pgd calls >= 1" (report.Charon.Verify.pgd_calls >= 1);
+  Util.check_true "domains recorded" (report.Charon.Verify.domains_used <> []);
+  Util.check_true "transformer calls counted"
+    (report.Charon.Verify.transformer_calls >= Nn.Network.num_layers net)
+
+(* ------------------------------------------------------------------ *)
+(* Learn *)
+
+let tiny_problems ~seed =
+  let rng = Rng.create seed in
+  let net = Util.random_dense rng [ 2; 6; 2 ] in
+  List.init 4 (fun i ->
+      let c = [| 0.2 +. (0.2 *. float_of_int i); 0.5 |] in
+      let region = Box.of_center_radius c 0.08 in
+      let target = Nn.Network.classify net c in
+      { Charon.Learn.net; property = Common.Property.create ~region ~target () })
+
+let fast_learn_config =
+  {
+    Charon.Learn.default_config with
+    Charon.Learn.per_problem = Charon.Learn.Steps 400;
+    bopt =
+      {
+        Bayesopt.Bopt.default_config with
+        Bayesopt.Bopt.init_samples = 4;
+        iterations = 4;
+        candidates = 64;
+        local_candidates = 16;
+      };
+  }
+
+let test_learn_returns_linear_policy () =
+  let result =
+    Charon.Learn.train ~config:fast_learn_config ~rng:(Rng.create 150)
+      (tiny_problems ~seed:150)
+  in
+  Util.check_true "linear policy"
+    (Charon.Policy.to_vector result.Charon.Learn.policy <> None);
+  Alcotest.(check int) "evaluation count" 8 result.Charon.Learn.evaluations
+
+let test_learn_cost_deterministic () =
+  let problems = tiny_problems ~seed:151 in
+  let policy = Charon.Policy.of_vector (Vec.create Charon.Policy.num_params 0.1) in
+  let c1 = Charon.Learn.cost fast_learn_config ~seed:5 problems policy in
+  let c2 = Charon.Learn.cost fast_learn_config ~seed:5 problems policy in
+  Util.check_close ~eps:0.0 "deterministic" c1 c2
+
+let test_learn_best_score_is_best_in_history () =
+  let result =
+    Charon.Learn.train ~config:fast_learn_config ~rng:(Rng.create 152)
+      (tiny_problems ~seed:152)
+  in
+  List.iter
+    (fun (e : Bayesopt.Bopt.evaluation) ->
+      Util.check_true "best dominates history"
+        (result.Charon.Learn.best_score >= e.Bayesopt.Bopt.value))
+    result.Charon.Learn.bopt.Bayesopt.Bopt.history
+
+let () =
+  Alcotest.run "charon"
+    [
+      ( "features-select",
+        [
+          Util.case "feature vector shape" test_features_shape_and_range;
+          Util.case "clip01" test_select_clip;
+          Util.case "domain selection mapping" test_select_domain_mapping;
+          Util.case "partition stays in region" test_select_partition_in_region;
+        ] );
+      ( "policy",
+        [
+          Util.case "vector roundtrip" test_policy_vector_roundtrip;
+          Util.case "file roundtrip" test_policy_file_roundtrip;
+          Util.case "custom not serializable" test_policy_custom_not_serializable;
+          Util.case "decisions well-formed" test_policy_decisions_well_formed;
+        ] );
+      ( "verify-examples",
+        [
+          Util.case "xor both ways" test_verify_xor;
+          Util.case "example 2.2 both ways" test_verify_example_2_2;
+          Util.case "example 2.3" test_verify_example_2_3;
+        ] );
+      ( "verify-theorems",
+        [
+          Util.case "soundness and delta-completeness"
+            test_verify_soundness_and_delta_completeness;
+          Util.case "terminates on tiny regions" test_verify_terminates_with_budget;
+          Util.case "respects step budget" test_verify_respects_step_budget;
+          Util.case "sound without cex search" test_verify_no_cex_search_still_sound;
+          Util.case "best-first agrees with depth-first" test_verify_best_first_agrees;
+          Util.case "rejects nonpositive delta" test_verify_rejects_nonpositive_delta;
+          Util.case "report counters" test_verify_report_counters;
+        ] );
+      ( "learn",
+        [
+          Util.case "returns linear policy" test_learn_returns_linear_policy;
+          Util.case "cost deterministic" test_learn_cost_deterministic;
+          Util.case "best dominates history" test_learn_best_score_is_best_in_history;
+        ] );
+    ]

@@ -1,0 +1,227 @@
+open Linalg
+open Domains
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic images *)
+
+let test_prototype_ranges () =
+  List.iter
+    (fun spec ->
+      for label = 0 to spec.Datasets.Synth_images.classes - 1 do
+        let p = Datasets.Synth_images.prototype spec label in
+        Alcotest.(check int) "dimension"
+          (Nn.Shape.size spec.Datasets.Synth_images.shape)
+          (Vec.dim p);
+        Array.iter
+          (fun v -> Util.check_true "pixel in [0.1, 0.9]" (v >= 0.1 && v <= 0.9))
+          p
+      done)
+    [ Datasets.Synth_images.tiny; Datasets.Synth_images.mnist_like;
+      Datasets.Synth_images.cifar_like ]
+
+let test_prototypes_distinct () =
+  let spec = Datasets.Synth_images.mnist_like in
+  for a = 0 to spec.Datasets.Synth_images.classes - 1 do
+    for b = a + 1 to spec.Datasets.Synth_images.classes - 1 do
+      let pa = Datasets.Synth_images.prototype spec a in
+      let pb = Datasets.Synth_images.prototype spec b in
+      Util.check_true "classes distinguishable" (Vec.dist2 pa pb > 0.3)
+    done
+  done
+
+let test_prototype_deterministic () =
+  let spec = Datasets.Synth_images.tiny in
+  Util.check_vec ~eps:0.0 "stable across calls"
+    (Datasets.Synth_images.prototype spec 1)
+    (Datasets.Synth_images.prototype spec 1)
+
+let test_samples_clipped () =
+  let rng = Rng.create 160 in
+  let spec = Datasets.Synth_images.mnist_like in
+  for _ = 1 to 50 do
+    let x = Datasets.Synth_images.sample rng spec (Rng.int rng 10) in
+    Array.iter
+      (fun v -> Util.check_true "pixel in [0,1]" (v >= 0.0 && v <= 1.0))
+      x
+  done
+
+let test_dataset_balanced () =
+  let rng = Rng.create 161 in
+  let spec = Datasets.Synth_images.tiny in
+  let data = Datasets.Synth_images.dataset rng spec ~per_class:7 in
+  Alcotest.(check int) "size" 21 (Array.length data);
+  let counts = Array.make 3 0 in
+  Array.iter
+    (fun s -> counts.(s.Nn.Train.label) <- counts.(s.Nn.Train.label) + 1)
+    data;
+  Alcotest.(check (array int)) "balanced" [| 7; 7; 7 |] counts
+
+(* ------------------------------------------------------------------ *)
+(* ACAS substrate *)
+
+let test_acas_oracle_advisories_valid () =
+  let rng = Rng.create 162 in
+  for _ = 1 to 500 do
+    let x = Vec.init Datasets.Acas.num_inputs (fun _ -> Rng.float rng 1.0) in
+    let a = Datasets.Acas.oracle x in
+    Util.check_true "valid advisory" (a >= 0 && a < Datasets.Acas.num_advisories);
+    ignore (Datasets.Acas.advisory_name a)
+  done
+
+let test_acas_oracle_geometry () =
+  (* Far-away traffic is clear of conflict. *)
+  Alcotest.(check int) "far traffic" 0
+    (Datasets.Acas.oracle [| 1.0; 0.5; 0.5; 0.5; 0.5 |]);
+  (* Close, fast, head-on traffic on the right demands a strong left turn. *)
+  Alcotest.(check int) "close traffic turns strongly" 2
+    (Datasets.Acas.oracle [| 0.0; 0.9; 0.5; 1.0; 1.0 |]);
+  (* Same situation with the intruder on the left turns right. *)
+  Alcotest.(check int) "mirrored" 4
+    (Datasets.Acas.oracle [| 0.0; 0.1; 0.5; 1.0; 1.0 |])
+
+let test_acas_network_learns_oracle () =
+  let rng = Rng.create 163 in
+  let net = Datasets.Acas.network rng ~hidden:[ 12; 12 ] in
+  let test = Datasets.Acas.dataset (Rng.create 164) ~n:500 in
+  Util.check_true "fits the advisory function" (Nn.Train.accuracy net test > 0.85)
+
+let test_acas_training_properties () =
+  let rng = Rng.create 165 in
+  let net = Datasets.Acas.network rng ~hidden:[ 12; 12 ] in
+  let props = Datasets.Acas.training_properties rng net ~n:12 ~radius:0.05 in
+  Alcotest.(check int) "twelve properties" 12 (List.length props);
+  List.iter
+    (fun (p : Common.Property.t) ->
+      (* Each property is centred where the network already agrees, so
+         its center never violates it. *)
+      let c = Box.center p.Common.Property.region in
+      Util.check_true "center satisfies" (Common.Property.holds_at net p c);
+      Util.check_close ~eps:1e-9 "radius as requested" 0.1
+        (Box.width p.Common.Property.region 0))
+    props
+
+(* ------------------------------------------------------------------ *)
+(* Brightening attacks *)
+
+let test_brightening_region_shape () =
+  let x = [| 0.2; 0.8; 0.95; 0.5 |] in
+  let region = Datasets.Brightening.region x ~tau:0.7 ~severity:1.0 in
+  (* Pixels below tau are frozen; others may brighten to 1. *)
+  Util.check_vec "lo is the image" x region.Box.lo;
+  Util.check_vec "hi brightens >= tau pixels" [| 0.2; 1.0; 1.0; 0.5 |]
+    region.Box.hi
+
+let test_brightening_severity_scales () =
+  let x = [| 0.8 |] in
+  let half = Datasets.Brightening.region x ~tau:0.5 ~severity:0.5 in
+  Util.check_close ~eps:1e-12 "half brightening" 0.9 half.Box.hi.(0);
+  let zero = Datasets.Brightening.region x ~tau:0.5 ~severity:0.0 in
+  Util.check_close ~eps:1e-12 "no brightening" 0.8 zero.Box.hi.(0)
+
+let test_brightening_rejects_bad_severity () =
+  Alcotest.check_raises "severity > 1"
+    (Invalid_argument "Brightening.region: severity must be in [0, 1]")
+    (fun () ->
+      ignore (Datasets.Brightening.region [| 0.5 |] ~tau:0.5 ~severity:1.5))
+
+let test_brightening_property_targets_own_class () =
+  let rng = Rng.create 166 in
+  let net = Util.random_dense rng [ 4; 8; 3 ] in
+  let x = Vec.init 4 (fun _ -> Rng.float rng 1.0) in
+  let p = Datasets.Brightening.property net x ~tau:0.6 ~severity:0.5 in
+  Alcotest.(check int) "target = classification" (Nn.Network.classify net x)
+    p.Common.Property.target;
+  Util.check_true "image in region" (Box.contains p.Common.Property.region x)
+
+(* ------------------------------------------------------------------ *)
+(* Suite *)
+
+let test_suite_catalog () =
+  Alcotest.(check int) "seven networks" 7 (List.length Datasets.Suite.network_names);
+  Util.check_true "has the conv net"
+    (List.mem "conv-lenet" Datasets.Suite.network_names)
+
+let test_suite_network_trains () =
+  let entry = Datasets.Suite.build_network ~seed:7 "mnist-3x100" in
+  Util.check_true "accurate" (entry.Datasets.Suite.test_accuracy > 0.9);
+  Util.check_true "dense" (not entry.Datasets.Suite.convolutional);
+  Alcotest.(check int) "input dim" 100 entry.Datasets.Suite.net.Nn.Network.input_dim
+
+let test_suite_build_deterministic () =
+  let a = Datasets.Suite.build_network ~seed:7 "cifar-3x100" in
+  let b = Datasets.Suite.build_network ~seed:7 "cifar-3x100" in
+  let x = Vec.create 192 0.5 in
+  Util.check_vec ~eps:0.0 "same trained network"
+    (Nn.Network.eval a.Datasets.Suite.net x)
+    (Nn.Network.eval b.Datasets.Suite.net x)
+
+let test_suite_properties_well_formed () =
+  let entry = Datasets.Suite.build_network ~seed:7 "mnist-3x100" in
+  let props = Datasets.Suite.properties ~seed:7 entry ~count:12 in
+  Alcotest.(check int) "count" 12 (List.length props);
+  List.iter
+    (fun (p : Common.Property.t) ->
+      Alcotest.(check int) "region dimension" 100 (Box.dim p.Common.Property.region);
+      Util.check_true "target valid"
+        (p.Common.Property.target >= 0 && p.Common.Property.target < 10);
+      (* The unperturbed image (the region's low corner) must satisfy
+         the property by construction. *)
+      Util.check_true "base image satisfies"
+        (Common.Property.holds_at entry.Datasets.Suite.net p
+           p.Common.Property.region.Box.lo))
+    props
+
+let test_suite_cache_roundtrip () =
+  let dir = Filename.temp_file "charon_cache" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let a = Datasets.Suite.build ~cache_dir:dir ~seed:7 () in
+      let b = Datasets.Suite.build ~cache_dir:dir ~seed:7 () in
+      List.iter2
+        (fun (ea : Datasets.Suite.entry) (eb : Datasets.Suite.entry) ->
+          let x = Vec.create ea.Datasets.Suite.net.Nn.Network.input_dim 0.4 in
+          Util.check_vec ~eps:0.0
+            ("cached network matches: " ^ ea.Datasets.Suite.name)
+            (Nn.Network.eval ea.Datasets.Suite.net x)
+            (Nn.Network.eval eb.Datasets.Suite.net x))
+        a b)
+
+let () =
+  Alcotest.run "datasets"
+    [
+      ( "synth-images",
+        [
+          Util.case "prototype ranges" test_prototype_ranges;
+          Util.case "prototypes distinct" test_prototypes_distinct;
+          Util.case "prototype deterministic" test_prototype_deterministic;
+          Util.case "samples clipped" test_samples_clipped;
+          Util.case "dataset balanced" test_dataset_balanced;
+        ] );
+      ( "acas",
+        [
+          Util.case "oracle advisories valid" test_acas_oracle_advisories_valid;
+          Util.case "oracle geometry" test_acas_oracle_geometry;
+          Util.case "network learns oracle" test_acas_network_learns_oracle;
+          Util.case "training properties" test_acas_training_properties;
+        ] );
+      ( "brightening",
+        [
+          Util.case "region shape" test_brightening_region_shape;
+          Util.case "severity scaling" test_brightening_severity_scales;
+          Util.case "rejects bad severity" test_brightening_rejects_bad_severity;
+          Util.case "targets own class" test_brightening_property_targets_own_class;
+        ] );
+      ( "suite",
+        [
+          Util.case "catalog" test_suite_catalog;
+          Util.case "network trains" test_suite_network_trains;
+          Util.case "build deterministic" test_suite_build_deterministic;
+          Util.case "properties well-formed" test_suite_properties_well_formed;
+          Util.slow_case "cache roundtrip" test_suite_cache_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,357 @@
+open Linalg
+open Domains
+
+(* A tiny workload shared by the harness tests: the XOR network dressed
+   up as a suite entry, with one true and one false property. *)
+let tiny_workload () =
+  let net = Nn.Init.xor () in
+  let entry =
+    {
+      Datasets.Suite.name = "xor";
+      description = "xor test network";
+      net;
+      image_spec = Datasets.Synth_images.tiny;
+      convolutional = false;
+      test_accuracy = 1.0;
+    }
+  in
+  let region = Box.create ~lo:[| 0.3; 0.3 |] ~hi:[| 0.7; 0.7 |] in
+  let props =
+    [
+      Common.Property.create ~name:"holds" ~region ~target:1 ();
+      Common.Property.create ~name:"fails" ~region ~target:0 ();
+    ]
+  in
+  [ (entry, props) ]
+
+let conv_workload () =
+  let rng = Rng.create 170 in
+  let input = Nn.Shape.create ~channels:1 ~height:4 ~width:4 in
+  let net = Nn.Init.lenet_like rng ~input ~classes:3 in
+  let entry =
+    {
+      Datasets.Suite.name = "tiny-conv";
+      description = "conv test network";
+      net;
+      image_spec = Datasets.Synth_images.tiny;
+      convolutional = true;
+      test_accuracy = 0.0;
+    }
+  in
+  let center = Vec.create 16 0.5 in
+  let prop =
+    Common.Property.create ~name:"conv-prop"
+      ~region:(Box.of_center_radius center 0.01)
+      ~target:(Nn.Network.classify net center)
+      ()
+  in
+  [ (entry, [ prop ]) ]
+
+(* ------------------------------------------------------------------ *)
+(* Tools *)
+
+let test_charon_tool_solves_both () =
+  let results =
+    Experiments.Runner.run_suite ~seed:1 ~timeout:10.0
+      [ Experiments.Tool.charon () ]
+      (tiny_workload ())
+  in
+  Alcotest.(check int) "two results" 2 (List.length results);
+  List.iter
+    (fun (r : Experiments.Runner.result) ->
+      Util.check_true "solved" (Common.Outcome.is_solved r.Experiments.Runner.outcome))
+    results
+
+let test_ai2_tool_cannot_falsify () =
+  let results =
+    Experiments.Runner.run_suite ~seed:1 ~timeout:10.0
+      [ Experiments.Tool.ai2 Domain.zonotope_join ]
+      (tiny_workload ())
+  in
+  List.iter
+    (fun (r : Experiments.Runner.result) ->
+      match r.Experiments.Runner.outcome with
+      | Common.Outcome.Refuted _ -> Alcotest.fail "AI2 cannot falsify"
+      | Common.Outcome.Verified | Common.Outcome.Unknown
+      | Common.Outcome.Timeout ->
+          ())
+    results
+
+let test_tool_names () =
+  Alcotest.(check string) "ai2 zonotope name" "AI2-Zonotope"
+    (Experiments.Tool.ai2 Domain.zonotope_join).Experiments.Tool.name;
+  Alcotest.(check string) "ai2 bounded name" "AI2-Bounded64"
+    (Experiments.Tool.ai2 (Domain.powerset Domain.Zonotope_join_base 64))
+      .Experiments.Tool.name;
+  Util.check_true "reluval lacks conv support"
+    (not Experiments.Tool.reluval.Experiments.Tool.supports_conv)
+
+let test_conv_excluded_for_complete_tools () =
+  let results =
+    Experiments.Runner.run_suite ~seed:1 ~timeout:5.0
+      [ Experiments.Tool.reluval; Experiments.Tool.reluplex ]
+      (conv_workload ())
+  in
+  List.iter
+    (fun (r : Experiments.Runner.result) ->
+      Util.check_true "excluded as unknown"
+        (r.Experiments.Runner.outcome = Common.Outcome.Unknown);
+      Util.check_close ~eps:0.0 "zero time" 0.0 r.Experiments.Runner.time)
+    results
+
+let test_portfolio_tool_solves_both () =
+  let results =
+    Experiments.Runner.run_suite ~seed:1 ~timeout:10.0
+      [ Experiments.Tool.charon_then_reluplex ~split:0.5 () ]
+      (tiny_workload ())
+  in
+  List.iter
+    (fun (r : Experiments.Runner.result) ->
+      Util.check_true "solved"
+        (Common.Outcome.is_solved r.Experiments.Runner.outcome))
+    results
+
+let test_portfolio_rejects_bad_split () =
+  Alcotest.check_raises "split out of range"
+    (Invalid_argument "Tool.charon_then_reluplex: split must be in (0, 1)")
+    (fun () -> ignore (Experiments.Tool.charon_then_reluplex ~split:1.5 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Runner bookkeeping *)
+
+let test_runner_filters () =
+  let results =
+    Experiments.Runner.run_suite ~seed:1 ~timeout:10.0
+      [ Experiments.Tool.charon (); Experiments.Tool.reluval ]
+      (tiny_workload ())
+  in
+  Alcotest.(check int) "four results" 4 (List.length results);
+  Alcotest.(check int) "by tool" 2
+    (List.length (Experiments.Runner.by_tool results "Charon"));
+  Alcotest.(check int) "by network" 4
+    (List.length (Experiments.Runner.by_network results "xor"));
+  Alcotest.(check (list string)) "network order" [ "xor" ]
+    (Experiments.Runner.networks results)
+
+let test_runner_consistency_clean () =
+  let results =
+    Experiments.Runner.run_suite ~seed:1 ~timeout:10.0
+      [ Experiments.Tool.charon (); Experiments.Tool.reluplex ]
+      (tiny_workload ())
+  in
+  Alcotest.(check int) "no disagreements" 0
+    (List.length (Experiments.Runner.consistency_errors results))
+
+let test_runner_consistency_detects_conflict () =
+  let mk tool outcome =
+    {
+      Experiments.Runner.tool;
+      network = "n";
+      property = "p";
+      outcome;
+      time = 0.0;
+    }
+  in
+  let errors =
+    Experiments.Runner.consistency_errors
+      [ mk "a" Common.Outcome.Verified; mk "b" (Common.Outcome.Refuted [| 0.0 |]) ]
+  in
+  Alcotest.(check int) "one conflict" 1 (List.length errors)
+
+let test_csv_export () =
+  let results =
+    [
+      {
+        Experiments.Runner.tool = "T";
+        network = "n";
+        property = "p";
+        outcome = Common.Outcome.Verified;
+        time = 0.5;
+      };
+    ]
+  in
+  let csv = Experiments.Runner.to_csv results in
+  Alcotest.(check string) "csv"
+    "tool,network,property,outcome,time_seconds\nT,n,p,verified,0.500000\n" csv
+
+(* ------------------------------------------------------------------ *)
+(* Cactus *)
+
+let test_cactus_series () =
+  let mk name time outcome =
+    {
+      Experiments.Runner.tool = "T";
+      network = "n";
+      property = name;
+      outcome;
+      time;
+    }
+  in
+  let results =
+    [
+      mk "a" 3.0 Common.Outcome.Verified;
+      mk "b" 1.0 (Common.Outcome.Refuted [| 0.0 |]);
+      mk "c" 2.0 Common.Outcome.Timeout;
+    ]
+  in
+  let s = Experiments.Cactus.of_results results ~tool:"T" in
+  Alcotest.(check int) "solved count" 2 (Experiments.Cactus.solved_count s);
+  Util.check_close ~eps:1e-12 "total time" 4.0 (Experiments.Cactus.total_time s);
+  (* Sorted by time: (0,0), (1,1.0), (2,4.0). *)
+  Alcotest.(check (list (pair int (float 1e-9)))) "points"
+    [ (0, 0.0); (1, 1.0); (2, 4.0) ]
+    s.Experiments.Cactus.points
+
+let test_cactus_monotone () =
+  Util.repeat ~seed:171 (fun rng _ ->
+      let results =
+        List.init 10 (fun i ->
+            {
+              Experiments.Runner.tool = "T";
+              network = "n";
+              property = string_of_int i;
+              outcome =
+                (if Rng.bool rng then Common.Outcome.Verified
+                 else Common.Outcome.Timeout);
+              time = Rng.float rng 2.0;
+            })
+      in
+      let s = Experiments.Cactus.of_results results ~tool:"T" in
+      let rec monotone = function
+        | (n1, t1) :: ((n2, t2) :: _ as rest) ->
+            Util.check_true "counts increase" (n2 = n1 + 1);
+            Util.check_true "times increase" (t2 >= t1);
+            monotone rest
+        | [ _ ] | [] -> ()
+      in
+      monotone s.Experiments.Cactus.points)
+
+(* ------------------------------------------------------------------ *)
+(* Robustness curves *)
+
+let test_curve_monotone_and_consistent () =
+  let rng = Rng.create 172 in
+  let net = Util.random_dense rng [ 3; 8; 3 ] in
+  let images = Array.init 10 (fun _ -> Vec.init 3 (fun _ -> Rng.float rng 1.0)) in
+  let epsilons = [ 0.001; 0.01; 0.05; 0.2 ] in
+  let points =
+    Experiments.Robustness_curve.compute ~timeout:5.0 ~seed:4 net ~images
+      ~epsilons
+  in
+  Alcotest.(check int) "one point per epsilon" (List.length epsilons)
+    (List.length points);
+  List.iter
+    (fun (p : Experiments.Robustness_curve.point) ->
+      Alcotest.(check int) "counts partition the images" 10
+        (p.Experiments.Robustness_curve.certified
+        + p.Experiments.Robustness_curve.falsified
+        + p.Experiments.Robustness_curve.undecided))
+    points;
+  (* With an ample budget, certified accuracy is non-increasing and the
+     falsified fraction non-decreasing in epsilon (a falsifying point
+     for a small ball also lies in every larger ball). *)
+  let rec check = function
+    | (a : Experiments.Robustness_curve.point) :: (b :: _ as rest) ->
+        Util.check_true "certified non-increasing"
+          (b.Experiments.Robustness_curve.certified
+          <= a.Experiments.Robustness_curve.certified);
+        Util.check_true "falsified non-decreasing"
+          (b.Experiments.Robustness_curve.falsified
+          >= a.Experiments.Robustness_curve.falsified);
+        check rest
+    | [ _ ] | [] -> ()
+  in
+  check points
+
+(* ------------------------------------------------------------------ *)
+(* Ascii plots *)
+
+let test_ascii_plot_renders_markers () =
+  let out =
+    Experiments.Ascii_plot.render
+      [ ("a", [ (0.0, 0.0); (1.0, 1.0) ]); ("b", [ (0.5, 0.5) ]) ]
+  in
+  Util.check_true "first marker" (String.contains out '*');
+  Util.check_true "second marker" (String.contains out 'o');
+  Util.check_true "legend a" (String.length out > 0 && String.contains out 'a');
+  (* Axis annotations include the data range. *)
+  let has_substring s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Util.check_true "legend names" (has_substring out "* = a" && has_substring out "o = b")
+
+let test_ascii_plot_empty () =
+  Alcotest.(check string) "empty notice" "(no data to plot)\n"
+    (Experiments.Ascii_plot.render []);
+  Alcotest.(check string) "empty series skipped" "(no data to plot)\n"
+    (Experiments.Ascii_plot.render [ ("a", []) ])
+
+let test_ascii_plot_constant_series () =
+  (* Degenerate spans (single point, constant y) must not divide by
+     zero. *)
+  let out = Experiments.Ascii_plot.render [ ("c", [ (1.0, 2.0) ]) ] in
+  Util.check_true "renders" (String.length out > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Training pipeline *)
+
+let test_acas_problems_count () =
+  let problems = Experiments.Training.acas_problems ~seed:3 in
+  Alcotest.(check int) "twelve training problems" 12 (List.length problems)
+
+let test_learned_policy_cache () =
+  let path = Filename.temp_file "charon_policy_cache" ".txt" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      (* First call trains and caches; this is slow-ish but bounded. *)
+      let p1 = Experiments.Training.learned_policy ~cache:path ~seed:3 () in
+      Util.check_true "cache written" (Sys.file_exists path);
+      let p2 = Experiments.Training.learned_policy ~cache:path ~seed:3 () in
+      match (Charon.Policy.to_vector p1, Charon.Policy.to_vector p2) with
+      | Some v1, Some v2 -> Util.check_vec ~eps:0.0 "cache hit" v1 v2
+      | _ -> Alcotest.fail "expected linear policies")
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "tools",
+        [
+          Util.case "charon solves both" test_charon_tool_solves_both;
+          Util.case "ai2 cannot falsify" test_ai2_tool_cannot_falsify;
+          Util.case "tool names" test_tool_names;
+          Util.case "conv excluded for complete tools"
+            test_conv_excluded_for_complete_tools;
+          Util.case "portfolio tool solves both" test_portfolio_tool_solves_both;
+          Util.case "portfolio rejects bad split" test_portfolio_rejects_bad_split;
+        ] );
+      ( "runner",
+        [
+          Util.case "filters" test_runner_filters;
+          Util.case "consistency clean" test_runner_consistency_clean;
+          Util.case "consistency detects conflicts"
+            test_runner_consistency_detects_conflict;
+          Util.case "csv export" test_csv_export;
+        ] );
+      ( "cactus",
+        [
+          Util.case "series construction" test_cactus_series;
+          Util.case "series monotone" test_cactus_monotone;
+        ] );
+      ( "ascii-plot",
+        [
+          Util.case "renders markers and legend" test_ascii_plot_renders_markers;
+          Util.case "empty input" test_ascii_plot_empty;
+          Util.case "degenerate spans" test_ascii_plot_constant_series;
+        ] );
+      ( "curve",
+        [ Util.slow_case "monotone and consistent" test_curve_monotone_and_consistent ] );
+      ( "training",
+        [
+          Util.case "acas problem count" test_acas_problems_count;
+          Util.slow_case "policy cache" test_learned_policy_cache;
+        ] );
+    ]

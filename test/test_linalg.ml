@@ -1,0 +1,247 @@
+open Linalg
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 7 in
+  let child = Rng.split parent in
+  let x = Rng.bits64 child and y = Rng.bits64 parent in
+  Alcotest.(check bool) "different streams" true (x <> y)
+
+let test_rng_int_range () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 10 in
+    Util.check_true "in range" (v >= 0 && v < 10)
+  done
+
+let test_rng_float_range () =
+  let rng = Rng.create 2 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 3.5 in
+    Util.check_true "in range" (v >= 0.0 && v < 3.5)
+  done
+
+let test_rng_uniform_mean () =
+  let rng = Rng.create 3 in
+  let n = 20_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.uniform rng ~lo:2.0 ~hi:4.0
+  done;
+  Util.check_close ~eps:0.05 "mean near 3" 3.0 (!acc /. float_of_int n)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 4 in
+  let n = 50_000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let g = Rng.gaussian rng in
+    sum := !sum +. g;
+    sq := !sq +. (g *. g)
+  done;
+  Util.check_close ~eps:0.05 "mean 0" 0.0 (!sum /. float_of_int n);
+  Util.check_close ~eps:0.1 "variance 1" 1.0 (!sq /. float_of_int n)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 5 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_int_rejects_nonpositive () =
+  let rng = Rng.create 6 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+(* ------------------------------------------------------------------ *)
+(* Vec *)
+
+let test_vec_basic_ops () =
+  let a = [| 1.0; 2.0; 3.0 |] and b = [| 4.0; 5.0; 6.0 |] in
+  Util.check_vec "add" [| 5.0; 7.0; 9.0 |] (Vec.add a b);
+  Util.check_vec "sub" [| -3.0; -3.0; -3.0 |] (Vec.sub a b);
+  Util.check_vec "mul" [| 4.0; 10.0; 18.0 |] (Vec.mul a b);
+  Util.check_vec "scale" [| 2.0; 4.0; 6.0 |] (Vec.scale 2.0 a);
+  Util.check_float "dot" 32.0 (Vec.dot a b);
+  Util.check_float "sum" 6.0 (Vec.sum a);
+  Util.check_float "mean" 2.0 (Vec.mean a)
+
+let test_vec_norms () =
+  let v = [| 3.0; -4.0 |] in
+  Util.check_float "norm2" 5.0 (Vec.norm2 v);
+  Util.check_float "norm_inf" 4.0 (Vec.norm_inf v);
+  Util.check_float "dist2" 5.0 (Vec.dist2 [| 0.0; 0.0 |] v)
+
+let test_vec_argmax_first_tie () =
+  Alcotest.(check int) "first on ties" 1 (Vec.argmax [| 0.0; 5.0; 5.0 |]);
+  Alcotest.(check int) "argmin" 0 (Vec.argmin [| -1.0; 5.0; 5.0 |])
+
+let test_vec_axpy () =
+  let y = [| 1.0; 1.0 |] in
+  Vec.axpy 2.0 [| 3.0; 4.0 |] y;
+  Util.check_vec "axpy" [| 7.0; 9.0 |] y
+
+let test_vec_clamp () =
+  let lo = [| 0.0; 0.0 |] and hi = [| 1.0; 1.0 |] in
+  Util.check_vec "clamp" [| 0.0; 1.0 |] (Vec.clamp ~lo ~hi [| -5.0; 2.0 |])
+
+let test_vec_relu () =
+  Util.check_vec "relu" [| 0.0; 0.0; 2.0 |] (Vec.relu [| -1.0; 0.0; 2.0 |])
+
+let test_vec_dim_mismatch () =
+  Alcotest.check_raises "add mismatch"
+    (Invalid_argument "Vec.add: dimension mismatch (2 vs 3)") (fun () ->
+      ignore (Vec.add [| 1.0; 2.0 |] [| 1.0; 2.0; 3.0 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Mat *)
+
+let test_mat_matvec () =
+  let m = Mat.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  Util.check_vec "matvec" [| 5.0; 11.0 |] (Mat.matvec m [| 1.0; 2.0 |])
+
+let test_mat_matvec_t_is_transpose () =
+  Util.repeat ~seed:10 (fun rng _ ->
+      let r = 1 + Rng.int rng 5 and c = 1 + Rng.int rng 5 in
+      let m = Mat.init r c (fun _ _ -> Rng.gaussian rng) in
+      let x = Vec.init r (fun _ -> Rng.gaussian rng) in
+      Util.check_vec ~eps:1e-9 "matvec_t = (m^T) v"
+        (Mat.matvec (Mat.transpose m) x)
+        (Mat.matvec_t m x))
+
+let test_mat_matmul_identity () =
+  Util.repeat ~seed:11 (fun rng _ ->
+      let n = 1 + Rng.int rng 5 in
+      let m = Mat.init n n (fun _ _ -> Rng.gaussian rng) in
+      Util.check_true "m * I = m"
+        (Mat.approx_equal m (Mat.matmul m (Mat.identity n))))
+
+let test_mat_matmul_associative_with_vector () =
+  Util.repeat ~seed:12 (fun rng _ ->
+      let a = Mat.init 3 4 (fun _ _ -> Rng.gaussian rng) in
+      let b = Mat.init 4 2 (fun _ _ -> Rng.gaussian rng) in
+      let x = Vec.init 2 (fun _ -> Rng.gaussian rng) in
+      Util.check_vec ~eps:1e-9 "(ab)x = a(bx)"
+        (Mat.matvec a (Mat.matvec b x))
+        (Mat.matvec (Mat.matmul a b) x))
+
+let test_mat_abs_row_sums () =
+  let m = Mat.of_rows [| [| 1.0; -2.0 |]; [| -3.0; 4.0 |] |] in
+  Util.check_vec "abs row sums" [| 3.0; 7.0 |] (Mat.abs_row_sums m)
+
+let random_spd rng n =
+  let a = Mat.init n n (fun _ _ -> Rng.gaussian rng) in
+  let ata = Mat.matmul (Mat.transpose a) a in
+  (* Regularise to keep the matrix well-conditioned. *)
+  Mat.add ata (Mat.scale (0.1 *. float_of_int n) (Mat.identity n))
+
+let test_cholesky_factorizes () =
+  Util.repeat ~seed:13 (fun rng _ ->
+      let n = 1 + Rng.int rng 6 in
+      let a = random_spd rng n in
+      let l = Mat.cholesky a in
+      Util.check_true "L L^T = A"
+        (Mat.approx_equal ~eps:1e-7 a (Mat.matmul l (Mat.transpose l))))
+
+let test_cholesky_solve () =
+  Util.repeat ~seed:14 (fun rng _ ->
+      let n = 1 + Rng.int rng 6 in
+      let a = random_spd rng n in
+      let x_true = Vec.init n (fun _ -> Rng.gaussian rng) in
+      let b = Mat.matvec a x_true in
+      let l = Mat.cholesky a in
+      let x = Mat.cholesky_solve l b in
+      Util.check_vec ~eps:1e-6 "solves A x = b" x_true x)
+
+let test_cholesky_rejects_indefinite () =
+  let m = Mat.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
+  Alcotest.check_raises "not PD"
+    (Failure "Mat.cholesky: matrix not positive definite") (fun () ->
+      ignore (Mat.cholesky m))
+
+(* ------------------------------------------------------------------ *)
+(* Stats and Special *)
+
+let test_stats_basics () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Util.check_float "mean" 2.5 (Stats.mean xs);
+  Util.check_close "variance" (5.0 /. 3.0) (Stats.variance xs);
+  Util.check_float "median" 2.5 (Stats.median xs);
+  Util.check_float "p0" 1.0 (Stats.percentile xs 0.0);
+  Util.check_float "p100" 4.0 (Stats.percentile xs 100.0);
+  Util.check_close "geomean" (sqrt (sqrt 24.0)) (Stats.geometric_mean xs)
+
+let test_stats_median_odd () =
+  Util.check_float "odd median" 3.0 (Stats.median [| 5.0; 1.0; 3.0 |])
+
+let test_special_erf () =
+  Util.check_close ~eps:1e-6 "erf 0" 0.0 (Special.erf 0.0);
+  Util.check_close ~eps:1e-4 "erf 1" 0.8427 (Special.erf 1.0);
+  Util.check_close ~eps:1e-4 "erf -1" (-0.8427) (Special.erf (-1.0));
+  Util.check_close ~eps:1e-6 "erf inf" 1.0 (Special.erf 10.0)
+
+let test_special_normal_cdf () =
+  Util.check_close ~eps:1e-6 "cdf 0" 0.5 (Special.normal_cdf 0.0);
+  Util.check_close ~eps:1e-4 "cdf 1.96" 0.975 (Special.normal_cdf 1.96);
+  Util.check_true "monotone"
+    (Special.normal_cdf (-1.0) < Special.normal_cdf 1.0)
+
+let test_special_pdf_symmetric () =
+  Util.check_close "symmetric" (Special.normal_pdf 1.3) (Special.normal_pdf (-1.3));
+  Util.check_close ~eps:1e-9 "peak" (1.0 /. sqrt (2.0 *. Float.pi))
+    (Special.normal_pdf 0.0)
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "rng",
+        [
+          Util.case "deterministic streams" test_rng_deterministic;
+          Util.case "split independence" test_rng_split_independent;
+          Util.case "int range" test_rng_int_range;
+          Util.case "float range" test_rng_float_range;
+          Util.case "uniform mean" test_rng_uniform_mean;
+          Util.case "gaussian moments" test_rng_gaussian_moments;
+          Util.case "shuffle is permutation" test_rng_shuffle_permutation;
+          Util.case "int rejects bad bound" test_rng_int_rejects_nonpositive;
+        ] );
+      ( "vec",
+        [
+          Util.case "basic ops" test_vec_basic_ops;
+          Util.case "norms" test_vec_norms;
+          Util.case "argmax ties" test_vec_argmax_first_tie;
+          Util.case "axpy" test_vec_axpy;
+          Util.case "clamp" test_vec_clamp;
+          Util.case "relu" test_vec_relu;
+          Util.case "dimension mismatch" test_vec_dim_mismatch;
+        ] );
+      ( "mat",
+        [
+          Util.case "matvec" test_mat_matvec;
+          Util.case "matvec_t" test_mat_matvec_t_is_transpose;
+          Util.case "matmul identity" test_mat_matmul_identity;
+          Util.case "matmul composition" test_mat_matmul_associative_with_vector;
+          Util.case "abs row sums" test_mat_abs_row_sums;
+          Util.case "cholesky factorization" test_cholesky_factorizes;
+          Util.case "cholesky solve" test_cholesky_solve;
+          Util.case "cholesky rejects indefinite" test_cholesky_rejects_indefinite;
+        ] );
+      ( "stats-special",
+        [
+          Util.case "stats basics" test_stats_basics;
+          Util.case "median odd" test_stats_median_odd;
+          Util.case "erf" test_special_erf;
+          Util.case "normal cdf" test_special_normal_cdf;
+          Util.case "normal pdf" test_special_pdf_symmetric;
+        ] );
+    ]

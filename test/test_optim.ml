@@ -1,0 +1,208 @@
+open Linalg
+open Domains
+
+(* ------------------------------------------------------------------ *)
+(* Objective *)
+
+let test_objective_value_definition () =
+  Util.repeat ~seed:90 ~count:20 (fun rng _ ->
+      let net = Util.small_net rng in
+      let k = Rng.int rng net.Nn.Network.output_dim in
+      let obj = Optim.Objective.create net ~k in
+      let x = Vec.init net.Nn.Network.input_dim (fun _ -> Rng.gaussian rng) in
+      let scores = Nn.Network.eval net x in
+      let best_other = ref neg_infinity in
+      Array.iteri
+        (fun j s -> if j <> k && s > !best_other then best_other := s)
+        scores;
+      Util.check_close ~eps:1e-9 "F = s_k - max_other"
+        (scores.(k) -. !best_other)
+        (Optim.Objective.value obj x))
+
+let test_objective_sign_matches_classification () =
+  Util.repeat ~seed:91 ~count:20 (fun rng _ ->
+      let net = Util.small_net rng in
+      let x = Vec.init net.Nn.Network.input_dim (fun _ -> Rng.gaussian rng) in
+      let predicted = Nn.Network.classify net x in
+      let obj = Optim.Objective.create net ~k:predicted in
+      Util.check_true "argmax class has F >= 0"
+        (Optim.Objective.value obj x >= 0.0))
+
+let test_objective_grad_matches_finite_diff () =
+  Util.repeat ~seed:92 ~count:15 (fun rng _ ->
+      let net = Util.small_net rng in
+      let k = Rng.int rng net.Nn.Network.output_dim in
+      let obj = Optim.Objective.create net ~k in
+      let x =
+        Vec.init net.Nn.Network.input_dim (fun _ ->
+            Rng.uniform rng ~lo:(-1.0) ~hi:1.0)
+      in
+      let g = Optim.Objective.grad obj x in
+      let fd =
+        Nn.Grad.finite_diff (fun y -> Optim.Objective.value obj y) x ~eps:1e-5
+      in
+      (* Finite differences can disagree exactly at a runner-up tie or a
+         ReLU kink; tolerate by checking closeness of the directional
+         derivative along a random direction instead of each component. *)
+      let d = Vec.init (Vec.dim x) (fun _ -> Rng.gaussian rng) in
+      Util.check_close ~eps:1e-3 "directional derivative" (Vec.dot fd d)
+        (Vec.dot g d))
+
+let test_objective_delta_counterexample () =
+  let net = Nn.Init.example_2_2 () in
+  let obj = Optim.Objective.create net ~k:1 in
+  (* At x = 2, F = 6 - 8 = -2: a true counterexample. *)
+  Util.check_true "true cex" (Optim.Objective.is_counterexample obj [| 2.0 |]);
+  Util.check_true "also a delta cex"
+    (Optim.Objective.is_delta_counterexample obj ~delta:0.1 [| 2.0 |]);
+  (* At x = 0, F = 1 > 0.1: not even a delta counterexample. *)
+  Util.check_true "not a cex"
+    (not (Optim.Objective.is_delta_counterexample obj ~delta:0.1 [| 0.0 |]))
+
+let test_objective_rejects_bad_class () =
+  let net = Nn.Init.xor () in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Objective.create: class out of range") (fun () ->
+      ignore (Optim.Objective.create net ~k:2))
+
+(* ------------------------------------------------------------------ *)
+(* PGD *)
+
+let test_pgd_stays_inside () =
+  Util.repeat ~seed:93 ~count:20 (fun rng _ ->
+      let net = Util.small_net rng in
+      let k = Rng.int rng net.Nn.Network.output_dim in
+      let obj = Optim.Objective.create net ~k in
+      let box = Util.small_box rng net.Nn.Network.input_dim in
+      let x, v = Optim.Pgd.minimize ~rng obj box in
+      Util.check_true "inside region" (Box.contains box x);
+      Util.check_close ~eps:1e-9 "reported value is F(x)" (Optim.Objective.value obj x) v)
+
+let test_pgd_finds_known_counterexample () =
+  (* Example 2.2 on [-1, 2]: the violating set [x > 5/3] is large, PGD
+     must find it. *)
+  let net = Nn.Init.example_2_2 () in
+  let obj = Optim.Objective.create net ~k:1 in
+  let box = Box.create ~lo:[| -1.0 |] ~hi:[| 2.0 |] in
+  let rng = Rng.create 94 in
+  let x, v = Optim.Pgd.minimize ~rng obj box in
+  Util.check_true "found violation" (v <= 0.0);
+  Util.check_true "witness misclassified" (Nn.Network.classify net x <> 1)
+
+let test_pgd_beats_center_value () =
+  Util.repeat ~seed:95 ~count:20 (fun rng _ ->
+      let net = Util.small_net rng in
+      let k = Rng.int rng net.Nn.Network.output_dim in
+      let obj = Optim.Objective.create net ~k in
+      let box = Util.small_box rng net.Nn.Network.input_dim in
+      let _, v = Optim.Pgd.minimize ~rng obj box in
+      Util.check_true "no worse than the center start"
+        (v <= Optim.Objective.value obj (Box.center box) +. 1e-9))
+
+let test_pgd_early_stop () =
+  let net = Nn.Init.example_2_2 () in
+  let obj = Optim.Objective.create net ~k:1 in
+  let box = Box.create ~lo:[| -1.0 |] ~hi:[| 2.0 |] in
+  let config =
+    { Optim.Pgd.default_config with Optim.Pgd.early_stop = Some 0.0 }
+  in
+  let _, v = Optim.Pgd.minimize ~config ~rng:(Rng.create 96) obj box in
+  Util.check_true "stopped at a violation" (v <= 0.0)
+
+let test_pgd_point_region () =
+  (* A degenerate region: PGD must return the point itself. *)
+  let net = Nn.Init.xor () in
+  let obj = Optim.Objective.create net ~k:1 in
+  let p = [| 0.4; 0.6 |] in
+  let x, v = Optim.Pgd.minimize ~rng:(Rng.create 97) obj (Box.of_point p) in
+  Util.check_vec "returns the point" p x;
+  Util.check_close ~eps:1e-9 "value at point" (Optim.Objective.value obj p) v
+
+(* ------------------------------------------------------------------ *)
+(* FGSM *)
+
+let test_fgsm_stays_inside () =
+  Util.repeat ~seed:98 ~count:20 (fun rng _ ->
+      let net = Util.small_net rng in
+      let k = Rng.int rng net.Nn.Network.output_dim in
+      let obj = Optim.Objective.create net ~k in
+      let box = Util.small_box rng net.Nn.Network.input_dim in
+      let x, v = Optim.Fgsm.attack_center obj box in
+      Util.check_true "inside" (Box.contains box x);
+      Util.check_close ~eps:1e-9 "value" (Optim.Objective.value obj x) v)
+
+let test_fgsm_moves_to_faces () =
+  (* On a linear objective FGSM reaches the exact minimizing corner. *)
+  let w = Mat.of_rows [| [| 1.0; -1.0 |]; [| 0.0; 0.0 |] |] in
+  let net = Nn.Network.create ~input_dim:2 [ Nn.Layer.affine w (Vec.zeros 2) ] in
+  let obj = Optim.Objective.create net ~k:0 in
+  let box = Box.create ~lo:[| 0.0; 0.0 |] ~hi:[| 1.0; 1.0 |] in
+  let x, _ = Optim.Fgsm.attack_center obj box in
+  (* F = y0 - y1 = x0 - x1; minimized at (0, 1). *)
+  Util.check_vec "exact corner" [| 0.0; 1.0 |] x
+
+(* ------------------------------------------------------------------ *)
+(* MI-FGSM *)
+
+let test_mifgsm_stays_inside () =
+  Util.repeat ~seed:99 ~count:20 (fun rng _ ->
+      let net = Util.small_net rng in
+      let k = Rng.int rng net.Nn.Network.output_dim in
+      let obj = Optim.Objective.create net ~k in
+      let box = Util.small_box rng net.Nn.Network.input_dim in
+      let x, v = Optim.Mifgsm.attack_center obj box in
+      Util.check_true "inside" (Box.contains box x);
+      Util.check_close ~eps:1e-9 "value" (Optim.Objective.value obj x) v)
+
+let test_mifgsm_finds_known_counterexample () =
+  (* Start where the objective has a slope (F is flat below x = 1, so a
+     center start at 0.5 sees zero gradient and stays put — momentum is
+     not a global optimizer). *)
+  let net = Nn.Init.example_2_2 () in
+  let obj = Optim.Objective.create net ~k:1 in
+  let box = Box.create ~lo:[| -1.0 |] ~hi:[| 2.0 |] in
+  let _, v = Optim.Mifgsm.attack obj box ~from:[| 1.2 |] in
+  Util.check_true "found violation" (v <= 0.0)
+
+let test_mifgsm_no_worse_than_start () =
+  Util.repeat ~seed:100 ~count:20 (fun rng _ ->
+      let net = Util.small_net rng in
+      let k = Rng.int rng net.Nn.Network.output_dim in
+      let obj = Optim.Objective.create net ~k in
+      let box = Util.small_box rng net.Nn.Network.input_dim in
+      let start = Box.sample rng box in
+      let _, v = Optim.Mifgsm.attack obj box ~from:start in
+      Util.check_true "no worse than start"
+        (v <= Optim.Objective.value obj start +. 1e-9))
+
+let () =
+  Alcotest.run "optim"
+    [
+      ( "objective",
+        [
+          Util.case "value definition" test_objective_value_definition;
+          Util.case "sign matches classification" test_objective_sign_matches_classification;
+          Util.case "gradient vs finite diff" test_objective_grad_matches_finite_diff;
+          Util.case "delta counterexamples" test_objective_delta_counterexample;
+          Util.case "rejects bad class" test_objective_rejects_bad_class;
+        ] );
+      ( "pgd",
+        [
+          Util.case "stays inside region" test_pgd_stays_inside;
+          Util.case "finds known counterexample" test_pgd_finds_known_counterexample;
+          Util.case "beats center value" test_pgd_beats_center_value;
+          Util.case "early stop" test_pgd_early_stop;
+          Util.case "degenerate region" test_pgd_point_region;
+        ] );
+      ( "fgsm",
+        [
+          Util.case "stays inside region" test_fgsm_stays_inside;
+          Util.case "reaches minimizing corner" test_fgsm_moves_to_faces;
+        ] );
+      ( "mifgsm",
+        [
+          Util.case "stays inside region" test_mifgsm_stays_inside;
+          Util.case "finds known counterexample" test_mifgsm_finds_known_counterexample;
+          Util.case "no worse than start" test_mifgsm_no_worse_than_start;
+        ] );
+    ]

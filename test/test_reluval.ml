@@ -1,0 +1,212 @@
+open Linalg
+open Domains
+
+let unit_box dim = Box.create ~lo:(Vec.zeros dim) ~hi:(Vec.create dim 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic intervals *)
+
+let test_symbolic_identity_on_inputs () =
+  let box = Box.create ~lo:[| -1.0; 0.5 |] ~hi:[| 2.0; 0.75 |] in
+  let s = Reluval.Symbolic_interval.of_box box in
+  Alcotest.(check (pair (float 1e-12) (float 1e-12))) "input 0" (-1.0, 2.0)
+    (Reluval.Symbolic_interval.bounds s 0);
+  Alcotest.(check (pair (float 1e-12) (float 1e-12))) "input 1" (0.5, 0.75)
+    (Reluval.Symbolic_interval.bounds s 1)
+
+let test_symbolic_affine_exact () =
+  (* One affine layer: symbolic bounds are exact (match corner sweep). *)
+  Util.repeat ~seed:120 (fun rng _ ->
+      let box = Util.small_box rng 2 in
+      let w = Mat.init 2 2 (fun _ _ -> Rng.gaussian rng) in
+      let b = Vec.init 2 (fun _ -> Rng.gaussian rng) in
+      let s =
+        Reluval.Symbolic_interval.affine w b
+          (Reluval.Symbolic_interval.of_box box)
+      in
+      for i = 0 to 1 do
+        let lo, hi = Reluval.Symbolic_interval.bounds s i in
+        let best_lo = ref infinity and best_hi = ref neg_infinity in
+        for mask = 0 to 3 do
+          let y = Vec.add (Mat.matvec w (Box.corner box mask)) b in
+          best_lo := Stdlib.min !best_lo y.(i);
+          best_hi := Stdlib.max !best_hi y.(i)
+        done;
+        Util.check_close ~eps:1e-8 "exact lo" !best_lo lo;
+        Util.check_close ~eps:1e-8 "exact hi" !best_hi hi
+      done)
+
+let test_symbolic_soundness_random_nets () =
+  Util.repeat ~seed:121 ~count:30 (fun rng _ ->
+      let net = Util.small_net rng in
+      let box = Util.small_box rng net.Nn.Network.input_dim in
+      let s = Reluval.Symbolic_interval.propagate net box in
+      for _ = 1 to 40 do
+        let x = Box.sample rng box in
+        let y = Nn.Network.eval net x in
+        for i = 0 to net.Nn.Network.output_dim - 1 do
+          let lo, hi = Reluval.Symbolic_interval.bounds s i in
+          Util.check_true
+            (Printf.sprintf "y%d = %g within [%g, %g]" i y.(i) lo hi)
+            (y.(i) >= lo -. 1e-6 && y.(i) <= hi +. 1e-6)
+        done
+      done)
+
+let test_symbolic_margin_sound () =
+  Util.repeat ~seed:122 ~count:20 (fun rng _ ->
+      let net = Util.small_net rng in
+      let box = Util.small_box rng net.Nn.Network.input_dim in
+      let s = Reluval.Symbolic_interval.propagate net box in
+      let m = net.Nn.Network.output_dim in
+      let target = Rng.int rng m in
+      let j = (target + 1) mod m in
+      let lo, hi = Reluval.Symbolic_interval.margin_bounds s ~target ~j in
+      for _ = 1 to 40 do
+        let y = Nn.Network.eval net (Box.sample rng box) in
+        let diff = y.(target) -. y.(j) in
+        Util.check_true "margin within bounds"
+          (diff >= lo -. 1e-6 && diff <= hi +. 1e-6)
+      done)
+
+let test_symbolic_tighter_than_interval () =
+  (* Symbolic intervals keep input correlations, so they are at least
+     as tight as plain interval propagation on ReLU-free layers and
+     usually tighter on ReLU nets; we assert it for the linear case. *)
+  Util.repeat ~seed:123 (fun rng _ ->
+      let d = 3 in
+      let w1 = Mat.init d d (fun _ _ -> Rng.gaussian rng) in
+      let w2 = Mat.init 2 d (fun _ _ -> Rng.gaussian rng) in
+      let net =
+        Nn.Network.create ~input_dim:d
+          [ Nn.Layer.affine w1 (Vec.zeros d); Nn.Layer.affine w2 (Vec.zeros 2) ]
+      in
+      let box = Util.small_box rng d in
+      let s = Reluval.Symbolic_interval.propagate net box in
+      let bi = Absint.Analyzer.output_bounds net box Domain.interval in
+      for i = 0 to 1 do
+        let slo, shi = Reluval.Symbolic_interval.bounds s i in
+        let ilo, ihi = bi.(i) in
+        Util.check_true "symbolic at least as tight"
+          (slo >= ilo -. 1e-8 && shi <= ihi +. 1e-8)
+      done)
+
+let test_symbolic_rejects_maxpool () =
+  let rng = Rng.create 124 in
+  let input = Nn.Shape.create ~channels:1 ~height:4 ~width:4 in
+  let net = Nn.Init.lenet_like rng ~input ~classes:3 in
+  Alcotest.check_raises "maxpool unsupported"
+    (Failure "Symbolic_interval: max pooling is not supported") (fun () ->
+      ignore (Reluval.Symbolic_interval.propagate net (unit_box 16)))
+
+(* ------------------------------------------------------------------ *)
+(* The ReluVal solver *)
+
+let test_reluval_verifies_xor () =
+  let net = Nn.Init.xor () in
+  let prop =
+    Common.Property.create
+      ~region:(Box.create ~lo:[| 0.3; 0.3 |] ~hi:[| 0.7; 0.7 |])
+      ~target:1 ()
+  in
+  let report = Reluval.run net prop in
+  Util.check_true "verified" (report.Reluval.outcome = Common.Outcome.Verified);
+  Util.check_true "used refinement" (report.Reluval.regions_analyzed >= 1)
+
+let test_reluval_sound_on_random_nets () =
+  Util.repeat ~seed:125 ~count:20 (fun rng _ ->
+      let net = Util.small_net rng in
+      let box = Util.small_box rng net.Nn.Network.input_dim in
+      let k = Rng.int rng net.Nn.Network.output_dim in
+      let prop = Common.Property.create ~region:box ~target:k () in
+      let report =
+        Reluval.run ~budget:(Common.Budget.of_steps 500) net prop
+      in
+      match report.Reluval.outcome with
+      | Common.Outcome.Verified ->
+          Util.check_true "no sampled violation"
+            (Common.Property.check_samples rng net prop ~n:200 = None)
+      | Common.Outcome.Refuted x ->
+          Util.check_true "witness in region" (Box.contains box x);
+          Util.check_true "witness violates"
+            (not (Common.Property.holds_at net prop x))
+      | Common.Outcome.Timeout | Common.Outcome.Unknown -> ())
+
+let test_reluval_respects_budget () =
+  let rng = Rng.create 126 in
+  (* A hard false-ish property: a wide region on a random net. *)
+  let net = Util.random_dense rng [ 6; 20; 20; 3 ] in
+  let prop = Common.Property.create ~region:(unit_box 6) ~target:0 () in
+  let budget = Common.Budget.of_steps 10 in
+  let report = Reluval.run ~budget net prop in
+  match report.Reluval.outcome with
+  | Common.Outcome.Timeout ->
+      Util.check_true "stopped promptly" (report.Reluval.regions_analyzed <= 11)
+  | Common.Outcome.Verified | Common.Outcome.Refuted _ -> ()
+  | Common.Outcome.Unknown -> Alcotest.fail "unexpected unknown"
+
+let test_gradient_interval_bounds_point_gradients () =
+  (* The interval gradient magnitude must dominate the concrete gradient
+     magnitude at every point of the region. *)
+  Util.repeat ~seed:128 ~count:20 (fun rng _ ->
+      let net = Util.small_net rng in
+      let box = Util.small_box rng net.Nn.Network.input_dim in
+      let target = Rng.int rng net.Nn.Network.output_dim in
+      let bound = Reluval.gradient_interval net box ~target in
+      for _ = 1 to 20 do
+        let x = Box.sample rng box in
+        let g = Nn.Grad.grad_output net ~x ~k:target in
+        Array.iteri
+          (fun i gi ->
+            Util.check_true
+              (Printf.sprintf "grad bound %g >= |%g|" bound.(i) gi)
+              (bound.(i) >= abs_float gi -. 1e-7))
+          g
+      done)
+
+let test_point_gradient_smear_agrees_on_verdicts () =
+  (* The smear heuristic changes split order, never verdicts. *)
+  let config =
+    { Reluval.default_config with Reluval.smear = Reluval.Point_gradient }
+  in
+  Util.repeat ~seed:129 ~count:10 (fun rng _ ->
+      let net = Util.small_net rng in
+      let box = Util.small_box rng net.Nn.Network.input_dim in
+      let k = Rng.int rng net.Nn.Network.output_dim in
+      let prop = Common.Property.create ~region:box ~target:k () in
+      let budget () = Common.Budget.of_steps 2_000 in
+      let a = (Reluval.run ~budget:(budget ()) net prop).Reluval.outcome in
+      let b =
+        (Reluval.run ~config ~budget:(budget ()) net prop).Reluval.outcome
+      in
+      Util.check_true "agree" (Common.Outcome.agrees a b))
+
+let test_reluval_unknown_on_maxpool () =
+  let rng = Rng.create 127 in
+  let input = Nn.Shape.create ~channels:1 ~height:4 ~width:4 in
+  let net = Nn.Init.lenet_like rng ~input ~classes:3 in
+  let prop = Common.Property.create ~region:(unit_box 16) ~target:0 () in
+  let report = Reluval.run net prop in
+  Util.check_true "unknown" (report.Reluval.outcome = Common.Outcome.Unknown)
+
+let () =
+  Alcotest.run "reluval"
+    [
+      ( "symbolic-interval",
+        [
+          Util.case "identity on inputs" test_symbolic_identity_on_inputs;
+          Util.case "affine exact" test_symbolic_affine_exact;
+          Util.case "sound on random nets" test_symbolic_soundness_random_nets;
+          Util.case "margin bounds sound" test_symbolic_margin_sound;
+          Util.case "tighter than intervals (linear)" test_symbolic_tighter_than_interval;
+          Util.case "rejects maxpool" test_symbolic_rejects_maxpool;
+        ] );
+      ( "solver",
+        [
+          Util.case "verifies xor" test_reluval_verifies_xor;
+          Util.case "sound on random nets" test_reluval_sound_on_random_nets;
+          Util.case "respects budget" test_reluval_respects_budget;
+          Util.case "gradient interval dominates" test_gradient_interval_bounds_point_gradients;
+          Util.case "smear variants agree" test_point_gradient_smear_agrees_on_verdicts;
+          Util.case "unknown on maxpool" test_reluval_unknown_on_maxpool;
+        ] );
+    ]

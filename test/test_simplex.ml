@@ -1,0 +1,193 @@
+open Linalg
+open Simplex
+
+(* ------------------------------------------------------------------ *)
+(* Tableau-level tests *)
+
+let test_tableau_basic_max () =
+  (* max x + y  s.t.  x + 2y <= 4, 3x + y <= 6, x,y >= 0
+     optimum 2.8 at (1.6, 1.2). *)
+  let constraints =
+    [| Tableau.Le ([| 1.0; 2.0 |], 4.0); Tableau.Le ([| 3.0; 1.0 |], 6.0) |]
+  in
+  match Tableau.maximize ~nvars:2 constraints ~obj:[| 1.0; 1.0 |] () with
+  | Tableau.Optimal { x; value } ->
+      Util.check_close ~eps:1e-8 "value" 2.8 value;
+      Util.check_vec ~eps:1e-8 "point" [| 1.6; 1.2 |] x
+  | Tableau.Infeasible | Tableau.Unbounded -> Alcotest.fail "expected optimum"
+
+let test_tableau_unbounded () =
+  let constraints = [| Tableau.Le ([| -1.0 |], 0.0) |] in
+  match Tableau.maximize ~nvars:1 constraints ~obj:[| 1.0 |] () with
+  | Tableau.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_tableau_infeasible () =
+  (* x <= -1 with x >= 0. *)
+  let constraints = [| Tableau.Le ([| 1.0 |], -1.0) |] in
+  match Tableau.maximize ~nvars:1 constraints ~obj:[| 1.0 |] () with
+  | Tableau.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_tableau_equality () =
+  (* max y s.t. x + y = 2, y <= x. Optimum: x = y = 1. *)
+  let constraints =
+    [| Tableau.Eq ([| 1.0; 1.0 |], 2.0); Tableau.Le ([| -1.0; 1.0 |], 0.0) |]
+  in
+  match Tableau.maximize ~nvars:2 constraints ~obj:[| 0.0; 1.0 |] () with
+  | Tableau.Optimal { x; value } ->
+      Util.check_close ~eps:1e-8 "value" 1.0 value;
+      Util.check_vec ~eps:1e-8 "point" [| 1.0; 1.0 |] x
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_tableau_negative_rhs () =
+  (* -x <= -2 means x >= 2; max -x gives x = 2. *)
+  let constraints = [| Tableau.Le ([| -1.0 |], -2.0) |] in
+  match Tableau.maximize ~nvars:1 constraints ~obj:[| -1.0 |] () with
+  | Tableau.Optimal { x; value } ->
+      Util.check_close ~eps:1e-8 "value" (-2.0) value;
+      Util.check_close ~eps:1e-8 "x" 2.0 x.(0)
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_tableau_degenerate_terminates () =
+  (* A classically degenerate program (Beale-like); Bland's rule must
+     terminate. *)
+  let constraints =
+    [|
+      Tableau.Le ([| 0.25; -8.0; -1.0; 9.0 |], 0.0);
+      Tableau.Le ([| 0.5; -12.0; -0.5; 3.0 |], 0.0);
+      Tableau.Le ([| 0.0; 0.0; 1.0; 0.0 |], 1.0);
+    |]
+  in
+  match
+    Tableau.maximize ~nvars:4 constraints ~obj:[| 0.75; -20.0; 0.5; -6.0 |] ()
+  with
+  | Tableau.Optimal { value; _ } -> Util.check_close ~eps:1e-6 "beale optimum" 1.25 value
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_tableau_should_stop () =
+  let constraints =
+    Array.init 20 (fun i ->
+        Tableau.Le (Vec.init 20 (fun j -> if i = j then 1.0 else 0.1), 1.0))
+  in
+  Alcotest.check_raises "aborts" Tableau.Aborted (fun () ->
+      ignore
+        (Tableau.maximize
+           ~should_stop:(fun () -> true)
+           ~nvars:20 constraints ~obj:(Vec.create 20 1.0) ()))
+
+(* ------------------------------------------------------------------ *)
+(* Lp-level tests *)
+
+let test_lp_shifted_bounds () =
+  (* min x s.t. x >= -3 with x in [-5, 5]. *)
+  let p = Lp.create ~nvars:1 in
+  Lp.set_bounds p 0 ~lo:(-5.0) ~hi:5.0;
+  Lp.add_ge p [ (0, 1.0) ] (-3.0);
+  (match Lp.minimize p [ (0, 1.0) ] with
+  | Lp.Optimal { x; value } ->
+      Util.check_close ~eps:1e-8 "value" (-3.0) value;
+      Util.check_close ~eps:1e-8 "x" (-3.0) x.(0)
+  | _ -> Alcotest.fail "expected optimum");
+  match Lp.maximize p [ (0, 1.0) ] with
+  | Lp.Optimal { value; _ } -> Util.check_close ~eps:1e-8 "max at ub" 5.0 value
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_lp_infeasible () =
+  let p = Lp.create ~nvars:1 in
+  Lp.set_bounds p 0 ~lo:0.0 ~hi:2.0;
+  Lp.add_ge p [ (0, 1.0) ] 5.0;
+  match Lp.maximize p [ (0, 1.0) ] with
+  | Lp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_lp_equality_chain () =
+  (* y = 2x, z = y + 1, x in [0, 3]; max z = 7. *)
+  let p = Lp.create ~nvars:3 in
+  Lp.set_bounds p 0 ~lo:0.0 ~hi:3.0;
+  Lp.set_bounds p 1 ~lo:(-10.0) ~hi:10.0;
+  Lp.set_bounds p 2 ~lo:(-10.0) ~hi:10.0;
+  Lp.add_eq p [ (1, 1.0); (0, -2.0) ] 0.0;
+  Lp.add_eq p [ (2, 1.0); (1, -1.0) ] 1.0;
+  match Lp.maximize p [ (2, 1.0) ] with
+  | Lp.Optimal { x; value } ->
+      Util.check_close ~eps:1e-8 "value" 7.0 value;
+      Util.check_close ~eps:1e-8 "x" 3.0 x.(0)
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_lp_pinned_variable () =
+  let p = Lp.create ~nvars:2 in
+  Lp.set_bounds p 0 ~lo:1.5 ~hi:1.5;
+  Lp.set_bounds p 1 ~lo:0.0 ~hi:1.0;
+  match Lp.maximize p [ (0, 1.0); (1, 1.0) ] with
+  | Lp.Optimal { x; value } ->
+      Util.check_close ~eps:1e-8 "value" 2.5 value;
+      Util.check_close ~eps:1e-8 "pinned" 1.5 x.(0)
+  | _ -> Alcotest.fail "expected optimum"
+
+(* Randomized optimality check: the returned optimum must be feasible
+   and dominate random feasible points. *)
+let test_lp_random_optimality () =
+  Util.repeat ~seed:110 ~count:25 (fun rng _ ->
+      let n = 2 + Rng.int rng 3 in
+      let p = Lp.create ~nvars:n in
+      for i = 0 to n - 1 do
+        Lp.set_bounds p i ~lo:(-1.0) ~hi:1.0
+      done;
+      let rows =
+        Array.init (1 + Rng.int rng 3) (fun _ ->
+            let coeffs = List.init n (fun j -> (j, Rng.gaussian rng)) in
+            let b = Rng.uniform rng ~lo:0.2 ~hi:1.5 in
+            Lp.add_le p coeffs b;
+            (coeffs, b))
+      in
+      let obj = List.init n (fun j -> (j, Rng.gaussian rng)) in
+      match Lp.maximize p obj with
+      | Lp.Unbounded -> Alcotest.fail "bounded by construction"
+      | Lp.Infeasible -> () (* possible if rows exclude the whole box *)
+      | Lp.Optimal { x; value } ->
+          let eval_row coeffs v =
+            List.fold_left (fun acc (j, c) -> acc +. (c *. v.(j))) 0.0 coeffs
+          in
+          (* Feasibility of the optimum. *)
+          Array.iter
+            (fun (coeffs, b) ->
+              Util.check_true "optimum feasible" (eval_row coeffs x <= b +. 1e-6))
+            rows;
+          Array.iter
+            (fun v ->
+              Util.check_true "within bounds" (v >= -1.0 -. 1e-7 && v <= 1.0 +. 1e-7))
+            x;
+          (* Dominance over random feasible points. *)
+          for _ = 1 to 50 do
+            let cand = Vec.init n (fun _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+            let feasible =
+              Array.for_all (fun (coeffs, b) -> eval_row coeffs cand <= b) rows
+            in
+            if feasible then
+              Util.check_true "optimum dominates"
+                (eval_row obj cand <= value +. 1e-6)
+          done)
+
+let () =
+  Alcotest.run "simplex"
+    [
+      ( "tableau",
+        [
+          Util.case "basic maximization" test_tableau_basic_max;
+          Util.case "unbounded detection" test_tableau_unbounded;
+          Util.case "infeasible detection" test_tableau_infeasible;
+          Util.case "equality constraints" test_tableau_equality;
+          Util.case "negative rhs" test_tableau_negative_rhs;
+          Util.case "degenerate program terminates" test_tableau_degenerate_terminates;
+          Util.case "should_stop aborts" test_tableau_should_stop;
+        ] );
+      ( "lp",
+        [
+          Util.case "shifted bounds" test_lp_shifted_bounds;
+          Util.case "infeasible" test_lp_infeasible;
+          Util.case "equality chain" test_lp_equality_chain;
+          Util.case "pinned variable" test_lp_pinned_variable;
+          Util.case "random optimality" test_lp_random_optimality;
+        ] );
+    ]

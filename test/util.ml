@@ -1,0 +1,56 @@
+(* Shared helpers for the test suites: random structure generators and
+   common checks.  Linked into every test executable in this directory. *)
+
+open Linalg
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let check_close ?(eps = 1e-6) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let check_vec ?(eps = 1e-9) msg expected actual =
+  if not (Vec.approx_equal ~eps expected actual) then
+    Alcotest.failf "%s: expected %s, got %s" msg
+      (Format.asprintf "%a" Vec.pp expected)
+      (Format.asprintf "%a" Vec.pp actual)
+
+let check_true msg b = Alcotest.(check bool) msg true b
+
+(* A random dense ReLU network with the given layer sizes. *)
+let random_dense rng sizes = Nn.Init.dense rng ~layer_sizes:sizes
+
+(* A random small network: 2-4 inputs, one or two hidden layers, 2-3
+   classes.  Small enough for exhaustive-ish sampling checks. *)
+let small_net rng =
+  let inputs = 2 + Rng.int rng 3 in
+  let classes = 2 + Rng.int rng 2 in
+  let hidden = 3 + Rng.int rng 5 in
+  let sizes =
+    if Rng.bool rng then [ inputs; hidden; classes ]
+    else [ inputs; hidden; hidden; classes ]
+  in
+  random_dense rng sizes
+
+(* A random box around the origin with sides in (0, 1]. *)
+let small_box rng dim =
+  let center = Vec.init dim (fun _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+  let lo = Vec.init dim (fun i -> center.(i) -. Rng.float rng 0.5) in
+  let hi = Vec.init dim (fun i -> center.(i) +. (0.01 +. Rng.float rng 0.5)) in
+  Domains.Box.create ~lo ~hi
+
+(* Property-based testing glue: run a seeded check [count] times. *)
+let repeat ?(count = 50) ~seed f =
+  let rng = Rng.create seed in
+  for i = 1 to count do
+    f (Rng.split rng) i
+  done
+
+let qtest name ?(count = 100) gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count gen prop)
+
+let suite name cases = (name, cases)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let slow_case name f = Alcotest.test_case name `Slow f
