@@ -9,7 +9,9 @@
    Modes: all fig6 cactus fig14 fig15 rq2 ablation delta curve replicate
    micro.
    Options: --per-network N (properties per net), --timeout S (per
-   benchmark), --seed S, --no-learn (skip policy training). *)
+   benchmark), --seed S, --no-learn (skip policy training),
+   --workers/-j N (worker domains for the suite runs; JSON artifacts
+   record the worker count and wall clock per run). *)
 
 open Experiments
 
@@ -20,6 +22,7 @@ type options = {
   seed : int;
   learn : bool;
   seeds : int;  (** replications for the summary experiment *)
+  workers : int;  (** worker domains for suite runs (1 = sequential) *)
 }
 
 let parse_options () =
@@ -32,6 +35,7 @@ let parse_options () =
         seed = 2019;
         learn = true;
         seeds = 1;
+        workers = 1;
       }
   in
   let rec go = function
@@ -50,6 +54,17 @@ let parse_options () =
         go rest
     | "--seeds" :: v :: rest ->
         opts := { !opts with seeds = int_of_string v };
+        go rest
+    | ("--workers" | "-j") :: v :: rest ->
+        let workers =
+          match int_of_string_opt v with
+          | Some w when w >= 1 -> w
+          | _ ->
+              Printf.eprintf
+                "bench: --workers expects a positive integer (got %s)\n" v;
+              exit 2
+        in
+        opts := { !opts with workers };
         go rest
     | mode :: rest ->
         opts := { !opts with mode };
@@ -101,12 +116,28 @@ let non_conv w =
     (fun ((e : Datasets.Suite.entry), _) -> not e.Datasets.Suite.convolutional)
     w
 
+(* Suite runs go through one wrapper so every experiment also leaves a
+   JSON record with the worker count and end-to-end wall clock — the
+   fields future BENCH_*.json archives use to track parallel speedup. *)
+let timed_suite opts ~json tools w =
+  let t0 = Unix.gettimeofday () in
+  let results =
+    Runner.run_suite ~progress ~jobs:opts.workers ~seed:opts.seed
+      ~timeout:opts.timeout tools w
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  Printf.printf "suite run done: %.1fs wall with %d worker(s)\n%!" wall
+    opts.workers;
+  Runner.save_json ~workers:opts.workers ~wall_seconds:wall
+    (Filename.concat artifacts json)
+    results;
+  results
+
 (* Figures 6-13 share one run of {Charon, AI2-Zonotope, AI2-Bounded64}. *)
 let run_ai2_experiment opts policy w =
   Printf.printf "\nrunning Charon vs AI2 (%d benchmarks x 3 tools)...\n%!"
     (List.fold_left (fun acc (_, ps) -> acc + List.length ps) 0 w);
-  Runner.run_suite ~progress ~seed:opts.seed ~timeout:opts.timeout
-    (Tool.all_figure6 ~policy) w
+  timed_suite opts ~json:"ai2_results.json" (Tool.all_figure6 ~policy) w
 
 (* Figures 14-15 and §7.3 share one run of {Charon, ReluVal, Reluplex}
    on the fully-connected networks. *)
@@ -114,8 +145,7 @@ let run_complete_experiment opts policy w =
   let w = non_conv w in
   Printf.printf "\nrunning Charon vs complete tools (%d benchmarks x 3 tools)...\n%!"
     (List.fold_left (fun acc (_, ps) -> acc + List.length ps) 0 w);
-  Runner.run_suite ~progress ~seed:opts.seed ~timeout:opts.timeout
-    (Tool.all_complete ~policy) w
+  timed_suite opts ~json:"complete_results.json" (Tool.all_complete ~policy) w
 
 (* Bechamel micro-benchmarks: one group per paper artefact, measuring
    the dominant kernel behind it. *)
@@ -240,7 +270,7 @@ let () =
             in
             Printf.printf "seed %d...
 %!" seed;
-            Runner.run_suite ~seed ~timeout:opts.timeout
+            Runner.run_suite ~jobs:opts.workers ~seed ~timeout:opts.timeout
               (Tool.all_figure6 ~policy) w)
       in
       Printf.printf "

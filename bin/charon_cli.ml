@@ -42,6 +42,22 @@ let seed_arg =
   let doc = "Random seed (all runs are deterministic given the seed)." in
   Arg.(value & opt int 2019 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let workers_arg =
+  let doc =
+    "Worker domains for the region search (1 = the sequential Algorithm \
+     1 path; more drains the split worklist in parallel)."
+  in
+  let positive_int =
+    let parse s =
+      match Arg.conv_parser Arg.int s with
+      | Ok n when n >= 1 -> Ok n
+      | Ok n -> Error (`Msg (Printf.sprintf "%d is not a positive worker count" n))
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Arg.conv_printer Arg.int)
+  in
+  Arg.(value & opt positive_int 1 & info [ "workers"; "j" ] ~docv:"N" ~doc)
+
 let policy_arg =
   let doc =
     "Learned policy file (from $(b,charon train)); defaults to the \
@@ -72,7 +88,8 @@ let load_policy = function
 (* verify                                                             *)
 
 let verify_cmd =
-  let run () network target center radius box timeout delta seed policy_file =
+  let run () network target center radius box timeout delta seed workers
+      policy_file =
     let net = Nn.Serial.load network in
     let region = region_of ~center ~radius ~box in
     let prop = Common.Property.create ~region ~target () in
@@ -82,14 +99,15 @@ let verify_cmd =
     let report =
       Charon.Verify.run ~config
         ~budget:(Common.Budget.of_seconds timeout)
-        ~rng ~policy net prop
+        ~workers ~rng ~policy net prop
     in
     Format.printf "%a@." Common.Outcome.pp report.Charon.Verify.outcome;
     Format.printf
-      "time %.3fs, %d nodes, %d abstract runs, %d PGD calls, depth %d@."
+      "time %.3fs, %d nodes, %d abstract runs, %d PGD calls, depth %d, %d \
+       workers@."
       report.Charon.Verify.elapsed report.Charon.Verify.nodes
       report.Charon.Verify.analyze_calls report.Charon.Verify.pgd_calls
-      report.Charon.Verify.peak_depth;
+      report.Charon.Verify.peak_depth report.Charon.Verify.workers;
     List.iter
       (fun (spec, n) ->
         Format.printf "  domain %a used %d times@." Domains.Domain.pp spec n)
@@ -101,7 +119,8 @@ let verify_cmd =
   let term =
     Term.(
       const run $ logs_term $ network_arg $ target_arg $ center_arg
-      $ radius_arg $ box_arg $ timeout_arg $ delta_arg $ seed_arg $ policy_arg)
+      $ radius_arg $ box_arg $ timeout_arg $ delta_arg $ seed_arg
+      $ workers_arg $ policy_arg)
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify or refute a robustness property")
@@ -166,12 +185,12 @@ let suite_cmd =
     let doc = "Number of properties per benchmark network." in
     Arg.(value & opt int 6 & info [ "per-network" ] ~docv:"N" ~doc)
   in
-  let run () per_network timeout seed policy_file =
+  let run () per_network timeout seed workers policy_file =
     let policy = load_policy policy_file in
     let w = Datasets.Suite.benchmark ~seed ~per_network () in
     let tool = Experiments.Tool.charon ~policy () in
     let results =
-      Experiments.Runner.run_suite ~seed ~timeout [ tool ] w
+      Experiments.Runner.run_suite ~jobs:workers ~seed ~timeout [ tool ] w
         ~progress:(fun r ->
           Printf.printf "%-14s %-24s %-9s %.2fs\n%!" r.Experiments.Runner.network
             r.Experiments.Runner.property
@@ -185,7 +204,7 @@ let suite_cmd =
   let term =
     Term.(
       const run $ logs_term $ per_network_arg $ timeout_arg $ seed_arg
-      $ policy_arg)
+      $ workers_arg $ policy_arg)
   in
   Cmd.v (Cmd.info "suite" ~doc:"Run Charon over the benchmark suite") term
 
@@ -207,7 +226,7 @@ let check_cmd =
     Arg.(
       value & opt (some file) None & info [ "network"; "n" ] ~docv:"FILE" ~doc)
   in
-  let run () props_file default_net timeout delta seed policy_file =
+  let run () props_file default_net timeout delta seed workers policy_file =
     let entries = Common.Propfile.load props_file in
     let policy = load_policy policy_file in
     let config = { Charon.Verify.default_config with Charon.Verify.delta } in
@@ -238,7 +257,7 @@ let check_cmd =
         let report =
           Charon.Verify.run ~config
             ~budget:(Common.Budget.of_seconds timeout)
-            ~rng ~policy net entry.Common.Propfile.property
+            ~workers ~rng ~policy net entry.Common.Propfile.property
         in
         if not (Common.Outcome.is_solved report.Charon.Verify.outcome) then
           incr unsolved;
@@ -253,7 +272,7 @@ let check_cmd =
   let term =
     Term.(
       const run $ logs_term $ props_arg $ default_net_arg $ timeout_arg
-      $ delta_arg $ seed_arg $ policy_arg)
+      $ delta_arg $ seed_arg $ workers_arg $ policy_arg)
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Decide every property in a property file")

@@ -1,11 +1,24 @@
+(* Budgets are shared by every parallel verifier worker, so the mutable
+   pieces are atomics: [spend] and [exhausted] may be called from any
+   domain concurrently. *)
 type t = {
   deadline : float option;
   max_steps : int option;
   started : float;
-  mutable used : int;
+  used : int Atomic.t;
+  polls : int Atomic.t;  (** wall-clock polls since creation *)
+  expired : bool Atomic.t;  (** sticky once the deadline passes *)
 }
 
 let now () = Unix.gettimeofday ()
+
+(* The analyzer polls once per layer per region (and parallel workers
+   multiply that), so re-reading the wall clock on every poll costs real
+   time on the hot path.  Only every [poll_stride]-th poll reads the
+   clock; step-budget checks stay exact.  Deadline detection is thereby
+   delayed by at most [poll_stride - 1] polls and is sticky once seen —
+   callers must poll in a loop rather than rely on the very next call. *)
+let poll_stride = 32
 
 let create ?seconds ?steps () =
   let started = now () in
@@ -13,7 +26,9 @@ let create ?seconds ?steps () =
     deadline = Option.map (fun s -> started +. s) seconds;
     max_steps = steps;
     started;
-    used = 0;
+    used = Atomic.make 0;
+    polls = Atomic.make 0;
+    expired = Atomic.make false;
   }
 
 let unlimited () = create ()
@@ -22,15 +37,22 @@ let of_seconds s = create ~seconds:s ()
 
 let of_steps n = create ~steps:n ()
 
-let spend t n = t.used <- t.used + n
+let spend t n = ignore (Atomic.fetch_and_add t.used n)
+
+let past_deadline t d =
+  Atomic.get t.expired
+  ||
+  let p = Atomic.fetch_and_add t.polls 1 in
+  if p mod poll_stride = 0 && now () > d then Atomic.set t.expired true;
+  Atomic.get t.expired
 
 let exhausted t =
-  (match t.max_steps with Some m -> t.used >= m | None -> false)
-  || match t.deadline with Some d -> now () > d | None -> false
+  (match t.max_steps with Some m -> Atomic.get t.used >= m | None -> false)
+  || match t.deadline with Some d -> past_deadline t d | None -> false
 
 let elapsed t = now () -. t.started
 
 let remaining_seconds t =
   Option.map (fun d -> Stdlib.max 0.0 (d -. now ())) t.deadline
 
-let steps_used t = t.used
+let steps_used t = Atomic.get t.used

@@ -19,9 +19,18 @@ val create : ?seconds:float -> ?steps:int -> unit -> t
 (** Combined budget; whichever limit is hit first exhausts it. *)
 
 val spend : t -> int -> unit
-(** Consume work units from the step budget. *)
+(** Consume work units from the step budget.  Thread-safe: budgets may
+    be shared across parallel verifier workers. *)
 
 val exhausted : t -> bool
+(** Whether either limit has been hit.  Step-budget checks are exact on
+    every call; the wall clock is only re-read on every [poll_stride]-th
+    call (and sticky once past the deadline), so deadline expiry is
+    detected within a bounded number of polls rather than on the very
+    next one.  Thread-safe. *)
+
+val poll_stride : int
+(** Number of [exhausted] polls between wall-clock reads. *)
 
 val elapsed : t -> float
 (** Seconds since the budget was created. *)

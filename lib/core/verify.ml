@@ -31,29 +31,48 @@ type report = {
   pgd_calls : int;
   transformer_calls : int;
   peak_depth : int;
+  workers : int;
   domains_used : (Domain.spec * int) list;
 }
 
+(* Counters are shared by every worker domain, so the integer ones are
+   atomics and the per-domain-spec histogram hides behind a mutex.  In
+   the sequential (workers = 1) case the atomics are uncontended and the
+   numbers are bit-for-bit what the old mutable-record code produced. *)
 type counters = {
-  mutable nodes : int;
-  mutable analyze_calls : int;
-  mutable pgd_calls : int;
-  mutable transformer_calls : int;
-  mutable peak_depth : int;
+  nodes : int Atomic.t;
+  analyze_calls : int Atomic.t;
+  pgd_calls : int Atomic.t;
+  transformer_calls : int Atomic.t;
+  peak_depth : int Atomic.t;
+  domains_mutex : Mutex.t;
   domains : (Domain.spec, int) Hashtbl.t;
 }
 
-let run ?(config = default_config) ?(budget = Common.Budget.unlimited ()) ~rng
-    ~policy net (prop : Common.Property.t) =
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
+(* A unit of work: one sub-region of the input, the split depth that
+   produced it, and its own RNG stream.  Carrying the RNG in the item
+   (split off the parent's at push time) makes the search tree a pure
+   function of the root seed — independent of which worker processes
+   which region, so a fixed (seed, workers) pair is reproducible. *)
+type item = { region : Box.t; depth : int; rng : Linalg.Rng.t }
+
+let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
+    ?(workers = 1) ~rng ~policy net (prop : Common.Property.t) =
   if config.delta <= 0.0 then invalid_arg "Verify.run: delta must be positive";
+  if workers < 1 then invalid_arg "Verify.run: workers must be at least 1";
   let started = Unix.gettimeofday () in
   let counters =
     {
-      nodes = 0;
-      analyze_calls = 0;
-      pgd_calls = 0;
-      transformer_calls = 0;
-      peak_depth = 0;
+      nodes = Atomic.make 0;
+      analyze_calls = Atomic.make 0;
+      pgd_calls = Atomic.make 0;
+      transformer_calls = Atomic.make 0;
+      peak_depth = Atomic.make 0;
+      domains_mutex = Mutex.create ();
       domains = Hashtbl.create 8;
     }
   in
@@ -61,9 +80,9 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ()) ~rng
   let pgd_config =
     { config.pgd with Optim.Pgd.early_stop = Some config.delta }
   in
-  let search_candidate region =
+  let search_candidate ~rng region =
     if config.use_cex_search then begin
-      counters.pgd_calls <- counters.pgd_calls + 1;
+      Atomic.incr counters.pgd_calls;
       Optim.Pgd.minimize ~config:pgd_config ~rng objective region
     end
     else begin
@@ -75,16 +94,18 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ()) ~rng
      (lines 2-4), a proof attempt with the policy's domain (lines 5-7),
      and on failure a policy-guided split (lines 8-12).  Returns the
      sub-regions still to be proven. *)
-  let process region depth : (Common.Outcome.t, (Box.t * int * float) list) Either.t =
-    counters.nodes <- counters.nodes + 1;
-    counters.peak_depth <- Stdlib.max counters.peak_depth depth;
+  let process ~rng region depth :
+      (Common.Outcome.t, (Box.t * int * float) list) Either.t =
+    Atomic.incr counters.nodes;
+    atomic_max counters.peak_depth depth;
     if Common.Budget.exhausted budget then Either.Left Common.Outcome.Timeout
     else if depth > config.max_depth then Either.Left Common.Outcome.Timeout
     else begin
-      let xstar, fstar = search_candidate region in
+      let xstar, fstar = search_candidate ~rng region in
       Log.debug (fun m ->
-          m "node %d depth %d region %a: F(x*) = %g" counters.nodes depth
-            Box.pp region fstar);
+          m "node %d depth %d region %a: F(x*) = %g"
+            (Atomic.get counters.nodes)
+            depth Box.pp region fstar);
       if fstar <= config.delta then begin
         Log.info (fun m ->
             m "refuted at depth %d with F = %g <= delta = %g" depth fstar
@@ -102,16 +123,19 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ()) ~rng
           }
         in
         let spec = Policy.choose_domain policy input in
+        Mutex.lock counters.domains_mutex;
         Hashtbl.replace counters.domains spec
           (1 + Option.value ~default:0 (Hashtbl.find_opt counters.domains spec));
+        Mutex.unlock counters.domains_mutex;
         let stats = Absint.Analyzer.fresh_stats () in
-        counters.analyze_calls <- counters.analyze_calls + 1;
+        Atomic.incr counters.analyze_calls;
         let verdict =
           Absint.Analyzer.analyze ~stats ~budget net region
             ~k:prop.Common.Property.target spec
         in
-        counters.transformer_calls <-
-          counters.transformer_calls + stats.Absint.Analyzer.transformer_calls;
+        ignore
+          (Atomic.fetch_and_add counters.transformer_calls
+             stats.Absint.Analyzer.transformer_calls);
         Common.Budget.spend budget stats.Absint.Analyzer.transformer_calls;
         Log.debug (fun m ->
             m "domain %a -> %s" Domain.pp spec
@@ -123,7 +147,10 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ()) ~rng
         | Absint.Analyzer.Unknown ->
             let dim, at = Policy.choose_split policy input in
             if Box.width region dim <= 0.0 then
-              Either.Left Common.Outcome.Timeout
+              (* An unsplittable (zero-width) dimension is a precision
+                 failure, not resource exhaustion: budget and depth may
+                 both have headroom, we just cannot refine further. *)
+              Either.Left Common.Outcome.Unknown
             else begin
               let left, right = Box.split region ~dim ~at in
               Either.Right
@@ -136,13 +163,13 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ()) ~rng
      (Algorithm 1, left branch first), a min-priority queue on the
      parent's PGD value for best-first (regions closest to a violation
      are refined first). *)
-  let outcome =
+  let sequential () =
     match config.strategy with
     | Depth_first ->
         let rec drain = function
           | [] -> Common.Outcome.Verified
           | (region, depth) :: rest -> begin
-              match process region depth with
+              match process ~rng region depth with
               | Either.Left outcome -> outcome
               | Either.Right children ->
                   drain
@@ -158,7 +185,7 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ()) ~rng
           match Common.Pqueue.pop heap with
           | None -> Common.Outcome.Verified
           | Some (_, (region, depth)) -> begin
-              match process region depth with
+              match process ~rng region depth with
               | Either.Left outcome -> outcome
               | Either.Right children ->
                   List.iter
@@ -170,14 +197,70 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ()) ~rng
         in
         drain ()
   in
+  (* Parallel drain: the worklist becomes a shared work-sharing queue
+     and [workers] domains race on it.  A [Refuted]/[Timeout]/[Unknown]
+     answer from any worker settles the result and cancels outstanding
+     work; [Verified] requires the queue to drain empty, because every
+     sub-region carries part of the proof obligation. *)
+  let parallel () =
+    let queue = Parallel.Wqueue.create () in
+    let cancel = Parallel.Cancel.create () in
+    let result = Atomic.make None in
+    let settle outcome =
+      if Atomic.compare_and_set result None (Some outcome) then begin
+        Parallel.Cancel.cancel cancel;
+        Parallel.Wqueue.close queue
+      end
+    in
+    let priority ~depth ~fstar =
+      match config.strategy with
+      (* Deepest-first approximates the sequential LIFO order and keeps
+         the frontier small. *)
+      | Depth_first -> -.float_of_int depth
+      | Best_first -> fstar
+    in
+    Parallel.Wqueue.push queue ~priority:0.0
+      {
+        region = prop.Common.Property.region;
+        depth = 0;
+        rng = Linalg.Rng.split rng;
+      };
+    let worker _id =
+      let rec loop () =
+        match Parallel.Wqueue.pop queue with
+        | None -> ()
+        | Some it ->
+            if not (Parallel.Cancel.cancelled cancel) then begin
+              match process ~rng:it.rng it.region it.depth with
+              | Either.Left outcome -> settle outcome
+              | Either.Right children ->
+                  List.iter
+                    (fun (r, d, fstar) ->
+                      Parallel.Wqueue.push queue
+                        ~priority:(priority ~depth:d ~fstar)
+                        { region = r; depth = d; rng = Linalg.Rng.split it.rng })
+                    children
+            end;
+            Parallel.Wqueue.finish queue;
+            loop ()
+      in
+      loop ()
+    in
+    Parallel.Pool.run ~workers worker;
+    match Atomic.get result with
+    | Some outcome -> outcome
+    | None -> Common.Outcome.Verified
+  in
+  let outcome = if workers = 1 then sequential () else parallel () in
   {
     outcome;
     elapsed = Unix.gettimeofday () -. started;
-    nodes = counters.nodes;
-    analyze_calls = counters.analyze_calls;
-    pgd_calls = counters.pgd_calls;
-    transformer_calls = counters.transformer_calls;
-    peak_depth = counters.peak_depth;
+    nodes = Atomic.get counters.nodes;
+    analyze_calls = Atomic.get counters.analyze_calls;
+    pgd_calls = Atomic.get counters.pgd_calls;
+    transformer_calls = Atomic.get counters.transformer_calls;
+    peak_depth = Atomic.get counters.peak_depth;
+    workers;
     domains_used =
       Hashtbl.fold (fun spec n acc -> (spec, n) :: acc) counters.domains [];
   }

@@ -41,6 +41,7 @@ type report = {
   pgd_calls : int;
   transformer_calls : int;  (** total abstract layer applications *)
   peak_depth : int;
+  workers : int;  (** worker domains used for the region search *)
   domains_used : (Domains.Domain.spec * int) list;
       (** how often the policy chose each abstract domain *)
 }
@@ -48,6 +49,7 @@ type report = {
 val run :
   ?config:config ->
   ?budget:Common.Budget.t ->
+  ?workers:int ->
   rng:Linalg.Rng.t ->
   policy:Policy.t ->
   Nn.Network.t ->
@@ -56,4 +58,15 @@ val run :
 (** Verify or refute the property.  [Refuted x] guarantees
     [F(x) <= delta] with [x] in the input region (δ-completeness);
     [Verified] guarantees the property holds (soundness).  [Timeout] is
-    returned when the budget or the depth limit is exhausted. *)
+    returned when the budget or the depth limit is exhausted, and
+    [Unknown] when the region cannot be split further (a zero-width
+    dimension) yet the abstract proof still fails.
+
+    [workers] (default 1) drains the region worklist on that many OCaml
+    domains.  [workers = 1] is exactly the sequential Algorithm 1 path.
+    With more workers the first [Refuted]/[Timeout]/[Unknown] answer
+    cancels outstanding work, while [Verified] requires the shared
+    queue to drain empty; each work item carries an RNG split off its
+    parent's, so a fixed (seed, workers) pair reproduces the same search
+    tree regardless of scheduling.  Raises [Invalid_argument] when
+    [workers < 1]. *)

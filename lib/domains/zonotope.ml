@@ -8,11 +8,11 @@ let name = "zonotope"
    contribute nothing observable and only slow the analysis down. *)
 let tiny = 1e-300
 
+let norm1 g = Array.fold_left (fun acc x -> acc +. abs_float x) 0.0 g
+
 let prune gens =
   Array.of_list
-    (List.filter
-       (fun g -> Array.exists (fun x -> abs_float x > tiny) g)
-       (Array.to_list gens))
+    (List.filter (fun g -> norm1 g > tiny) (Array.to_list gens))
 
 let create ~center ~gens =
   Array.iter
@@ -146,8 +146,10 @@ let order_reduce t ~max_gens =
   else begin
     let keep = Stdlib.max 0 (max_gens - dim t) in
     let order = Array.init n Fun.id in
-    let norm1 g = Array.fold_left (fun acc x -> acc +. abs_float x) 0.0 g in
-    Array.sort (fun a b -> compare (norm1 t.gens.(b)) (norm1 t.gens.(a))) order;
+    (* Norms are computed once up front: recomputing them inside the
+       sort comparator costs O(n log n * dim) instead of O(n * dim). *)
+    let norms = Array.map norm1 t.gens in
+    Array.sort (fun a b -> compare norms.(b) norms.(a)) order;
     let kept = Array.init keep (fun k -> t.gens.(order.(k))) in
     let box_r = Vec.zeros (dim t) in
     for k = keep to n - 1 do

@@ -20,6 +20,13 @@ val center : t -> Linalg.Vec.t
 
 val generators : t -> Linalg.Vec.t array
 
+val meet_halfspace : t -> dim:int -> sign:float -> t option
+(** Sound over-approximation of the meet with the half-space
+    [sign * x_dim >= 0], by tightening the noise symbols' ranges against
+    the induced linear constraint.  [None] when the intersection is
+    provably empty.  [meet_ge0]/[meet_le0] are the [sign = ±1.0]
+    instances. *)
+
 val order_reduce : t -> max_gens:int -> t
 (** Sound generator-count reduction: keeps the [max_gens - dim] largest
     generators and over-approximates the rest by per-dimension box

@@ -20,31 +20,56 @@ let run_one ~seed ~timeout (tool : Tool.t) (entry : Datasets.Suite.entry) prop =
     time = Unix.gettimeofday () -. started;
   }
 
-let run_suite ?(progress = fun _ -> ()) ~seed ~timeout tools workload =
-  List.concat_map
-    (fun (entry, props) ->
-      List.concat_map
-        (fun prop ->
-          List.map
-            (fun (tool : Tool.t) ->
-              let result =
-                if entry.Datasets.Suite.convolutional
-                   && not tool.Tool.supports_conv
-                then
-                  {
-                    tool = tool.Tool.name;
-                    network = entry.Datasets.Suite.name;
-                    property = prop.Common.Property.name;
-                    outcome = Common.Outcome.Unknown;
-                    time = 0.0;
-                  }
-                else run_one ~seed ~timeout tool entry prop
-              in
-              progress result;
-              result)
-            tools)
-        props)
-    workload
+(* [run_suite ~jobs:n] runs the independent (tool, network, property)
+   instances of the workload on [n] worker domains; results come back in
+   deterministic input order (entry-major, then property, then tool —
+   the same order the sequential path produces) regardless of which
+   worker finished first.  [progress] is serialized under a mutex but
+   fires in completion order when [jobs > 1]. *)
+let run_suite ?(progress = fun _ -> ()) ?(jobs = 1) ~seed ~timeout tools
+    workload =
+  let instances =
+    List.concat_map
+      (fun (entry, props) ->
+        List.concat_map
+          (fun prop -> List.map (fun (tool : Tool.t) -> (entry, prop, tool)) tools)
+          props)
+      workload
+  in
+  let execute ((entry : Datasets.Suite.entry), prop, (tool : Tool.t)) =
+    if entry.Datasets.Suite.convolutional && not tool.Tool.supports_conv then
+      {
+        tool = tool.Tool.name;
+        network = entry.Datasets.Suite.name;
+        property = prop.Common.Property.name;
+        outcome = Common.Outcome.Unknown;
+        time = 0.0;
+      }
+    else run_one ~seed ~timeout tool entry prop
+  in
+  if jobs <= 1 then
+    List.map
+      (fun instance ->
+        let result = execute instance in
+        progress result;
+        result)
+      instances
+  else begin
+    let instances = Array.of_list instances in
+    let results = Array.make (Array.length instances) None in
+    let progress_mutex = Mutex.create () in
+    Parallel.Pool.iter ~workers:jobs (Array.length instances) (fun i ->
+        let result = execute instances.(i) in
+        results.(i) <- Some result;
+        Mutex.lock progress_mutex;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock progress_mutex)
+          (fun () -> progress result));
+    Array.to_list results
+    |> List.map (function
+         | Some r -> r
+         | None -> failwith "Runner.run_suite: missing result")
+  end
 
 let by_tool results name = List.filter (fun r -> r.tool = name) results
 
@@ -54,9 +79,10 @@ let solved results =
   List.filter (fun r -> Common.Outcome.is_solved r.outcome) results
 
 let networks results =
-  List.fold_left
-    (fun acc r -> if List.mem r.network acc then acc else acc @ [ r.network ])
-    [] results
+  List.rev
+    (List.fold_left
+       (fun acc r -> if List.mem r.network acc then acc else r.network :: acc)
+       [] results)
 
 let to_csv results =
   let buf = Buffer.create 1024 in
@@ -75,6 +101,51 @@ let save_csv path results =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_csv results))
+
+(* JSON output carries the run configuration alongside the per-instance
+   rows, so BENCH_*.json files can track the speedup trajectory as the
+   worker count grows. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json ?(workers = 1) ?wall_seconds results =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"workers\": %d,\n" workers);
+  (match wall_seconds with
+  | Some w -> Buffer.add_string buf (Printf.sprintf "  \"wall_seconds\": %.6f,\n" w)
+  | None -> ());
+  Buffer.add_string buf "  \"results\": [";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    {\"tool\": \"%s\", \"network\": \"%s\", \"property\": \
+            \"%s\", \"outcome\": \"%s\", \"time_seconds\": %.6f}"
+           (json_escape r.tool) (json_escape r.network) (json_escape r.property)
+           (Common.Outcome.label r.outcome)
+           r.time))
+    results;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let save_json ?workers ?wall_seconds path results =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json ?workers ?wall_seconds results))
 
 let consistency_errors results =
   let errors = ref [] in

@@ -20,6 +20,7 @@ val run_one :
 
 val run_suite :
   ?progress:(result -> unit) ->
+  ?jobs:int ->
   seed:int ->
   timeout:float ->
   Tool.t list ->
@@ -27,7 +28,12 @@ val run_suite :
   result list
 (** Runs each tool on each benchmark.  Tools that do not support
     convolutional networks are recorded as [Unknown] with zero time on
-    those, mirroring §7.2's exclusion. *)
+    those, mirroring §7.2's exclusion.
+
+    [jobs] (default 1) runs the independent (tool, network, property)
+    instances on that many worker domains.  Results always come back in
+    deterministic input order; [progress] calls are serialized, but fire
+    in completion order when [jobs > 1]. *)
 
 val by_tool : result list -> string -> result list
 
@@ -43,6 +49,14 @@ val to_csv : result list -> string
     header row, for plotting with external tools. *)
 
 val save_csv : string -> result list -> unit
+
+val to_json : ?workers:int -> ?wall_seconds:float -> result list -> string
+(** JSON document with the per-instance rows plus the run configuration
+    ([workers], default 1) and optional end-to-end [wall_seconds], so
+    benchmark archives can track the parallel speedup trajectory. *)
+
+val save_json :
+  ?workers:int -> ?wall_seconds:float -> string -> result list -> unit
 
 val consistency_errors : result list -> (string * string * string) list
 (** Cross-tool disagreements: benchmarks where one tool verified and

@@ -1,0 +1,15 @@
+(* A cooperative cancellation token shared between domains.
+
+   Cancellation is one-way and sticky: once [cancel] has been called,
+   [cancelled] returns true forever.  Workers poll the token between
+   units of work; nothing is interrupted mid-flight, so a worker that
+   observes cancellation finishes (or abandons) its current item and
+   stops picking up new ones. *)
+
+type t = bool Atomic.t
+
+let create () = Atomic.make false
+
+let cancel t = Atomic.set t true
+
+let cancelled t = Atomic.get t

@@ -1,0 +1,12 @@
+(** Cooperative cancellation token shared between domains.
+
+    One-way and sticky: once cancelled, always cancelled.  Workers poll
+    the token between units of work; nothing is interrupted mid-flight. *)
+
+type t
+
+val create : unit -> t
+
+val cancel : t -> unit
+
+val cancelled : t -> bool

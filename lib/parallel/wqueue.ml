@@ -1,0 +1,132 @@
+(* A thread-safe priority work queue for divide-and-conquer draining.
+
+   The queue tracks *outstanding* work — items queued plus items handed
+   to a worker whose [finish] call is still pending — so [pop] can tell
+   "momentarily empty, but a peer may still push children" (block) apart
+   from "the whole work tree is drained" (return [None]).  The protocol
+   for workers is strict:
+
+     match pop q with
+     | None -> exit                      (* drained or closed *)
+     | Some x -> ... push children ...; finish q; loop
+
+   [finish] must be called exactly once per popped item, after any
+   children have been pushed; forgetting it deadlocks the drain, calling
+   it before pushing children can end the drain early.
+
+   Items are served lowest priority first (a min-heap, like
+   [Common.Pqueue], but guarded by a mutex/condition pair so any number
+   of domains can share one queue).  [close] ends the queue immediately:
+   every blocked and future [pop] returns [None].  Built on OCaml 5
+   stdlib primitives only. *)
+
+type 'a t = {
+  mutex : Mutex.t;
+  wakeup : Condition.t;
+  mutable data : (float * 'a) array;  (* slots [0, size) are a min-heap *)
+  mutable size : int;
+  mutable outstanding : int;
+  mutable closed : bool;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    wakeup = Condition.create ();
+    data = [||];
+    size = 0;
+    outstanding = 0;
+    closed = false;
+  }
+
+(* Heap helpers; callers hold [mutex]. *)
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if fst t.data.(i) < fst t.data.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && fst t.data.(l) < fst t.data.(!smallest) then smallest := l;
+  if r < t.size && fst t.data.(r) < fst t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let heap_push t entry =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let data = Array.make (Stdlib.max 8 (2 * cap)) entry in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let heap_pop t =
+  let top = t.data.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.data.(0) <- t.data.(t.size);
+    sift_down t 0
+  end;
+  snd top
+
+(* ------------------------------------------------------------------ *)
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let push t ~priority x =
+  with_lock t (fun () ->
+      if not t.closed then begin
+        heap_push t (priority, x);
+        t.outstanding <- t.outstanding + 1;
+        Condition.signal t.wakeup
+      end)
+
+let pop t =
+  with_lock t (fun () ->
+      let rec wait () =
+        if t.closed then None
+        else if t.size > 0 then Some (heap_pop t)
+        else if t.outstanding = 0 then None
+        else begin
+          Condition.wait t.wakeup t.mutex;
+          wait ()
+        end
+      in
+      wait ())
+
+let finish t =
+  with_lock t (fun () ->
+      t.outstanding <- t.outstanding - 1;
+      if t.outstanding < 0 then
+        invalid_arg "Wqueue.finish: more finishes than pops";
+      (* Drained: wake every blocked popper so they can all return. *)
+      if t.outstanding = 0 then Condition.broadcast t.wakeup)
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.wakeup)
+
+let closed t = with_lock t (fun () -> t.closed)
+
+let outstanding t = with_lock t (fun () -> t.outstanding)
+
+let size t = with_lock t (fun () -> t.size)

@@ -1,0 +1,325 @@
+open Linalg
+
+(* The parallel runtime: work queue, cancellation, domain pool, and the
+   determinism contract of the parallel verifier.  The whole suite runs
+   twice from dune: once with the default worker count below and once
+   with CHARON_TEST_WORKERS=2 (see test/dune). *)
+
+let workers_under_test =
+  match Sys.getenv_opt "CHARON_TEST_WORKERS" with
+  | Some s -> ( try max 2 (int_of_string (String.trim s)) with _ -> 4)
+  | None -> 4
+
+(* ------------------------------------------------------------------ *)
+(* Wqueue *)
+
+let test_wqueue_pop_min_first () =
+  let q = Parallel.Wqueue.create () in
+  Parallel.Wqueue.push q ~priority:3.0 "c";
+  Parallel.Wqueue.push q ~priority:1.0 "a";
+  Parallel.Wqueue.push q ~priority:2.0 "b";
+  Alcotest.(check int) "size" 3 (Parallel.Wqueue.size q);
+  List.iter
+    (fun expected ->
+      (match Parallel.Wqueue.pop q with
+      | Some v -> Alcotest.(check string) "min first" expected v
+      | None -> Alcotest.fail "queue drained early");
+      Parallel.Wqueue.finish q)
+    [ "a"; "b"; "c" ];
+  Util.check_true "drained" (Parallel.Wqueue.pop q = None)
+
+let test_wqueue_drain_tracks_outstanding () =
+  let q = Parallel.Wqueue.create () in
+  Parallel.Wqueue.push q ~priority:0.0 0;
+  (match Parallel.Wqueue.pop q with
+  | Some 0 -> ()
+  | _ -> Alcotest.fail "expected the root item");
+  (* The root is in flight: the queue is empty but not drained. *)
+  Alcotest.(check int) "in flight" 1 (Parallel.Wqueue.outstanding q);
+  Parallel.Wqueue.push q ~priority:1.0 1;
+  Parallel.Wqueue.push q ~priority:2.0 2;
+  Parallel.Wqueue.finish q;
+  Alcotest.(check int) "children pending" 2 (Parallel.Wqueue.outstanding q);
+  (match Parallel.Wqueue.pop q with
+  | Some 1 -> Parallel.Wqueue.finish q
+  | _ -> Alcotest.fail "expected child 1");
+  (match Parallel.Wqueue.pop q with
+  | Some 2 -> Parallel.Wqueue.finish q
+  | _ -> Alcotest.fail "expected child 2");
+  Util.check_true "fully drained" (Parallel.Wqueue.pop q = None);
+  Alcotest.(check int) "nothing outstanding" 0 (Parallel.Wqueue.outstanding q)
+
+let test_wqueue_close_cancels () =
+  let q = Parallel.Wqueue.create () in
+  Parallel.Wqueue.push q ~priority:0.0 0;
+  Parallel.Wqueue.close q;
+  Util.check_true "closed" (Parallel.Wqueue.closed q);
+  Util.check_true "pop after close" (Parallel.Wqueue.pop q = None);
+  Parallel.Wqueue.push q ~priority:1.0 1;
+  Util.check_true "push after close is a no-op" (Parallel.Wqueue.pop q = None)
+
+let test_wqueue_finish_overcall_raises () =
+  let q : int Parallel.Wqueue.t = Parallel.Wqueue.create () in
+  Alcotest.check_raises "finish without pop"
+    (Invalid_argument "Wqueue.finish: more finishes than pops") (fun () ->
+      Parallel.Wqueue.finish q)
+
+let test_wqueue_blocking_handoff () =
+  (* A consumer blocked on an empty-but-not-drained queue must wake up
+     when a peer pushes a child. *)
+  let q = Parallel.Wqueue.create () in
+  Parallel.Wqueue.push q ~priority:0.0 0;
+  (match Parallel.Wqueue.pop q with
+  | Some 0 -> ()
+  | _ -> Alcotest.fail "expected the root item");
+  let consumer =
+    Domain.spawn (fun () ->
+        match Parallel.Wqueue.pop q with
+        | Some v ->
+            Parallel.Wqueue.finish q;
+            Some v
+        | None -> None)
+  in
+  Unix.sleepf 0.02;
+  Parallel.Wqueue.push q ~priority:1.0 42;
+  Parallel.Wqueue.finish q;
+  (match Domain.join consumer with
+  | Some 42 -> ()
+  | _ -> Alcotest.fail "blocked consumer did not receive the pushed item");
+  Util.check_true "drained" (Parallel.Wqueue.pop q = None)
+
+(* ------------------------------------------------------------------ *)
+(* Cancel *)
+
+let test_cancel_token () =
+  let c = Parallel.Cancel.create () in
+  Util.check_true "fresh" (not (Parallel.Cancel.cancelled c));
+  Parallel.Cancel.cancel c;
+  Util.check_true "cancelled" (Parallel.Cancel.cancelled c);
+  Parallel.Cancel.cancel c;
+  Util.check_true "sticky" (Parallel.Cancel.cancelled c)
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_iter_covers_exactly_once () =
+  let n = 200 in
+  let hits = Array.init n (fun _ -> Atomic.make 0) in
+  Parallel.Pool.iter ~workers:workers_under_test n (fun i ->
+      Atomic.incr hits.(i));
+  Array.iteri
+    (fun i h -> Alcotest.(check int) (Printf.sprintf "index %d" i) 1 (Atomic.get h))
+    hits
+
+let test_pool_run_spawns_each_worker_once () =
+  let w = workers_under_test in
+  let calls = Array.init w (fun _ -> Atomic.make 0) in
+  Parallel.Pool.run ~workers:w (fun i -> Atomic.incr calls.(i));
+  Array.iteri
+    (fun i c -> Alcotest.(check int) (Printf.sprintf "worker %d" i) 1 (Atomic.get c))
+    calls
+
+exception Boom
+
+let test_pool_run_reraises () =
+  Alcotest.check_raises "worker exception propagates" Boom (fun () ->
+      Parallel.Pool.run ~workers:(max 2 workers_under_test) (fun i ->
+          if i = 1 then raise Boom))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel verification: determinism and cancellation *)
+
+let verdict_kind = function
+  | Common.Outcome.Verified -> "verified"
+  | Common.Outcome.Refuted _ -> "refuted"
+  | Common.Outcome.Timeout -> "timeout"
+  | Common.Outcome.Unknown -> "unknown"
+
+let outcome ?budget ~workers ~seed net property =
+  (Charon.Verify.run ?budget ~workers ~rng:(Rng.create seed)
+     ~policy:Charon.Policy.default net property)
+    .Charon.Verify.outcome
+
+let check_workers_agree ~name ?budget ~seed net property =
+  let seq = outcome ?budget ~workers:1 ~seed net property in
+  let par = outcome ?budget ~workers:workers_under_test ~seed net property in
+  Alcotest.(check string)
+    (name ^ ": workers agree")
+    (verdict_kind seq) (verdict_kind par);
+  (* Soundness of both runs: a refutation must be a real witness. *)
+  (match par with
+  | Common.Outcome.Refuted x ->
+      Util.check_true (name ^ ": parallel witness violates")
+        (not (Common.Property.holds_at net property x))
+  | _ -> ());
+  seq
+
+let test_workers_agree_xor () =
+  let net = Nn.Init.xor () in
+  let region =
+    Domains.Box.create ~lo:[| 0.3; 0.3 |] ~hi:[| 0.7; 0.7 |]
+  in
+  let good = Common.Property.create ~region ~target:1 () in
+  let bad = Common.Property.create ~region ~target:0 () in
+  Util.check_true "xor good verified"
+    (check_workers_agree ~name:"xor-good" ~seed:1 net good
+    = Common.Outcome.Verified);
+  match check_workers_agree ~name:"xor-bad" ~seed:1 net bad with
+  | Common.Outcome.Refuted _ -> ()
+  | o -> Alcotest.failf "xor-bad: expected refutation, got %s" (verdict_kind o)
+
+let test_workers_agree_acas () =
+  let problems = Experiments.Training.acas_problems ~seed:5 in
+  List.iteri
+    (fun i (p : Charon.Learn.problem) ->
+      let budget = Common.Budget.of_steps 200_000 in
+      let o =
+        check_workers_agree
+          ~name:(Printf.sprintf "acas-%d" i)
+          ~budget ~seed:(100 + i) p.Charon.Learn.net p.Charon.Learn.property
+      in
+      (* The budget is sized so both runs finish; a timeout here would
+         make the agreement check vacuous. *)
+      Util.check_true
+        (Printf.sprintf "acas-%d solved" i)
+        (Common.Outcome.is_solved o))
+    problems
+
+let test_workers_agree_random_problems () =
+  (* Multi-node searches: random problems whose trees genuinely split,
+     compared under Outcome.agrees (a timeout is consistent with
+     anything — the step budget is shared, so the exhaustion point moves
+     with scheduling, but Verified/Refuted may never conflict). *)
+  Util.repeat ~seed:142 ~count:15 (fun rng i ->
+      let net = Util.small_net rng in
+      let box = Util.small_box rng net.Nn.Network.input_dim in
+      let k = Rng.int rng net.Nn.Network.output_dim in
+      let prop = Common.Property.create ~region:box ~target:k () in
+      let budget () = Common.Budget.of_steps 20_000 in
+      let seq = outcome ~budget:(budget ()) ~workers:1 ~seed:i net prop in
+      let par =
+        outcome ~budget:(budget ()) ~workers:workers_under_test ~seed:i net
+          prop
+      in
+      Util.check_true
+        (Printf.sprintf "random-%d agrees (%s vs %s)" i
+           (Common.Outcome.label seq) (Common.Outcome.label par))
+        (Common.Outcome.agrees seq par);
+      match par with
+      | Common.Outcome.Refuted x ->
+          Util.check_true
+            (Printf.sprintf "random-%d witness violates" i)
+            (not (Common.Property.holds_at net prop x))
+      | _ -> ())
+
+(* The [n]-th problem of a [Util.repeat]-style seeded stream.  Splits
+   are independent, so skipping the first [n - 1] without materializing
+   them reproduces exactly the problem the agreement sweep above sees. *)
+let nth_small_problem ~seed n =
+  let rng = Rng.create seed in
+  let pick = ref None in
+  for i = 1 to n do
+    let r = Rng.split rng in
+    if i = n then
+      let net = Util.small_net r in
+      let box = Util.small_box r net.Nn.Network.input_dim in
+      let k = Rng.int r net.Nn.Network.output_dim in
+      pick := Some (net, Common.Property.create ~region:box ~target:k ())
+  done;
+  Option.get !pick
+
+let test_parallel_timeout_terminates () =
+  (* A starved shared budget must cancel the parallel drain and return
+     Timeout rather than hang or crash.  The chosen problem is verified
+     with a 7-node tree under a generous budget (so no refutation can
+     race the budget check), and its root is inconclusive (so one step
+     of budget cannot be enough). *)
+  let net, prop = nth_small_problem ~seed:142 37 in
+  let budget = Common.Budget.of_steps 1 in
+  match outcome ~budget ~workers:workers_under_test ~seed:37 net prop with
+  | Common.Outcome.Timeout -> ()
+  | o -> Alcotest.failf "expected timeout, got %s" (verdict_kind o)
+
+let test_workers_validated () =
+  let net = Nn.Init.xor () in
+  let region = Domains.Box.create ~lo:[| 0.4; 0.4 |] ~hi:[| 0.6; 0.6 |] in
+  let prop = Common.Property.create ~region ~target:1 () in
+  Alcotest.check_raises "workers must be >= 1"
+    (Invalid_argument "Verify.run: workers must be at least 1") (fun () ->
+      ignore (outcome ~workers:0 ~seed:1 net prop))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel suite runner *)
+
+let tiny_workload () =
+  let net = Nn.Init.xor () in
+  let entry =
+    {
+      Datasets.Suite.name = "xor";
+      description = "xor test network";
+      net;
+      image_spec = Datasets.Synth_images.tiny;
+      convolutional = false;
+      test_accuracy = 1.0;
+    }
+  in
+  let region = Domains.Box.create ~lo:[| 0.3; 0.3 |] ~hi:[| 0.7; 0.7 |] in
+  let props =
+    [
+      Common.Property.create ~name:"holds" ~region ~target:1 ();
+      Common.Property.create ~name:"fails" ~region ~target:0 ();
+    ]
+  in
+  [ (entry, props) ]
+
+let test_run_suite_jobs_preserves_order () =
+  let tools =
+    [ Experiments.Tool.charon (); Experiments.Tool.ai2 Domains.Domain.interval ]
+  in
+  let run jobs =
+    Experiments.Runner.run_suite ~jobs ~seed:1 ~timeout:10.0 tools
+      (tiny_workload ())
+  in
+  let seq = run 1 in
+  let par = run workers_under_test in
+  Alcotest.(check int) "same length" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Experiments.Runner.result) (b : Experiments.Runner.result) ->
+      Alcotest.(check string) "tool order" a.tool b.tool;
+      Alcotest.(check string) "network order" a.network b.network;
+      Alcotest.(check string) "property order" a.property b.property;
+      Alcotest.(check string) "same verdict" (verdict_kind a.outcome)
+        (verdict_kind b.outcome))
+    seq par
+
+let () =
+  Alcotest.run "parallel"
+    [
+      Util.suite "wqueue"
+        [
+          Util.case "pop min first" test_wqueue_pop_min_first;
+          Util.case "drain tracks outstanding" test_wqueue_drain_tracks_outstanding;
+          Util.case "close cancels" test_wqueue_close_cancels;
+          Util.case "finish overcall raises" test_wqueue_finish_overcall_raises;
+          Util.case "blocking handoff" test_wqueue_blocking_handoff;
+        ];
+      Util.suite "cancel" [ Util.case "token" test_cancel_token ];
+      Util.suite "pool"
+        [
+          Util.case "iter covers exactly once" test_pool_iter_covers_exactly_once;
+          Util.case "run spawns each worker once"
+            test_pool_run_spawns_each_worker_once;
+          Util.case "run re-raises" test_pool_run_reraises;
+        ];
+      Util.suite "verify-parallel"
+        [
+          Util.case "workers agree on xor" test_workers_agree_xor;
+          Util.slow_case "workers agree on acas" test_workers_agree_acas;
+          Util.slow_case "workers agree on random problems"
+            test_workers_agree_random_problems;
+          Util.case "starved budget times out" test_parallel_timeout_terminates;
+          Util.case "workers validated" test_workers_validated;
+        ];
+      Util.suite "runner-parallel"
+        [ Util.case "jobs preserve order" test_run_suite_jobs_preserves_order ];
+    ]

@@ -163,6 +163,109 @@ let prop_symbolic_at_least_interval_linear =
       ms >= mi -. 1e-6)
 
 (* ------------------------------------------------------------------ *)
+(* Pqueue: heap behaviour against a sorted-list model under random
+   push/pop interleavings (it backs the contended parallel worklist) *)
+
+let pqueue_ops_gen =
+  Gen.(list_size (1 -- 80) (pair bool (float_range (-100.0) 100.0)))
+
+let prop_pqueue_matches_model =
+  qtest "pqueue matches sorted-list model" ~count:200 pqueue_ops_gen
+    (fun ops ->
+      let q = Common.Pqueue.create () in
+      (* The model is the sorted multiset of pending priorities. *)
+      let model = ref [] in
+      let ok = ref true in
+      let check_peek () =
+        match (Common.Pqueue.peek q, !model) with
+        | None, [] -> ()
+        | Some (p, ()), m :: _ -> if p <> m then ok := false
+        | Some _, [] | None, _ :: _ -> ok := false
+      in
+      List.iter
+        (fun (is_pop, priority) ->
+          if is_pop then (
+            match (Common.Pqueue.pop q, !model) with
+            | None, [] -> ()
+            | Some (p, ()), m :: rest ->
+                if p <> m then ok := false;
+                model := rest
+            | Some _, [] | None, _ :: _ -> ok := false)
+          else begin
+            Common.Pqueue.push q ~priority ();
+            model := List.merge compare [ priority ] !model
+          end;
+          check_peek ();
+          if Common.Pqueue.size q <> List.length !model then ok := false)
+        ops;
+      (* Drain what is left: pops must come out exactly as the sorted
+         model (min-first ordering = the heap property, observed through
+         the API). *)
+      List.iter
+        (fun m ->
+          match Common.Pqueue.pop q with
+          | Some (p, ()) -> if p <> m then ok := false
+          | None -> ok := false)
+        !model;
+      !ok && Common.Pqueue.is_empty q)
+
+(* ------------------------------------------------------------------ *)
+(* Zonotope meet_halfspace soundness *)
+
+let halfspace_gen =
+  Gen.map
+    (fun seed ->
+      let rng = Rng.create seed in
+      let dim = 1 + Rng.int rng 3 in
+      let ngens = 1 + Rng.int rng 4 in
+      let center = Vec.init dim (fun _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+      let gens =
+        Array.init ngens (fun _ ->
+            Vec.init dim (fun _ -> 0.5 *. Rng.gaussian rng))
+      in
+      let z = Zonotope.create ~center ~gens in
+      (z, Rng.int rng dim, (if Rng.bool rng then 1.0 else -1.0), seed))
+    (Gen.int_range 0 1_000_000)
+
+let prop_meet_halfspace_sound =
+  (* Soundness of the constrained-zonotope meet: every concrete point of
+     the zonotope that satisfies the half-space must stay inside the
+     meet (so concrete execution through a ReLU branch split stays
+     inside the branch's abstract value), and the meet never grows
+     beyond the original zonotope. *)
+  qtest "meet_halfspace sound" ~count:200 halfspace_gen
+    (fun (z, i, sign, seed) ->
+      let rng = Rng.create (seed + 17) in
+      let zb = Zonotope.to_box z in
+      match Zonotope.meet_halfspace z ~dim:i ~sign with
+      | Some m ->
+          let mb = Zonotope.to_box m in
+          let inside b (p : Vec.t) =
+            let ok = ref true in
+            Array.iteri
+              (fun j v ->
+                if not (v >= b.Box.lo.(j) -. 1e-7 && v <= b.Box.hi.(j) +. 1e-7)
+                then ok := false)
+              p;
+            !ok
+          in
+          let ok = ref (inside zb (Box.center mb)) in
+          for _ = 1 to 40 do
+            let p = Zonotope.sample rng z in
+            if sign *. p.(i) >= 0.0 && not (inside mb p) then ok := false
+          done;
+          !ok
+      | None ->
+          (* Provably empty meet: no sampled point of the zonotope may
+             satisfy the half-space. *)
+          let ok = ref true in
+          for _ = 1 to 40 do
+            let p = Zonotope.sample rng z in
+            if sign *. p.(i) > 1e-7 then ok := false
+          done;
+          !ok)
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end: Algorithm 1 verdicts against ground truth sampling *)
 
 let prop_verify_verdicts_consistent =
@@ -214,6 +317,7 @@ let () =
           prop_box_hull_contains;
           prop_box_split_diameters;
         ] );
+      ("pqueue", [ prop_pqueue_matches_model ]);
       ( "domain-soundness",
         [
           prop_interval_sound;
@@ -221,6 +325,7 @@ let () =
           prop_symbolic_sound;
           prop_powerset_sound;
           prop_symbolic_at_least_interval_linear;
+          prop_meet_halfspace_sound;
         ] );
       ( "end-to-end",
         [ prop_verify_verdicts_consistent; prop_pgd_never_beats_abstract_lower_bound ] );
