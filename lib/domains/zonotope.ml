@@ -1,6 +1,11 @@
 open Linalg
 
-type t = { center : Vec.t; gens : Vec.t array }
+(* The generator set is stored as one row-major matrix — one generator
+   per row, [gens.cols = dim center] — so an affine layer pushes the
+   whole set through a single cache-blocked GEMM ([G W^T]) instead of
+   re-streaming the weight matrix once per generator.  The matrix may
+   have zero rows (a degenerate point zonotope). *)
+type t = { center : Vec.t; gens : Mat.t }
 
 let name = "zonotope"
 
@@ -8,11 +13,80 @@ let name = "zonotope"
    contribute nothing observable and only slow the analysis down. *)
 let tiny = 1e-300
 
-let norm1 g = Array.fold_left (fun acc x -> acc +. abs_float x) 0.0 g
+let dim t = Vec.dim t.center
 
-let prune gens =
-  Array.of_list
-    (List.filter (fun g -> norm1 g > tiny) (Array.to_list gens))
+let num_gens t = t.gens.Mat.rows
+
+let row_norm1 (g : Mat.t) r =
+  let base = r * g.Mat.cols in
+  let acc = ref 0.0 in
+  for j = 0 to g.Mat.cols - 1 do
+    acc := !acc +. abs_float (Array.unsafe_get g.Mat.data (base + j))
+  done;
+  !acc
+
+(* Drop generator rows with L1 norm below [tiny], preserving order.
+   Returns the input unchanged when nothing is dropped — the common
+   case on the affine hot path, where the old array -> list -> array
+   round trip was pure overhead. *)
+let prune (g : Mat.t) =
+  let n = g.Mat.rows and d = g.Mat.cols in
+  let keep = Array.make (Stdlib.max n 1) false in
+  let kept = ref 0 in
+  for r = 0 to n - 1 do
+    if row_norm1 g r > tiny then begin
+      keep.(r) <- true;
+      incr kept
+    end
+  done;
+  if !kept = n then g
+  else begin
+    let out = Mat.zeros !kept d in
+    let next = ref 0 in
+    for r = 0 to n - 1 do
+      if keep.(r) then begin
+        Array.blit g.Mat.data (r * d) out.Mat.data (!next * d) d;
+        incr next
+      end
+    done;
+    out
+  end
+
+(* Build a generator matrix from an array of row vectors (which may be
+   empty, hence the explicit dimension). *)
+let mat_of_rows ~dim rows =
+  let n = Array.length rows in
+  let m = Mat.zeros n dim in
+  Array.iteri (fun r g -> Array.blit g 0 m.Mat.data (r * dim) dim) rows;
+  m
+
+(* Append sparse one-hot rows [(i, v)] (a fresh noise symbol with
+   magnitude [v] in dimension [i]) below the rows of [g]. *)
+let append_one_hot_rows (g : Mat.t) pairs =
+  match pairs with
+  | [] -> g
+  | _ ->
+      let extra = List.length pairs in
+      let d = g.Mat.cols in
+      let out = Mat.zeros (g.Mat.rows + extra) d in
+      Array.blit g.Mat.data 0 out.Mat.data 0 (g.Mat.rows * d);
+      List.iteri
+        (fun k (i, v) -> Mat.set out (g.Mat.rows + k) i v)
+        pairs;
+      out
+
+let scale_col (g : Mat.t) j c =
+  let d = g.Mat.cols in
+  for r = 0 to g.Mat.rows - 1 do
+    let idx = (r * d) + j in
+    Array.unsafe_set g.Mat.data idx (c *. Array.unsafe_get g.Mat.data idx)
+  done
+
+let zero_col (g : Mat.t) j =
+  let d = g.Mat.cols in
+  for r = 0 to g.Mat.rows - 1 do
+    g.Mat.data.((r * d) + j) <- 0.0
+  done
 
 let create ~center ~gens =
   Array.iter
@@ -20,37 +94,52 @@ let create ~center ~gens =
       if Vec.dim g <> Vec.dim center then
         invalid_arg "Zonotope.create: generator dimension mismatch")
     gens;
-  { center; gens = prune gens }
+  { center; gens = prune (mat_of_rows ~dim:(Vec.dim center) gens) }
 
 let center t = t.center
 
-let generators t = t.gens
-
-let dim t = Vec.dim t.center
+let generators t = Array.init (num_gens t) (fun r -> Mat.row t.gens r)
 
 let of_box (b : Box.t) =
   let c = Box.center b in
   let w = Box.widths b in
-  let gens = ref [] in
+  let d = Vec.dim c in
+  let count = ref 0 in
+  Array.iter (fun wi -> if wi > 0.0 then incr count) w;
+  let gens = Mat.zeros !count d in
+  let next = ref 0 in
   Array.iteri
     (fun i wi ->
       if wi > 0.0 then begin
-        let g = Vec.zeros (Vec.dim c) in
-        g.(i) <- 0.5 *. wi;
-        gens := g :: !gens
+        Mat.set gens !next i (0.5 *. wi);
+        incr next
       end)
     w;
-  { center = c; gens = Array.of_list (List.rev !gens) }
+  { center = c; gens }
 
-(* Per-dimension deviation radius: r.(i) = Σ_g |g.(i)|. *)
+(* Per-dimension deviation radius: r.(i) = Σ_g |g.(i)|.  One linear
+   sweep over the generator matrix. *)
 let radii t =
-  let r = Vec.zeros (dim t) in
-  Array.iter (fun g -> Array.iteri (fun i x -> r.(i) <- r.(i) +. abs_float x) g) t.gens;
+  let d = dim t in
+  let r = Vec.zeros d in
+  let data = t.gens.Mat.data in
+  for g = 0 to num_gens t - 1 do
+    let base = g * d in
+    for i = 0 to d - 1 do
+      Array.unsafe_set r i
+        (Array.unsafe_get r i
+        +. abs_float (Array.unsafe_get data (base + i)))
+    done
+  done;
   r
 
 let bounds t i =
+  let d = dim t in
+  let data = t.gens.Mat.data in
   let r = ref 0.0 in
-  Array.iter (fun g -> r := !r +. abs_float g.(i)) t.gens;
+  for g = 0 to num_gens t - 1 do
+    r := !r +. abs_float (Array.unsafe_get data ((g * d) + i))
+  done;
   (t.center.(i) -. !r, t.center.(i) +. !r)
 
 let to_box t =
@@ -61,44 +150,47 @@ let linear_lower t ~coeffs =
   if Vec.dim coeffs <> dim t then
     invalid_arg "Zonotope.linear_lower: dimension mismatch";
   let base = Vec.dot coeffs t.center in
-  let dev =
-    Array.fold_left (fun acc g -> acc +. abs_float (Vec.dot coeffs g)) 0.0 t.gens
-  in
+  (* The per-generator dot products are one matvec of the generator
+     matrix. *)
+  let dots = Mat.matvec t.gens coeffs in
+  let dev = Array.fold_left (fun acc x -> acc +. abs_float x) 0.0 dots in
   base -. dev
 
 let affine w b t =
-  {
-    center = Vec.add (Mat.matvec w t.center) b;
-    gens = prune (Array.map (fun g -> Mat.matvec w g) t.gens);
-  }
+  let center = Vec.add (Mat.matvec w t.center) b in
+  let out = Mat.zeros (num_gens t) w.Mat.rows in
+  if num_gens t > 0 then Mat.gemm ~transb:true t.gens w out;
+  { center; gens = prune out }
 
 (* The DeepZ/AI2 single-zonotope ReLU approximation on one crossing
    dimension: y_i ∈ [λ x_i, λ x_i + 2μ] with λ = u/(u-l), μ = -λl/2.
-   Mutates copies, returning the new generator for dimension [i]. *)
+   Mutates [center]/[gens] in place and returns the fresh symbol's
+   magnitude for dimension [i]. *)
 let relu_crossing ~center ~gens i ~lo ~hi =
   let lambda = hi /. (hi -. lo) in
   let mu = -.lambda *. lo /. 2.0 in
   center.(i) <- (lambda *. center.(i)) +. mu;
-  Array.iter (fun g -> g.(i) <- lambda *. g.(i)) gens;
-  let fresh = Vec.zeros (Vec.dim center) in
-  fresh.(i) <- mu;
-  fresh
+  scale_col gens i lambda;
+  mu
 
 let zero_dim ~center ~gens i =
   center.(i) <- 0.0;
-  Array.iter (fun g -> g.(i) <- 0.0) gens
+  zero_col gens i
 
 let relu t =
   let r = radii t in
   let center = Vec.copy t.center in
-  let gens = Array.map Vec.copy t.gens in
+  let gens = Mat.copy t.gens in
   let fresh = ref [] in
   for i = 0 to dim t - 1 do
     let lo = t.center.(i) -. r.(i) and hi = t.center.(i) +. r.(i) in
     if hi <= 0.0 then zero_dim ~center ~gens i
-    else if lo < 0.0 then fresh := relu_crossing ~center ~gens i ~lo ~hi :: !fresh
+    else if lo < 0.0 then begin
+      let mu = relu_crossing ~center ~gens i ~lo ~hi in
+      fresh := (i, mu) :: !fresh
+    end
   done;
-  { center; gens = prune (Array.append gens (Array.of_list (List.rev !fresh))) }
+  { center; gens = prune (append_one_hot_rows gens (List.rev !fresh)) }
 
 let maxpool p t =
   let wins = Nn.Pool.windows p in
@@ -109,8 +201,8 @@ let maxpool p t =
   let selected = Array.make out_dim (-1) in
   (* For each window, if one input dominates all others (its lower bound
      beats every other upper bound) the max is exactly that input and the
-     output keeps its generator row; otherwise fall back to the interval
-     hull with a fresh symbol. *)
+     output keeps its generator column; otherwise fall back to the
+     interval hull with a fresh symbol. *)
   let fresh = ref [] in
   Array.iteri
     (fun o window ->
@@ -127,80 +219,105 @@ let maxpool p t =
         let wlo = Array.fold_left (fun acc i -> Stdlib.max acc (lo i)) neg_infinity window in
         let whi = Array.fold_left (fun acc i -> Stdlib.max acc (hi i)) neg_infinity window in
         center.(o) <- 0.5 *. (wlo +. whi);
-        let g = Vec.zeros out_dim in
-        g.(o) <- 0.5 *. (whi -. wlo);
-        fresh := g :: !fresh
+        fresh := (o, 0.5 *. (whi -. wlo)) :: !fresh
       end)
     wins;
-  let projected =
-    Array.map
-      (fun g ->
-        Vec.init out_dim (fun o -> if selected.(o) >= 0 then g.(selected.(o)) else 0.0))
-      t.gens
-  in
-  { center; gens = prune (Array.append projected (Array.of_list (List.rev !fresh))) }
+  let d = dim t in
+  let projected = Mat.zeros (num_gens t) out_dim in
+  let data = t.gens.Mat.data in
+  for g = 0 to num_gens t - 1 do
+    let src = g * d and dst = g * out_dim in
+    for o = 0 to out_dim - 1 do
+      if selected.(o) >= 0 then
+        projected.Mat.data.(dst + o) <- data.(src + selected.(o))
+    done
+  done;
+  { center; gens = prune (append_one_hot_rows projected (List.rev !fresh)) }
 
 let order_reduce t ~max_gens =
-  let n = Array.length t.gens in
+  let n = num_gens t in
   if n <= max_gens then t
   else begin
-    let keep = Stdlib.max 0 (max_gens - dim t) in
+    let d = dim t in
+    let keep = Stdlib.max 0 (max_gens - d) in
     let order = Array.init n Fun.id in
     (* Norms are computed once up front: recomputing them inside the
        sort comparator costs O(n log n * dim) instead of O(n * dim). *)
-    let norms = Array.map norm1 t.gens in
-    Array.sort (fun a b -> compare norms.(b) norms.(a)) order;
-    let kept = Array.init keep (fun k -> t.gens.(order.(k))) in
-    let box_r = Vec.zeros (dim t) in
+    let norms = Array.init n (row_norm1 t.gens) in
+    Array.sort (fun a b -> Float.compare norms.(b) norms.(a)) order;
+    let box_r = Vec.zeros d in
+    let data = t.gens.Mat.data in
     for k = keep to n - 1 do
-      let g = t.gens.(order.(k)) in
-      Array.iteri (fun i x -> box_r.(i) <- box_r.(i) +. abs_float x) g
+      let base = order.(k) * d in
+      for i = 0 to d - 1 do
+        box_r.(i) <- box_r.(i) +. abs_float data.(base + i)
+      done
     done;
-    let box_gens = ref [] in
+    let extra = ref 0 in
+    Array.iter (fun ri -> if ri > 0.0 then incr extra) box_r;
+    let out = Mat.zeros (keep + !extra) d in
+    for k = 0 to keep - 1 do
+      Array.blit data (order.(k) * d) out.Mat.data (k * d) d
+    done;
+    let next = ref keep in
     Array.iteri
       (fun i ri ->
         if ri > 0.0 then begin
-          let g = Vec.zeros (dim t) in
-          g.(i) <- ri;
-          box_gens := g :: !box_gens
+          Mat.set out !next i ri;
+          incr next
         end)
       box_r;
-    { t with gens = Array.append kept (Array.of_list (List.rev !box_gens)) }
+    { t with gens = out }
   end
 
 let join_gen_cap = 128
 
 let join a b =
   if dim a <> dim b then invalid_arg "Zonotope.join: dimension mismatch";
-  let na = Array.length a.gens and nb = Array.length b.gens in
+  let d = dim a in
+  let na = num_gens a and nb = num_gens b in
   let n = Stdlib.max na nb in
-  let get gens k i = if k < Array.length gens then gens.(k).(i) else 0.0 in
-  let center = Vec.init (dim a) (fun i -> 0.5 *. (a.center.(i) +. b.center.(i))) in
-  let avg = Array.init n (fun k -> Vec.init (dim a) (fun i -> 0.5 *. (get a.gens k i +. get b.gens k i))) in
-  let diff = Array.init n (fun k -> Vec.init (dim a) (fun i -> 0.5 *. (get a.gens k i -. get b.gens k i))) in
-  let shift = Vec.init (dim a) (fun i -> 0.5 *. (a.center.(i) -. b.center.(i))) in
-  let z = create ~center ~gens:(Array.concat [ avg; diff; [| shift |] ]) in
-  order_reduce z ~max_gens:join_gen_cap
+  let get gens k i =
+    if k < gens.Mat.rows then gens.Mat.data.((k * d) + i) else 0.0
+  in
+  let center = Vec.init d (fun i -> 0.5 *. (a.center.(i) +. b.center.(i))) in
+  (* Rows [0, n): averages; rows [n, 2n): differences; last row: the
+     center shift — Girard's generator-pairing join. *)
+  let gens = Mat.zeros ((2 * n) + 1) d in
+  for k = 0 to n - 1 do
+    for i = 0 to d - 1 do
+      let ga = get a.gens k i and gb = get b.gens k i in
+      gens.Mat.data.((k * d) + i) <- 0.5 *. (ga +. gb);
+      gens.Mat.data.(((n + k) * d) + i) <- 0.5 *. (ga -. gb)
+    done
+  done;
+  for i = 0 to d - 1 do
+    gens.Mat.data.((2 * n * d) + i) <- 0.5 *. (a.center.(i) -. b.center.(i))
+  done;
+  order_reduce { center; gens = prune gens } ~max_gens:join_gen_cap
 
 let sample rng t =
   let x = Vec.copy t.center in
-  Array.iter
-    (fun g ->
-      let eps = Rng.uniform rng ~lo:(-1.0) ~hi:1.0 in
-      Vec.axpy eps g x)
-    t.gens;
+  let d = dim t in
+  let data = t.gens.Mat.data in
+  for g = 0 to num_gens t - 1 do
+    let eps = Rng.uniform rng ~lo:(-1.0) ~hi:1.0 in
+    let base = g * d in
+    for i = 0 to d - 1 do
+      x.(i) <- x.(i) +. (eps *. data.(base + i))
+    done
+  done;
   x
 
 let disjuncts _ = 1
 
-let num_generators t = Array.length t.gens
+let num_generators = num_gens
 
 let contains_sample t =
   let pts = ref [ Vec.copy t.center ] in
   Array.iter
-    (fun g ->
-      pts := Vec.add t.center g :: Vec.sub t.center g :: !pts)
-    t.gens;
+    (fun g -> pts := Vec.add t.center g :: Vec.sub t.center g :: !pts)
+    (generators t);
   Array.of_list !pts
 
 (* Meet with the half-space [sign * x_i >= 0], implemented by tightening
@@ -208,8 +325,9 @@ let contains_sample t =
    [Σ_g sign*g.(i) ε_g >= -sign*c.(i)] and renormalizing symbols back to
    [-1, 1].  Sound: only regions violating the constraint are cut. *)
 let meet_halfspace t ~dim:i ~sign =
-  let n = Array.length t.gens in
-  let a = Array.init n (fun g -> sign *. t.gens.(g).(i)) in
+  let d = dim t in
+  let n = num_gens t in
+  let a = Array.init n (fun g -> sign *. t.gens.Mat.data.((g * d) + i)) in
   let r = -.sign *. t.center.(i) in
   let lo = Array.make n (-1.0) and hi = Array.make n 1.0 in
   let term_max g = Stdlib.max (a.(g) *. lo.(g)) (a.(g) *. hi.(g)) in
@@ -240,12 +358,16 @@ let meet_halfspace t ~dim:i ~sign =
   if not !feasible then None
   else begin
     let center = Vec.copy t.center in
-    let gens = Array.map Vec.copy t.gens in
+    let gens = Mat.copy t.gens in
     for g = 0 to n - 1 do
       let m = 0.5 *. (lo.(g) +. hi.(g)) and w = 0.5 *. (hi.(g) -. lo.(g)) in
       if m <> 0.0 || w <> 1.0 then begin
-        Vec.axpy m gens.(g) center;
-        Array.iteri (fun j x -> gens.(g).(j) <- w *. x) gens.(g)
+        let base = g * d in
+        for j = 0 to d - 1 do
+          let gj = gens.Mat.data.(base + j) in
+          center.(j) <- center.(j) +. (m *. gj);
+          gens.Mat.data.(base + j) <- w *. gj
+        done
       end
     done;
     Some { center; gens = prune gens }
@@ -257,7 +379,7 @@ let meet_le0 t i = meet_halfspace t ~dim:i ~sign:(-1.0)
 
 let project_zero t i =
   let center = Vec.copy t.center in
-  let gens = Array.map Vec.copy t.gens in
+  let gens = Mat.copy t.gens in
   zero_dim ~center ~gens i;
   { center; gens = prune gens }
 
@@ -267,7 +389,7 @@ let relu_dim t i =
   else if hi <= 0.0 then project_zero t i
   else begin
     let center = Vec.copy t.center in
-    let gens = Array.map Vec.copy t.gens in
-    let fresh = relu_crossing ~center ~gens i ~lo ~hi in
-    { center; gens = prune (Array.append gens [| fresh |]) }
+    let gens = Mat.copy t.gens in
+    let mu = relu_crossing ~center ~gens i ~lo ~hi in
+    { center; gens = prune (append_one_hot_rows gens [ (i, mu) ]) }
   end

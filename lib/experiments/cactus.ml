@@ -4,7 +4,7 @@ let of_results results ~tool =
   let times =
     Runner.solved (Runner.by_tool results tool)
     |> List.map (fun r -> r.Runner.time)
-    |> List.sort compare
+    |> List.sort Float.compare
   in
   let _, acc, points =
     List.fold_left

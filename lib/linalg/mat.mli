@@ -34,7 +34,18 @@ val add : t -> t -> t
 
 val sub : t -> t -> t
 
+val add_into : t -> t -> into:t -> unit
+(** [add_into a b ~into] writes [a + b] into [into] without allocating.
+    [into] may alias [a] or [b]. *)
+
 val scale : float -> t -> t
+
+val scale_inplace : float -> t -> unit
+(** [scale_inplace c a] performs [a <- c * a] in place. *)
+
+val axpy : float -> t -> t -> unit
+(** [axpy alpha x y] performs [y <- alpha * x + y] in place.  Requires
+    matching shapes. *)
 
 val matvec : t -> Vec.t -> Vec.t
 (** [matvec m x] is [m * x].  Requires [m.cols = dim x]. *)
@@ -43,7 +54,18 @@ val matvec_t : t -> Vec.t -> Vec.t
 (** [matvec_t m x] is [transpose m * x] without materialising the
     transpose.  Requires [m.rows = dim x]. *)
 
+val gemm :
+  ?transa:bool -> ?transb:bool -> ?alpha:float -> ?beta:float -> t -> t -> t -> unit
+(** [gemm ?transa ?transb ~alpha ~beta a b c] performs the BLAS-3 update
+    [c <- alpha * op(a) * op(b) + beta * c] in place, where [op] is the
+    transpose when the corresponding flag is set (default [false]).
+    [alpha] defaults to [1.0] and [beta] to [0.0] (overwrite).  The
+    kernel is cache-blocked with a register-tiled 4x4 inner loop; a
+    transposed operand is packed once into a contiguous buffer.
+    @raise Invalid_argument on shape mismatch. *)
+
 val matmul : t -> t -> t
+(** [matmul a b] is [op-free gemm] into a fresh matrix: [a * b]. *)
 
 val outer : Vec.t -> Vec.t -> t
 (** [outer u v] is the rank-one matrix [u v^T]. *)

@@ -17,7 +17,7 @@ let stddev a = sqrt (variance a)
 
 let sorted a =
   let b = Array.copy a in
-  Array.sort compare b;
+  Array.sort Float.compare b;
   b
 
 let percentile a p =

@@ -58,7 +58,11 @@ let iter_taps t f =
     done
   done
 
-let forward t x =
+(* Direct nested-loop kernels, kept as the reference oracle for the
+   im2col + GEMM implementations below (and exercised by tests and the
+   kernel benchmark harness). *)
+
+let forward_direct t x =
   if Array.length x <> Shape.size t.input then
     invalid_arg "Conv.forward: input dimension mismatch";
   let out = output_shape t in
@@ -76,7 +80,7 @@ let forward t x =
       y.(o) <- y.(o) +. (t.weights.(widx t ~oc ~ic ~ki ~kj) *. x.(i)));
   y
 
-let backward t ~dout =
+let backward_direct t ~dout =
   let out = output_shape t in
   if Array.length dout <> Shape.size out then
     invalid_arg "Conv.backward: output gradient dimension mismatch";
@@ -87,7 +91,7 @@ let backward t ~dout =
       dx.(i) <- dx.(i) +. (t.weights.(widx t ~oc ~ic ~ki ~kj) *. dout.(o)));
   dx
 
-let grad_params t ~x ~dout =
+let grad_params_direct t ~x ~dout =
   let out = output_shape t in
   if Array.length x <> Shape.size t.input then
     invalid_arg "Conv.grad_params: input dimension mismatch";
@@ -108,6 +112,112 @@ let grad_params t ~x ~dout =
     done
   done;
   (dw, db)
+
+(* ------------------------------------------------------------------ *)
+(* im2col lowering.
+
+   The patch matrix [P] has one row per (input channel, kernel offset)
+   triple — row [((ic*K)+ki)*K + kj] — and one column per output
+   spatial position [oi*OW + oj]; padded taps stay zero.  The weight
+   array, reinterpreted as an [OC x (IC*K*K)] row-major matrix, then
+   turns the convolution into [Y = W_mat * P], whose row-major result
+   is exactly the CHW-flattened output.  Backward and the weight
+   gradient reuse the same lowering: [dP = W^T dY] (scattered back with
+   col2im) and [dW = dY P^T]. *)
+
+let patch_rows t = t.input.Shape.channels * t.kernel * t.kernel
+
+(* Iterate the in-bounds taps of the lowering: calls
+   [f ~row ~col ~input_idx] for every nonzero cell of [P]. *)
+let iter_patch_cells t f =
+  let out = output_shape t in
+  let ow = out.Shape.width in
+  let ohow = out.Shape.height * ow in
+  let k = t.kernel in
+  for ic = 0 to t.input.Shape.channels - 1 do
+    for ki = 0 to k - 1 do
+      for kj = 0 to k - 1 do
+        let row = (((ic * k) + ki) * k) + kj in
+        let base = row * ohow in
+        for oi = 0 to out.Shape.height - 1 do
+          let ii = (oi * t.stride) + ki - t.padding in
+          if ii >= 0 && ii < t.input.Shape.height then
+            for oj = 0 to ow - 1 do
+              let ij = (oj * t.stride) + kj - t.padding in
+              if ij >= 0 && ij < t.input.Shape.width then
+                f ~cell:(base + (oi * ow) + oj)
+                  ~input_idx:(Shape.index t.input ~c:ic ~i:ii ~j:ij)
+            done
+        done
+      done
+    done
+  done
+
+let im2col t x =
+  let out = output_shape t in
+  let ohow = out.Shape.height * out.Shape.width in
+  let p = Linalg.Mat.zeros (patch_rows t) ohow in
+  iter_patch_cells t (fun ~cell ~input_idx ->
+      p.Linalg.Mat.data.(cell) <- x.(input_idx));
+  p
+
+(* The weight array viewed as an [OC x (IC*K*K)] matrix (shares the
+   underlying storage; treat as read-only). *)
+let weight_mat t =
+  { Linalg.Mat.rows = t.out_channels; cols = patch_rows t; data = t.weights }
+
+let forward t x =
+  if Array.length x <> Shape.size t.input then
+    invalid_arg "Conv.forward: input dimension mismatch";
+  let out = output_shape t in
+  let ohow = out.Shape.height * out.Shape.width in
+  let p = im2col t x in
+  let y = Linalg.Mat.zeros t.out_channels ohow in
+  Linalg.Mat.gemm (weight_mat t) p y;
+  let yd = y.Linalg.Mat.data in
+  for oc = 0 to t.out_channels - 1 do
+    let base = oc * ohow and b = t.bias.(oc) in
+    for s = 0 to ohow - 1 do
+      yd.(base + s) <- yd.(base + s) +. b
+    done
+  done;
+  yd
+
+let backward t ~dout =
+  let out = output_shape t in
+  if Array.length dout <> Shape.size out then
+    invalid_arg "Conv.backward: output gradient dimension mismatch";
+  let ohow = out.Shape.height * out.Shape.width in
+  let dy = { Linalg.Mat.rows = t.out_channels; cols = ohow; data = dout } in
+  let dp = Linalg.Mat.zeros (patch_rows t) ohow in
+  Linalg.Mat.gemm ~transa:true (weight_mat t) dy dp;
+  let dx = Array.make (Shape.size t.input) 0.0 in
+  (* col2im: scatter-add the patch gradient back onto the input. *)
+  iter_patch_cells t (fun ~cell ~input_idx ->
+      dx.(input_idx) <- dx.(input_idx) +. dp.Linalg.Mat.data.(cell));
+  dx
+
+let grad_params t ~x ~dout =
+  let out = output_shape t in
+  if Array.length x <> Shape.size t.input then
+    invalid_arg "Conv.grad_params: input dimension mismatch";
+  if Array.length dout <> Shape.size out then
+    invalid_arg "Conv.grad_params: output gradient dimension mismatch";
+  let ohow = out.Shape.height * out.Shape.width in
+  let p = im2col t x in
+  let dy = { Linalg.Mat.rows = t.out_channels; cols = ohow; data = dout } in
+  let dw = Linalg.Mat.zeros t.out_channels (patch_rows t) in
+  Linalg.Mat.gemm ~transb:true dy p dw;
+  let db = Array.make t.out_channels 0.0 in
+  for oc = 0 to t.out_channels - 1 do
+    let base = oc * ohow in
+    let acc = ref 0.0 in
+    for s = 0 to ohow - 1 do
+      acc := !acc +. dout.(base + s)
+    done;
+    db.(oc) <- !acc
+  done;
+  (dw.Linalg.Mat.data, db)
 
 let update t ~dweights ~dbias ~lr =
   {

@@ -30,18 +30,32 @@ val create :
 
 val output_shape : t -> Shape.t
 
+val weight_count : out_channels:int -> in_channels:int -> kernel:int -> int
+(** Number of kernel weights for the given geometry. *)
+
 val weight : t -> oc:int -> ic:int -> ki:int -> kj:int -> float
 
 val forward : t -> Linalg.Vec.t -> Linalg.Vec.t
-(** Direct convolution of a flattened CHW input. *)
+(** Convolution of a flattened CHW input, lowered to im2col + GEMM. *)
 
 val backward : t -> dout:Linalg.Vec.t -> Linalg.Vec.t
 (** Vector-Jacobian product: gradient with respect to the input given the
-    gradient [dout] with respect to the output. *)
+    gradient [dout] with respect to the output ([W^T dY] on the patch
+    matrix, scattered back with col2im). *)
 
 val grad_params : t -> x:Linalg.Vec.t -> dout:Linalg.Vec.t -> float array * Linalg.Vec.t
 (** [(dweights, dbias)] for SGD training, with the same layouts as
-    [weights] and [bias]. *)
+    [weights] and [bias] ([dW = dY P^T] over the im2col patch matrix). *)
+
+val forward_direct : t -> Linalg.Vec.t -> Linalg.Vec.t
+(** Direct nested-loop convolution: the reference oracle for [forward]. *)
+
+val backward_direct : t -> dout:Linalg.Vec.t -> Linalg.Vec.t
+(** Direct nested-loop oracle for [backward]. *)
+
+val grad_params_direct :
+  t -> x:Linalg.Vec.t -> dout:Linalg.Vec.t -> float array * Linalg.Vec.t
+(** Direct nested-loop oracle for [grad_params]. *)
 
 val update : t -> dweights:float array -> dbias:Linalg.Vec.t -> lr:float -> t
 (** Gradient-descent step returning a new layer. *)

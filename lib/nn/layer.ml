@@ -42,7 +42,18 @@ let output_dim ~given = function
 
 let forward layer x =
   match layer with
-  | Affine { w; b } -> Vec.add (Mat.matvec w x) b
+  | Affine { w; b } ->
+      (* One-row GEMM [y = x W^T + b]: hits the unchecked dot-product
+         edge kernel, accumulating over [k] in the same order as a
+         matvec (bitwise-identical results, no bounds checks). *)
+      if w.Mat.cols <> Vec.dim x then
+        invalid_arg "Layer.forward: affine input dimension mismatch";
+      let y = Array.copy b in
+      Mat.gemm ~transb:true ~beta:1.0
+        { Mat.rows = 1; cols = Vec.dim x; data = x }
+        w
+        { Mat.rows = 1; cols = w.Mat.rows; data = y };
+      y
   | Relu -> Vec.relu x
   | Conv c -> Conv.forward c x
   | Maxpool p -> Pool.forward p x
@@ -50,11 +61,71 @@ let forward layer x =
 
 let backward layer ~x ~dout =
   match layer with
-  | Affine { w; _ } -> Mat.matvec_t w dout
+  | Affine { w; _ } ->
+      (* One-row GEMM [dx = dout W]: the broadcast-accumulate edge
+         kernel streams rows of [w] exactly like [Mat.matvec_t]. *)
+      if w.Mat.rows <> Vec.dim dout then
+        invalid_arg "Layer.backward: affine gradient dimension mismatch";
+      let dx = Array.make w.Mat.cols 0.0 in
+      Mat.gemm
+        { Mat.rows = 1; cols = Vec.dim dout; data = dout }
+        w
+        { Mat.rows = 1; cols = w.Mat.cols; data = dx };
+      dx
   | Relu -> Vec.init (Vec.dim x) (fun i -> if x.(i) > 0.0 then dout.(i) else 0.0)
   | Conv c -> Conv.backward c ~dout
   | Maxpool p -> Pool.backward p ~x ~dout
   | Avgpool p -> Avgpool.backward p ~dout
+
+(* Batched variants: one sample per row, so affine layers run as a
+   single GEMM over the whole batch ([Y = X W^T + b] forward, [dX =
+   dY W] backward) instead of one matvec per sample.  Non-affine layers
+   fall back to the per-sample path row by row. *)
+
+let forward_batch layer (x : Mat.t) =
+  match layer with
+  | Affine { w; b } ->
+      (* Seed y with the broadcast bias, then accumulate X W^T on top. *)
+      let y = Mat.init x.Mat.rows w.Mat.rows (fun _ j -> b.(j)) in
+      Mat.gemm ~transb:true ~beta:1.0 x w y;
+      y
+  | Relu ->
+      {
+        Mat.rows = x.Mat.rows;
+        cols = x.Mat.cols;
+        data = Array.map (fun v -> if v > 0.0 then v else 0.0) x.Mat.data;
+      }
+  | Conv _ | Maxpool _ | Avgpool _ ->
+      let out_dim = output_dim ~given:x.Mat.cols layer in
+      let y = Mat.zeros x.Mat.rows out_dim in
+      for r = 0 to x.Mat.rows - 1 do
+        Array.blit (forward layer (Mat.row x r)) 0 y.Mat.data (r * out_dim)
+          out_dim
+      done;
+      y
+
+let backward_batch layer ~(x : Mat.t) ~(dout : Mat.t) =
+  match layer with
+  | Affine { w; _ } ->
+      let dx = Mat.zeros dout.Mat.rows w.Mat.cols in
+      Mat.gemm dout w dx;
+      dx
+  | Relu ->
+      {
+        Mat.rows = x.Mat.rows;
+        cols = x.Mat.cols;
+        data =
+          Array.mapi
+            (fun i v -> if Array.unsafe_get x.Mat.data i > 0.0 then v else 0.0)
+            dout.Mat.data;
+      }
+  | Conv _ | Maxpool _ | Avgpool _ ->
+      let dx = Mat.zeros x.Mat.rows x.Mat.cols in
+      for r = 0 to x.Mat.rows - 1 do
+        let g = backward layer ~x:(Mat.row x r) ~dout:(Mat.row dout r) in
+        Array.blit g 0 dx.Mat.data (r * x.Mat.cols) x.Mat.cols
+      done;
+      dx
 
 let as_affine = function
   | Affine { w; b } -> Some (w, b)

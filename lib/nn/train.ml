@@ -53,39 +53,60 @@ let zero_grads net =
       | Layer.Relu | Layer.Maxpool _ | Layer.Avgpool _ -> Gnone)
     net.Network.layers
 
-(* Backward pass over one sample, accumulating parameter gradients in
-   place and returning nothing.  [dout] at entry is dL/dscores. *)
-let accumulate net grads sample =
-  let trace = Network.forward_trace net sample.x in
-  let scores = trace.(Array.length trace - 1) in
-  let probs = softmax scores in
-  let dout =
-    Vec.init (Vec.dim probs) (fun i ->
-        probs.(i) -. if i = sample.label then 1.0 else 0.0)
-  in
+(* Forward/backward over a whole minibatch at once, one sample per
+   matrix row, accumulating parameter gradients in place.  Affine
+   layers run as three GEMMs — [Y = X W^T + b] forward, [dW += dY^T X]
+   for the weight gradient and [dX = dY W] for the input gradient —
+   instead of a matvec and an outer-product loop per sample;
+   convolution and pooling layers fall back to their per-sample
+   kernels row by row. *)
+let accumulate_batch net grads xs labels =
+  let batch = Array.length xs in
+  let x0 = Mat.init batch net.Network.input_dim (fun i j -> xs.(i).(j)) in
   let layers = Array.of_list net.Network.layers in
+  let nl = Array.length layers in
+  let trace = Array.make (nl + 1) x0 in
+  for i = 0 to nl - 1 do
+    trace.(i + 1) <- Layer.forward_batch layers.(i) trace.(i)
+  done;
+  let scores = trace.(nl) in
+  (* dL/dscores, row per sample. *)
+  let dscores = Mat.zeros batch scores.Mat.cols in
+  for r = 0 to batch - 1 do
+    let probs = softmax (Mat.row scores r) in
+    let base = r * scores.Mat.cols in
+    for j = 0 to scores.Mat.cols - 1 do
+      dscores.Mat.data.(base + j) <-
+        probs.(j) -. if j = labels.(r) then 1.0 else 0.0
+    done
+  done;
   let grads = Array.of_list grads in
-  let g = ref dout in
-  for i = Array.length layers - 1 downto 0 do
+  let g = ref dscores in
+  for i = nl - 1 downto 0 do
     let x = trace.(i) in
     (match (layers.(i), grads.(i)) with
     | Layer.Affine _, Gaffine { dw; db } ->
-        (* dW += dout x^T; db += dout *)
-        for r = 0 to dw.Mat.rows - 1 do
-          let gr = !g.(r) in
-          if gr <> 0.0 then
-            for c = 0 to dw.Mat.cols - 1 do
-              Mat.set dw r c (Mat.get dw r c +. (gr *. x.(c)))
-            done;
-          db.(r) <- db.(r) +. gr
+        (* dW += dY^T X over the whole batch in one GEMM; db += column
+           sums of dY. *)
+        Mat.gemm ~transa:true ~beta:1.0 !g x dw;
+        let gd = (!g).Mat.data and cols = (!g).Mat.cols in
+        for r = 0 to batch - 1 do
+          let base = r * cols in
+          for c = 0 to cols - 1 do
+            db.(c) <- db.(c) +. gd.(base + c)
+          done
         done
     | Layer.Conv c, Gconv { dw; db } ->
-        let dwc, dbc = Conv.grad_params c ~x ~dout:!g in
-        Array.iteri (fun i v -> dw.(i) <- dw.(i) +. v) dwc;
-        Array.iteri (fun i v -> db.(i) <- db.(i) +. v) dbc
+        for r = 0 to batch - 1 do
+          let dwc, dbc =
+            Conv.grad_params c ~x:(Mat.row x r) ~dout:(Mat.row !g r)
+          in
+          Array.iteri (fun i v -> dw.(i) <- dw.(i) +. v) dwc;
+          Array.iteri (fun i v -> db.(i) <- db.(i) +. v) dbc
+        done
     | (Layer.Relu | Layer.Maxpool _ | Layer.Avgpool _), Gnone -> ()
     | _ -> assert false);
-    g := Layer.backward layers.(i) ~x ~dout:!g
+    if i > 0 then g := Layer.backward_batch layers.(i) ~x ~dout:!g
   done
 
 (* Momentum buffers share the accumulator shape; [Gnone] for
@@ -150,9 +171,11 @@ let train ?(config = default_config) ~rng net samples =
     while !i < Array.length order do
       let batch = Stdlib.min config.batch_size (Array.length order - !i) in
       let grads = zero_grads !net in
-      for j = !i to !i + batch - 1 do
-        accumulate !net grads samples.(order.(j))
-      done;
+      let xs = Array.init batch (fun j -> samples.(order.(!i + j)).x) in
+      let labels =
+        Array.init batch (fun j -> samples.(order.(!i + j)).label)
+      in
+      accumulate_batch !net grads xs labels;
       net :=
         apply_update !net grads velocities ~lr:config.learning_rate
           ~decay:config.weight_decay ~mu:config.momentum ~batch;

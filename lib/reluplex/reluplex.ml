@@ -205,7 +205,8 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ()) net
       let classes =
         List.init net.Nn.Network.output_dim Fun.id
         |> List.filter (fun j -> j <> k)
-        |> List.sort (fun a b -> compare center_scores.(b) center_scores.(a))
+        |> List.sort (fun a b ->
+               Float.compare center_scores.(b) center_scores.(a))
       in
       let rec all_classes = function
         | [] -> Common.Outcome.Verified

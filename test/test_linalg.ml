@@ -170,6 +170,112 @@ let test_cholesky_rejects_indefinite () =
       ignore (Mat.cholesky m))
 
 (* ------------------------------------------------------------------ *)
+(* GEMM and in-place kernels *)
+
+(* Triple-loop oracle for [c <- alpha * op(a) * op(b) + beta * c],
+   deliberately naive so the blocked kernel is checked against
+   independently written arithmetic. *)
+let naive_gemm ~transa ~transb ~alpha ~beta a b c =
+  let opa = if transa then Mat.transpose a else a in
+  let opb = if transb then Mat.transpose b else b in
+  Mat.init opa.Mat.rows opb.Mat.cols (fun i j ->
+      let acc = ref 0.0 in
+      for p = 0 to opa.Mat.cols - 1 do
+        acc := !acc +. (Mat.get opa i p *. Mat.get opb p j)
+      done;
+      (alpha *. !acc) +. (beta *. Mat.get c i j))
+
+let check_gemm_case ~transa ~transb ~alpha ~beta ~m ~n ~k rng =
+  let a = if transa then Mat.init k m (fun _ _ -> Rng.gaussian rng)
+          else Mat.init m k (fun _ _ -> Rng.gaussian rng) in
+  let b = if transb then Mat.init n k (fun _ _ -> Rng.gaussian rng)
+          else Mat.init k n (fun _ _ -> Rng.gaussian rng) in
+  let c = Mat.init m n (fun _ _ -> Rng.gaussian rng) in
+  let expected = naive_gemm ~transa ~transb ~alpha ~beta a b c in
+  let got = Mat.copy c in
+  Mat.gemm ~transa ~transb ~alpha ~beta a b got;
+  Util.check_true
+    (Printf.sprintf "gemm %dx%dx%d ta=%b tb=%b alpha=%g beta=%g" m n k transa
+       transb alpha beta)
+    (Mat.approx_equal ~eps:1e-9 expected got)
+
+let test_gemm_matches_naive () =
+  Util.repeat ~seed:21 ~count:30 (fun rng _ ->
+      (* Sizes straddle the 4x4 tile: remainders in every dimension. *)
+      let m = 1 + Rng.int rng 13
+      and n = 1 + Rng.int rng 13
+      and k = 1 + Rng.int rng 17 in
+      let alpha = [| 1.0; -0.5; 2.0 |].(Rng.int rng 3)
+      and beta = [| 0.0; 1.0; -0.25 |].(Rng.int rng 3) in
+      List.iter
+        (fun (transa, transb) ->
+          check_gemm_case ~transa ~transb ~alpha ~beta ~m ~n ~k rng)
+        [ (false, false); (false, true); (true, false); (true, true) ])
+
+let test_gemm_crosses_blocking () =
+  (* One shape wider than [block_n] and deeper than a single tile pass,
+     so the panel loops and their edges are all exercised. *)
+  let rng = Rng.create 22 in
+  List.iter
+    (fun (transa, transb) ->
+      check_gemm_case ~transa ~transb ~alpha:1.0 ~beta:1.0 ~m:9 ~n:133 ~k:70
+        rng)
+    [ (false, false); (false, true); (true, false); (true, true) ]
+
+let test_gemm_alpha_zero_is_beta_scale () =
+  let rng = Rng.create 23 in
+  let a = Mat.init 5 4 (fun _ _ -> Rng.gaussian rng) in
+  let b = Mat.init 4 6 (fun _ _ -> Rng.gaussian rng) in
+  let c = Mat.init 5 6 (fun _ _ -> Rng.gaussian rng) in
+  let got = Mat.copy c in
+  Mat.gemm ~alpha:0.0 ~beta:(-2.0) a b got;
+  Util.check_true "alpha=0 leaves beta*c"
+    (Mat.approx_equal ~eps:0.0 (Mat.scale (-2.0) c) got)
+
+let test_gemm_rejects_mismatch () =
+  let a = Mat.zeros 2 3 and b = Mat.zeros 4 5 in
+  Alcotest.check_raises "inner mismatch"
+    (Invalid_argument "Mat.gemm: inner dimension mismatch (3 vs 4)")
+    (fun () -> Mat.gemm a b (Mat.zeros 2 5));
+  let b = Mat.zeros 3 5 in
+  Alcotest.check_raises "output shape"
+    (Invalid_argument "Mat.gemm: output is 2x4, expected 2x5") (fun () ->
+      Mat.gemm a b (Mat.zeros 2 4))
+
+let test_mat_matmul_is_gemm () =
+  Util.repeat ~seed:24 (fun rng _ ->
+      let m = 1 + Rng.int rng 9
+      and n = 1 + Rng.int rng 9
+      and k = 1 + Rng.int rng 9 in
+      let a = Mat.init m k (fun _ _ -> Rng.gaussian rng) in
+      let b = Mat.init k n (fun _ _ -> Rng.gaussian rng) in
+      Util.check_true "matmul = oracle"
+        (Mat.approx_equal ~eps:1e-9
+           (naive_gemm ~transa:false ~transb:false ~alpha:1.0 ~beta:0.0 a b
+              (Mat.zeros m n))
+           (Mat.matmul a b)))
+
+let test_mat_inplace_ops () =
+  let a = Mat.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = Mat.of_rows [| [| 0.5; -1.0 |]; [| 2.0; 0.0 |] |] in
+  let into = Mat.zeros 2 2 in
+  Mat.add_into a b ~into;
+  Util.check_true "add_into" (Mat.approx_equal ~eps:0.0 (Mat.add a b) into);
+  (* Aliasing: accumulate into one of the operands. *)
+  let acc = Mat.copy a in
+  Mat.add_into acc b ~into:acc;
+  Util.check_true "add_into aliased"
+    (Mat.approx_equal ~eps:0.0 (Mat.add a b) acc);
+  let s = Mat.copy a in
+  Mat.scale_inplace (-3.0) s;
+  Util.check_true "scale_inplace"
+    (Mat.approx_equal ~eps:0.0 (Mat.scale (-3.0) a) s);
+  let y = Mat.copy b in
+  Mat.axpy 2.0 a y;
+  Util.check_true "axpy"
+    (Mat.approx_equal ~eps:0.0 (Mat.add (Mat.scale 2.0 a) b) y)
+
+(* ------------------------------------------------------------------ *)
 (* Stats and Special *)
 
 let test_stats_basics () =
@@ -235,6 +341,15 @@ let () =
           Util.case "cholesky factorization" test_cholesky_factorizes;
           Util.case "cholesky solve" test_cholesky_solve;
           Util.case "cholesky rejects indefinite" test_cholesky_rejects_indefinite;
+        ] );
+      ( "gemm",
+        [
+          Util.case "matches naive oracle" test_gemm_matches_naive;
+          Util.case "crosses blocking boundaries" test_gemm_crosses_blocking;
+          Util.case "alpha zero scales by beta" test_gemm_alpha_zero_is_beta_scale;
+          Util.case "rejects shape mismatch" test_gemm_rejects_mismatch;
+          Util.case "matmul routes through gemm" test_mat_matmul_is_gemm;
+          Util.case "in-place ops" test_mat_inplace_ops;
         ] );
       ( "stats-special",
         [

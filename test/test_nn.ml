@@ -112,6 +112,34 @@ let test_conv_grad_params_finite_diff () =
         g)
     db
 
+(* The im2col + GEMM kernels against the direct nested-loop oracles,
+   over varied geometry (padding, stride, channel counts). *)
+let test_conv_gemm_matches_direct_oracles () =
+  Util.repeat ~seed:24 ~count:15 (fun rng _ ->
+      let channels = 1 + Rng.int rng 3 in
+      let stride = 1 + Rng.int rng 2 in
+      let padding = Rng.int rng 2 in
+      let kernel = if stride = 2 then 2 else 2 + Rng.int rng 2 in
+      let hw = if stride = 2 then 6 else 5 + Rng.int rng 3 in
+      let input = Nn.Shape.create ~channels ~height:hw ~width:hw in
+      let c =
+        random_conv rng ~input ~out_channels:(1 + Rng.int rng 3) ~kernel
+          ~stride ~padding
+      in
+      let x = Vec.init (Nn.Shape.size input) (fun _ -> Rng.gaussian rng) in
+      let out_dim = Nn.Shape.size (Nn.Conv.output_shape c) in
+      let dout = Vec.init out_dim (fun _ -> Rng.gaussian rng) in
+      Util.check_vec ~eps:1e-9 "forward = direct"
+        (Nn.Conv.forward_direct c x)
+        (Nn.Conv.forward c x);
+      Util.check_vec ~eps:1e-9 "backward = direct"
+        (Nn.Conv.backward_direct c ~dout)
+        (Nn.Conv.backward c ~dout);
+      let dw, db = Nn.Conv.grad_params c ~x ~dout in
+      let dw', db' = Nn.Conv.grad_params_direct c ~x ~dout in
+      Util.check_vec ~eps:1e-9 "dweights = direct" dw' dw;
+      Util.check_vec ~eps:1e-9 "dbias = direct" db' db)
+
 (* ------------------------------------------------------------------ *)
 (* Pool *)
 
@@ -285,6 +313,45 @@ let test_vjp_linearity () =
         (Nn.Grad.vjp net ~x ~dout:(Vec.add u v)))
 
 (* ------------------------------------------------------------------ *)
+(* Batched layer application *)
+
+let test_layer_batch_matches_per_sample () =
+  let rng = Rng.create 31 in
+  let input = Nn.Shape.create ~channels:2 ~height:4 ~width:4 in
+  let in_dim = Nn.Shape.size input in
+  let layers =
+    [
+      Nn.Layer.affine
+        (Mat.init 5 in_dim (fun _ _ -> Rng.gaussian rng))
+        (Vec.init 5 (fun _ -> Rng.gaussian rng));
+      Nn.Layer.Relu;
+      Nn.Layer.Conv
+        (random_conv rng ~input ~out_channels:3 ~kernel:3 ~stride:1 ~padding:1);
+      Nn.Layer.Maxpool (Nn.Pool.create ~input ~kernel:2 ~stride:2);
+    ]
+  in
+  List.iter
+    (fun layer ->
+      let batch = 6 in
+      let out_dim = Nn.Layer.output_dim ~given:in_dim layer in
+      let x = Mat.init batch in_dim (fun _ _ -> Rng.gaussian rng) in
+      let y = Nn.Layer.forward_batch layer x in
+      Alcotest.(check int) "output cols" out_dim y.Mat.cols;
+      for r = 0 to batch - 1 do
+        Util.check_vec ~eps:1e-9 "forward row"
+          (Nn.Layer.forward layer (Mat.row x r))
+          (Mat.row y r)
+      done;
+      let dout = Mat.init batch out_dim (fun _ _ -> Rng.gaussian rng) in
+      let dx = Nn.Layer.backward_batch layer ~x ~dout in
+      for r = 0 to batch - 1 do
+        Util.check_vec ~eps:1e-9 "backward row"
+          (Nn.Layer.backward layer ~x:(Mat.row x r) ~dout:(Mat.row dout r))
+          (Mat.row dx r)
+      done)
+    layers
+
+(* ------------------------------------------------------------------ *)
 (* Train *)
 
 let test_softmax_properties () =
@@ -406,6 +473,8 @@ let () =
           Util.case "strided matches lowering" test_conv_strided_matches_lowering;
           Util.case "backward is transpose" test_conv_backward_is_transpose;
           Util.case "param grads vs finite diff" test_conv_grad_params_finite_diff;
+          Util.case "gemm kernels match direct oracles"
+            test_conv_gemm_matches_direct_oracles;
         ] );
       ( "pool",
         [
@@ -435,6 +504,7 @@ let () =
         ] );
       ( "train",
         [
+          Util.case "batched layers match per-sample" test_layer_batch_matches_per_sample;
           Util.case "softmax" test_softmax_properties;
           Util.case "cross entropy positive" test_cross_entropy_positive;
           Util.case "accuracy improves" test_training_improves_accuracy;

@@ -266,6 +266,139 @@ let prop_meet_halfspace_sound =
           !ok)
 
 (* ------------------------------------------------------------------ *)
+(* Matrix-backed zonotope vs per-row reference transformers
+
+   The zonotope stores its generator set as one matrix so affine maps
+   run as a single GEMM.  These properties pin the matrix-backed
+   transformers against straightforward per-row reference
+   implementations (the representation the domain used before), so a
+   kernel or layout bug cannot silently change the abstraction. *)
+
+let ref_norm1 g = Array.fold_left (fun acc x -> acc +. abs_float x) 0.0 g
+
+let ref_prune gens =
+  Array.of_list
+    (List.filter (fun g -> ref_norm1 g > 1e-300) (Array.to_list gens))
+
+let ref_radii ~dimz ~gens =
+  let r = Vec.zeros dimz in
+  Array.iter
+    (fun g -> Array.iteri (fun i x -> r.(i) <- r.(i) +. abs_float x) g)
+    gens;
+  r
+
+let ref_affine w b ~center ~gens =
+  ( Vec.add (Mat.matvec w center) b,
+    ref_prune (Array.map (fun g -> Mat.matvec w g) gens) )
+
+let ref_relu ~center ~gens =
+  let d = Vec.dim center in
+  let r = ref_radii ~dimz:d ~gens in
+  let c = Vec.copy center and gs = Array.map Vec.copy gens in
+  let fresh = ref [] in
+  for i = 0 to d - 1 do
+    let lo = center.(i) -. r.(i) and hi = center.(i) +. r.(i) in
+    if hi <= 0.0 then begin
+      c.(i) <- 0.0;
+      Array.iter (fun g -> g.(i) <- 0.0) gs
+    end
+    else if lo < 0.0 then begin
+      let lambda = hi /. (hi -. lo) in
+      let mu = -.lambda *. lo /. 2.0 in
+      c.(i) <- (lambda *. c.(i)) +. mu;
+      Array.iter (fun g -> g.(i) <- lambda *. g.(i)) gs;
+      fresh := (i, mu) :: !fresh
+    end
+  done;
+  (* [fresh] is in descending-dimension order; rev_map restores the
+     ascending order in which the implementation appends fresh rows. *)
+  let fresh_rows =
+    List.rev_map
+      (fun (i, mu) ->
+        let g = Vec.zeros d in
+        g.(i) <- mu;
+        g)
+      !fresh
+  in
+  (c, ref_prune (Array.append gs (Array.of_list fresh_rows)))
+
+let ref_order_reduce ~max_gens ~center ~gens =
+  let n = Array.length gens in
+  if n <= max_gens then (center, gens)
+  else begin
+    let d = Vec.dim center in
+    let keep = Stdlib.max 0 (max_gens - d) in
+    let norms = Array.map ref_norm1 gens in
+    let order = Array.init n Fun.id in
+    Array.sort (fun a b -> Float.compare norms.(b) norms.(a)) order;
+    let box_r = Vec.zeros d in
+    for k = keep to n - 1 do
+      Array.iteri
+        (fun i x -> box_r.(i) <- box_r.(i) +. abs_float x)
+        gens.(order.(k))
+    done;
+    let kept = Array.init keep (fun k -> gens.(order.(k))) in
+    let extra = ref [] in
+    Array.iteri
+      (fun i ri ->
+        if ri > 0.0 then begin
+          let g = Vec.zeros d in
+          g.(i) <- ri;
+          extra := g :: !extra
+        end)
+      box_r;
+    (center, Array.append kept (Array.of_list (List.rev !extra)))
+  end
+
+let same_zonotope (c, gens) z =
+  Vec.approx_equal ~eps:1e-9 c (Zonotope.center z)
+  &&
+  let zg = Zonotope.generators z in
+  Array.length gens = Array.length zg
+  && Array.for_all Fun.id
+       (Array.mapi (fun i g -> Vec.approx_equal ~eps:1e-9 g zg.(i)) gens)
+
+let zono_case_gen =
+  Gen.map
+    (fun seed ->
+      let rng = Rng.create seed in
+      let d = 1 + Rng.int rng 4 in
+      let ngens = Rng.int rng 7 in
+      let center = Vec.init d (fun _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+      let gens =
+        Array.init ngens (fun _ ->
+            Vec.init d (fun _ -> 0.5 *. Rng.gaussian rng))
+      in
+      (center, gens, seed))
+    (Gen.int_range 0 1_000_000)
+
+let prop_matrix_affine_matches_per_row =
+  qtest "matrix affine = per-row affine" ~count:200 zono_case_gen
+    (fun (center, gens, seed) ->
+      let rng = Rng.create (seed + 1) in
+      let d = Vec.dim center in
+      let rows = 1 + Rng.int rng 5 in
+      let w = Mat.init rows d (fun _ _ -> Rng.gaussian rng) in
+      let b = Vec.init rows (fun _ -> Rng.gaussian rng) in
+      let z = Zonotope.affine w b (Zonotope.create ~center ~gens) in
+      same_zonotope (ref_affine w b ~center ~gens) z)
+
+let prop_matrix_relu_matches_per_row =
+  qtest "matrix relu = per-row relu" ~count:200 zono_case_gen
+    (fun (center, gens, _) ->
+      same_zonotope (ref_relu ~center ~gens)
+        (Zonotope.relu (Zonotope.create ~center ~gens)))
+
+let prop_matrix_order_reduce_matches_per_row =
+  qtest "matrix order_reduce = per-row order_reduce" ~count:200 zono_case_gen
+    (fun (center, gens, seed) ->
+      let rng = Rng.create (seed + 2) in
+      let max_gens = 1 + Rng.int rng (Array.length gens + 2) in
+      same_zonotope
+        (ref_order_reduce ~max_gens ~center ~gens)
+        (Zonotope.order_reduce (Zonotope.create ~center ~gens) ~max_gens))
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end: Algorithm 1 verdicts against ground truth sampling *)
 
 let prop_verify_verdicts_consistent =
@@ -326,6 +459,12 @@ let () =
           prop_powerset_sound;
           prop_symbolic_at_least_interval_linear;
           prop_meet_halfspace_sound;
+        ] );
+      ( "matrix-vs-per-row",
+        [
+          prop_matrix_affine_matches_per_row;
+          prop_matrix_relu_matches_per_row;
+          prop_matrix_order_reduce_matches_per_row;
         ] );
       ( "end-to-end",
         [ prop_verify_verdicts_consistent; prop_pgd_never_beats_abstract_lower_bound ] );
