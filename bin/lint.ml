@@ -1,0 +1,47 @@
+(* charon-lint: the repo's own soundness & data-race lint.
+
+   Parses every .ml with compiler-libs and runs the rule registry in
+   lib/lint (see docs/lint.md).  Exit code: 0 clean, 1 findings,
+   2 parse errors — so `dune build @lint` fails the build on a new
+   finding. *)
+
+let usage =
+  "charon-lint [options] [paths...]\n\
+   Lints the .ml files under the given root-relative paths (default: lib \
+   bin).\nOptions:"
+
+let () =
+  let json = ref false in
+  let show_suppressed = ref false in
+  let list_rules = ref false in
+  let root = ref "." in
+  let paths = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " machine-readable output");
+      ( "--show-suppressed",
+        Arg.Set show_suppressed,
+        " also list findings silenced by [@lint.allow]" );
+      ("--list-rules", Arg.Set list_rules, " print the rule registry and exit");
+      ( "--root",
+        Arg.Set_string root,
+        "DIR directory the paths are relative to (default: .)" );
+    ]
+  in
+  Arg.parse (Arg.align spec) (fun p -> paths := p :: !paths) usage;
+  if !list_rules then print_string (Charon_lint.Driver.list_rules_text ())
+  else begin
+    let paths =
+      match List.rev !paths with [] -> [ "lib"; "bin" ] | ps -> ps
+    in
+    let result = Charon_lint.Driver.lint ~root:!root ~paths () in
+    if !json then print_endline (Charon_lint.Driver.render_json result)
+    else
+      print_string
+        (Charon_lint.Driver.render_text ~show_suppressed:!show_suppressed
+           result);
+    exit
+      (if result.Charon_lint.Driver.errors <> [] then 2
+       else if result.Charon_lint.Driver.findings <> [] then 1
+       else 0)
+  end

@@ -1,7 +1,7 @@
 open Linalg
 
 let expected_improvement ?(xi = 0.01) ~best ~mean ~variance () =
-  let std = sqrt (Stdlib.max variance 0.0) in
+  let std = sqrt (Float.max variance 0.0) in
   if std <= 1e-12 then 0.0
   else begin
     let imp = mean -. best -. xi in
@@ -10,4 +10,4 @@ let expected_improvement ?(xi = 0.01) ~best ~mean ~variance () =
   end
 
 let upper_confidence_bound ?(beta = 2.0) ~mean ~variance () =
-  mean +. (beta *. sqrt (Stdlib.max variance 0.0))
+  mean +. (beta *. sqrt (Float.max variance 0.0))

@@ -33,7 +33,7 @@ let fit ?(noise = 1e-6) kernel ~inputs ~targets =
     match Mat.cholesky k with
     | l -> l
     | exception Failure _ when attempts < 8 ->
-        factor (Stdlib.max (jitter *. 10.0) 1e-10) (attempts + 1)
+        factor (Float.max (jitter *. 10.0) 1e-10) (attempts + 1)
   in
   let chol = factor 0.0 0 in
   let alpha = Mat.cholesky_solve chol y_std in
@@ -46,7 +46,7 @@ let predict t x =
   let mean_std = Vec.dot ks t.alpha in
   let v = Mat.solve_lower t.chol ks in
   let var_std = Kernel.diag t.kernel -. Vec.dot v v in
-  let var_std = Stdlib.max var_std 0.0 in
+  let var_std = Float.max var_std 0.0 in
   (t.y_mean +. (t.y_scale *. mean_std), var_std *. t.y_scale *. t.y_scale)
 
 let mean t x = fst (predict t x)

@@ -1,6 +1,13 @@
 (* Budgets are shared by every parallel verifier worker, so the mutable
    pieces are atomics: [spend] and [exhausted] may be called from any
-   domain concurrently. *)
+   domain concurrently.
+
+   Discipline (lock-free by design, hence the lint allow below):
+   - [used] and [polls] are only ever fetch_and_add'ed — no
+     read-modify-write cycles that could lose updates;
+   - [expired] is sticky: it transitions false -> true exactly once and
+     is never reset, so a stale read only delays expiry by one poll;
+   - the immutable fields are set at creation and safely shared. *)
 type t = {
   deadline : float option;
   max_steps : int option;
@@ -9,6 +16,7 @@ type t = {
   polls : int Atomic.t;  (** wall-clock polls since creation *)
   expired : bool Atomic.t;  (** sticky once the deadline passes *)
 }
+[@@lint.allow "domain-unsafe-global"]
 
 let now () = Unix.gettimeofday ()
 
@@ -53,6 +61,6 @@ let exhausted t =
 let elapsed t = now () -. t.started
 
 let remaining_seconds t =
-  Option.map (fun d -> Stdlib.max 0.0 (d -. now ())) t.deadline
+  Option.map (fun d -> Float.max 0.0 (d -. now ())) t.deadline
 
 let steps_used t = Atomic.get t.used

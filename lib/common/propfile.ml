@@ -1,6 +1,9 @@
 type entry = { property : Property.t; network : string option }
 
-(* Partially parsed record fields. *)
+(* Partially parsed record fields.
+
+   Discipline: a [draft] lives only inside one [parse] call on one
+   domain; it never escapes the parser. *)
 type draft = {
   mutable name : string option;
   mutable network : string option;
@@ -9,6 +12,7 @@ type draft = {
   mutable center : Linalg.Vec.t option;
   mutable radius : float option;
 }
+[@@lint.allow "domain-unsafe-global"]
 
 let fresh () =
   { name = None; network = None; target = None; box = None; center = None;

@@ -38,7 +38,10 @@ type report = {
 (* Counters are shared by every worker domain, so the integer ones are
    atomics and the per-domain-spec histogram hides behind a mutex.  In
    the sequential (workers = 1) case the atomics are uncontended and the
-   numbers are bit-for-bit what the old mutable-record code produced. *)
+   numbers are bit-for-bit what the old mutable-record code produced.
+
+   Discipline: never read [domains] without holding [domains_mutex];
+   the atomics are updated with fetch_and_add / [atomic_max] only. *)
 type counters = {
   nodes : int Atomic.t;
   analyze_calls : int Atomic.t;
@@ -48,6 +51,7 @@ type counters = {
   domains_mutex : Mutex.t;
   domains : (Domain.spec, int) Hashtbl.t;
 }
+[@@lint.allow "domain-unsafe-global"]
 
 let rec atomic_max a v =
   let cur = Atomic.get a in

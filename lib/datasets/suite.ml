@@ -165,6 +165,8 @@ let build ?cache_dir ~seed () =
 (* Threshold/severity grid: low severities give small, mostly-verifiable
    regions; severity 1.0 is the paper's full brightening attack and is
    frequently falsifiable. *)
+(* Read-only lookup table: initialized once here and only ever indexed,
+   never written, so sharing it across domains is safe. *)
 let attack_grid =
   [|
     (0.55, 1.00);
@@ -174,6 +176,7 @@ let attack_grid =
     (0.70, 0.50);
     (0.80, 0.25);
   |]
+[@@lint.allow "domain-unsafe-global"]
 
 let properties ~seed entry ~count =
   if count <= 0 then invalid_arg "Suite.properties: count <= 0";

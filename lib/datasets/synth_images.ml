@@ -51,7 +51,7 @@ let prototype spec label =
       let du = u -. cy and dv = v -. cx in
       let blob = 0.35 *. exp (-.((du *. du) +. (dv *. dv)) /. 0.02) in
       let x = wave +. blob in
-      0.1 +. (0.8 *. Stdlib.min 1.0 (Stdlib.max 0.0 x)))
+      0.1 +. (0.8 *. Float.min 1.0 (Float.max 0.0 x)))
 
 let clip01 x = if x < 0.0 then 0.0 else if x > 1.0 then 1.0 else x
 

@@ -58,7 +58,7 @@ let split b ~dim:d ~at =
   if w <= 0.0 then invalid_arg "Box.split: zero-width dimension";
   let lo_cut = b.lo.(d) +. (cut_margin *. w) in
   let hi_cut = b.hi.(d) -. (cut_margin *. w) in
-  let at = Stdlib.min hi_cut (Stdlib.max lo_cut at) in
+  let at = Float.min hi_cut (Float.max lo_cut at) in
   let hi1 = Vec.copy b.hi in
   hi1.(d) <- at;
   let lo2 = Vec.copy b.lo in
@@ -91,5 +91,5 @@ let pp fmt b =
 let hull a b =
   if dim a <> dim b then invalid_arg "Box.hull: dimension mismatch";
   create
-    ~lo:(Vec.map2 Stdlib.min a.lo b.lo)
-    ~hi:(Vec.map2 Stdlib.max a.hi b.hi)
+    ~lo:(Vec.map2 Float.min a.lo b.lo)
+    ~hi:(Vec.map2 Float.max a.hi b.hi)

@@ -48,8 +48,8 @@ let affine w b t =
 
 let relu t =
   {
-    lo = Vec.map (fun x -> Stdlib.max x 0.0) t.lo;
-    hi = Vec.map (fun x -> Stdlib.max x 0.0) t.hi;
+    lo = Vec.map (fun x -> Float.max x 0.0) t.lo;
+    hi = Vec.map (fun x -> Float.max x 0.0) t.hi;
   }
 
 let maxpool p t =
@@ -57,17 +57,17 @@ let maxpool p t =
   {
     lo =
       Array.map
-        (fun w -> Array.fold_left (fun acc i -> Stdlib.max acc t.lo.(i)) neg_infinity w)
+        (fun w -> Array.fold_left (fun acc i -> Float.max acc t.lo.(i)) neg_infinity w)
         wins;
     hi =
       Array.map
-        (fun w -> Array.fold_left (fun acc i -> Stdlib.max acc t.hi.(i)) neg_infinity w)
+        (fun w -> Array.fold_left (fun acc i -> Float.max acc t.hi.(i)) neg_infinity w)
         wins;
   }
 
 let join a b =
   if dim a <> dim b then invalid_arg "Interval.join: dimension mismatch";
-  { lo = Vec.map2 Stdlib.min a.lo b.lo; hi = Vec.map2 Stdlib.max a.hi b.hi }
+  { lo = Vec.map2 Float.min a.lo b.lo; hi = Vec.map2 Float.max a.hi b.hi }
 
 let sample rng t = Box.sample rng (to_box t)
 
@@ -79,7 +79,7 @@ let meet_ge0 t i =
   if t.hi.(i) < 0.0 then None
   else begin
     let lo = Vec.copy t.lo in
-    lo.(i) <- Stdlib.max lo.(i) 0.0;
+    lo.(i) <- Float.max lo.(i) 0.0;
     Some { t with lo }
   end
 
@@ -87,7 +87,7 @@ let meet_le0 t i =
   if t.lo.(i) > 0.0 then None
   else begin
     let hi = Vec.copy t.hi in
-    hi.(i) <- Stdlib.min hi.(i) 0.0;
+    hi.(i) <- Float.min hi.(i) 0.0;
     Some { t with hi }
   end
 
@@ -99,6 +99,6 @@ let project_zero t i =
 
 let relu_dim t i =
   let lo = Vec.copy t.lo and hi = Vec.copy t.hi in
-  lo.(i) <- Stdlib.max lo.(i) 0.0;
-  hi.(i) <- Stdlib.max hi.(i) 0.0;
+  lo.(i) <- Float.max lo.(i) 0.0;
+  hi.(i) <- Float.max hi.(i) 0.0;
   { lo; hi }

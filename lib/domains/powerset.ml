@@ -27,8 +27,8 @@ struct
             (fun acc d ->
               let b = D.to_box d in
               Box.create
-                ~lo:(Vec.map2 Stdlib.min acc.Box.lo b.Box.lo)
-                ~hi:(Vec.map2 Stdlib.max acc.Box.hi b.Box.hi))
+                ~lo:(Vec.map2 Float.min acc.Box.lo b.Box.lo)
+                ~hi:(Vec.map2 Float.max acc.Box.hi b.Box.hi))
             (D.to_box d) rest
         in
         box
@@ -37,12 +37,12 @@ struct
     List.fold_left
       (fun (lo, hi) d ->
         let l, h = D.bounds d i in
-        (Stdlib.min lo l, Stdlib.max hi h))
+        (Float.min lo l, Float.max hi h))
       (infinity, neg_infinity) t
 
   let linear_lower t ~coeffs =
     List.fold_left
-      (fun acc d -> Stdlib.min acc (D.linear_lower d ~coeffs))
+      (fun acc d -> Float.min acc (D.linear_lower d ~coeffs))
       infinity t
 
   let affine w b t = List.map (D.affine w b) t

@@ -17,6 +17,9 @@ let dim t = Vec.dim t.center
 
 let num_gens t = t.gens.Mat.rows
 
+(* unsafe-array audit: [base + j] ranges over row [r] of a row-major
+   [rows x cols] buffer; callers pass [r < g.rows] (prune/order_reduce
+   iterate r over [0, rows)). *)
 let row_norm1 (g : Mat.t) r =
   let base = r * g.Mat.cols in
   let acc = ref 0.0 in
@@ -24,6 +27,7 @@ let row_norm1 (g : Mat.t) r =
     acc := !acc +. abs_float (Array.unsafe_get g.Mat.data (base + j))
   done;
   !acc
+[@@lint.allow "unsafe-array"]
 
 (* Drop generator rows with L1 norm below [tiny], preserving order.
    Returns the input unchanged when nothing is dropped — the common
@@ -75,12 +79,16 @@ let append_one_hot_rows (g : Mat.t) pairs =
         pairs;
       out
 
+(* unsafe-array audit: [r*d + j] with [r < rows] and [j < cols] stays
+   inside the row-major buffer; the only caller (relu_crossing) passes a
+   dimension index [j < cols]. *)
 let scale_col (g : Mat.t) j c =
   let d = g.Mat.cols in
   for r = 0 to g.Mat.rows - 1 do
     let idx = (r * d) + j in
     Array.unsafe_set g.Mat.data idx (c *. Array.unsafe_get g.Mat.data idx)
   done
+[@@lint.allow "unsafe-array"]
 
 let zero_col (g : Mat.t) j =
   let d = g.Mat.cols in
@@ -119,6 +127,9 @@ let of_box (b : Box.t) =
 
 (* Per-dimension deviation radius: r.(i) = Σ_g |g.(i)|.  One linear
    sweep over the generator matrix. *)
+(* unsafe-array audit: [r] has length [d]; [base + i] sweeps row [g] of
+   the [num_gens x d] generator buffer.  Innermost loop of every bound
+   query, hence unsafe. *)
 let radii t =
   let d = dim t in
   let r = Vec.zeros d in
@@ -132,7 +143,10 @@ let radii t =
     done
   done;
   r
+[@@lint.allow "unsafe-array"]
 
+(* unsafe-array audit: callers guarantee [i < d] (a dimension index), so
+   [g*d + i] stays inside the row-major generator buffer. *)
 let bounds t i =
   let d = dim t in
   let data = t.gens.Mat.data in
@@ -141,6 +155,7 @@ let bounds t i =
     r := !r +. abs_float (Array.unsafe_get data ((g * d) + i))
   done;
   (t.center.(i) -. !r, t.center.(i) +. !r)
+[@@lint.allow "unsafe-array"]
 
 let to_box t =
   let r = radii t in
@@ -216,8 +231,8 @@ let maxpool p t =
         center.(o) <- t.center.(!best)
       end
       else begin
-        let wlo = Array.fold_left (fun acc i -> Stdlib.max acc (lo i)) neg_infinity window in
-        let whi = Array.fold_left (fun acc i -> Stdlib.max acc (hi i)) neg_infinity window in
+        let wlo = Array.fold_left (fun acc i -> Float.max acc (lo i)) neg_infinity window in
+        let whi = Array.fold_left (fun acc i -> Float.max acc (hi i)) neg_infinity window in
         center.(o) <- 0.5 *. (wlo +. whi);
         fresh := (o, 0.5 *. (whi -. wlo)) :: !fresh
       end)
@@ -330,7 +345,7 @@ let meet_halfspace t ~dim:i ~sign =
   let a = Array.init n (fun g -> sign *. t.gens.Mat.data.((g * d) + i)) in
   let r = -.sign *. t.center.(i) in
   let lo = Array.make n (-1.0) and hi = Array.make n 1.0 in
-  let term_max g = Stdlib.max (a.(g) *. lo.(g)) (a.(g) *. hi.(g)) in
+  let term_max g = Float.max (a.(g) *. lo.(g)) (a.(g) *. hi.(g)) in
   let feasible = ref true in
   (* Two full tightening passes are enough in practice; each pass only
      shrinks ranges, so soundness does not depend on the pass count. *)
@@ -347,8 +362,8 @@ let meet_halfspace t ~dim:i ~sign =
             let others = !total -. term_max g in
             let bound = (r -. others) /. a.(g) in
             let before = term_max g in
-            if a.(g) > 0.0 then lo.(g) <- Stdlib.max lo.(g) bound
-            else hi.(g) <- Stdlib.min hi.(g) bound;
+            if a.(g) > 0.0 then lo.(g) <- Float.max lo.(g) bound
+            else hi.(g) <- Float.min hi.(g) bound;
             if lo.(g) > hi.(g) then feasible := false
             else total := !total -. before +. term_max g
           end
@@ -361,7 +376,10 @@ let meet_halfspace t ~dim:i ~sign =
     let gens = Mat.copy t.gens in
     for g = 0 to n - 1 do
       let m = 0.5 *. (lo.(g) +. hi.(g)) and w = 0.5 *. (hi.(g) -. lo.(g)) in
-      if m <> 0.0 || w <> 1.0 then begin
+      (* Bit-exact identity test: a symbol whose range stayed exactly
+         [-1, 1] needs no rewrite; any rounded-but-close range must
+         still be rewritten for soundness, so an epsilon is wrong here. *)
+      if m <> 0.0 || (w <> 1.0 [@lint.allow "float-eq"]) then begin
         let base = g * d in
         for j = 0 to d - 1 do
           let gj = gens.Mat.data.(base + j) in

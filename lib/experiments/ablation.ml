@@ -1,3 +1,7 @@
+(* Report generator: the paper tables/figures it produces ARE stdout,
+   so printing here is the module's contract, not stray debug output. *)
+[@@@lint.allow "printf-in-lib"]
+
 open Domains
 
 let policies ~seed ~timeout ~policy workload =

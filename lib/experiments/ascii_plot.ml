@@ -1,4 +1,4 @@
-let markers = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
+let markers = "*o+x#@%&"
 
 let render ?(width = 64) ?(height = 16) ?(x_label = "x") ?(y_label = "y")
     series =
@@ -8,14 +8,14 @@ let render ?(width = 64) ?(height = 16) ?(x_label = "x") ?(y_label = "y")
     let all = List.concat_map snd series in
     let xs = List.map fst all and ys = List.map snd all in
     let fold f = function [] -> 0.0 | h :: t -> List.fold_left f h t in
-    let x_min = fold Stdlib.min xs and x_max = fold Stdlib.max xs in
-    let y_min = fold Stdlib.min ys and y_max = fold Stdlib.max ys in
+    let x_min = fold Float.min xs and x_max = fold Float.max xs in
+    let y_min = fold Float.min ys and y_max = fold Float.max ys in
     let x_span = if x_max > x_min then x_max -. x_min else 1.0 in
     let y_span = if y_max > y_min then y_max -. y_min else 1.0 in
     let grid = Array.make_matrix height width ' ' in
     List.iteri
       (fun si (_, pts) ->
-        let marker = markers.(si mod Array.length markers) in
+        let marker = markers.[si mod String.length markers] in
         List.iter
           (fun (x, y) ->
             let c =
@@ -55,7 +55,7 @@ let render ?(width = 64) ?(height = 16) ?(x_label = "x") ?(y_label = "y")
     List.iteri
       (fun si (name, _) ->
         Buffer.add_string buf
-          (Printf.sprintf "%11s %c = %s\n" "" markers.(si mod Array.length markers)
+          (Printf.sprintf "%11s %c = %s\n" "" markers.[si mod String.length markers]
              name))
       series;
     Buffer.contents buf

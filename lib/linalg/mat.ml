@@ -486,8 +486,10 @@ let gemm ?(transa = false) ?(transb = false) ?(alpha = 1.0) ?(beta = 0.0) a b c
       (Printf.sprintf "Mat.gemm: output is %dx%d, expected %dx%d" c.rows
          c.cols m n);
   let cd = c.data in
+  (* Bit-exact BLAS convention: beta = 1.0 exactly means "accumulate
+     into C unscaled"; a near-1.0 beta must still scale, so no epsilon. *)
   if beta = 0.0 then Array.fill cd 0 (m * n) 0.0
-  else if beta <> 1.0 then
+  else if (beta <> 1.0 [@lint.allow "float-eq"]) then
     for i = 0 to (m * n) - 1 do
       Array.unsafe_set cd i (beta *. Array.unsafe_get cd i)
     done;

@@ -1,4 +1,6 @@
-type t = { mutable state : int64 }
+(* Discipline: one stream per owner — parallel workers get their own
+   stream via [split] at push time and never touch the parent's. *)
+type t = { mutable state : int64 } [@@lint.allow "domain-unsafe-global"]
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 

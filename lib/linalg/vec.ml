@@ -49,7 +49,7 @@ let dot a b =
 
 let norm2 a = sqrt (dot a a)
 
-let norm_inf a = Array.fold_left (fun m x -> Stdlib.max m (abs_float x)) 0.0 a
+let norm_inf a = Array.fold_left (fun m x -> Float.max m (abs_float x)) 0.0 a
 
 let dist2 a b = norm2 (sub a b)
 
@@ -64,11 +64,11 @@ let nonempty name a =
 
 let max a =
   nonempty "max" a;
-  Array.fold_left Stdlib.max a.(0) a
+  Array.fold_left Float.max a.(0) a
 
 let min a =
   nonempty "min" a;
-  Array.fold_left Stdlib.min a.(0) a
+  Array.fold_left Float.min a.(0) a
 
 let argmax a =
   nonempty "argmax" a;

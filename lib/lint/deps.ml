@@ -1,0 +1,183 @@
+type lib = { name : string; dir : string; deps : string list }
+
+(* ------------------------------------------------------------------ *)
+(* A minimal s-expression reader, just enough for dune files: atoms,
+   parenthesised lists, double-quoted strings, and [;] line comments. *)
+
+type sexp = Atom of string | List of sexp list
+
+let parse_sexps (src : string) : sexp list =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_blanks () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_blanks ()
+    | Some ';' ->
+        while !pos < n && src.[!pos] <> '\n' do
+          advance ()
+        done;
+        skip_blanks ()
+    | _ -> ()
+  in
+  let read_string () =
+    advance ();
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> ()
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some c ->
+              Buffer.add_char buf c;
+              advance ()
+          | None -> ());
+          go ()
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Atom (Buffer.contents buf)
+  in
+  let read_atom () =
+    let start = !pos in
+    let stop = ref false in
+    while not !stop do
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | ';' | '"') | None ->
+          stop := true
+      | Some _ -> advance ()
+    done;
+    Atom (String.sub src start (!pos - start))
+  in
+  let rec read_one () =
+    skip_blanks ();
+    match peek () with
+    | None -> None
+    | Some '(' ->
+        advance ();
+        let items = read_list [] in
+        Some (List items)
+    | Some ')' ->
+        (* Stray close: skip it rather than fail — lint must not crash
+           on a malformed dune file. *)
+        advance ();
+        read_one ()
+    | Some '"' -> Some (read_string ())
+    | Some _ -> Some (read_atom ())
+  and read_list acc =
+    skip_blanks ();
+    match peek () with
+    | None -> List.rev acc
+    | Some ')' ->
+        advance ();
+        List.rev acc
+    | Some _ -> (
+        match read_one () with
+        | None -> List.rev acc
+        | Some s -> read_list (s :: acc))
+  in
+  let rec all acc =
+    match read_one () with None -> List.rev acc | Some s -> all (s :: acc)
+  in
+  all []
+
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  match open_in_bin path with
+  | ic ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      Some s
+  | exception Sys_error _ -> None
+
+let field name items =
+  List.find_map
+    (function
+      | List (Atom f :: rest) when String.equal f name -> Some rest | _ -> None)
+    items
+
+let atoms items =
+  List.filter_map (function Atom a -> Some a | List _ -> None) items
+
+let libs_of_dune ~dir src =
+  parse_sexps src
+  |> List.filter_map (function
+       | List (Atom "library" :: items) -> (
+           match field "name" items with
+           | Some (Atom name :: _) ->
+               let deps =
+                 match field "libraries" items with
+                 | Some rest -> atoms rest
+                 | None -> []
+               in
+               Some { name; dir; deps }
+           | _ -> None)
+       | _ -> None)
+
+let rec walk_dirs full rel acc =
+  match Sys.readdir full with
+  | exception Sys_error _ -> acc
+  | entries ->
+      Array.sort String.compare entries;
+      Array.fold_left
+        (fun acc entry ->
+          if String.length entry = 0 || entry.[0] = '.' || entry.[0] = '_' then
+            acc
+          else
+            let f = Filename.concat full entry in
+            let r = if rel = "" then entry else Filename.concat rel entry in
+            if Sys.is_directory f then walk_dirs f r acc
+            else if String.equal entry "dune" then (f, r) :: acc
+            else acc)
+        acc entries
+
+let scan ~root ~paths =
+  List.concat_map
+    (fun p ->
+      let full = Filename.concat root p in
+      if not (Sys.file_exists full) then []
+      else if Sys.is_directory full then
+        walk_dirs full p []
+        |> List.concat_map (fun (f, r) ->
+               match read_file f with
+               | Some src -> libs_of_dune ~dir:(Filename.dirname r) src
+               | None -> [])
+      else [])
+    paths
+
+(* ------------------------------------------------------------------ *)
+
+let parallel_reachable libs ~roots =
+  let find name = List.find_opt (fun l -> String.equal l.name name) libs in
+  (* closure name = {name} ∪ transitive local deps of name *)
+  let rec closure seen name =
+    if List.mem name seen then seen
+    else
+      match find name with
+      | None -> seen (* external library: opaque, no local deps *)
+      | Some l -> List.fold_left closure (name :: seen) l.deps
+  in
+  let reachable =
+    List.fold_left
+      (fun acc l ->
+        let cl = closure [] l.name in
+        let touches_root = List.exists (fun r -> List.mem r cl) roots in
+        if touches_root then List.rev_append cl acc else acc)
+      (List.filter (fun r -> Option.is_some (find r)) roots)
+      libs
+  in
+  fun name -> List.mem name reachable
+
+let lib_of_file libs path =
+  let dir = Filename.dirname path in
+  List.find_opt (fun l -> String.equal l.dir dir) libs

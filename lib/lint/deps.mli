@@ -1,0 +1,32 @@
+(** The library dependency graph, recovered from [dune] files.
+
+    The [domain-unsafe-global] rule needs to know which libraries can
+    have their code executed by [Parallel.Pool] worker domains.  A
+    worker runs a closure built in a library that links [parallel], and
+    that closure may call into any of that library's (transitive)
+    dependencies — so the "parallel-reachable" set is the union, over
+    every library [U] that transitively depends on a parallel root, of
+    [{U} ∪ transitive-deps(U)], plus the roots themselves. *)
+
+type lib = {
+  name : string;  (** dune library name *)
+  dir : string;  (** root-relative directory holding its [dune] file *)
+  deps : string list;  (** the [(libraries ...)] field, verbatim *)
+}
+
+(** Parse every [dune] file found under [paths] (root-relative
+    directories, searched recursively below [root]) and return the
+    [(library ...)] stanzas found.  Non-library stanzas and unreadable
+    files are skipped; external libraries appear only as [deps]
+    entries. *)
+val scan : root:string -> paths:string list -> lib list
+
+(** [parallel_reachable libs ~roots] is a predicate on library names:
+    true iff code of that library can run on a worker domain of one of
+    the [roots] libraries (by the closure rule above).  Names not in
+    [libs] (external libraries) are never reachable. *)
+val parallel_reachable : lib list -> roots:string list -> string -> bool
+
+(** The library whose [dune] directory is the parent of the given
+    root-relative file path, if any. *)
+val lib_of_file : lib list -> string -> lib option

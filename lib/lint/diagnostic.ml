@@ -1,0 +1,26 @@
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+  hint : string;
+}
+
+let make ~rule ~file ~(loc : Location.t) ~message ~hint =
+  let p = loc.loc_start in
+  { rule; file; line = p.pos_lnum; col = p.pos_cnum - p.pos_bol; message; hint }
+
+let order a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare a.rule b.rule
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let to_string d =
+  Printf.sprintf "%s:%d:%d: %s: %s" d.file d.line d.col d.rule d.message

@@ -1,0 +1,26 @@
+(** A single lint finding: where, which rule, what is wrong, and how to
+    fix it.  Diagnostics are plain data so the driver can render them as
+    text or JSON and the test suite can assert on them directly. *)
+
+type t = {
+  rule : string;  (** rule id, e.g. ["poly-compare"] *)
+  file : string;  (** root-relative path of the offending file *)
+  line : int;  (** 1-based line of the offending node *)
+  col : int;  (** 0-based column of the offending node *)
+  message : string;  (** what is wrong, one line *)
+  hint : string;  (** how to fix or how to suppress, one line *)
+}
+
+val make :
+  rule:string ->
+  file:string ->
+  loc:Location.t ->
+  message:string ->
+  hint:string ->
+  t
+
+(** Source-position order: file, then line, then column, then rule. *)
+val order : t -> t -> int
+
+(** [file:line:col: rule: message] — the one-line text rendering. *)
+val to_string : t -> string

@@ -1,0 +1,174 @@
+type result = {
+  files_scanned : int;
+  findings : Diagnostic.t list;
+  suppressed : Diagnostic.t list;
+  errors : (string * string) list;
+}
+
+let read_file path =
+  match open_in_bin path with
+  | ic ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      Some s
+  | exception Sys_error _ -> None
+
+let parse_impl ~path src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf path;
+  match Parse.implementation lexbuf with
+  | str -> Ok str
+  | exception Syntaxerr.Error _ -> Error "syntax error"
+  | exception Lexer.Error (_, _) -> Error "lexing error"
+
+(* Every [.ml] under [paths] (root-relative files or directories),
+   skipping dot- and underscore-prefixed entries ([_build], [.git],
+   editor droppings). *)
+let collect_ml_files ~root ~paths =
+  let rec walk full rel acc =
+    match Sys.readdir full with
+    | exception Sys_error _ -> acc
+    | entries ->
+        Array.sort String.compare entries;
+        Array.fold_left
+          (fun acc entry ->
+            if String.length entry = 0 || entry.[0] = '.' || entry.[0] = '_'
+            then acc
+            else
+              let f = Filename.concat full entry in
+              let r = Filename.concat rel entry in
+              if Sys.is_directory f then walk f r acc
+              else if Filename.check_suffix entry ".ml" then (f, r) :: acc
+              else acc)
+          acc entries
+  in
+  List.concat_map
+    (fun p ->
+      let full = Filename.concat root p in
+      if not (Sys.file_exists full) then []
+      else if Sys.is_directory full then List.rev (walk full p [])
+      else if Filename.check_suffix p ".ml" then [ (full, p) ]
+      else [])
+    paths
+
+let first_segment path =
+  match String.index_opt path '/' with
+  | Some i -> String.sub path 0 i
+  | None -> path
+
+let lint ?(parallel_roots = [ "parallel" ])
+    ?(unsafe_allowlist = [ "lib/linalg/mat.ml" ]) ~root ~paths () =
+  let libs = Deps.scan ~root ~paths in
+  let reachable = Deps.parallel_reachable libs ~roots:parallel_roots in
+  let files = collect_ml_files ~root ~paths in
+  let findings = ref [] in
+  let suppressed = ref [] in
+  let errors = ref [] in
+  List.iter
+    (fun (full, rel) ->
+      match read_file full with
+      | None -> errors := (rel, "unreadable") :: !errors
+      | Some src -> (
+          match parse_impl ~path:rel src with
+          | Error msg -> errors := (rel, msg) :: !errors
+          | Ok str ->
+              let ctx =
+                {
+                  Rules.file = rel;
+                  in_lib = String.equal (first_segment rel) "lib";
+                  parallel_reachable =
+                    (match Deps.lib_of_file libs rel with
+                    | Some l -> reachable l.Deps.name
+                    | None -> false);
+                  unsafe_allowlist;
+                }
+              in
+              let spans = Suppress.collect str in
+              List.iter
+                (fun (d : Diagnostic.t) ->
+                  if
+                    Suppress.is_suppressed spans ~rule:d.Diagnostic.rule
+                      ~line:d.Diagnostic.line
+                  then suppressed := d :: !suppressed
+                  else findings := d :: !findings)
+                (Rules.check_all ctx str)))
+    files;
+  {
+    files_scanned = List.length files;
+    findings = List.sort Diagnostic.order !findings;
+    suppressed = List.sort Diagnostic.order !suppressed;
+    errors = List.rev !errors;
+  }
+
+let clean r = r.findings = [] && r.errors = []
+
+let render_text ?(show_suppressed = false) r =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (d : Diagnostic.t) ->
+      Buffer.add_string buf (Diagnostic.to_string d);
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf ("  hint: " ^ d.Diagnostic.hint);
+      Buffer.add_char buf '\n')
+    r.findings;
+  if show_suppressed then
+    List.iter
+      (fun (d : Diagnostic.t) ->
+        Buffer.add_string buf ("suppressed: " ^ Diagnostic.to_string d);
+        Buffer.add_char buf '\n')
+      r.suppressed;
+  List.iter
+    (fun (file, msg) ->
+      Buffer.add_string buf (Printf.sprintf "%s: parse error: %s\n" file msg))
+    r.errors;
+  Buffer.add_string buf
+    (Printf.sprintf "charon-lint: %d files, %d findings, %d suppressed%s\n"
+       r.files_scanned
+       (List.length r.findings)
+       (List.length r.suppressed)
+       (match r.errors with
+       | [] -> ""
+       | es -> Printf.sprintf ", %d parse errors" (List.length es)));
+  Buffer.contents buf
+
+let json_of_diag (d : Diagnostic.t) =
+  Json_out.Obj
+    [
+      ("file", Json_out.Str d.Diagnostic.file);
+      ("line", Json_out.Int d.Diagnostic.line);
+      ("col", Json_out.Int d.Diagnostic.col);
+      ("rule", Json_out.Str d.Diagnostic.rule);
+      ("message", Json_out.Str d.Diagnostic.message);
+      ("hint", Json_out.Str d.Diagnostic.hint);
+    ]
+
+let render_json r =
+  Json_out.to_string
+    (Json_out.Obj
+       [
+         ("tool", Json_out.Str "charon-lint");
+         ("version", Json_out.Int 1);
+         ("files", Json_out.Int r.files_scanned);
+         ("findings", Json_out.Arr (List.map json_of_diag r.findings));
+         ("suppressed", Json_out.Arr (List.map json_of_diag r.suppressed));
+         ( "errors",
+           Json_out.Arr
+             (List.map
+                (fun (file, msg) ->
+                  Json_out.Obj
+                    [
+                      ("file", Json_out.Str file);
+                      ("message", Json_out.Str msg);
+                    ])
+                r.errors) );
+       ])
+
+let list_rules_text () =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (r : Rules.rule) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-21s %s\n" r.Rules.id r.Rules.summary))
+    Rules.all;
+  Buffer.contents buf

@@ -1,0 +1,43 @@
+(** The linter driver: walk the tree, parse every [.ml] with
+    compiler-libs, run the rule registry, apply [[@lint.allow]]
+    suppression, and render the result.
+
+    The driver never prints — it returns strings — so library code
+    stays clean under its own [printf-in-lib] rule; [bin/lint.exe] does
+    the printing and owns the exit code. *)
+
+type result = {
+  files_scanned : int;
+  findings : Diagnostic.t list;  (** active findings, in source order *)
+  suppressed : Diagnostic.t list;
+      (** findings silenced by [[@lint.allow]], kept as the audit trail *)
+  errors : (string * string) list;
+      (** files the parser rejected: (path, message) *)
+}
+
+(** [lint ~root ~paths ()] lints every [.ml] under the root-relative
+    [paths] (files or directories; directories recurse, skipping
+    [_*]/dot entries).  The dune dependency graph is scanned from the
+    same paths; [parallel_roots] (default [["parallel"]]) seeds the
+    reachability analysis of the [domain-unsafe-global] rule, and
+    [unsafe_allowlist] (default [["lib/linalg/mat.ml"]]) names the
+    audited kernels exempt from [unsafe-array]. *)
+val lint :
+  ?parallel_roots:string list ->
+  ?unsafe_allowlist:string list ->
+  root:string ->
+  paths:string list ->
+  unit ->
+  result
+
+val render_text : ?show_suppressed:bool -> result -> string
+
+(** Schema: [{"tool","version","files","findings":[...],
+    "suppressed":[...],"errors":[...]}], each diagnostic an object with
+    [file], [line], [col], [rule], [message], [hint]. *)
+val render_json : result -> string
+
+val list_rules_text : unit -> string
+
+(** [true] iff there are neither findings nor parse errors. *)
+val clean : result -> bool

@@ -1,0 +1,14 @@
+(** A tiny JSON writer — just enough structure for the linter's
+    [--json] output, kept dependency-free so the lint library links
+    against compiler-libs alone. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** Compact (single-line) rendering with standard string escaping. *)
+val to_string : t -> string

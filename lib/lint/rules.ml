@@ -1,0 +1,566 @@
+open Parsetree
+
+type ctx = {
+  file : string;
+  in_lib : bool;
+  parallel_reachable : bool;
+  unsafe_allowlist : string list;
+}
+
+type rule = {
+  id : string;
+  summary : string;
+  check : ctx -> Parsetree.structure -> Diagnostic.t list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shared syntax helpers. *)
+
+(* [Longident.flatten] is fatal on [Lapply]; this version is total. *)
+let rec ident_path (li : Longident.t) =
+  match li with
+  | Lident s -> Some [ s ]
+  | Ldot (p, s) -> Option.map (fun l -> l @ [ s ]) (ident_path p)
+  | Lapply _ -> None
+
+(* Treat [Stdlib.compare] and [compare] alike. *)
+let norm = function "Stdlib" :: rest -> rest | p -> p
+
+let path_of_expr e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Option.map norm (ident_path txt)
+  | _ -> None
+
+let iter_exprs str f =
+  let super = Ast_iterator.default_iterator in
+  let it =
+    {
+      super with
+      Ast_iterator.expr =
+        (fun self e ->
+          f e;
+          super.expr self e);
+    }
+  in
+  it.structure it str
+
+(* Operators and functions of the stdlib that return float, used to
+   decide — without the typer — that an expression is float-valued. *)
+let float_prims =
+  [
+    "+."; "-."; "*."; "/."; "**"; "~-."; "~+."; "abs_float"; "sqrt"; "exp";
+    "expm1"; "log"; "log10"; "log1p"; "cos"; "sin"; "tan"; "acos"; "asin";
+    "atan"; "atan2"; "cosh"; "sinh"; "tanh"; "floor"; "ceil"; "mod_float";
+    "float_of_int"; "float_of_string"; "hypot"; "copysign"; "ldexp";
+  ]
+
+let float_consts =
+  [ "infinity"; "neg_infinity"; "nan"; "epsilon_float"; "max_float";
+    "min_float" ]
+
+(* [Float.f] calls that do NOT return float. *)
+let float_mod_nonfloat =
+  [
+    "compare"; "equal"; "is_nan"; "is_finite"; "is_infinite"; "is_integer";
+    "to_int"; "to_string"; "of_string_opt"; "sign_bit"; "classify_float";
+    "hash";
+  ]
+
+let is_float_type ct =
+  match ct.ptyp_desc with
+  | Ptyp_constr ({ txt = Lident "float"; _ }, []) -> true
+  | _ -> false
+
+(* Syntactically float-valued: a float literal, a float constant, an
+   application of a float primitive or of a value-returning [Float.*]
+   function, or an explicit [(e : float)] coercion. *)
+let rec floatish e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_ident { txt; _ } -> (
+      match Option.map norm (ident_path txt) with
+      | Some [ c ] -> List.mem c float_consts
+      | Some [ "Float"; c ] ->
+          List.mem c
+            [ "pi"; "max_float"; "min_float"; "epsilon"; "infinity";
+              "neg_infinity"; "nan"; "zero"; "one"; "minus_one" ]
+      | _ -> false)
+  | Pexp_apply (f, _) -> (
+      match path_of_expr f with
+      | Some [ op ] -> List.mem op float_prims
+      | Some [ "Float"; fn ] -> not (List.mem fn float_mod_nonfloat)
+      | _ -> false)
+  | Pexp_constraint (inner, ct) -> is_float_type ct || floatish inner
+  | _ -> false
+
+let structured e =
+  match e.pexp_desc with
+  | Pexp_tuple _ | Pexp_record _ | Pexp_array _ -> true
+  | Pexp_construct ({ txt = Lident "::"; _ }, _) -> true
+  | _ -> false
+
+let is_zero_float e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float (s, _)) -> (
+      match float_of_string s with
+      | f -> f = 0.0
+      | exception Failure _ -> false)
+  | _ -> false
+
+let diag ctx ~rule ~loc ~message ~hint =
+  Diagnostic.make ~rule ~file:ctx.file ~loc ~message ~hint
+
+(* ------------------------------------------------------------------ *)
+(* poly-compare: polymorphic compare/min/max reaching float or
+   structured values.  Generic ordering operators on floats follow IEEE
+   semantics in the runtime, but [compare] imposes a total order that
+   disagrees with [<], and [min]/[max] drop NaN or keep it depending on
+   argument order — in a verifier that silently corrupts bounds. *)
+
+let poly_cmp_kind = function
+  | [ "compare" ] -> Some "compare"
+  | [ "min" ] -> Some "min"
+  | [ "max" ] -> Some "max"
+  | _ -> None
+
+let poly_compare_rule =
+  {
+    id = "poly-compare";
+    summary =
+      "polymorphic compare/min/max applied to (or passed over) float or \
+       structured values";
+    check =
+      (fun ctx str ->
+        let acc = ref [] in
+        iter_exprs str (fun e ->
+            match e.pexp_desc with
+            | Pexp_apply (f, args) ->
+                (match Option.bind (path_of_expr f) poly_cmp_kind with
+                | Some kind
+                  when List.exists
+                         (fun (_, a) -> floatish a || structured a)
+                         args ->
+                    let hint =
+                      if String.equal kind "compare" then
+                        "use Float.compare (or a field-wise compare for \
+                         structured data)"
+                      else
+                        Printf.sprintf
+                          "use Float.%s: polymorphic %s keeps or drops NaN \
+                           depending on argument order" kind kind
+                    in
+                    acc :=
+                      diag ctx ~rule:"poly-compare" ~loc:e.pexp_loc
+                        ~message:
+                          (Printf.sprintf
+                             "polymorphic %s applied to a float or structured \
+                              expression"
+                             kind)
+                        ~hint
+                      :: !acc
+                | _ -> ());
+                List.iter
+                  (fun (_, a) ->
+                    match Option.bind (path_of_expr a) poly_cmp_kind with
+                    | Some kind ->
+                        acc :=
+                          diag ctx ~rule:"poly-compare" ~loc:a.pexp_loc
+                            ~message:
+                              (Printf.sprintf
+                                 "polymorphic %s passed as a comparison \
+                                  function"
+                                 kind)
+                            ~hint:
+                              (Printf.sprintf
+                                 "pass Float.%s (or a type-specific function) \
+                                  so NaN and structured data compare \
+                                  deterministically"
+                                 kind)
+                          :: !acc
+                    | None -> ())
+                  args
+            | _ -> ());
+        !acc);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* domain-unsafe-global: toplevel mutable state, and shared-mutable type
+   declarations, in libraries whose code can run on Parallel.Pool worker
+   domains.  Atomics are flagged too — not as bugs, but so every piece
+   of cross-domain state carries a documented discipline. *)
+
+let mutable_makers =
+  [
+    ([ "ref" ], "ref cell");
+    ([ "Hashtbl"; "create" ], "Hashtbl");
+    ([ "Array"; "make" ], "array");
+    ([ "Array"; "init" ], "array");
+    ([ "Array"; "create_float" ], "array");
+    ([ "Array"; "make_matrix" ], "array");
+    ([ "Array"; "of_list" ], "array");
+    ([ "Array"; "copy" ], "array");
+    ([ "Bytes"; "create" ], "bytes");
+    ([ "Bytes"; "make" ], "bytes");
+    ([ "Buffer"; "create" ], "Buffer");
+    ([ "Queue"; "create" ], "Queue");
+    ([ "Stack"; "create" ], "Stack");
+    ([ "Atomic"; "make" ], "atomic");
+    ([ "Dynarray"; "create" ], "Dynarray");
+    ([ "Weak"; "create" ], "weak array");
+  ]
+
+let rec peel_constraint e =
+  match e.pexp_desc with
+  | Pexp_constraint (inner, _) -> peel_constraint inner
+  | _ -> e
+
+let mutable_maker e =
+  let e = peel_constraint e in
+  match e.pexp_desc with
+  | Pexp_apply (f, _) ->
+      Option.bind (path_of_expr f) (fun p -> List.assoc_opt p mutable_makers)
+  | Pexp_array _ -> Some "array literal"
+  | Pexp_lazy _ -> Some "lazy thunk (forcing races under domains)"
+  | Pexp_record (fields, _)
+    when List.exists
+           (fun (_, v) ->
+             match (peel_constraint v).pexp_desc with
+             | Pexp_apply (f, _) -> (
+                 match path_of_expr f with
+                 | Some [ "ref" ] -> true
+                 | _ -> false)
+             | _ -> false)
+           fields ->
+      Some "record carrying ref cells"
+  | _ -> None
+
+let mutable_type_paths =
+  [
+    [ "ref" ]; [ "Atomic"; "t" ]; [ "Hashtbl"; "t" ]; [ "Buffer"; "t" ];
+    [ "Queue"; "t" ]; [ "Stack"; "t" ]; [ "Dynarray"; "t" ]; [ "Weak"; "t" ];
+    [ "bytes" ];
+  ]
+
+let rec mutable_core_type ct =
+  match ct.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, args) ->
+      (match Option.map norm (ident_path txt) with
+      | Some p when List.mem p mutable_type_paths -> true
+      | _ -> false)
+      || List.exists mutable_core_type args
+  | _ -> false
+
+let shared_mutable_fields decl =
+  match decl.ptype_kind with
+  | Ptype_record labels ->
+      List.filter_map
+        (fun l ->
+          if l.pld_mutable = Asttypes.Mutable then Some (l.pld_name.txt, "mutable")
+          else if mutable_core_type l.pld_type then Some (l.pld_name.txt, "shared")
+          else None)
+        labels
+  | _ -> (
+      match decl.ptype_manifest with
+      | Some ct when mutable_core_type ct -> [ (decl.ptype_name.txt, "shared") ]
+      | _ -> [])
+
+let domain_unsafe_rule =
+  {
+    id = "domain-unsafe-global";
+    summary =
+      "toplevel mutable state or shared-mutable types in libraries reachable \
+       from Parallel.Pool workers";
+    check =
+      (fun ctx str ->
+        if not ctx.parallel_reachable then []
+        else begin
+          let acc = ref [] in
+          let flag_value vb =
+            match mutable_maker vb.pvb_expr with
+            | Some kind ->
+                acc :=
+                  diag ctx ~rule:"domain-unsafe-global" ~loc:vb.pvb_loc
+                    ~message:
+                      (Printf.sprintf
+                         "toplevel mutable state (%s) in a module reachable \
+                          from Parallel.Pool workers"
+                         kind)
+                    ~hint:
+                      "allocate per use or per domain, or [@@lint.allow \
+                       \"domain-unsafe-global\"] with a comment stating the \
+                       locking discipline"
+                  :: !acc
+            | None -> ()
+          in
+          let flag_type decl =
+            match shared_mutable_fields decl with
+            | [] -> ()
+            | fields ->
+                let names = String.concat ", " (List.map fst fields) in
+                let unsync =
+                  List.exists (fun (_, k) -> String.equal k "mutable") fields
+                in
+                acc :=
+                  diag ctx ~rule:"domain-unsafe-global" ~loc:decl.ptype_loc
+                    ~message:
+                      (Printf.sprintf
+                         "%s type in a parallel-reachable library (%s): \
+                          values may be shared across worker domains"
+                         (if unsync then "mutable" else "shared-mutable")
+                         names)
+                    ~hint:
+                      "state the synchronization discipline in a comment and \
+                       [@@lint.allow \"domain-unsafe-global\"], or confine \
+                       values to a single domain"
+                  :: !acc
+          in
+          let rec walk_items items = List.iter walk_item items
+          and walk_item item =
+            match item.pstr_desc with
+            | Pstr_value (_, vbs) -> List.iter flag_value vbs
+            | Pstr_type (_, decls) -> List.iter flag_type decls
+            | Pstr_module mb -> walk_module mb.pmb_expr
+            | Pstr_recmodule mbs ->
+                List.iter (fun mb -> walk_module mb.pmb_expr) mbs
+            | Pstr_include i -> walk_module i.pincl_mod
+            | _ -> ()
+          and walk_module me =
+            match me.pmod_desc with
+            | Pmod_structure items -> walk_items items
+            | Pmod_constraint (m, _) -> walk_module m
+            | Pmod_functor (_, m) -> walk_module m
+            | _ -> ()
+          in
+          walk_items str;
+          !acc
+        end);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* float-eq: (dis)equality on float values.  Comparisons against a
+   literal zero are exempt — exact-zero sparsity and sign tests are
+   IEEE-exact and idiomatic in the kernels.  [==]/[!=] on floats are
+   flagged unconditionally: they compare boxes, not values. *)
+
+let float_eq_rule =
+  {
+    id = "float-eq";
+    summary = "= / == (dis)equality on float expressions";
+    check =
+      (fun ctx str ->
+        let acc = ref [] in
+        iter_exprs str (fun e ->
+            match e.pexp_desc with
+            | Pexp_apply (f, [ (_, a); (_, b) ]) -> (
+                match path_of_expr f with
+                | Some [ (("=" | "<>") as op) ]
+                  when (floatish a || floatish b)
+                       && not (is_zero_float a || is_zero_float b) ->
+                    acc :=
+                      diag ctx ~rule:"float-eq" ~loc:e.pexp_loc
+                        ~message:
+                          (Printf.sprintf
+                             "float (dis)equality via polymorphic %s is \
+                              representation-exact and NaN-hostile"
+                             op)
+                        ~hint:
+                          "compare within a tolerance, or [@lint.allow \
+                           \"float-eq\"] with a comment when bit-exactness is \
+                           the intent (exact-zero tests are always exempt)"
+                      :: !acc
+                | Some [ (("==" | "!=") as op) ] when floatish a || floatish b
+                  ->
+                    acc :=
+                      diag ctx ~rule:"float-eq" ~loc:e.pexp_loc
+                        ~message:
+                          (Printf.sprintf
+                             "physical %s on floats compares boxes, not \
+                              values"
+                             op)
+                        ~hint:"use Float.equal or an epsilon comparison"
+                      :: !acc
+                | _ -> ())
+            | _ -> ());
+        !acc);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* unsafe-array: unchecked accessors outside the audited-kernel
+   allowlist.  Matches any module-qualified identifier whose last
+   component starts with "unsafe_", so Bytes/String/Float.Array
+   variants are covered too. *)
+
+let unsafe_array_rule =
+  {
+    id = "unsafe-array";
+    summary = "Array.unsafe_get/set (and friends) outside audited kernels";
+    check =
+      (fun ctx str ->
+        if List.mem ctx.file ctx.unsafe_allowlist then []
+        else begin
+          let acc = ref [] in
+          iter_exprs str (fun e ->
+              match e.pexp_desc with
+              | Pexp_ident { txt; _ } -> (
+                  match Option.map norm (ident_path txt) with
+                  | Some p -> (
+                      (* Only module-qualified accessors: a bare local
+                         identifier that happens to be named unsafe_*
+                         is not an unchecked access. *)
+                      match List.rev p with
+                      | last :: _ :: _
+                        when String.starts_with ~prefix:"unsafe_" last ->
+                          acc :=
+                            diag ctx ~rule:"unsafe-array" ~loc:e.pexp_loc
+                              ~message:
+                                (Printf.sprintf
+                                   "unchecked access %s outside the audited \
+                                    kernel allowlist"
+                                   (String.concat "." p))
+                              ~hint:
+                                "prove the bounds locally and [@lint.allow \
+                                 \"unsafe-array\"], or use checked indexing"
+                            :: !acc
+                      | _ -> ())
+                  | None -> ())
+              | _ -> ());
+          !acc
+        end);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* catch-all-exn: [try ... with _ ->] (or a variable pattern) that does
+   not re-raise can absorb Out_of_memory, Stack_overflow or
+   Assert_failure into an ordinary value — in a verifier, into a
+   verdict. *)
+
+let rec catches_everything p =
+  match p.ppat_desc with
+  | Ppat_any | Ppat_var _ -> true
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) -> catches_everything p
+  | Ppat_or (a, b) -> catches_everything a || catches_everything b
+  | _ -> false
+
+let reraise_names =
+  [ "raise"; "raise_notrace"; "reraise"; "raise_with_backtrace" ]
+
+let mentions_reraise e =
+  let found = ref false in
+  let super = Ast_iterator.default_iterator in
+  let it =
+    {
+      super with
+      Ast_iterator.expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } -> (
+              match Option.map norm (ident_path txt) with
+              | Some p -> (
+                  match List.rev p with
+                  | last :: _ when List.mem last reraise_names -> found := true
+                  | _ -> ())
+              | None -> ())
+          | _ -> ());
+          super.expr self e);
+    }
+  in
+  it.expr it e;
+  !found
+
+let catch_all_rule =
+  {
+    id = "catch-all-exn";
+    summary = "try ... with _ -> that swallows every exception";
+    check =
+      (fun ctx str ->
+        let acc = ref [] in
+        iter_exprs str (fun e ->
+            match e.pexp_desc with
+            | Pexp_try (_, cases) ->
+                List.iter
+                  (fun c ->
+                    if
+                      catches_everything c.pc_lhs
+                      && Option.is_none c.pc_guard
+                      && not (mentions_reraise c.pc_rhs)
+                    then
+                      acc :=
+                        diag ctx ~rule:"catch-all-exn" ~loc:c.pc_lhs.ppat_loc
+                          ~message:
+                            "catch-all handler can absorb Out_of_memory / \
+                             Stack_overflow / Assert_failure into a result"
+                          ~hint:
+                            "match the specific exceptions, re-raise after \
+                             cleanup, or [@lint.allow \"catch-all-exn\"] with \
+                             a comment when total absorption is intended"
+                        :: !acc)
+                  cases
+            | _ -> ());
+        !acc);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* printf-in-lib: stdout printing from library code corrupts composed
+   output (JSON reports, piped CLIs) and bypasses the logs facility.
+   Report-generator modules whose product *is* stdout text may opt out
+   with a file-level [@@@lint.allow "printf-in-lib"]. *)
+
+let stdout_printers =
+  [
+    "print_string"; "print_endline"; "print_newline"; "print_int";
+    "print_float"; "print_char"; "print_bytes";
+  ]
+
+let printf_rule =
+  {
+    id = "printf-in-lib";
+    summary = "stdout printing from library code";
+    check =
+      (fun ctx str ->
+        if not ctx.in_lib then []
+        else begin
+          let acc = ref [] in
+          let flag loc name =
+            acc :=
+              diag ctx ~rule:"printf-in-lib" ~loc
+                ~message:
+                  (Printf.sprintf "library code prints to stdout (%s)" name)
+                ~hint:
+                  "return a string, take a Format.formatter, use Logs, or \
+                   [@@@lint.allow \"printf-in-lib\"] at the top of a report \
+                   module"
+              :: !acc
+          in
+          iter_exprs str (fun e ->
+              match e.pexp_desc with
+              | Pexp_ident { txt; _ } -> (
+                  match Option.map norm (ident_path txt) with
+                  | Some ([ f ] as p) when List.mem f stdout_printers ->
+                      flag e.pexp_loc (String.concat "." p)
+                  | Some ([ "Printf"; "printf" ] as p) ->
+                      flag e.pexp_loc (String.concat "." p)
+                  | Some ([ "Format"; f ] as p)
+                    when String.equal f "printf"
+                         || String.starts_with ~prefix:"print_" f ->
+                      flag e.pexp_loc (String.concat "." p)
+                  | Some ([ "Fmt"; "pr" ] as p) ->
+                      flag e.pexp_loc (String.concat "." p)
+                  | _ -> ())
+              | _ -> ());
+          !acc
+        end);
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    poly_compare_rule;
+    domain_unsafe_rule;
+    float_eq_rule;
+    unsafe_array_rule;
+    catch_all_rule;
+    printf_rule;
+  ]
+
+let check_all ctx str = List.concat_map (fun r -> r.check ctx str) all

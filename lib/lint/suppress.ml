@@ -1,0 +1,84 @@
+open Parsetree
+
+type span = { rules : string list; start_line : int; end_line : int }
+
+let attr_name = "lint.allow"
+
+let split_rules s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char ',')
+  |> List.filter_map (fun r ->
+         let r = String.trim r in
+         if String.equal r "" then None else Some r)
+
+(* The payload of [@lint.allow "a b"]: a single string constant. *)
+let rules_of_payload = function
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] -> (
+      match split_rules s with [] -> [ "*" ] | rs -> rs)
+  | PStr [] -> [ "*" ]
+  | _ -> [ "*" ]
+
+let spans_of_attrs ~(loc : Location.t) ~floating attrs acc =
+  List.fold_left
+    (fun acc (a : attribute) ->
+      if String.equal a.attr_name.txt attr_name then
+        {
+          rules = rules_of_payload a.attr_payload;
+          start_line = loc.loc_start.pos_lnum;
+          end_line = (if floating then max_int else loc.loc_end.pos_lnum);
+        }
+        :: acc
+      else acc)
+    acc attrs
+
+let collect (str : structure) =
+  let acc = ref [] in
+  let add ~loc ~floating attrs =
+    acc := spans_of_attrs ~loc ~floating attrs !acc
+  in
+  let super = Ast_iterator.default_iterator in
+  let iter =
+    {
+      super with
+      expr =
+        (fun self e ->
+          add ~loc:e.pexp_loc ~floating:false e.pexp_attributes;
+          super.expr self e);
+      value_binding =
+        (fun self vb ->
+          add ~loc:vb.pvb_loc ~floating:false vb.pvb_attributes;
+          super.value_binding self vb);
+      type_declaration =
+        (fun self td ->
+          add ~loc:td.ptype_loc ~floating:false td.ptype_attributes;
+          super.type_declaration self td);
+      module_binding =
+        (fun self mb ->
+          add ~loc:mb.pmb_loc ~floating:false mb.pmb_attributes;
+          super.module_binding self mb);
+      structure_item =
+        (fun self item ->
+          (match item.pstr_desc with
+          | Pstr_attribute a ->
+              add ~loc:item.pstr_loc ~floating:true [ a ]
+          | _ -> ());
+          super.structure_item self item);
+    }
+  in
+  iter.structure iter str;
+  !acc
+
+let is_suppressed spans ~rule ~line =
+  List.exists
+    (fun s ->
+      line >= s.start_line && line <= s.end_line
+      && (List.mem "*" s.rules || List.mem rule s.rules))
+    spans

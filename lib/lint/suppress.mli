@@ -1,0 +1,25 @@
+(** Suppression spans collected from [[@lint.allow "rule ..."]]
+    attributes.
+
+    Attaching the attribute to an expression, value binding, type
+    declaration, or module binding suppresses the named rules for every
+    line that node spans.  A floating [[@@@lint.allow "rule"]] item
+    suppresses the rules from its own line to the end of the file.  The
+    payload is a string literal of rule ids separated by spaces or
+    commas; an empty payload (or ["*"]) suppresses every rule.
+
+    Suppressed findings are not dropped silently: the driver still
+    collects them and reports their count (and, with [--json] or
+    [--show-suppressed], their positions), so every [@lint.allow] stays
+    visible as an audit trail. *)
+
+type span = {
+  rules : string list;  (** ids the span suppresses; [["*"]] = all *)
+  start_line : int;
+  end_line : int;  (** [max_int] for floating attributes *)
+}
+
+(** All suppression spans of one parsed implementation file. *)
+val collect : Parsetree.structure -> span list
+
+val is_suppressed : span list -> rule:string -> line:int -> bool

@@ -115,9 +115,13 @@ let backward_batch layer ~(x : Mat.t) ~(dout : Mat.t) =
         Mat.rows = x.Mat.rows;
         cols = x.Mat.cols;
         data =
-          Array.mapi
-            (fun i v -> if Array.unsafe_get x.Mat.data i > 0.0 then v else 0.0)
-            dout.Mat.data;
+          (* unsafe-array audit: [i] indexes [dout.data], and backward's
+             contract is that [dout] has the shape of [forward x] — for
+             Relu that is exactly x's shape, checked by the gemm callers. *)
+          (Array.mapi
+             (fun i v -> if Array.unsafe_get x.Mat.data i > 0.0 then v else 0.0)
+             dout.Mat.data
+           [@lint.allow "unsafe-array"]);
       }
   | Conv _ | Maxpool _ | Avgpool _ ->
       let dx = Mat.zeros x.Mat.rows x.Mat.cols in

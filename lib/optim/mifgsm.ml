@@ -25,7 +25,7 @@ let attack ?(config = default_config) obj region ~from =
         Box.clamp region
           (Vec.init (Vec.dim !x) (fun i ->
                (* descend: move against the accumulated direction *)
-               !x.(i) -. (step *. Float.of_int (compare accum.(i) 0.0))))
+               !x.(i) -. (step *. Float.of_int (Float.compare accum.(i) 0.0))))
       in
       x := next;
       let v = Objective.value obj next in

@@ -20,6 +20,8 @@
    every blocked and future [pop] returns [None].  Built on OCaml 5
    stdlib primitives only. *)
 
+(* Discipline: every mutable field below is read and written only with
+   [mutex] held; [wakeup] is signalled on push/done_one/close. *)
 type 'a t = {
   mutex : Mutex.t;
   wakeup : Condition.t;
@@ -28,6 +30,7 @@ type 'a t = {
   mutable outstanding : int;
   mutable closed : bool;
 }
+[@@lint.allow "domain-unsafe-global"]
 
 let create () =
   {

@@ -82,16 +82,16 @@ let tighten_bounds ~budget (enc : Encoding.t) =
            let lo, hi = bounds.(u.Encoding.z) in
            let hi =
              match solve `Max with
-             | Simplex.Lp.Optimal { value; _ } -> Stdlib.min hi value
+             | Simplex.Lp.Optimal { value; _ } -> Float.min hi value
              | Simplex.Lp.Infeasible | Simplex.Lp.Unbounded -> hi
            in
            let lo =
              match solve `Min with
-             | Simplex.Lp.Optimal { value; _ } -> Stdlib.max lo value
+             | Simplex.Lp.Optimal { value; _ } -> Float.max lo value
              | Simplex.Lp.Infeasible | Simplex.Lp.Unbounded -> lo
            in
            bounds.(u.Encoding.z) <- (lo, hi);
-           bounds.(u.Encoding.a) <- (Stdlib.max lo 0.0, Stdlib.max hi 0.0)
+           bounds.(u.Encoding.a) <- (Float.max lo 0.0, Float.max hi 0.0)
          end)
        enc.Encoding.relus
    with Simplex.Tableau.Aborted -> ());
@@ -159,7 +159,7 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ()) net
                     if decisions.(i) = Undecided && not stable then begin
                       let viol =
                         abs_float
-                          (x.(u.Encoding.a) -. Stdlib.max 0.0 x.(u.Encoding.z))
+                          (x.(u.Encoding.a) -. Float.max 0.0 x.(u.Encoding.z))
                       in
                       if config.branch_on_first then begin
                         if !pick < 0 && viol > tol then pick := i

@@ -115,7 +115,7 @@ let gradient_interval net region ~target =
           g_hi := hi)
     (List.rev steps);
   Vec.init (Box.dim region) (fun i ->
-      Stdlib.max (abs_float !g_lo.(i)) (abs_float !g_hi.(i)))
+      Float.max (abs_float !g_lo.(i)) (abs_float !g_hi.(i)))
 
 (* ReluVal's smear split heuristic: the input dimension with the
    largest |gradient| * width product — gradient bounds over the whole

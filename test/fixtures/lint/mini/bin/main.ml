@@ -1,0 +1,3 @@
+(* printf-in-lib twin: executables own stdout, so printing here is
+   fine. *)
+let () = print_endline "ok"

@@ -1,0 +1,3 @@
+(* The reachability root of the fixture mini-repo: anything that this
+   library (transitively) links is "runs on worker domains". *)
+let run f = f ()

@@ -1,0 +1,25 @@
+(* Known-good twins of every bad fixture: none of these may be flagged.
+   [solo] does not link [parallel], so its toplevel state is also fine. *)
+
+(* poly-compare twins: Float.* replacements. *)
+let sign x = Float.compare x 0.5
+
+let worst a b = Float.max (a +. 1.0) b
+
+let sort_scores xs = List.sort Float.compare (List.map float_of_int xs)
+
+(* float-eq twins: tolerance check, and the exempt exact-zero test. *)
+let is_half x = abs_float (x -. 0.5) < 1e-9
+
+let is_zero x = x = 0.0
+
+(* unsafe-array twin: bounds-checked access. *)
+let get (a : float array) i = a.(i)
+
+(* catch-all-exn twin: a specific exception. *)
+let lookup g = try g () with Not_found -> 0
+
+(* domain-unsafe-global twin: mutable, but not parallel-reachable. *)
+let counter = ref 0
+
+type state = { mutable hits : int }

@@ -1,0 +1,5 @@
+(* Known-bad fixture for the catch-all-exn rule. *)
+
+let swallow g = try g () with _ -> 0
+
+let swallow_exn g = try g () with _e -> 0

@@ -1,0 +1,7 @@
+(* Known-bad fixture for the float-eq rule. *)
+
+let is_half x = x = 0.5
+
+let drifted a b = a <> b +. 1e-9
+
+let same_box a b = (a : float) == b

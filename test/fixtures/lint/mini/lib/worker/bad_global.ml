@@ -1,0 +1,8 @@
+(* Known-bad fixture for the domain-unsafe-global rule: this library is
+   reachable from the [parallel] root, so toplevel mutable state races. *)
+
+let counter = ref 0
+
+let cache = Hashtbl.create 16
+
+type state = { mutable hits : int }

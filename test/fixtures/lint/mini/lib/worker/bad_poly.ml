@@ -1,0 +1,9 @@
+(* Known-bad fixture for the poly-compare rule. *)
+
+let sign x = compare x 0.5
+
+let worst a b = max (a +. 1.0) b
+
+let tightest a b = min a (b *. 2.0)
+
+let sort_scores xs = List.sort compare (List.map float_of_int xs)

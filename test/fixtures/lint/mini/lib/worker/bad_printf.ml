@@ -1,0 +1,5 @@
+(* Known-bad fixture for the printf-in-lib rule. *)
+
+let report x = Printf.printf "%d\n" x
+
+let shout () = print_endline "hello from a library"

@@ -1,0 +1,5 @@
+(* Known-bad fixture for the unsafe-array rule. *)
+
+let get a i = Array.unsafe_get a i
+
+let set a i v = Array.unsafe_set a i v

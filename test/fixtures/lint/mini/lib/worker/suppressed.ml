@@ -1,0 +1,9 @@
+(* Fixture for [@lint.allow]: every construct below would be a finding,
+   and every one is annotated — so the lint must report them as
+   suppressed (audit trail), not as findings. *)
+
+let counter = ref 0 [@@lint.allow "domain-unsafe-global"]
+
+let is_half x = (x = 0.5 [@lint.allow "float-eq"])
+
+let sign x = (compare x 0.5 [@lint.allow "poly-compare"])

@@ -1,0 +1,181 @@
+(* charon-lint (lib/lint) against the fixture mini-repo in
+   fixtures/lint/mini: every rule has a known-bad file that must be
+   flagged and a known-good twin that must stay clean, plus
+   [@lint.allow] suppression and --json round-trip checks. *)
+
+open Charon_lint
+
+let fixture_root = "fixtures/lint/mini"
+
+(* One lint run shared by all cases. *)
+let result =
+  lazy (Driver.lint ~root:fixture_root ~paths:[ "lib"; "bin" ] ())
+
+let findings_in file rule =
+  List.filter
+    (fun (d : Diagnostic.t) -> d.Diagnostic.file = file && d.Diagnostic.rule = rule)
+    (Lazy.force result).Driver.findings
+
+let check_flagged ~file ~rule ~at_least =
+  let hits = findings_in file rule in
+  if List.length hits < at_least then
+    Alcotest.failf "expected >= %d %s findings in %s, got %d" at_least rule
+      file (List.length hits)
+
+let test_parses_fixture_tree () =
+  let r = Lazy.force result in
+  Alcotest.(check (list (pair string string))) "no parse errors" []
+    r.Driver.errors;
+  (* parallel/pool, worker/bad_* x6 + suppressed, solo/good, bin/main *)
+  Alcotest.(check int) "files scanned" 10 r.Driver.files_scanned
+
+let test_poly_compare () =
+  check_flagged ~file:"lib/worker/bad_poly.ml" ~rule:"poly-compare"
+    ~at_least:4;
+  (* The mifgsm-style bug shape: [compare x 0.5] on line 3. *)
+  match findings_in "lib/worker/bad_poly.ml" "poly-compare" with
+  | d :: _ -> Alcotest.(check int) "first finding line" 3 d.Diagnostic.line
+  | [] -> Alcotest.fail "no poly-compare findings"
+
+let test_float_eq () =
+  check_flagged ~file:"lib/worker/bad_float_eq.ml" ~rule:"float-eq"
+    ~at_least:3
+
+let test_domain_unsafe_global () =
+  (* Two toplevel bindings plus the mutable type declaration. *)
+  check_flagged ~file:"lib/worker/bad_global.ml" ~rule:"domain-unsafe-global"
+    ~at_least:3
+
+let test_unsafe_array () =
+  check_flagged ~file:"lib/worker/bad_unsafe.ml" ~rule:"unsafe-array"
+    ~at_least:2
+
+let test_catch_all () =
+  check_flagged ~file:"lib/worker/bad_catch.ml" ~rule:"catch-all-exn"
+    ~at_least:2
+
+let test_printf_in_lib () =
+  check_flagged ~file:"lib/worker/bad_printf.ml" ~rule:"printf-in-lib"
+    ~at_least:2
+
+let test_good_twins_clean () =
+  List.iter
+    (fun (d : Diagnostic.t) ->
+      if
+        d.Diagnostic.file = "lib/solo/good.ml"
+        || d.Diagnostic.file = "bin/main.ml"
+      then
+        Alcotest.failf "good twin flagged: %s" (Diagnostic.to_string d))
+    ((Lazy.force result).Driver.findings
+    @ (Lazy.force result).Driver.suppressed)
+
+let test_every_rule_has_bad_and_good () =
+  (* The acceptance bar: each registered rule fires somewhere in the
+     fixture tree and never on the good twins (checked above). *)
+  let flagged_rules =
+    List.sort_uniq String.compare
+      (List.map
+         (fun (d : Diagnostic.t) -> d.Diagnostic.rule)
+         ((Lazy.force result).Driver.findings
+         @ (Lazy.force result).Driver.suppressed))
+  in
+  List.iter
+    (fun (r : Rules.rule) ->
+      if not (List.mem r.Rules.id flagged_rules) then
+        Alcotest.failf "rule %s never fired on the fixture tree" r.Rules.id)
+    Rules.all
+
+let test_suppression () =
+  let r = Lazy.force result in
+  let in_suppressed_file (d : Diagnostic.t) =
+    d.Diagnostic.file = "lib/worker/suppressed.ml"
+  in
+  List.iter
+    (fun d ->
+      if in_suppressed_file d then
+        Alcotest.failf "annotated finding not suppressed: %s"
+          (Diagnostic.to_string d))
+    r.Driver.findings;
+  let audit = List.filter in_suppressed_file r.Driver.suppressed in
+  let rules =
+    List.sort_uniq String.compare
+      (List.map (fun (d : Diagnostic.t) -> d.Diagnostic.rule) audit)
+  in
+  Alcotest.(check (list string))
+    "suppressed audit trail keeps the diagnostics"
+    [ "domain-unsafe-global"; "float-eq"; "poly-compare" ]
+    rules
+
+let test_exit_semantics () =
+  let r = Lazy.force result in
+  Util.check_true "fixture tree is not clean" (not (Driver.clean r));
+  let clean =
+    Driver.lint ~root:fixture_root ~paths:[ "lib/solo"; "bin" ] ()
+  in
+  Util.check_true "good-only subtree is clean" (Driver.clean clean)
+
+let test_json_roundtrip () =
+  let r = Lazy.force result in
+  let j = Util.Json.parse (Driver.render_json r) in
+  Alcotest.(check string)
+    "tool" "charon-lint"
+    Util.Json.(to_string (member "tool" j));
+  Alcotest.(check int)
+    "files" r.Driver.files_scanned
+    Util.Json.(to_int (member "files" j));
+  let findings = Util.Json.(to_list (member "findings" j)) in
+  Alcotest.(check int)
+    "findings count" (List.length r.Driver.findings)
+    (List.length findings);
+  List.iter2
+    (fun (d : Diagnostic.t) jd ->
+      Alcotest.(check string)
+        "finding file" d.Diagnostic.file
+        Util.Json.(to_string (member "file" jd));
+      Alcotest.(check int)
+        "finding line" d.Diagnostic.line
+        Util.Json.(to_int (member "line" jd));
+      Alcotest.(check string)
+        "finding rule" d.Diagnostic.rule
+        Util.Json.(to_string (member "rule" jd)))
+    r.Driver.findings findings;
+  Alcotest.(check int)
+    "suppressed count" (List.length r.Driver.suppressed)
+    (List.length Util.Json.(to_list (member "suppressed" j)))
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_render_text () =
+  let r = Lazy.force result in
+  let text = Driver.render_text ~show_suppressed:true r in
+  Util.check_true "mentions a finding" (contains ~sub:"bad_poly.ml" text);
+  Util.check_true "mentions the audit trail"
+    (contains ~sub:"suppressed.ml" text)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "driver",
+        [
+          Util.case "parses fixture tree" test_parses_fixture_tree;
+          Util.case "exit semantics" test_exit_semantics;
+          Util.case "render text" test_render_text;
+        ] );
+      ( "rules",
+        [
+          Util.case "poly-compare" test_poly_compare;
+          Util.case "float-eq" test_float_eq;
+          Util.case "domain-unsafe-global" test_domain_unsafe_global;
+          Util.case "unsafe-array" test_unsafe_array;
+          Util.case "catch-all-exn" test_catch_all;
+          Util.case "printf-in-lib" test_printf_in_lib;
+          Util.case "good twins clean" test_good_twins_clean;
+          Util.case "every rule fires" test_every_rule_has_bad_and_good;
+        ] );
+      ( "suppression",
+        [ Util.case "allow attribute" test_suppression ] );
+      ( "json", [ Util.case "roundtrip" test_json_roundtrip ] );
+    ]

@@ -54,3 +54,152 @@ let suite name cases = (name, cases)
 let case name f = Alcotest.test_case name `Quick f
 
 let slow_case name f = Alcotest.test_case name `Slow f
+
+(* A small JSON reader, enough to round-trip machine-readable tool
+   output (charon-lint --json) back into structured form in tests. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Error of string
+
+  let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let next () =
+      if !pos >= n then fail "unexpected end of input";
+      let c = s.[!pos] in
+      incr pos;
+      c
+    in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      let got = next () in
+      if got <> c then fail "expected %c, got %c at %d" c got (!pos - 1)
+    in
+    let literal word v =
+      String.iter expect word;
+      v
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match next () with
+        | '"' -> Buffer.contents buf
+        | '\\' ->
+            (match next () with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                let hex = String.init 4 (fun _ -> next ()) in
+                let code = int_of_string ("0x" ^ hex) in
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else
+                  (* Tests only ever see ASCII; anything else keeps its
+                     escaped spelling rather than growing a UTF-8 encoder. *)
+                  Buffer.add_string buf (Printf.sprintf "\\u%s" hex)
+            | c -> fail "bad escape \\%c" c);
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let number_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> number_char c | None -> false) do
+        incr pos
+      done;
+      let tok = String.sub s start (!pos - start) in
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> fail "bad number %S" tok)
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some '{' ->
+          expect '{';
+          skip_ws ();
+          if peek () = Some '}' then (expect '}'; Obj [])
+          else Obj (parse_members [])
+      | Some '[' ->
+          expect '[';
+          skip_ws ();
+          if peek () = Some ']' then (expect ']'; Arr [])
+          else Arr (parse_items [])
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+    and parse_members acc =
+      skip_ws ();
+      let key = parse_string () in
+      skip_ws ();
+      expect ':';
+      let v = parse_value () in
+      skip_ws ();
+      match next () with
+      | ',' -> parse_members ((key, v) :: acc)
+      | '}' -> List.rev ((key, v) :: acc)
+      | c -> fail "expected , or } in object, got %c" c
+    and parse_items acc =
+      let v = parse_value () in
+      skip_ws ();
+      match next () with
+      | ',' -> parse_items (v :: acc)
+      | ']' -> List.rev (v :: acc)
+      | c -> fail "expected , or ] in array, got %c" c
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing input at %d" !pos;
+    v
+
+  let member key = function
+    | Obj kvs -> (
+        match List.assoc_opt key kvs with
+        | Some v -> v
+        | None -> fail "no member %S" key)
+    | _ -> fail "member %S of non-object" key
+
+  let to_string = function Str s -> s | _ -> fail "expected string"
+
+  let to_int = function Int i -> i | _ -> fail "expected int"
+
+  let to_list = function Arr l -> l | _ -> fail "expected array"
+end
