@@ -9,6 +9,9 @@
    Usage:
      dune exec bench/kernels.exe                  # full sweep -> BENCH_kernels.json
      dune exec bench/kernels.exe -- --out FILE    # custom output path
+     dune exec bench/kernels.exe -- --quick       # subset of the sweep's
+                                                  # shapes, shorter quota;
+                                                  # CI's regression probe
      dune exec bench/kernels.exe -- --smoke       # tiny sizes, correctness
                                                   # gates only, no JSON *)
 
@@ -201,26 +204,35 @@ let bench_conv ~configs () =
 (* JSON output *)
 
 let write_json path rs =
+  let open Telemetry.Jsonw in
+  let row r =
+    Obj
+      [
+        ("group", Str r.group);
+        ("name", Str r.name);
+        ("shape", Str r.shape);
+        ("ns_per_op", Float r.ns_per_op);
+        ("gflops", Float r.gflops);
+        ("speedup", Float r.speedup);
+      ]
+  in
+  let doc =
+    Obj
+      [
+        ("benchmark", Str "kernels");
+        ("workers", Int 1);
+        ("results", Arr (List.map row rs));
+      ]
+  in
   let oc = open_out path in
-  let out = Buffer.create 4096 in
-  Buffer.add_string out "{\n  \"benchmark\": \"kernels\",\n";
-  Buffer.add_string out "  \"workers\": 1,\n  \"results\": [\n";
-  List.iteri
-    (fun i r ->
-      Buffer.add_string out
-        (Printf.sprintf
-           "    {\"group\": %S, \"name\": %S, \"shape\": %S, \"ns_per_op\": \
-            %.1f, \"gflops\": %.3f, \"speedup\": %.3f}%s\n"
-           r.group r.name r.shape r.ns_per_op r.gflops r.speedup
-           (if i = List.length rs - 1 then "" else ",")))
-    rs;
-  Buffer.add_string out "  ]\n}\n";
-  output_string oc (Buffer.contents out);
-  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~pretty:true doc ^ "\n"));
   Printf.printf "wrote %s (%d records)\n%!" path (List.length rs)
 
 let () =
-  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let smoke = Array.exists (String.equal "--smoke") Sys.argv in
+  let quick = Array.exists (String.equal "--quick") Sys.argv in
   let out_path =
     let rec find = function
       | "--out" :: v :: _ -> v
@@ -236,6 +248,15 @@ let () =
     ignore (bench_zonotope ~configs:[ (9, 13) ] ());
     bench_conv ~configs:[ (2, 6, 3, 3) ] ();
     Printf.printf "kernel smoke ok\n%!"
+  end
+  else if quick then begin
+    (* CI regression probe: a mid-size shape per group, chosen to
+       overlap the full sweep so bin/benchdiff.exe can compare the
+       output against the committed BENCH_kernels.json baseline. *)
+    bench_gemm ~sizes:[ 64 ] ();
+    ignore (bench_zonotope ~configs:[ (64, 128) ] ());
+    bench_conv ~configs:[ (4, 16, 8, 3) ] ();
+    write_json out_path (List.rev !results)
   end
   else begin
     bench_gemm ~sizes:[ 32; 64; 128; 256 ] ();

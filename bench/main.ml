@@ -117,9 +117,14 @@ let non_conv w =
     w
 
 (* Suite runs go through one wrapper so every experiment also leaves a
-   JSON record with the worker count and end-to-end wall clock — the
-   fields future BENCH_*.json archives use to track parallel speedup. *)
+   JSON record with the worker count, end-to-end wall clock, and the
+   aggregate telemetry counters for that run — the fields BENCH_*.json
+   archives and bin/benchdiff.exe use to track speedup and work done.
+   Metrics are reset per suite so each JSON's counters cover exactly
+   its own run. *)
 let timed_suite opts ~json tools w =
+  Telemetry.enable ();
+  Telemetry.Metrics.reset ();
   let t0 = Unix.gettimeofday () in
   let results =
     Runner.run_suite ~progress ~jobs:opts.workers ~seed:opts.seed
@@ -129,6 +134,7 @@ let timed_suite opts ~json tools w =
   Printf.printf "suite run done: %.1fs wall with %d worker(s)\n%!" wall
     opts.workers;
   Runner.save_json ~workers:opts.workers ~wall_seconds:wall
+    ~counters:(Telemetry.Metrics.counters ())
     (Filename.concat artifacts json)
     results;
   results

@@ -84,12 +84,40 @@ let load_policy = function
   | None -> Charon.Policy.default
   | Some path -> Charon.Policy.load path
 
+(* Telemetry plumbing shared by the solver subcommands.  [--stats]
+   turns metrics on and prints the summary table at exit; [--trace F]
+   additionally streams a JSONL trace to F (docs/telemetry.md). *)
+
+let trace_arg =
+  let doc =
+    "Write a JSONL telemetry trace (spans, counters, per-worker events) \
+     to $(docv).  See docs/telemetry.md for the event schema."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let stats_arg =
+  let doc =
+    "Print a telemetry summary table (counters and span timings) after \
+     the run."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let with_telemetry ~trace ~stats f =
+  (match trace with
+  | Some path -> Telemetry.enable ~path ()
+  | None -> if stats then Telemetry.enable ());
+  Fun.protect
+    ~finally:(fun () ->
+      if stats then print_string (Telemetry.Metrics.summary_table ());
+      if Telemetry.enabled () then Telemetry.disable ())
+    f
+
 (* ------------------------------------------------------------------ *)
 (* verify                                                             *)
 
 let verify_cmd =
   let run () network target center radius box timeout delta seed workers
-      policy_file =
+      policy_file trace stats =
     let net = Nn.Serial.load network in
     let region = region_of ~center ~radius ~box in
     let prop = Common.Property.create ~region ~target () in
@@ -97,9 +125,10 @@ let verify_cmd =
     let config = { Charon.Verify.default_config with Charon.Verify.delta } in
     let rng = Linalg.Rng.create seed in
     let report =
-      Charon.Verify.run ~config
-        ~budget:(Common.Budget.of_seconds timeout)
-        ~workers ~rng ~policy net prop
+      with_telemetry ~trace ~stats (fun () ->
+          Charon.Verify.run ~config
+            ~budget:(Common.Budget.of_seconds timeout)
+            ~workers ~rng ~policy net prop)
     in
     Format.printf "%a@." Common.Outcome.pp report.Charon.Verify.outcome;
     Format.printf
@@ -120,7 +149,7 @@ let verify_cmd =
     Term.(
       const run $ logs_term $ network_arg $ target_arg $ center_arg
       $ radius_arg $ box_arg $ timeout_arg $ delta_arg $ seed_arg
-      $ workers_arg $ policy_arg)
+      $ workers_arg $ policy_arg $ trace_arg $ stats_arg)
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify or refute a robustness property")
@@ -185,17 +214,18 @@ let suite_cmd =
     let doc = "Number of properties per benchmark network." in
     Arg.(value & opt int 6 & info [ "per-network" ] ~docv:"N" ~doc)
   in
-  let run () per_network timeout seed workers policy_file =
+  let run () per_network timeout seed workers policy_file trace stats =
     let policy = load_policy policy_file in
     let w = Datasets.Suite.benchmark ~seed ~per_network () in
     let tool = Experiments.Tool.charon ~policy () in
     let results =
-      Experiments.Runner.run_suite ~jobs:workers ~seed ~timeout [ tool ] w
-        ~progress:(fun r ->
-          Printf.printf "%-14s %-24s %-9s %.2fs\n%!" r.Experiments.Runner.network
-            r.Experiments.Runner.property
-            (Common.Outcome.label r.Experiments.Runner.outcome)
-            r.Experiments.Runner.time)
+      with_telemetry ~trace ~stats (fun () ->
+          Experiments.Runner.run_suite ~jobs:workers ~seed ~timeout [ tool ] w
+            ~progress:(fun r ->
+              Printf.printf "%-14s %-24s %-9s %.2fs\n%!"
+                r.Experiments.Runner.network r.Experiments.Runner.property
+                (Common.Outcome.label r.Experiments.Runner.outcome)
+                r.Experiments.Runner.time))
     in
     let solved = List.length (Experiments.Runner.solved results) in
     Printf.printf "solved %d / %d\n" solved (List.length results);
@@ -204,7 +234,7 @@ let suite_cmd =
   let term =
     Term.(
       const run $ logs_term $ per_network_arg $ timeout_arg $ seed_arg
-      $ workers_arg $ policy_arg)
+      $ workers_arg $ policy_arg $ trace_arg $ stats_arg)
   in
   Cmd.v (Cmd.info "suite" ~doc:"Run Charon over the benchmark suite") term
 
@@ -226,7 +256,8 @@ let check_cmd =
     Arg.(
       value & opt (some file) None & info [ "network"; "n" ] ~docv:"FILE" ~doc)
   in
-  let run () props_file default_net timeout delta seed workers policy_file =
+  let run () props_file default_net timeout delta seed workers policy_file
+      trace stats =
     let entries = Common.Propfile.load props_file in
     let policy = load_policy policy_file in
     let config = { Charon.Verify.default_config with Charon.Verify.delta } in
@@ -250,29 +281,31 @@ let check_cmd =
           net
     in
     let unsolved = ref 0 in
-    List.iter
-      (fun entry ->
-        let net = network_of entry in
-        let rng = Linalg.Rng.create seed in
-        let report =
-          Charon.Verify.run ~config
-            ~budget:(Common.Budget.of_seconds timeout)
-            ~workers ~rng ~policy net entry.Common.Propfile.property
-        in
-        if not (Common.Outcome.is_solved report.Charon.Verify.outcome) then
-          incr unsolved;
-        Format.printf "%-32s %-10s %.3fs@."
-          entry.Common.Propfile.property.Common.Property.name
-          (Common.Outcome.label report.Charon.Verify.outcome)
-          report.Charon.Verify.elapsed)
-      entries;
+    with_telemetry ~trace ~stats (fun () ->
+        List.iter
+          (fun entry ->
+            let net = network_of entry in
+            let rng = Linalg.Rng.create seed in
+            let report =
+              Charon.Verify.run ~config
+                ~budget:(Common.Budget.of_seconds timeout)
+                ~workers ~rng ~policy net entry.Common.Propfile.property
+            in
+            if not (Common.Outcome.is_solved report.Charon.Verify.outcome) then
+              incr unsolved;
+            Format.printf "%-32s %-10s %.3fs@."
+              entry.Common.Propfile.property.Common.Property.name
+              (Common.Outcome.label report.Charon.Verify.outcome)
+              report.Charon.Verify.elapsed)
+          entries);
     Format.printf "%d properties, %d unsolved@." (List.length entries) !unsolved;
     if !unsolved = 0 then 0 else 1
   in
   let term =
     Term.(
       const run $ logs_term $ props_arg $ default_net_arg $ timeout_arg
-      $ delta_arg $ seed_arg $ workers_arg $ policy_arg)
+      $ delta_arg $ seed_arg $ workers_arg $ policy_arg $ trace_arg
+      $ stats_arg)
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Decide every property in a property file")
@@ -398,7 +431,7 @@ let attack_cmd =
 (* demo                                                               *)
 
 let demo_cmd =
-  let run () =
+  let run () trace stats =
     let net = Nn.Init.xor () in
     print_string (Nn.Network.describe net);
     let region = Domains.Box.create ~lo:[| 0.3; 0.3 |] ~hi:[| 0.7; 0.7 |] in
@@ -406,20 +439,23 @@ let demo_cmd =
       Common.Property.create ~name:"example-3.1" ~region ~target:1 ()
     in
     let rng = Linalg.Rng.create 2019 in
-    let report =
-      Charon.Verify.run ~rng ~policy:Charon.Policy.default net prop
-    in
-    Format.printf "property %a: %a@." Common.Property.pp prop
-      Common.Outcome.pp report.Charon.Verify.outcome;
-    let bad = { prop with Common.Property.target = 0; name = "negation" } in
-    let report = Charon.Verify.run ~rng ~policy:Charon.Policy.default net bad in
-    Format.printf "property %a: %a@." Common.Property.pp bad
-      Common.Outcome.pp report.Charon.Verify.outcome;
+    with_telemetry ~trace ~stats (fun () ->
+        let report =
+          Charon.Verify.run ~rng ~policy:Charon.Policy.default net prop
+        in
+        Format.printf "property %a: %a@." Common.Property.pp prop
+          Common.Outcome.pp report.Charon.Verify.outcome;
+        let bad = { prop with Common.Property.target = 0; name = "negation" } in
+        let report =
+          Charon.Verify.run ~rng ~policy:Charon.Policy.default net bad
+        in
+        Format.printf "property %a: %a@." Common.Property.pp bad
+          Common.Outcome.pp report.Charon.Verify.outcome);
     0
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"Verify the XOR example from the paper")
-    Term.(const run $ logs_term)
+    Term.(const run $ logs_term $ trace_arg $ stats_arg)
 
 let () =
   let doc = "robustness analysis of neural networks (Charon)" in

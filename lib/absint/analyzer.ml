@@ -17,6 +17,19 @@ let fresh_stats () =
 
 exception Out_of_budget
 
+let c_transformer = Telemetry.Metrics.counter "absint.transformer_calls"
+
+let c_out_of_budget = Telemetry.Metrics.counter "absint.out_of_budget"
+
+let h_generators = Telemetry.Metrics.histogram "absint.generators"
+
+let layer_kind = function
+  | Nn.Layer.Relu -> "relu"
+  | Nn.Layer.Maxpool _ -> "maxpool"
+  | Nn.Layer.Affine _ -> "affine"
+  | Nn.Layer.Conv _ -> "conv"
+  | Nn.Layer.Avgpool _ -> "avgpool"
+
 let propagate (type a) (module D : Domain_sig.S with type t = a) ?stats ?budget
     net (input : a) : a =
   let poll () =
@@ -32,9 +45,12 @@ let propagate (type a) (module D : Domain_sig.S with type t = a) ?stats ?budget
         s.peak_disjuncts <- Stdlib.max s.peak_disjuncts (D.disjuncts x);
         s.peak_generators <- Stdlib.max s.peak_generators (D.num_generators x)
   in
+  let index = ref 0 in
   List.fold_left
     (fun acc layer ->
       poll ();
+      Telemetry.Metrics.incr c_transformer;
+      let sp = Telemetry.Span.enter "absint.layer" in
       let next =
         match layer with
         | Nn.Layer.Relu -> D.relu acc
@@ -48,6 +64,16 @@ let propagate (type a) (module D : Domain_sig.S with type t = a) ?stats ?budget
             D.affine w b acc
       in
       record next;
+      Telemetry.Metrics.observe h_generators (D.num_generators next);
+      Telemetry.Span.exit sp
+        ~attrs:(fun () ->
+          [
+            ("index", Telemetry.Jsonw.Int !index);
+            ("layer", Telemetry.Jsonw.Str (layer_kind layer));
+            ("generators", Telemetry.Jsonw.Int (D.num_generators next));
+            ("disjuncts", Telemetry.Jsonw.Int (D.disjuncts next));
+          ]);
+      incr index;
       next)
     input net.Nn.Network.layers
 
@@ -83,7 +109,9 @@ let margin_lower ?stats ?budget net region ~k spec =
   let (module D) = Domain.get spec in
   match propagate (module D) ?stats ?budget net (D.of_box region) with
   | out -> margin_of (module D) out ~num_classes:m ~k
-  | exception Out_of_budget -> neg_infinity
+  | exception Out_of_budget ->
+      Telemetry.Metrics.incr c_out_of_budget;
+      neg_infinity
 
 let analyze ?stats ?budget net region ~k spec =
   if margin_lower ?stats ?budget net region ~k spec > 0.0 then Verified

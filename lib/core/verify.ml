@@ -57,6 +57,23 @@ let rec atomic_max a v =
   let cur = Atomic.get a in
   if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
 
+(* Telemetry instruments (no-ops unless the CLI/bench enabled them). *)
+let c_regions = Telemetry.Metrics.counter "verify.regions"
+
+let c_splits = Telemetry.Metrics.counter "verify.splits"
+
+let c_refuted = Telemetry.Metrics.counter "verify.refuted_regions"
+
+let c_proved = Telemetry.Metrics.counter "verify.proved_regions"
+
+let c_unsplittable = Telemetry.Metrics.counter "verify.unsplittable_regions"
+
+let c_pgd = Telemetry.Metrics.counter "verify.pgd_calls"
+
+let c_analyze = Telemetry.Metrics.counter "verify.analyze_calls"
+
+let h_region_depth = Telemetry.Metrics.histogram "verify.region_depth"
+
 (* A unit of work: one sub-region of the input, the split depth that
    produced it, and its own RNG stream.  Carrying the RNG in the item
    (split off the parent's at push time) makes the search tree a pure
@@ -87,6 +104,7 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
   let search_candidate ~rng region =
     if config.use_cex_search then begin
       Atomic.incr counters.pgd_calls;
+      Telemetry.Metrics.incr c_pgd;
       Optim.Pgd.minimize ~config:pgd_config ~rng objective region
     end
     else begin
@@ -102,10 +120,53 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
       (Common.Outcome.t, (Box.t * int * float) list) Either.t =
     Atomic.incr counters.nodes;
     atomic_max counters.peak_depth depth;
-    if Common.Budget.exhausted budget then Either.Left Common.Outcome.Timeout
-    else if depth > config.max_depth then Either.Left Common.Outcome.Timeout
+    Telemetry.Metrics.incr c_regions;
+    Telemetry.Metrics.observe h_region_depth depth;
+    let sp = Telemetry.Span.enter "verify.region" in
+    (* Attributes for the region span, filled in as the region is
+       processed.  The thunks passed to [Span.exit] run only when a
+       trace file is attached, so the refs cost two words per region
+       and zero formatting work otherwise. *)
+    let sp_fstar = ref nan in
+    let sp_domain = ref "" in
+    let sp_split = ref None in
+    let sp_outcome = ref "unknown" in
+    let finish_span result =
+      Telemetry.Span.exit sp
+        ~attrs:(fun () ->
+          let base =
+            [
+              ("depth", Telemetry.Jsonw.Int depth);
+              ("outcome", Telemetry.Jsonw.Str !sp_outcome);
+            ]
+          in
+          let base =
+            if Float.is_nan !sp_fstar then base
+            else ("fstar", Telemetry.Jsonw.Float !sp_fstar) :: base
+          in
+          let base =
+            if String.equal !sp_domain "" then base
+            else ("domain", Telemetry.Jsonw.Str !sp_domain) :: base
+          in
+          match !sp_split with
+          | None -> base
+          | Some (dim, at) ->
+              ("split_dim", Telemetry.Jsonw.Int dim)
+              :: ("split_at", Telemetry.Jsonw.Float at)
+              :: base);
+      result
+    in
+    if Common.Budget.exhausted budget then begin
+      sp_outcome := "timeout";
+      finish_span (Either.Left Common.Outcome.Timeout)
+    end
+    else if depth > config.max_depth then begin
+      sp_outcome := "timeout";
+      finish_span (Either.Left Common.Outcome.Timeout)
+    end
     else begin
       let xstar, fstar = search_candidate ~rng region in
+      sp_fstar := fstar;
       Log.debug (fun m ->
           m "node %d depth %d region %a: F(x*) = %g"
             (Atomic.get counters.nodes)
@@ -114,7 +175,9 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
         Log.info (fun m ->
             m "refuted at depth %d with F = %g <= delta = %g" depth fstar
               config.delta);
-        Either.Left (Common.Outcome.Refuted xstar)
+        Telemetry.Metrics.incr c_refuted;
+        sp_outcome := "refuted";
+        finish_span (Either.Left (Common.Outcome.Refuted xstar))
       end
       else begin
         let input =
@@ -127,12 +190,15 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
           }
         in
         let spec = Policy.choose_domain policy input in
+        if Telemetry.tracing () then
+          sp_domain := Format.asprintf "%a" Domain.pp spec;
         Mutex.lock counters.domains_mutex;
         Hashtbl.replace counters.domains spec
           (1 + Option.value ~default:0 (Hashtbl.find_opt counters.domains spec));
         Mutex.unlock counters.domains_mutex;
         let stats = Absint.Analyzer.fresh_stats () in
         Atomic.incr counters.analyze_calls;
+        Telemetry.Metrics.incr c_analyze;
         let verdict =
           Absint.Analyzer.analyze ~stats ~budget net region
             ~k:prop.Common.Property.target spec
@@ -147,18 +213,28 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
               | Absint.Analyzer.Verified -> "verified"
               | Absint.Analyzer.Unknown -> "unknown"));
         match verdict with
-        | Absint.Analyzer.Verified -> Either.Right []
+        | Absint.Analyzer.Verified ->
+            Telemetry.Metrics.incr c_proved;
+            sp_outcome := "proved";
+            finish_span (Either.Right [])
         | Absint.Analyzer.Unknown ->
             let dim, at = Policy.choose_split policy input in
-            if Box.width region dim <= 0.0 then
+            if Box.width region dim <= 0.0 then begin
               (* An unsplittable (zero-width) dimension is a precision
                  failure, not resource exhaustion: budget and depth may
                  both have headroom, we just cannot refine further. *)
-              Either.Left Common.Outcome.Unknown
+              Telemetry.Metrics.incr c_unsplittable;
+              sp_outcome := "unsplittable";
+              finish_span (Either.Left Common.Outcome.Unknown)
+            end
             else begin
               let left, right = Box.split region ~dim ~at in
-              Either.Right
-                [ (left, depth + 1, fstar); (right, depth + 1, fstar) ]
+              Telemetry.Metrics.incr c_splits;
+              sp_outcome := "split";
+              sp_split := Some (dim, at);
+              finish_span
+                (Either.Right
+                   [ (left, depth + 1, fstar); (right, depth + 1, fstar) ])
             end
       end
     end
@@ -229,11 +305,13 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
         depth = 0;
         rng = Linalg.Rng.split rng;
       };
-    let worker _id =
+    let worker id =
+      let my_tasks = ref 0 in
       let rec loop () =
         match Parallel.Wqueue.pop queue with
         | None -> ()
         | Some it ->
+            incr my_tasks;
             if not (Parallel.Cancel.cancelled cancel) then begin
               match process ~rng:it.rng it.region it.depth with
               | Either.Left outcome -> settle outcome
@@ -248,14 +326,34 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
             Parallel.Wqueue.finish queue;
             loop ()
       in
-      loop ()
+      loop ();
+      if Telemetry.tracing () then
+        Telemetry.Trace.instant "verify.worker"
+          ~attrs:
+            [
+              ("worker", Telemetry.Jsonw.Int id);
+              ("tasks", Telemetry.Jsonw.Int !my_tasks);
+            ]
     in
     Parallel.Pool.run ~workers worker;
     match Atomic.get result with
     | Some outcome -> outcome
     | None -> Common.Outcome.Verified
   in
-  let outcome = if workers = 1 then sequential () else parallel () in
+  let outcome =
+    Telemetry.Span.wrap "verify.run"
+      ~attrs:(fun () ->
+        [
+          ("workers", Telemetry.Jsonw.Int workers);
+          ("nodes", Telemetry.Jsonw.Int (Atomic.get counters.nodes));
+          ("strategy",
+           Telemetry.Jsonw.Str
+             (match config.strategy with
+             | Depth_first -> "depth_first"
+             | Best_first -> "best_first"));
+        ])
+      (fun () -> if workers = 1 then sequential () else parallel ())
+  in
   {
     outcome;
     elapsed = Unix.gettimeofday () -. started;

@@ -29,6 +29,16 @@ let row_norm1 (g : Mat.t) r =
   !acc
 [@@lint.allow "unsafe-array"]
 
+let c_pruned = Telemetry.Metrics.counter "zonotope.pruned_generators"
+
+let h_gens_after_prune = Telemetry.Metrics.histogram "zonotope.generators_after_prune"
+
+let c_reduce_calls = Telemetry.Metrics.counter "zonotope.order_reduce_calls"
+
+let c_reduced = Telemetry.Metrics.counter "zonotope.reduced_generators"
+
+let h_gens_after_reduce = Telemetry.Metrics.histogram "zonotope.generators_after_reduce"
+
 (* Drop generator rows with L1 norm below [tiny], preserving order.
    Returns the input unchanged when nothing is dropped — the common
    case on the affine hot path, where the old array -> list -> array
@@ -43,8 +53,10 @@ let prune (g : Mat.t) =
       incr kept
     end
   done;
+  Telemetry.Metrics.observe h_gens_after_prune !kept;
   if !kept = n then g
   else begin
+    Telemetry.Metrics.add c_pruned (n - !kept);
     let out = Mat.zeros !kept d in
     let next = ref 0 in
     for r = 0 to n - 1 do
@@ -282,6 +294,9 @@ let order_reduce t ~max_gens =
           incr next
         end)
       box_r;
+    Telemetry.Metrics.incr c_reduce_calls;
+    Telemetry.Metrics.add c_reduced (n - (keep + !extra));
+    Telemetry.Metrics.observe h_gens_after_reduce (keep + !extra);
     { t with gens = out }
   end
 

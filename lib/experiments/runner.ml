@@ -104,48 +104,41 @@ let save_csv path results =
 
 (* JSON output carries the run configuration alongside the per-instance
    rows, so BENCH_*.json files can track the speedup trajectory as the
-   worker count grows. *)
-let json_escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+   worker count grows.  [counters] embeds aggregate telemetry counters
+   (Telemetry.Metrics.counters ()) next to [wall_seconds], giving
+   bin/benchdiff.exe work-done metrics to compare as well as time. *)
+let to_json ?(workers = 1) ?wall_seconds ?(counters = []) results =
+  let open Telemetry.Jsonw in
+  let fields = [ ("workers", Int workers) ] in
+  let fields =
+    match wall_seconds with
+    | Some w -> fields @ [ ("wall_seconds", Float w) ]
+    | None -> fields
+  in
+  let fields =
+    match counters with
+    | [] -> fields
+    | cs -> fields @ [ ("counters", Obj (List.map (fun (k, v) -> (k, Int v)) cs)) ]
+  in
+  let row r =
+    Obj
+      [
+        ("tool", Str r.tool);
+        ("network", Str r.network);
+        ("property", Str r.property);
+        ("outcome", Str (Common.Outcome.label r.outcome));
+        ("time_seconds", Float r.time);
+      ]
+  in
+  to_string ~pretty:true (Obj (fields @ [ ("results", Arr (List.map row results)) ]))
+  ^ "\n"
 
-let to_json ?(workers = 1) ?wall_seconds results =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf (Printf.sprintf "  \"workers\": %d,\n" workers);
-  (match wall_seconds with
-  | Some w -> Buffer.add_string buf (Printf.sprintf "  \"wall_seconds\": %.6f,\n" w)
-  | None -> ());
-  Buffer.add_string buf "  \"results\": [";
-  List.iteri
-    (fun i r ->
-      if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf
-        (Printf.sprintf
-           "\n    {\"tool\": \"%s\", \"network\": \"%s\", \"property\": \
-            \"%s\", \"outcome\": \"%s\", \"time_seconds\": %.6f}"
-           (json_escape r.tool) (json_escape r.network) (json_escape r.property)
-           (Common.Outcome.label r.outcome)
-           r.time))
-    results;
-  Buffer.add_string buf "\n  ]\n}\n";
-  Buffer.contents buf
-
-let save_json ?workers ?wall_seconds path results =
+let save_json ?workers ?wall_seconds ?counters path results =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_json ?workers ?wall_seconds results))
+    (fun () ->
+      output_string oc (to_json ?workers ?wall_seconds ?counters results))
 
 let consistency_errors results =
   let errors = ref [] in

@@ -50,13 +50,26 @@ val to_csv : result list -> string
 
 val save_csv : string -> result list -> unit
 
-val to_json : ?workers:int -> ?wall_seconds:float -> result list -> string
+val to_json :
+  ?workers:int ->
+  ?wall_seconds:float ->
+  ?counters:(string * int) list ->
+  result list ->
+  string
 (** JSON document with the per-instance rows plus the run configuration
     ([workers], default 1) and optional end-to-end [wall_seconds], so
-    benchmark archives can track the parallel speedup trajectory. *)
+    benchmark archives can track the parallel speedup trajectory.
+    [counters] (typically [Telemetry.Metrics.counters ()]) embeds
+    aggregate work-done metrics as a ["counters"] object, which
+    [bin/benchdiff.exe] compares alongside the timings. *)
 
 val save_json :
-  ?workers:int -> ?wall_seconds:float -> string -> result list -> unit
+  ?workers:int ->
+  ?wall_seconds:float ->
+  ?counters:(string * int) list ->
+  string ->
+  result list ->
+  unit
 
 val consistency_errors : result list -> (string * string * string) list
 (** Cross-tool disagreements: benchmarks where one tool verified and

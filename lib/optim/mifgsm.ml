@@ -7,7 +7,10 @@ let default_config = { steps = 20; momentum = 0.9; step_scale = 0.1 }
 
 let norm1 v = Array.fold_left (fun acc x -> acc +. abs_float x) 0.0 v
 
+let c_calls = Telemetry.Metrics.counter "optim.mifgsm.calls"
+
 let attack ?(config = default_config) obj region ~from =
+  Telemetry.Metrics.incr c_calls;
   let x = ref (Box.clamp region from) in
   let best_x = ref !x in
   let best_v = ref (Objective.value obj !x) in

@@ -11,6 +11,12 @@ type config = {
 let default_config =
   { steps = 40; restarts = 5; step_scale = 0.25; early_stop = None }
 
+let c_calls = Telemetry.Metrics.counter "optim.pgd.calls"
+
+let c_steps = Telemetry.Metrics.counter "optim.pgd.steps"
+
+let c_restarts = Telemetry.Metrics.counter "optim.pgd.restarts"
+
 let run_from ~config obj region x0 =
   let base_step = config.step_scale *. Box.mean_width region in
   let best_x = ref (Box.clamp region x0) in
@@ -40,16 +46,20 @@ let run_from ~config obj region x0 =
       | Some _ | None -> ()
     end
   done;
+  Telemetry.Metrics.add c_steps !step;
   (!best_x, !best_v)
 
 let minimize ?(config = default_config) ~rng obj region =
   if Box.dim region <> (Objective.network obj).Nn.Network.input_dim then
     invalid_arg "Pgd.minimize: region dimension mismatch";
+  Telemetry.Metrics.incr c_calls;
+  let sp = Telemetry.Span.enter "optim.pgd" in
   let starts =
     Array.init (Stdlib.max 1 config.restarts) (fun i ->
         if i = 0 then Box.center region else Box.sample rng region)
   in
   let best = ref None in
+  let restarts_used = ref 0 in
   Array.iter
     (fun x0 ->
       let stop_now =
@@ -58,6 +68,8 @@ let minimize ?(config = default_config) ~rng obj region =
         | _ -> false
       in
       if not stop_now then begin
+        Telemetry.Metrics.incr c_restarts;
+        incr restarts_used;
         let x, v = run_from ~config obj region x0 in
         match !best with
         | Some (_, bv) when bv <= v -> ()
@@ -65,5 +77,12 @@ let minimize ?(config = default_config) ~rng obj region =
       end)
     starts;
   match !best with
-  | Some result -> result
+  | Some (_, v) as result ->
+      Telemetry.Span.exit sp
+        ~attrs:(fun () ->
+          [
+            ("restarts", Telemetry.Jsonw.Int !restarts_used);
+            ("best", Telemetry.Jsonw.Float v);
+          ]);
+      Option.get result
   | None -> assert false

@@ -12,11 +12,21 @@
 let run ~workers f =
   if workers <= 1 then f 0
   else begin
+    (* Each worker body runs under a telemetry span and flushes its
+       domain-local trace buffer on the way out — a spawned domain dies
+       with the pool, so this is its only chance to drain. *)
+    let instrumented i =
+      Fun.protect ~finally:Telemetry.Trace.flush_local (fun () ->
+          Telemetry.Span.wrap "parallel.worker"
+            ~attrs:(fun () -> [ ("worker", Telemetry.Jsonw.Int i) ])
+            (fun () -> f i))
+    in
     let spawned =
-      Array.init (workers - 1) (fun i -> Domain.spawn (fun () -> f (i + 1)))
+      Array.init (workers - 1) (fun i ->
+          Domain.spawn (fun () -> instrumented (i + 1)))
     in
     let caller_result =
-      match f 0 with () -> Ok () | exception e -> Error e
+      match instrumented 0 with () -> Ok () | exception e -> Error e
     in
     let join_results =
       Array.map
@@ -36,10 +46,13 @@ let run ~workers f =
    index is processed exactly once; the assignment of indices to workers
    is nondeterministic, so [f] must only write worker-private or
    per-index state. *)
+let c_tasks = Telemetry.Metrics.counter "parallel.tasks"
+
 let iter ~workers n f =
   if n <= 0 then ()
   else if workers <= 1 || n = 1 then
     for i = 0 to n - 1 do
+      Telemetry.Metrics.incr c_tasks;
       f i
     done
   else begin
@@ -50,6 +63,7 @@ let iter ~workers n f =
         let rec loop () =
           let i = Atomic.fetch_and_add next 1 in
           if i < n then begin
+            Telemetry.Metrics.incr c_tasks;
             f i;
             loop ()
           end

@@ -94,26 +94,52 @@ let with_lock t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
+let c_pushes = Telemetry.Metrics.counter "parallel.queue.pushes"
+
+let c_pops = Telemetry.Metrics.counter "parallel.queue.pops"
+
+(* Blocked time in [pop] — the per-worker idle/steal-wait signal the
+   scheduling PRs tune against. *)
+let h_wait = Telemetry.Metrics.histogram "parallel.queue.wait"
+
 let push t ~priority x =
   with_lock t (fun () ->
       if not t.closed then begin
         heap_push t (priority, x);
         t.outstanding <- t.outstanding + 1;
+        Telemetry.Metrics.incr c_pushes;
         Condition.signal t.wakeup
       end)
 
 let pop t =
   with_lock t (fun () ->
+      (* [wait_start] is set the first time this pop has to block, so
+         the observed duration covers the whole idle stretch even
+         across spurious wakeups.  Clock reads only happen on the
+         blocking path and only with telemetry enabled. *)
+      let wait_start = ref 0 in
+      let waited = ref false in
       let rec wait () =
         if t.closed then None
         else if t.size > 0 then Some (heap_pop t)
         else if t.outstanding = 0 then None
         else begin
+          if (not !waited) && Telemetry.enabled () then begin
+            waited := true;
+            wait_start := Telemetry.Trace.now_ns ()
+          end;
           Condition.wait t.wakeup t.mutex;
           wait ()
         end
       in
-      wait ())
+      let result = wait () in
+      if !waited then
+        Telemetry.Metrics.observe h_wait
+          (Telemetry.Trace.now_ns () - !wait_start);
+      (match result with
+      | Some _ -> Telemetry.Metrics.incr c_pops
+      | None -> ());
+      result)
 
 let finish t =
   with_lock t (fun () ->

@@ -1,0 +1,37 @@
+(** The shared JSON value type and (de)serializer behind every
+    machine-readable artifact in the repo: telemetry JSONL traces,
+    [BENCH_*.json] archives, and the bench suite records.  Schema
+    conventions follow [lib/lint/json_out] (which stays separate only
+    because it lives in the compiler-libs build graph). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Compact (single-line) rendering by default; [~pretty:true] indents
+    two spaces per level for diff-friendly on-disk artifacts.
+    Non-finite floats become [null] — JSON has no NaN/infinity
+    literals. *)
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Parses one complete JSON document.  @raise Parse_error on malformed
+    input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] is the value bound to [key], if any;
+    [None] on non-objects. *)
+
+val to_float_opt : t -> float option
+(** Numeric coercion: [Int] and [Float] both map to [Some]. *)
+
+val to_int_opt : t -> int option
+
+val to_string_opt : t -> string option

@@ -1,0 +1,209 @@
+(* Atomic counters and log2-bucketed histograms behind a global
+   name-keyed registry.
+
+   Discipline: the registry tables are only touched with
+   [registry_mutex] held; [counter]/[histogram] are find-or-create and
+   idempotent, so toplevel registration from any number of libraries
+   (and re-registration after the first) is safe.  Counter values and
+   histogram cells are atomics updated with fetch_and_add or CAS-max
+   loops only — recording never takes the mutex, so worker domains
+   cannot contend on anything but the cell itself. *)
+
+type counter = { cname : string; value : int Atomic.t }
+[@@lint.allow "domain-unsafe-global"]
+
+(* Buckets: cell [i] counts observations [v] with floor(log2 v) = i
+   (v <= 1 lands in cell 0), so quantiles come back with at most 2x
+   error — plenty for "where does the time go" questions. *)
+type histogram = {
+  hname : string;
+  count : int Atomic.t;
+  sum : int Atomic.t;
+  vmin : int Atomic.t;  (** max_int until the first observation *)
+  vmax : int Atomic.t;
+  buckets : int Atomic.t array;
+}
+[@@lint.allow "domain-unsafe-global"]
+
+let nbuckets = 63
+
+let registry_mutex = Mutex.create ()
+
+(* Registry discipline: guarded by [registry_mutex]; see header. *)
+let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 64
+[@@lint.allow "domain-unsafe-global"]
+
+let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 64
+[@@lint.allow "domain-unsafe-global"]
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+let counter name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt counters_tbl name with
+      | Some c -> c
+      | None ->
+          let c = { cname = name; value = Atomic.make 0 } in
+          Hashtbl.add counters_tbl name c;
+          c)
+
+let histogram name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt histograms_tbl name with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              hname = name;
+              count = Atomic.make 0;
+              sum = Atomic.make 0;
+              vmin = Atomic.make max_int;
+              vmax = Atomic.make 0;
+              buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
+            }
+          in
+          Hashtbl.add histograms_tbl name h;
+          h)
+
+(* ------------------------------------------------------------------ *)
+(* Recording — no-ops (one load, one branch) when telemetry is off. *)
+
+let incr c = if State.metrics_on () then Atomic.incr c.value
+
+let add c n = if State.metrics_on () then ignore (Atomic.fetch_and_add c.value n)
+
+let value c = Atomic.get c.value
+
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
+let rec atomic_min a v =
+  let cur = Atomic.get a in
+  if v < cur && not (Atomic.compare_and_set a cur v) then atomic_min a v
+
+let bucket_of v =
+  if v <= 1 then 0
+  else begin
+    let rec go n acc = if n <= 1 then acc else go (n lsr 1) (acc + 1) in
+    Stdlib.min (nbuckets - 1) (go v 0)
+  end
+
+let observe h v =
+  if State.metrics_on () then begin
+    let v = Stdlib.max 0 v in
+    ignore (Atomic.fetch_and_add h.count 1);
+    ignore (Atomic.fetch_and_add h.sum v);
+    atomic_min h.vmin v;
+    atomic_max h.vmax v;
+    Atomic.incr h.buckets.(bucket_of v)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+type histogram_stats = {
+  name : string;
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+}
+
+let quantile (h : histogram) ~count q =
+  (* Smallest bucket upper bound covering a [q] fraction of samples. *)
+  let target =
+    Stdlib.max 1 (int_of_float (ceil (q *. float_of_int count)))
+  in
+  let rec scan i seen =
+    if i >= nbuckets then Atomic.get h.vmax
+    else begin
+      let seen = seen + Atomic.get h.buckets.(i) in
+      if seen >= target then Stdlib.min (1 lsl (i + 1)) (Atomic.get h.vmax)
+      else scan (i + 1) seen
+    end
+  in
+  scan 0 0
+
+let stats_of (h : histogram) =
+  let count = Atomic.get h.count in
+  {
+    name = h.hname;
+    count;
+    sum = Atomic.get h.sum;
+    min = (if count = 0 then 0 else Atomic.get h.vmin);
+    max = Atomic.get h.vmax;
+    p50 = (if count = 0 then 0 else quantile h ~count 0.50);
+    p90 = (if count = 0 then 0 else quantile h ~count 0.90);
+    p99 = (if count = 0 then 0 else quantile h ~count 0.99);
+  }
+
+let by_name f a b = String.compare (f a) (f b)
+
+let counters () =
+  with_registry (fun () ->
+      Hashtbl.fold
+        (fun _ c acc ->
+          let v = Atomic.get c.value in
+          if v = 0 then acc else (c.cname, v) :: acc)
+        counters_tbl [])
+  |> List.sort (by_name fst)
+
+let histograms () =
+  with_registry (fun () ->
+      Hashtbl.fold (fun _ h acc -> stats_of h :: acc) histograms_tbl [])
+  |> List.filter (fun s -> s.count > 0)
+  |> List.sort (by_name (fun s -> s.name))
+
+let reset () =
+  with_registry (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.value 0) counters_tbl;
+      Hashtbl.iter
+        (fun _ (h : histogram) ->
+          Atomic.set h.count 0;
+          Atomic.set h.sum 0;
+          Atomic.set h.vmin max_int;
+          Atomic.set h.vmax 0;
+          Array.iter (fun b -> Atomic.set b 0) h.buckets)
+        histograms_tbl)
+
+(* ------------------------------------------------------------------ *)
+(* The --stats table *)
+
+let pp_ns ns =
+  let f = float_of_int ns in
+  if ns < 1_000 then Printf.sprintf "%dns" ns
+  else if ns < 1_000_000 then Printf.sprintf "%.1fus" (f /. 1e3)
+  else if ns < 1_000_000_000 then Printf.sprintf "%.1fms" (f /. 1e6)
+  else Printf.sprintf "%.2fs" (f /. 1e9)
+
+let summary_table () =
+  let buf = Buffer.create 1024 in
+  let cs = counters () in
+  if cs <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "%-36s %14s\n" "counter" "value");
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string buf (Printf.sprintf "%-36s %14d\n" name v))
+      cs
+  end;
+  let hs = histograms () in
+  if hs <> [] then begin
+    if cs <> [] then Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "%-36s %10s %10s %10s %10s %10s\n" "span/histogram"
+         "count" "total" "p50" "p90" "max");
+    List.iter
+      (fun s ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-36s %10d %10s %10s %10s %10s\n" s.name s.count
+             (pp_ns s.sum) (pp_ns s.p50) (pp_ns s.p90) (pp_ns s.max)))
+      hs
+  end;
+  Buffer.contents buf

@@ -1,0 +1,53 @@
+(* Monotonic-clock spans.  [enter] is one atomic load when telemetry is
+   off; when metrics are on every exit feeds a histogram named after
+   the span, and when tracing is on it also emits a JSONL event with
+   this domain's id/parent nesting.  Attribute thunks are evaluated
+   only when the event is actually written, so call sites can build
+   rich attributes without taxing the disabled path. *)
+
+type t =
+  | Off
+  | On of {
+      name : string;
+      hist : Metrics.histogram;
+      start : int;
+      id : int;
+      parent : int option;
+      depth : int;
+      traced : bool;
+    }
+
+let enter name =
+  if not (State.metrics_on ()) then Off
+  else begin
+    let traced = State.tracing_on () in
+    let id, parent, depth =
+      if traced then Trace.open_span () else (0, None, 0)
+    in
+    On
+      {
+        name;
+        hist = Metrics.histogram name;
+        start = State.now_ns ();
+        id;
+        parent;
+        depth;
+        traced;
+      }
+  end
+
+let exit ?attrs t =
+  match t with
+  | Off -> ()
+  | On { name; hist; start; id; parent; depth; traced } ->
+      let dur = State.now_ns () - start in
+      Metrics.observe hist dur;
+      if traced then begin
+        Trace.close_span ();
+        let attrs = match attrs with None -> [] | Some f -> f () in
+        Trace.emit_span ~name ~start ~dur ~id ~parent ~depth ~attrs
+      end
+
+let wrap ?attrs name f =
+  let sp = enter name in
+  Fun.protect ~finally:(fun () -> exit ?attrs sp) f

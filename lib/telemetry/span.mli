@@ -1,0 +1,18 @@
+(** Monotonic-clock spans.
+
+    When telemetry is off, [enter]/[exit] cost one atomic load and a
+    branch.  With metrics on, every exit records the duration into a
+    histogram named after the span (what [--stats] tabulates).  With
+    tracing on, a JSONL event is also emitted carrying this domain's
+    id/parent/depth nesting and the attributes. *)
+
+type t
+
+val enter : string -> t
+
+val exit : ?attrs:(unit -> (string * Jsonw.t) list) -> t -> unit
+(** Close the span.  [attrs] is evaluated only if the event is actually
+    written to a trace, so sites may build attribute lists freely. *)
+
+val wrap : ?attrs:(unit -> (string * Jsonw.t) list) -> string -> (unit -> 'a) -> 'a
+(** [wrap name f] runs [f] inside a span; exception-safe. *)

@@ -1,0 +1,22 @@
+(* The global on/off switch, shared by every instrumentation site.
+
+   Discipline: [level] is a single atomic written only by
+   [Trace.enable]/[Trace.disable] (called from quiescent code — the CLI
+   or a bench harness, never from inside a worker), and read with one
+   relaxed [Atomic.get] per instrumentation site.  A torn read is
+   impossible and a stale one only delays the switch by one event, so
+   the disabled path costs exactly one load and one branch. *)
+
+(* 0 = off (no-op), 1 = metrics (counters, histograms, span timings),
+   2 = metrics + JSONL tracing. *)
+let level = Atomic.make 0 [@@lint.allow "domain-unsafe-global"]
+
+let metrics_on () = Atomic.get level > 0
+
+let tracing_on () = Atomic.get level > 1
+
+let set l = Atomic.set level l
+
+(* Monotonic nanoseconds (CLOCK_MONOTONIC via the bechamel stub).
+   The int64 fits a 63-bit int for ~146 years of uptime. *)
+let now_ns () = Int64.to_int (Monotonic_clock.now ())

@@ -1,0 +1,14 @@
+(* Umbrella module: the only entry point client libraries see. *)
+
+module Jsonw = Jsonw
+module Metrics = Metrics
+module Trace = Trace
+module Span = Span
+
+let enable = Trace.enable
+
+let disable = Trace.disable
+
+let enabled = Trace.enabled
+
+let tracing = Trace.tracing

@@ -1,0 +1,42 @@
+(** Domain-safe instrumentation for the verifier: monotonic-clock
+    spans, atomic counters and histograms, and per-worker JSONL trace
+    buffers — with a no-op mode (one atomic load per site) when
+    disabled, which is the default.
+
+    Usage from an instrumented library:
+    {[
+      let c_nodes = Telemetry.Metrics.counter "verify.regions"
+
+      let process region =
+        Telemetry.Metrics.incr c_nodes;
+        let sp = Telemetry.Span.enter "verify.region" in
+        let result = ... in
+        Telemetry.Span.exit sp
+          ~attrs:(fun () -> [ ("outcome", Telemetry.Jsonw.Str "split") ]);
+        result
+    ]}
+
+    Usage from an entry point (the CLI's [--trace]/[--stats]):
+    {[
+      Telemetry.enable ~path:"out.jsonl" ();
+      ... run ...
+      print_string (Telemetry.Metrics.summary_table ());
+      Telemetry.disable ()
+    ]}
+
+    Event schema and reading guide: docs/telemetry.md. *)
+
+module Jsonw = Jsonw
+module Metrics = Metrics
+module Trace = Trace
+module Span = Span
+
+val enable : ?path:string -> unit -> unit
+(** See {!Trace.enable}. *)
+
+val disable : unit -> unit
+(** See {!Trace.disable}. *)
+
+val enabled : unit -> bool
+
+val tracing : unit -> bool

@@ -1,0 +1,194 @@
+(* The JSONL trace sink and the per-domain event buffers.
+
+   Every worker domain renders its events into a Domain.DLS-local
+   buffer (no locking on the event path); buffers drain to the shared
+   out_channel under [sink.mutex] when they grow past a threshold, when
+   a Parallel.Pool worker exits, and at [disable].  Events therefore
+   appear in the file grouped by flush, not globally time-ordered —
+   readers must sort on [ts] (see docs/telemetry.md).
+
+   Enable/disable discipline: both are called from quiescent code (the
+   CLI wrapper, a bench harness) — never concurrently with workers.
+   The [generation] counter lets a domain detect that the trace was
+   re-enabled since it last wrote and discard its stale state. *)
+
+let generation = Atomic.make 0 [@@lint.allow "domain-unsafe-global"]
+
+(* Trace timestamps are nanoseconds relative to [epoch] (set at
+   enable), so traces from different runs line up at 0. *)
+let epoch = Atomic.make 0 [@@lint.allow "domain-unsafe-global"]
+
+(* Discipline: [oc] is only touched with [mutex] held. *)
+type sink_state = { mutex : Mutex.t; mutable oc : out_channel option }
+[@@lint.allow "domain-unsafe-global"]
+
+let sink = { mutex = Mutex.create (); oc = None }
+
+(* Discipline: a [local] value is confined to the domain that created
+   it (Domain.DLS) — no synchronization needed. *)
+type local = {
+  buf : Buffer.t;
+  mutable stack : int list;  (* open span ids, innermost first *)
+  mutable next_id : int;
+  mutable gen : int;  (* generation the ids/stack belong to *)
+}
+[@@lint.allow "domain-unsafe-global"]
+
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      { buf = Buffer.create 4096; stack = []; next_id = 0; gen = -1 })
+
+let local () =
+  let l = Domain.DLS.get dls_key in
+  let g = Atomic.get generation in
+  if l.gen <> g then begin
+    Buffer.clear l.buf;
+    l.stack <- [];
+    l.next_id <- 0;
+    l.gen <- g
+  end;
+  l
+
+let now_ns = State.now_ns
+
+let rel ts = ts - Atomic.get epoch
+
+let worker_id () = (Domain.self () :> int)
+
+(* ------------------------------------------------------------------ *)
+(* Buffered writing *)
+
+let flush_threshold = 32768
+
+let flush_local () =
+  let l = local () in
+  if Buffer.length l.buf > 0 then begin
+    Mutex.lock sink.mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock sink.mutex)
+      (fun () ->
+        match sink.oc with
+        | Some oc -> Buffer.output_buffer oc l.buf
+        | None -> () (* sink already closed: the events are dropped *));
+    Buffer.clear l.buf
+  end
+
+let emit_json json =
+  let l = local () in
+  Buffer.add_string l.buf (Jsonw.to_string json);
+  Buffer.add_char l.buf '\n';
+  if Buffer.length l.buf >= flush_threshold then flush_local ()
+
+let base_fields ~kind ~name ~ts =
+  [
+    ("ts", Jsonw.Int (rel ts));
+    ("kind", Jsonw.Str kind);
+    ("name", Jsonw.Str name);
+    ("worker", Jsonw.Int (worker_id ()));
+  ]
+
+let attrs_field = function
+  | [] -> []
+  | attrs -> [ ("attrs", Jsonw.Obj attrs) ]
+
+(* ------------------------------------------------------------------ *)
+(* Span bookkeeping (called by Span; only when tracing) *)
+
+let open_span () =
+  let l = local () in
+  let id = l.next_id in
+  l.next_id <- id + 1;
+  let parent = match l.stack with [] -> None | p :: _ -> Some p in
+  l.stack <- id :: l.stack;
+  (id, parent, List.length l.stack - 1)
+
+let close_span () =
+  let l = local () in
+  match l.stack with [] -> () | _ :: rest -> l.stack <- rest
+
+let emit_span ~name ~start ~dur ~id ~parent ~depth ~attrs =
+  emit_json
+    (Jsonw.Obj
+       (base_fields ~kind:"span" ~name ~ts:start
+       @ [
+           ("id", Jsonw.Int id);
+           ( "parent",
+             match parent with Some p -> Jsonw.Int p | None -> Jsonw.Null );
+           ("depth", Jsonw.Int depth);
+           ("dur", Jsonw.Int dur);
+         ]
+       @ attrs_field attrs))
+
+let instant ?(attrs = []) name =
+  if State.tracing_on () then
+    emit_json
+      (Jsonw.Obj
+         (base_fields ~kind:"instant" ~name ~ts:(now_ns ())
+         @ attrs_field attrs))
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let enable ?path () =
+  Atomic.incr generation;
+  Atomic.set epoch (now_ns ());
+  (match path with
+  | None -> State.set 1
+  | Some p ->
+      Mutex.lock sink.mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock sink.mutex)
+        (fun () ->
+          (match sink.oc with Some oc -> close_out oc | None -> ());
+          sink.oc <- Some (open_out p));
+      State.set 2;
+      emit_json
+        (Jsonw.Obj
+           (base_fields ~kind:"meta" ~name:"trace.start" ~ts:(now_ns ())
+           @ attrs_field
+               [
+                 ("clock", Jsonw.Str "CLOCK_MONOTONIC");
+                 ("unit", Jsonw.Str "ns");
+               ])));
+  Metrics.reset ()
+
+let tracing = State.tracing_on
+
+let enabled = State.metrics_on
+
+(* Counter and histogram summaries ride in the trace itself, one event
+   per instrument, so a trace file is self-contained. *)
+let emit_summaries () =
+  let ts = now_ns () in
+  List.iter
+    (fun (name, v) ->
+      emit_json
+        (Jsonw.Obj
+           (base_fields ~kind:"counter" ~name ~ts @ [ ("value", Jsonw.Int v) ])))
+    (Metrics.counters ());
+  List.iter
+    (fun (s : Metrics.histogram_stats) ->
+      emit_json
+        (Jsonw.Obj
+           (base_fields ~kind:"histogram" ~name:s.Metrics.name ~ts
+           @ [
+               ("count", Jsonw.Int s.Metrics.count);
+               ("sum", Jsonw.Int s.Metrics.sum);
+               ("min", Jsonw.Int s.Metrics.min);
+               ("max", Jsonw.Int s.Metrics.max);
+               ("p50", Jsonw.Int s.Metrics.p50);
+               ("p90", Jsonw.Int s.Metrics.p90);
+               ("p99", Jsonw.Int s.Metrics.p99);
+             ])))
+    (Metrics.histograms ())
+
+let disable () =
+  if State.tracing_on () then emit_summaries ();
+  flush_local ();
+  Mutex.lock sink.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sink.mutex)
+    (fun () ->
+      (match sink.oc with Some oc -> close_out oc | None -> ());
+      sink.oc <- None);
+  State.set 0

@@ -1,0 +1,55 @@
+(** The JSONL trace sink and per-domain event buffers.
+
+    Each worker domain renders events into a domain-local buffer;
+    buffers drain to the shared file under a mutex when full, when a
+    [Parallel.Pool] worker exits, and at [disable].  Lines in the file
+    are therefore grouped by flush, not globally time-ordered — sort on
+    ["ts"] when reading.  Event schema: docs/telemetry.md. *)
+
+val enable : ?path:string -> unit -> unit
+(** Turn telemetry on and reset all metrics.  Without [path], only
+    counters/histograms/span timings are recorded (the [--stats] mode);
+    with [path], a JSONL trace is also written there.  Call from
+    quiescent code only — never concurrently with running workers. *)
+
+val disable : unit -> unit
+(** Append counter/histogram summary events to the trace (if tracing),
+    flush the calling domain's buffer, close the sink, and switch every
+    instrumentation site back to its no-op path. *)
+
+val enabled : unit -> bool
+(** Metrics recording is on ([--stats] or [--trace]). *)
+
+val tracing : unit -> bool
+(** A JSONL sink is attached. *)
+
+val instant : ?attrs:(string * Jsonw.t) list -> string -> unit
+(** Emit a point event (no duration).  No-op unless tracing. *)
+
+val flush_local : unit -> unit
+(** Drain this domain's buffer to the sink.  [Parallel.Pool] calls this
+    as each worker exits; other long-lived domains should too, or their
+    tail events are dropped when the sink closes. *)
+
+val now_ns : unit -> int
+(** Monotonic clock, nanoseconds.  Usable even when telemetry is off
+    (bench harnesses use it directly). *)
+
+(**/**)
+
+(* Internal plumbing for [Span]. *)
+
+val open_span : unit -> int * int option * int
+(** Allocate a span id on this domain's stack: [(id, parent, depth)]. *)
+
+val close_span : unit -> unit
+
+val emit_span :
+  name:string ->
+  start:int ->
+  dur:int ->
+  id:int ->
+  parent:int option ->
+  depth:int ->
+  attrs:(string * Jsonw.t) list ->
+  unit
