@@ -9,6 +9,8 @@
      netgen   train a benchmark network and save it to disk
      suite    run the benchmark suite and print per-benchmark outcomes
      export   write the benchmark suite to disk as networks + property files
+     serve    run the charon-serve verification daemon (docs/serving.md)
+     submit   send one verification job to a running daemon
      demo     the XOR walkthrough of Example 3.1 *)
 
 open Cmdliner
@@ -428,6 +430,92 @@ let attack_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* serve / submit                                                     *)
+
+let socket_arg =
+  let doc = "Unix-domain socket of the charon-serve daemon." in
+  Arg.(
+    value
+    & opt string "charon-serve.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let cache_arg =
+    let doc = "Verdict cache capacity (entries, LRU eviction)." in
+    Arg.(value & opt int 256 & info [ "cache-size" ] ~docv:"N" ~doc)
+  in
+  let run () socket workers cache_size trace stats =
+    (match trace with
+    | Some path -> Telemetry.enable ~path ()
+    | None -> Telemetry.enable ());
+    Printf.printf "charon serve: listening on %s (%d workers, cache %d)\n%!"
+      socket workers cache_size;
+    Server.Daemon.serve ~socket ~workers ~cache_capacity:cache_size ();
+    if stats then print_string (Telemetry.Metrics.summary_table ());
+    Telemetry.disable ();
+    0
+  in
+  let term =
+    Term.(
+      const run $ logs_term $ socket_arg $ workers_arg $ cache_arg $ trace_arg
+      $ stats_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the verification daemon (see also charon-serve-client)")
+    term
+
+let submit_cmd =
+  let wait_flag =
+    let doc = "Poll until the job finishes and print the final status." in
+    Arg.(value & flag & info [ "wait"; "w" ] ~doc)
+  in
+  let name_arg =
+    let doc = "Label echoed back in status responses." in
+    Arg.(value & opt string "property" & info [ "name" ] ~docv:"NAME" ~doc)
+  in
+  let run () socket network target center radius box timeout delta seed name
+      wait =
+    let spec =
+      {
+        Server.Protocol.name;
+        network = In_channel.with_open_text network In_channel.input_all;
+        box = region_of ~center ~radius ~box;
+        target;
+        delta;
+        timeout = Some timeout;
+        max_steps = None;
+        seed;
+      }
+    in
+    match
+      let id, response = Server.Client.submit ~socket spec in
+      if wait && not (Server.Client.terminal (Server.Client.job_state response))
+      then Server.Client.wait ~socket id
+      else response
+    with
+    | json ->
+        print_endline (Telemetry.Jsonw.to_string ~pretty:true json);
+        0
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "cannot reach the daemon at %s: %s\n" socket
+          (Unix.error_message e);
+        1
+    | exception Server.Client.Server_error msg ->
+        Printf.eprintf "server error: %s\n" msg;
+        1
+  in
+  let term =
+    Term.(
+      const run $ logs_term $ socket_arg $ network_arg $ target_arg
+      $ center_arg $ radius_arg $ box_arg $ timeout_arg $ delta_arg $ seed_arg
+      $ name_arg $ wait_flag)
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc:"Submit one verification job to a running daemon")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* demo                                                               *)
 
 let demo_cmd =
@@ -472,5 +560,7 @@ let () =
             netgen_cmd;
             suite_cmd;
             export_cmd;
+            serve_cmd;
+            submit_cmd;
             demo_cmd;
           ]))

@@ -1,0 +1,63 @@
+(* charon-serve: the long-running verification daemon.
+
+   Accepts line-framed JSON verification requests over a Unix-domain
+   socket, schedules them onto a pool of worker domains, and answers
+   repeated questions from the verdict cache.  Wire protocol and
+   operational notes: docs/serving.md.
+
+     dune exec bin/serve.exe -- --socket /tmp/charon.sock --workers 4
+
+   The process runs until a client sends {"op":"shutdown"} (e.g.
+   `charon-serve-client shutdown`). *)
+
+open Cmdliner
+
+let socket_arg =
+  let doc = "Unix-domain socket path to listen on." in
+  Arg.(
+    value
+    & opt string "charon-serve.sock"
+    & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
+
+let workers_arg =
+  let doc = "Worker domains in the verification pool." in
+  Arg.(value & opt int 4 & info [ "workers"; "j" ] ~docv:"N" ~doc)
+
+let cache_arg =
+  let doc = "Verdict cache capacity (entries, LRU eviction)." in
+  Arg.(value & opt int 256 & info [ "cache-size" ] ~docv:"N" ~doc)
+
+let trace_arg =
+  let doc = "Stream a JSONL telemetry trace to $(docv) (docs/telemetry.md)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let stats_arg =
+  let doc = "Print the telemetry summary table when the daemon exits." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let run socket workers cache_size trace stats =
+  if workers < 1 then begin
+    prerr_endline "charon-serve: --workers must be at least 1";
+    2
+  end
+  else begin
+    (match trace with
+    | Some path -> Telemetry.enable ~path ()
+    | None -> Telemetry.enable ());
+    Printf.printf "charon-serve: listening on %s (%d workers, cache %d)\n%!"
+      socket workers cache_size;
+    Server.Daemon.serve ~socket ~workers ~cache_capacity:cache_size ();
+    if stats then print_string (Telemetry.Metrics.summary_table ());
+    Telemetry.disable ();
+    print_endline "charon-serve: shut down cleanly";
+    0
+  end
+
+let cmd =
+  let doc = "concurrent verification service with a verdict cache" in
+  Cmd.v
+    (Cmd.info "charon-serve" ~version:"1.0.0" ~doc)
+    Term.(const run $ socket_arg $ workers_arg $ cache_arg $ trace_arg
+          $ stats_arg)
+
+let () = exit (Cmd.eval' cmd)

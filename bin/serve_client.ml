@@ -1,0 +1,163 @@
+(* charon-serve-client: command-line client for the charon-serve
+   daemon (docs/serving.md).
+
+   Every subcommand opens one connection, performs one request, and
+   prints the daemon's JSON response (pretty-printed).  Exit code 0 on
+   an {"ok":true} response, 1 otherwise. *)
+
+open Cmdliner
+
+let socket_arg =
+  let doc = "Unix-domain socket the daemon listens on." in
+  Arg.(
+    value
+    & opt string "charon-serve.sock"
+    & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
+
+let print_response json =
+  print_endline (Telemetry.Jsonw.to_string ~pretty:true json);
+  match Telemetry.Jsonw.member "ok" json with
+  | Some (Telemetry.Jsonw.Bool true) -> 0
+  | _ -> 1
+
+let with_server f =
+  match f () with
+  | json -> print_response json
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "cannot reach the daemon: %s\n" (Unix.error_message e);
+      1
+  | exception Server.Client.Server_error msg ->
+      Printf.eprintf "server error: %s\n" msg;
+      1
+
+let id_arg =
+  let doc = "Job id (from the submit response)." in
+  Arg.(required & opt (some int) None & info [ "id"; "i" ] ~docv:"ID" ~doc)
+
+(* ------------------------------------------------------------------ *)
+
+let ping_cmd =
+  let run socket = with_server (fun () -> Server.Client.ping ~socket ()) in
+  Cmd.v (Cmd.info "ping" ~doc:"Check that the daemon answers")
+    Term.(const run $ socket_arg)
+
+let stats_cmd =
+  let run socket = with_server (fun () -> Server.Client.stats ~socket ()) in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Queue depth, in-flight jobs, cache hit rate, counters")
+    Term.(const run $ socket_arg)
+
+let status_cmd =
+  let since_arg =
+    let doc = "Only return events with sequence number at least $(docv)." in
+    Arg.(value & opt int 0 & info [ "since" ] ~docv:"SEQ" ~doc)
+  in
+  let run socket id since =
+    with_server (fun () -> Server.Client.status ~socket ~since id)
+  in
+  Cmd.v (Cmd.info "status" ~doc:"Poll one job's state and events")
+    Term.(const run $ socket_arg $ id_arg $ since_arg)
+
+let cancel_cmd =
+  let run socket id = with_server (fun () -> Server.Client.cancel ~socket id) in
+  Cmd.v (Cmd.info "cancel" ~doc:"Cancel a queued or running job")
+    Term.(const run $ socket_arg $ id_arg)
+
+let shutdown_cmd =
+  let run socket =
+    with_server (fun () -> Server.Client.shutdown ~socket ())
+  in
+  Cmd.v
+    (Cmd.info "shutdown"
+       ~doc:"Stop the daemon (cancels all pending jobs)")
+    Term.(const run $ socket_arg)
+
+let submit_cmd =
+  let network_arg =
+    let doc = "Network file (text format of Nn.Serial / charon netgen)." in
+    Arg.(
+      required & opt (some file) None & info [ "network"; "n" ] ~docv:"FILE" ~doc)
+  in
+  let target_arg =
+    let doc = "Target class K of the robustness property." in
+    Arg.(required & opt (some int) None & info [ "target"; "k" ] ~docv:"K" ~doc)
+  in
+  let center_arg =
+    let doc = "Region center as comma-separated floats (with $(b,--radius))." in
+    Arg.(value & opt (some string) None & info [ "center" ] ~docv:"X1,X2,..." ~doc)
+  in
+  let radius_arg =
+    let doc = "L-infinity radius around $(b,--center)." in
+    Arg.(value & opt float 0.05 & info [ "radius" ] ~docv:"R" ~doc)
+  in
+  let box_arg =
+    let doc = "Region as comma-separated lo:hi bounds, one per input." in
+    Arg.(
+      value & opt (some string) None & info [ "box" ] ~docv:"L1:H1,L2:H2,..." ~doc)
+  in
+  let delta_arg =
+    let doc = "The delta of the delta-complete counterexample test." in
+    Arg.(value & opt float 1e-4 & info [ "delta" ] ~docv:"DELTA" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Per-job wall-clock budget in seconds." in
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_steps_arg =
+    let doc = "Per-job abstract-transformer step budget." in
+    Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Random seed for the job's counterexample search." in
+    Arg.(value & opt int 2019 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let name_arg =
+    let doc = "Label echoed back in status responses." in
+    Arg.(value & opt string "property" & info [ "name" ] ~docv:"NAME" ~doc)
+  in
+  let wait_arg =
+    let doc = "Poll until the job finishes and print the final status." in
+    Arg.(value & flag & info [ "wait"; "w" ] ~doc)
+  in
+  let run socket network target center radius box delta timeout max_steps seed
+      name wait =
+    let spec =
+      {
+        Server.Protocol.name;
+        network = In_channel.with_open_text network In_channel.input_all;
+        box = Common.Regionspec.of_options ~center ~radius ~box;
+        target;
+        delta;
+        timeout;
+        max_steps;
+        seed;
+      }
+    in
+    with_server (fun () ->
+        let id, response = Server.Client.submit ~socket spec in
+        if wait && not (Server.Client.terminal (Server.Client.job_state response))
+        then Server.Client.wait ~socket id
+        else response)
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc:"Submit a verification job")
+    Term.(
+      const run $ socket_arg $ network_arg $ target_arg $ center_arg
+      $ radius_arg $ box_arg $ delta_arg $ timeout_arg $ max_steps_arg
+      $ seed_arg $ name_arg $ wait_arg)
+
+let () =
+  let doc = "client for the charon-serve verification daemon" in
+  let info = Cmd.info "charon-serve-client" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            ping_cmd;
+            submit_cmd;
+            status_cmd;
+            cancel_cmd;
+            stats_cmd;
+            shutdown_cmd;
+          ]))

@@ -82,9 +82,15 @@ let h_region_depth = Telemetry.Metrics.histogram "verify.region_depth"
 type item = { region : Box.t; depth : int; rng : Linalg.Rng.t }
 
 let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
-    ?(workers = 1) ~rng ~policy net (prop : Common.Property.t) =
+    ?(workers = 1) ?cancel ?on_progress ~rng ~policy net
+    (prop : Common.Property.t) =
   if config.delta <= 0.0 then invalid_arg "Verify.run: delta must be positive";
   if workers < 1 then invalid_arg "Verify.run: workers must be at least 1";
+  let externally_cancelled () =
+    match cancel with
+    | Some c -> Parallel.Cancel.cancelled c
+    | None -> false
+  in
   let started = Unix.gettimeofday () in
   let counters =
     {
@@ -122,6 +128,9 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
     atomic_max counters.peak_depth depth;
     Telemetry.Metrics.incr c_regions;
     Telemetry.Metrics.observe h_region_depth depth;
+    (match on_progress with
+    | Some f -> f ~nodes:(Atomic.get counters.nodes) ~depth
+    | None -> ());
     let sp = Telemetry.Span.enter "verify.region" in
     (* Attributes for the region span, filled in as the region is
        processed.  The thunks passed to [Span.exit] run only when a
@@ -156,7 +165,7 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
               :: base);
       result
     in
-    if Common.Budget.exhausted budget then begin
+    if Common.Budget.exhausted budget || externally_cancelled () then begin
       sp_outcome := "timeout";
       finish_span (Either.Left Common.Outcome.Timeout)
     end

@@ -50,6 +50,8 @@ val run :
   ?config:config ->
   ?budget:Common.Budget.t ->
   ?workers:int ->
+  ?cancel:Parallel.Cancel.t ->
+  ?on_progress:(nodes:int -> depth:int -> unit) ->
   rng:Linalg.Rng.t ->
   policy:Policy.t ->
   Nn.Network.t ->
@@ -69,4 +71,14 @@ val run :
     queue to drain empty; each work item carries an RNG split off its
     parent's, so a fixed (seed, workers) pair reproduces the same search
     tree regardless of scheduling.  Raises [Invalid_argument] when
-    [workers < 1]. *)
+    [workers < 1].
+
+    [cancel] is a cooperative external stop: the token is polled once
+    per region, and a run that observes it abandons the search and
+    returns [Timeout] (the caller that asked for cancellation is the
+    one who can tell the difference).  [on_progress] is invoked once
+    per explored region with the running node count and the region's
+    depth; it may be called concurrently from every worker domain, so
+    the callback must be domain-safe (the serving layer stores the
+    numbers in atomics).  Both hooks default to off and cost nothing
+    when absent. *)

@@ -1,0 +1,143 @@
+(* The verdict cache behind charon-serve.
+
+   Keyed by a structural digest of the full verification question —
+   network weights (the Nn.Serial text, which renders every float with
+   %.17g and therefore round-trips bit-for-bit), input box, target
+   class and δ — so two requests share an entry exactly when they ask
+   the same question.  Only *solved* verdicts (Verified / Refuted) are
+   worth storing: Timeout depends on the budget that happened to ride
+   along, and Unknown on the depth limit, so the scheduler never
+   inserts those.
+
+   Eviction is least-recently-used over an intrusive doubly-linked
+   list: [get] and [put] both move the touched entry to the front, and
+   inserting into a full cache drops the back.  All operations take the
+   one mutex; the table is shared between the daemon's accept loop and
+   every pool worker.
+
+   Discipline: every mutable field (list links, table, counters) is
+   only touched with [mutex] held; the hit/miss atomics are
+   fetch-and-add only and readable without the lock. *)
+
+type entry = {
+  key : string;
+  outcome : Common.Outcome.t;
+  cold_wall : float;  (* seconds the uncached run took *)
+  mutable prev : entry option;  (* toward the front (most recent) *)
+  mutable next : entry option;  (* toward the back (eviction end) *)
+}
+[@@lint.allow "domain-unsafe-global"]
+
+type t = {
+  mutex : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+  capacity : int;
+  mutable front : entry option;
+  mutable back : entry option;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+}
+[@@lint.allow "domain-unsafe-global"]
+
+let c_hits = Telemetry.Metrics.counter "serve.cache.hits"
+
+let c_misses = Telemetry.Metrics.counter "serve.cache.misses"
+
+let c_evictions = Telemetry.Metrics.counter "serve.cache.evictions"
+
+let create ?(capacity = 256) () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be positive";
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create (2 * capacity);
+    capacity;
+    front = None;
+    back = None;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
+  }
+
+let key ~network ~(box : Domains.Box.t) ~target ~delta =
+  let buf = Buffer.create (String.length network + 64) in
+  Buffer.add_string buf network;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Common.Regionspec.to_box_string box);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (string_of_int target);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "%.17g" delta);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* List surgery; callers hold [mutex]. *)
+
+let unlink t e =
+  (match e.prev with
+  | Some p -> p.next <- e.next
+  | None -> t.front <- e.next);
+  (match e.next with
+  | Some n -> n.prev <- e.prev
+  | None -> t.back <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.prev <- None;
+  e.next <- t.front;
+  (match t.front with Some f -> f.prev <- Some e | None -> t.back <- Some e);
+  t.front <- Some e
+
+let get t k =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some e ->
+          unlink t e;
+          push_front t e;
+          ignore (Atomic.fetch_and_add t.hits 1);
+          Telemetry.Metrics.incr c_hits;
+          Some (e.outcome, e.cold_wall)
+      | None ->
+          ignore (Atomic.fetch_and_add t.misses 1);
+          Telemetry.Metrics.incr c_misses;
+          None)
+
+let put t k outcome ~cold_wall =
+  with_lock t (fun () ->
+      (match Hashtbl.find_opt t.table k with
+      | Some e -> unlink t e; Hashtbl.remove t.table k
+      | None -> ());
+      if Hashtbl.length t.table >= t.capacity then begin
+        match t.back with
+        | Some victim ->
+            unlink t victim;
+            Hashtbl.remove t.table victim.key;
+            ignore (Atomic.fetch_and_add t.evictions 1);
+            Telemetry.Metrics.incr c_evictions
+        | None -> ()
+      end;
+      let e = { key = k; outcome; cold_wall; prev = None; next = None } in
+      Hashtbl.replace t.table k e;
+      push_front t e)
+
+type stats = {
+  size : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        size = Hashtbl.length t.table;
+        capacity = t.capacity;
+        hits = Atomic.get t.hits;
+        misses = Atomic.get t.misses;
+        evictions = Atomic.get t.evictions;
+      })

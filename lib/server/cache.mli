@@ -1,0 +1,43 @@
+(** The LRU verdict cache behind charon-serve.
+
+    Maps a structural digest of the verification question — network
+    weights, input box, target class, δ — to a previously computed
+    verdict, so a repeated identical request is answered without paying
+    the cold verification.  Domain-safe: one mutex guards the table and
+    recency list, shared between the daemon's accept loop and every
+    pool worker.  Hit/miss/eviction counts are mirrored into the
+    telemetry counters [serve.cache.hits] / [.misses] / [.evictions]. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 256) is the maximum number of entries; the
+    least-recently-used entry is evicted on overflow.
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val key :
+  network:string -> box:Domains.Box.t -> target:int -> delta:float -> string
+(** Structural cache key.  [network] is the [Nn.Serial] text (floats
+    rendered with [%.17g], so weight bits round-trip); the box is
+    rendered via [Common.Regionspec.to_box_string] at the same
+    precision.  Equal keys imply the same verification question. *)
+
+val get : t -> string -> (Common.Outcome.t * float) option
+(** Lookup, refreshing recency.  The float is the wall-clock seconds
+    the original cold run took — served back to clients as evidence of
+    the saved work. *)
+
+val put : t -> string -> Common.Outcome.t -> cold_wall:float -> unit
+(** Insert or refresh.  Callers should only store *solved* verdicts
+    ([Verified] / [Refuted]): timeouts and unknowns depend on the
+    budget and depth limit of the particular run, not the question. *)
+
+type stats = {
+  size : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,85 @@
+(* Thin client for the charon-serve wire protocol: one connection per
+   request, line-framed JSON both ways (see Protocol).  Shared by
+   bin/serve_client.ml, the `charon submit` subcommand, and the server
+   lifecycle tests. *)
+
+module J = Telemetry.Jsonw
+
+exception Server_error of string
+
+let request ~socket req =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  | () ->
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      Fun.protect
+        ~finally:(fun () ->
+          (* The two channels share [fd]; closing the output side both
+             flushes and closes it, so the input close only tidies the
+             buffer and must ignore the dead descriptor. *)
+          close_out_noerr oc;
+          close_in_noerr ic)
+        (fun () ->
+          Protocol.send oc (Protocol.to_json req);
+          match Protocol.recv ic with
+          | Some json -> json
+          | None -> raise (Server_error "connection closed before a response"))
+
+let ok_or_error json =
+  match J.member "ok" json with
+  | Some (J.Bool true) -> json
+  | _ -> (
+      match Option.bind (J.member "error" json) J.to_string_opt with
+      | Some msg -> raise (Server_error msg)
+      | None -> raise (Server_error ("malformed response: " ^ J.to_string json)))
+
+let submit ~socket spec =
+  let json = ok_or_error (request ~socket (Protocol.Submit spec)) in
+  match Option.bind (J.member "id" json) J.to_int_opt with
+  | Some id -> (id, json)
+  | None -> raise (Server_error "submit response carries no job id")
+
+let status ~socket ?(since = 0) id =
+  ok_or_error (request ~socket (Protocol.Status { id; since }))
+
+let cancel ~socket id = ok_or_error (request ~socket (Protocol.Cancel id))
+
+let stats ~socket () = ok_or_error (request ~socket Protocol.Stats)
+
+let ping ~socket () = ok_or_error (request ~socket Protocol.Ping)
+
+let shutdown ~socket () = ok_or_error (request ~socket Protocol.Shutdown)
+
+let job_state json =
+  match Option.bind (J.member "state" json) J.to_string_opt with
+  | Some s -> s
+  | None -> raise (Server_error "status response carries no state")
+
+let terminal state =
+  match state with
+  | "done" | "cancelled" | "failed" -> true
+  | _ -> false
+
+(* Polling loop: statuses are cheap (no verification work happens on
+   the daemon's accept thread), so a tight-ish poll keeps latency low
+   without bothering the pool. *)
+let wait ~socket ?(poll_interval = 0.02) ?deadline id =
+  let started = Unix.gettimeofday () in
+  let rec go () =
+    let json = status ~socket id in
+    if terminal (job_state json) then json
+    else begin
+      (match deadline with
+      | Some d when Unix.gettimeofday () -. started > d ->
+          raise
+            (Server_error (Printf.sprintf "job %d still running after %gs" id d))
+      | Some _ | None -> ());
+      Unix.sleepf poll_interval;
+      go ()
+    end
+  in
+  go ()

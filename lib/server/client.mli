@@ -1,0 +1,40 @@
+(** Thin charon-serve client: one Unix-socket connection per request,
+    line-framed JSON both ways.  Used by the CLI client binaries and
+    the server lifecycle tests. *)
+
+exception Server_error of string
+(** An [{"ok": false}] response, a malformed response, or a poll
+    deadline expiring. *)
+
+val request : socket:string -> Protocol.request -> Telemetry.Jsonw.t
+(** Lowest level: connect, send, read one response, disconnect.  The
+    response is returned as-is, [ok] or not.
+    @raise Unix.Unix_error when the daemon is not listening. *)
+
+val submit :
+  socket:string -> Protocol.job_spec -> int * Telemetry.Jsonw.t
+(** Submit and return [(job id, full response)].
+    @raise Server_error on a refusal. *)
+
+val status : socket:string -> ?since:int -> int -> Telemetry.Jsonw.t
+
+val cancel : socket:string -> int -> Telemetry.Jsonw.t
+
+val stats : socket:string -> unit -> Telemetry.Jsonw.t
+
+val ping : socket:string -> unit -> Telemetry.Jsonw.t
+
+val shutdown : socket:string -> unit -> Telemetry.Jsonw.t
+
+val job_state : Telemetry.Jsonw.t -> string
+(** The ["state"] field of a submit/status/cancel response. *)
+
+val terminal : string -> bool
+(** Whether a state string is final: done, cancelled, or failed. *)
+
+val wait :
+  socket:string -> ?poll_interval:float -> ?deadline:float -> int ->
+  Telemetry.Jsonw.t
+(** Poll {!status} every [poll_interval] seconds (default 20ms) until
+    the job reaches a terminal state; returns the final status.
+    @raise Server_error if [deadline] seconds pass first. *)

@@ -1,0 +1,133 @@
+(* The charon-serve daemon: a Unix-domain stream socket in front of
+   the Scheduler.
+
+   The accept loop is deliberately single-threaded: every request is a
+   metadata operation (enqueue, table lookup, counter snapshot) that
+   completes in microseconds, while the heavy lifting happens on the
+   scheduler's pool domains.  Clients therefore never wait on each
+   other's verifications, only on each other's JSON parsing — and the
+   listen backlog absorbs bursts.
+
+   Lifecycle: [serve] blocks until a shutdown request arrives, then
+   drains the scheduler (cancelling all pending work), closes and
+   unlinks the socket, and returns.  [start]/[stop] wrap the same loop
+   in a spawned domain for in-process embedding (tests, notably). *)
+
+module J = Telemetry.Jsonw
+
+let c_connections = Telemetry.Metrics.counter "serve.connections"
+
+let c_conn_errors = Telemetry.Metrics.counter "serve.connection_errors"
+
+let c_bad_requests = Telemetry.Metrics.counter "serve.bad_requests"
+
+let dispatch sched json =
+  match Protocol.of_json json with
+  | Protocol.Submit spec -> (Scheduler.submit sched spec, `Continue)
+  | Protocol.Status { id; since } -> (Scheduler.status sched ~id ~since, `Continue)
+  | Protocol.Cancel id -> (Scheduler.cancel sched id, `Continue)
+  | Protocol.Stats -> (Scheduler.stats sched, `Continue)
+  | Protocol.Ping ->
+      (Protocol.ok [ ("pong", J.Bool true); ("workers", J.Int (Scheduler.workers sched)) ],
+       `Continue)
+  | Protocol.Shutdown -> (Protocol.ok [ ("stopping", J.Bool true) ], `Stop)
+  | exception Protocol.Bad_request msg ->
+      Telemetry.Metrics.incr c_bad_requests;
+      (Protocol.error msg, `Continue)
+
+(* One request/response exchange on an accepted connection.  Client
+   misbehaviour (malformed JSON, early hangup) must never take the
+   accept loop down, so everything network-ish is caught here. *)
+let handle_connection sched fd =
+  Telemetry.Metrics.incr c_connections;
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Fun.protect
+    ~finally:(fun () ->
+      (* The channels share [fd]: closing the output side flushes and
+         closes the descriptor, the input close just drops its buffer. *)
+      close_out_noerr oc;
+      close_in_noerr ic)
+    (fun () ->
+      match Protocol.recv ic with
+      | None -> `Continue
+      | Some json ->
+          let response, verdict = dispatch sched json in
+          Protocol.send oc response;
+          verdict
+      | exception J.Parse_error msg ->
+          Telemetry.Metrics.incr c_bad_requests;
+          Protocol.send oc (Protocol.error ("malformed request: " ^ msg));
+          `Continue
+      | exception (Unix.Unix_error _ | Sys_error _ | End_of_file) ->
+          Telemetry.Metrics.incr c_conn_errors;
+          `Continue)
+
+let bind_socket path =
+  (* A stale socket file from a crashed daemon would make bind fail;
+     removing it is safe because binds race only with another live
+     daemon on the same path, which is operator error either way. *)
+  if Sys.file_exists path then Sys.remove path;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64
+  with
+  | () -> fd
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+let accept_loop sched listen_fd =
+  let rec loop () =
+    match Unix.accept listen_fd with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | client, _ -> (
+        match handle_connection sched client with
+        | `Continue -> loop ()
+        | `Stop -> ())
+  in
+  loop ()
+
+let run_until_shutdown ~socket sched listen_fd =
+  (* A client that disconnects mid-write must not kill the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Scheduler.shutdown sched;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      if Sys.file_exists socket then Sys.remove socket)
+    (fun () -> accept_loop sched listen_fd)
+
+let serve ~socket ?(workers = 4) ?(cache_capacity = 256) () =
+  (* The daemon's whole point is serving live counters (cache hit
+     rate, queue depth) back to clients, so metrics are always on. *)
+  if not (Telemetry.enabled ()) then Telemetry.enable ();
+  let listen_fd = bind_socket socket in
+  let sched = Scheduler.create ~workers ~cache_capacity () in
+  run_until_shutdown ~socket sched listen_fd
+
+type handle = { socket : string; loop : unit Domain.t }
+
+let start ~socket ?(workers = 4) ?(cache_capacity = 256) () =
+  if not (Telemetry.enabled ()) then Telemetry.enable ();
+  (* Bind synchronously so a client may connect the moment [start]
+     returns; only the accept loop moves to the spawned domain. *)
+  let listen_fd = bind_socket socket in
+  let sched = Scheduler.create ~workers ~cache_capacity () in
+  {
+    socket;
+    loop = Domain.spawn (fun () -> run_until_shutdown ~socket sched listen_fd);
+  }
+
+let stop handle =
+  (try ignore (Client.shutdown ~socket:handle.socket ())
+   with
+  | Unix.Unix_error _ | Sys_error _ | Client.Server_error _ ->
+      (* Already stopping or stopped; joining below is still correct
+         because the loop domain exits on its own shutdown path. *)
+      ());
+  Domain.join handle.loop
+
+let socket_path handle = handle.socket

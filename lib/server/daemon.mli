@@ -1,0 +1,30 @@
+(** The charon-serve daemon: a single-threaded accept loop on a
+    Unix-domain socket, dispatching line-framed JSON requests
+    ({!Protocol}) to a {!Scheduler} whose pool domains do the actual
+    verification.  Wire format and operational notes: docs/serving.md.
+
+    Both entry points force telemetry metrics on — live counters
+    (cache hit rate, queue depth, per-job wall times) are part of the
+    service's responses. *)
+
+val serve :
+  socket:string -> ?workers:int -> ?cache_capacity:int -> unit -> unit
+(** Bind [socket] (replacing a stale socket file), serve requests, and
+    block until a shutdown request arrives; then cancel all pending
+    jobs, join every worker domain, close and unlink the socket.
+    [workers] defaults to 4, [cache_capacity] to 256. *)
+
+type handle
+
+val start :
+  socket:string -> ?workers:int -> ?cache_capacity:int -> unit -> handle
+(** In-process variant for tests and embedding: binds synchronously —
+    clients may connect as soon as [start] returns — and runs the
+    accept loop on a spawned domain. *)
+
+val stop : handle -> unit
+(** Send a shutdown request and join the loop domain.  After [stop]
+    returns, no domain started by {!start} is still running and the
+    socket file has been removed. *)
+
+val socket_path : handle -> string

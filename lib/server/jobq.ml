@@ -1,0 +1,60 @@
+(* A blocking FIFO for long-lived producer/consumer pipelines.
+
+   Unlike [Parallel.Wqueue] — whose emptiness protocol is tuned for
+   divide-and-conquer drains that terminate when the work tree is
+   exhausted — this queue lives as long as the serving daemon: [pop]
+   blocks until an item arrives or the queue is closed, and [close] is
+   the only way a consumer ever sees [None].  Items are served strictly
+   in arrival order.
+
+   Discipline: every mutable field is read and written with [mutex]
+   held; [wakeup] is signalled on push and broadcast on close. *)
+type 'a t = {
+  mutex : Mutex.t;
+  wakeup : Condition.t;
+  items : 'a Queue.t;
+  mutable closed : bool;
+}
+[@@lint.allow "domain-unsafe-global"]
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    wakeup = Condition.create ();
+    items = Queue.create ();
+    closed = false;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let push t x =
+  with_lock t (fun () ->
+      if t.closed then false
+      else begin
+        Queue.add x t.items;
+        Condition.signal t.wakeup;
+        true
+      end)
+
+let pop t =
+  with_lock t (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.items) then Some (Queue.pop t.items)
+        else if t.closed then None
+        else begin
+          Condition.wait t.wakeup t.mutex;
+          wait ()
+        end
+      in
+      wait ())
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.wakeup)
+
+let closed t = with_lock t (fun () -> t.closed)
+
+let length t = with_lock t (fun () -> Queue.length t.items)

@@ -1,0 +1,28 @@
+(** A domain-safe blocking FIFO for long-lived producer/consumer
+    pipelines (the serving daemon's job queue).
+
+    [Parallel.Wqueue] terminates its consumers when the outstanding work
+    tree drains; this queue instead blocks consumers until the producer
+    closes it, which is the shape a daemon's scheduler needs. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> bool
+(** Enqueue one item; wakes one blocked consumer.  Returns [false] (and
+    drops the item) if the queue has been closed. *)
+
+val pop : 'a t -> 'a option
+(** Dequeue in arrival order, blocking while the queue is empty and
+    open.  [None] means the queue was closed; remaining items are still
+    served before [None] is reported. *)
+
+val close : 'a t -> unit
+(** Idempotent.  Blocked and future [pop]s drain leftover items, then
+    return [None]; future [push]es are rejected. *)
+
+val closed : 'a t -> bool
+
+val length : 'a t -> int
+(** Items currently queued (the daemon's queue-depth gauge). *)

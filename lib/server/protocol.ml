@@ -1,0 +1,208 @@
+(* The charon-serve wire protocol (docs/serving.md).
+
+   One JSON document per line in both directions, rendered and parsed
+   with the shared [Telemetry.Jsonw] value type.  A connection carries
+   exactly one request and one response: clients connect, send one
+   line, read one line, and disconnect — which keeps the daemon's
+   accept loop single-threaded (job execution, not connection
+   handling, is where the concurrency lives).
+
+   Exactness: float payloads that feed the cache key or a verdict
+   (box bounds, counterexample witnesses) travel as %.17g strings so
+   the bits round-trip; incidental floats (timeouts, wall times) use
+   plain JSON numbers. *)
+
+module J = Telemetry.Jsonw
+
+type job_spec = {
+  name : string;
+  network : string;  (* Nn.Serial text *)
+  box : Domains.Box.t;
+  target : int;
+  delta : float;
+  timeout : float option;  (* wall-clock seconds *)
+  max_steps : int option;  (* transformer-call budget *)
+  seed : int;
+}
+
+type request =
+  | Submit of job_spec
+  | Status of { id : int; since : int }
+  | Cancel of int
+  | Stats
+  | Ping
+  | Shutdown
+
+(* ------------------------------------------------------------------ *)
+(* Framing *)
+
+let send oc (json : J.t) =
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  flush oc
+
+let recv ic =
+  match In_channel.input_line ic with
+  | None -> None
+  | Some line -> Some (J.parse line)
+
+(* ------------------------------------------------------------------ *)
+(* Helpers *)
+
+exception Bad_request of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad_request m)) fmt
+
+let field name json =
+  match J.member name json with
+  | Some v -> v
+  | None -> bad "missing field %S" name
+
+let int_field name json =
+  match J.to_int_opt (field name json) with
+  | Some i -> i
+  | None -> bad "field %S must be an integer" name
+
+let string_field name json =
+  match J.to_string_opt (field name json) with
+  | Some s -> s
+  | None -> bad "field %S must be a string" name
+
+let opt_field name conv json =
+  match J.member name json with
+  | None | Some J.Null -> None
+  | Some v -> (
+      match conv v with
+      | Some x -> Some x
+      | None -> bad "field %S has the wrong type" name)
+
+(* ------------------------------------------------------------------ *)
+(* Exact floats: %.17g strings round-trip every bit of a double. *)
+
+let exact_float f = J.Str (Printf.sprintf "%.17g" f)
+
+let exact_float_of = function
+  | J.Str s -> (
+      match float_of_string_opt s with
+      | Some f -> f
+      | None -> bad "malformed exact float %S" s)
+  | v -> (
+      match J.to_float_opt v with
+      | Some f -> f
+      | None -> bad "expected an exact float")
+
+let vec_to_json (v : Linalg.Vec.t) =
+  J.Arr (Array.to_list (Array.map exact_float v))
+
+let vec_of_json = function
+  | J.Arr items -> Array.of_list (List.map exact_float_of items)
+  | _ -> bad "expected a float array"
+
+(* ------------------------------------------------------------------ *)
+(* Outcomes *)
+
+let outcome_to_json (o : Common.Outcome.t) =
+  match o with
+  | Common.Outcome.Verified -> J.Obj [ ("verdict", J.Str "verified") ]
+  | Common.Outcome.Refuted x ->
+      J.Obj [ ("verdict", J.Str "falsified"); ("witness", vec_to_json x) ]
+  | Common.Outcome.Timeout -> J.Obj [ ("verdict", J.Str "timeout") ]
+  | Common.Outcome.Unknown -> J.Obj [ ("verdict", J.Str "unknown") ]
+
+let outcome_of_json json =
+  match J.to_string_opt (field "verdict" json) with
+  | Some "verified" -> Common.Outcome.Verified
+  | Some "falsified" ->
+      Common.Outcome.Refuted (vec_of_json (field "witness" json))
+  | Some "timeout" -> Common.Outcome.Timeout
+  | Some "unknown" -> Common.Outcome.Unknown
+  | Some other -> bad "unknown verdict %S" other
+  | None -> bad "field \"verdict\" must be a string"
+
+(* ------------------------------------------------------------------ *)
+(* Requests *)
+
+let spec_to_json s =
+  let base =
+    [
+      ("op", J.Str "submit");
+      ("name", J.Str s.name);
+      ("network", J.Str s.network);
+      ("box", J.Str (Common.Regionspec.to_box_string s.box));
+      ("target", J.Int s.target);
+      ("delta", exact_float s.delta);
+      ("seed", J.Int s.seed);
+    ]
+  in
+  let base =
+    match s.timeout with
+    | Some t -> base @ [ ("timeout", J.Float t) ]
+    | None -> base
+  in
+  match s.max_steps with
+  | Some n -> base @ [ ("max_steps", J.Int n) ]
+  | None -> base
+
+let to_json = function
+  | Submit s -> J.Obj (spec_to_json s)
+  | Status { id; since } ->
+      J.Obj [ ("op", J.Str "status"); ("id", J.Int id); ("since", J.Int since) ]
+  | Cancel id -> J.Obj [ ("op", J.Str "cancel"); ("id", J.Int id) ]
+  | Stats -> J.Obj [ ("op", J.Str "stats") ]
+  | Ping -> J.Obj [ ("op", J.Str "ping") ]
+  | Shutdown -> J.Obj [ ("op", J.Str "shutdown") ]
+
+let spec_of_json json =
+  let box =
+    let s = string_field "box" json in
+    match Common.Regionspec.parse_box s with
+    | box -> box
+    | exception Failure m -> bad "bad box %S: %s" s m
+  in
+  let delta = exact_float_of (field "delta" json) in
+  if not (Float.is_finite delta && delta > 0.0) then
+    bad "delta must be a positive finite float";
+  let target = int_field "target" json in
+  if target < 0 then bad "target class must be non-negative";
+  {
+    name =
+      (match opt_field "name" J.to_string_opt json with
+      | Some n -> n
+      | None -> "property");
+    network = string_field "network" json;
+    box;
+    target;
+    delta;
+    timeout = opt_field "timeout" J.to_float_opt json;
+    max_steps = opt_field "max_steps" J.to_int_opt json;
+    seed =
+      (match opt_field "seed" J.to_int_opt json with
+      | Some s -> s
+      | None -> 2019);
+  }
+
+let of_json json =
+  match J.to_string_opt (field "op" json) with
+  | Some "submit" -> Submit (spec_of_json json)
+  | Some "status" ->
+      Status
+        {
+          id = int_field "id" json;
+          since =
+            (match opt_field "since" J.to_int_opt json with
+            | Some s -> s
+            | None -> 0);
+        }
+  | Some "cancel" -> Cancel (int_field "id" json)
+  | Some "stats" -> Stats
+  | Some "ping" -> Ping
+  | Some "shutdown" -> Shutdown
+  | Some other -> bad "unknown op %S" other
+  | None -> bad "field \"op\" must be a string"
+
+(* ------------------------------------------------------------------ *)
+(* Responses *)
+
+let ok fields = J.Obj (("ok", J.Bool true) :: fields)
+
+let error msg = J.Obj [ ("ok", J.Bool false); ("error", J.Str msg) ]

@@ -1,0 +1,55 @@
+(** The charon-serve wire protocol: one compact JSON document per line
+    in each direction, over a Unix-domain stream socket.  A connection
+    carries exactly one request/response pair.  Schema and examples:
+    docs/serving.md. *)
+
+module J = Telemetry.Jsonw
+
+type job_spec = {
+  name : string;  (** free-form label echoed in status responses *)
+  network : string;  (** the network in [Nn.Serial] text form *)
+  box : Domains.Box.t;  (** input region *)
+  target : int;  (** robustness target class K *)
+  delta : float;  (** δ of the δ-complete counterexample test *)
+  timeout : float option;  (** per-job wall-clock budget, seconds *)
+  max_steps : int option;  (** per-job transformer-call budget *)
+  seed : int;  (** RNG seed for the job's PGD stream *)
+}
+
+type request =
+  | Submit of job_spec
+  | Status of { id : int; since : int }
+      (** poll job [id], returning events with sequence number >= [since] *)
+  | Cancel of int
+  | Stats
+  | Ping
+  | Shutdown
+
+exception Bad_request of string
+(** Raised by the parsing functions on malformed or ill-typed input;
+    the daemon turns it into an [error] response. *)
+
+val send : out_channel -> J.t -> unit
+(** Write one line-framed compact JSON document and flush. *)
+
+val recv : in_channel -> J.t option
+(** Read one line-framed document; [None] on EOF.
+    @raise J.Parse_error on malformed JSON. *)
+
+val to_json : request -> J.t
+
+val of_json : J.t -> request
+(** @raise Bad_request on unknown ops or missing/ill-typed fields. *)
+
+val outcome_to_json : Common.Outcome.t -> J.t
+(** [{"verdict": "verified" | "falsified" | "timeout" | "unknown"}],
+    with a bit-exact [witness] float-string array when falsified. *)
+
+val outcome_of_json : J.t -> Common.Outcome.t
+(** @raise Bad_request on malformed verdicts. *)
+
+val ok : (string * J.t) list -> J.t
+(** [{"ok": true, ...fields}] *)
+
+val error : string -> J.t
+(** [{"ok": false, "error": msg}] *)

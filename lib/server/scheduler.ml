@@ -1,0 +1,454 @@
+(* The charon-serve job scheduler.
+
+   Jobs are queued onto a blocking FIFO ([Jobq]) and drained by a
+   fixed pool of OCaml domains ([Parallel.Pool.run] inside one spawned
+   supervisor domain, so [create] returns immediately).  Each job runs
+   the ordinary [Charon.Verify.run] entry point with a per-job
+   [Common.Budget] (wall-clock and/or step bound), a per-job
+   [Parallel.Cancel] token polled once per region, and an
+   [on_progress] hook that mirrors the node count and peak depth into
+   atomics a status poll can read without touching the worker.
+
+   The verdict cache short-circuits the whole pipeline: a submit whose
+   structural key hits answers synchronously, and a job that completes
+   with a *solved* verdict (Verified/Refuted — the budget-independent
+   ones) populates the cache for its successors.
+
+   Discipline: the job table and every job's mutable fields are only
+   touched with [mutex] held; per-job progress and the scheduler-wide
+   tallies are atomics so polls never contend with workers. *)
+
+module J = Telemetry.Jsonw
+
+type state =
+  | Queued
+  | Running
+  | Done of Common.Outcome.t
+  | Cancelled
+  | Failed of string
+
+type event = { seq : int; at : float; label : string }
+
+type job = {
+  id : int;
+  spec : Protocol.job_spec;
+  key : string;
+  cancel : Parallel.Cancel.t;
+  mutable state : state;
+  mutable events : event list;  (* newest first *)
+  mutable next_seq : int;
+  submitted : float;
+  mutable wall : float;  (* verification wall seconds, set on completion *)
+  mutable from_cache : bool;
+  mutable cold_wall : float;  (* cache hits: the original run's wall *)
+  progress_nodes : int Atomic.t;
+  progress_depth : int Atomic.t;
+}
+[@@lint.allow "domain-unsafe-global"]
+
+type t = {
+  mutex : Mutex.t;
+  jobs : (int, job) Hashtbl.t;
+  queue : job Jobq.t;
+  cache : Cache.t;
+  workers : int;
+  mutable next_id : int;
+  mutable pool : unit Domain.t option;
+  started_at : float;
+  in_flight : int Atomic.t;
+  peak_in_flight : int Atomic.t;
+  n_submitted : int Atomic.t;
+  n_completed : int Atomic.t;
+  n_cancelled : int Atomic.t;
+  n_failed : int Atomic.t;
+}
+[@@lint.allow "domain-unsafe-global"]
+
+let c_submitted = Telemetry.Metrics.counter "serve.jobs.submitted"
+
+let c_completed = Telemetry.Metrics.counter "serve.jobs.completed"
+
+let c_cancelled = Telemetry.Metrics.counter "serve.jobs.cancelled"
+
+let c_failed = Telemetry.Metrics.counter "serve.jobs.failed"
+
+let h_job_wall = Telemetry.Metrics.histogram "serve.job.wall"
+
+let now () = Unix.gettimeofday ()
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Callers hold [mutex]. *)
+let emit job label =
+  job.events <- { seq = job.next_seq; at = now () -. job.submitted; label }
+                 :: job.events;
+  job.next_seq <- job.next_seq + 1
+
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
+let enter_flight t =
+  let n = 1 + Atomic.fetch_and_add t.in_flight 1 in
+  atomic_max t.peak_in_flight n
+
+let leave_flight t = ignore (Atomic.fetch_and_add t.in_flight (-1))
+
+(* ------------------------------------------------------------------ *)
+(* Job execution (pool workers) *)
+
+let finalize t job outcome =
+  with_lock t (fun () ->
+      match job.state with
+      | Running ->
+          (match outcome with
+          | Ok _ when Parallel.Cancel.cancelled job.cancel ->
+              job.state <- Cancelled;
+              emit job "cancelled";
+              Atomic.incr t.n_cancelled;
+              Telemetry.Metrics.incr c_cancelled
+          | Ok o ->
+              job.state <- Done o;
+              emit job (Common.Outcome.label o);
+              Atomic.incr t.n_completed;
+              Telemetry.Metrics.incr c_completed;
+              if Common.Outcome.is_solved o then
+                Cache.put t.cache job.key o ~cold_wall:job.wall
+          | Error msg ->
+              job.state <- Failed msg;
+              emit job "failed";
+              Atomic.incr t.n_failed;
+              Telemetry.Metrics.incr c_failed);
+          leave_flight t
+      | Queued | Done _ | Cancelled | Failed _ ->
+          (* Cancelled between our last state read and now; the
+             cancelling side already counted and unflighted it. *)
+          ())
+
+let run_job t job =
+  let claimed =
+    with_lock t (fun () ->
+        match job.state with
+        | Queued ->
+            job.state <- Running;
+            emit job "running";
+            true
+        | Running | Done _ | Cancelled | Failed _ -> false)
+  in
+  if claimed then begin
+    let sp = Telemetry.Span.enter "serve.job" in
+    let result =
+      match Nn.Serial.of_string job.spec.Protocol.network with
+      | exception Failure msg -> Error ("bad network: " ^ msg)
+      | net -> (
+          let spec = job.spec in
+          let prop =
+            Common.Property.create ~name:spec.Protocol.name
+              ~region:spec.Protocol.box ~target:spec.Protocol.target ()
+          in
+          let config =
+            {
+              Charon.Verify.default_config with
+              Charon.Verify.delta = spec.Protocol.delta;
+            }
+          in
+          let budget =
+            Common.Budget.create ?seconds:spec.Protocol.timeout
+              ?steps:spec.Protocol.max_steps ()
+          in
+          let started = now () in
+          match
+            Charon.Verify.run ~config ~budget ~cancel:job.cancel
+              ~on_progress:(fun ~nodes ~depth ->
+                Atomic.set job.progress_nodes nodes;
+                atomic_max job.progress_depth depth)
+              ~rng:(Linalg.Rng.create spec.Protocol.seed)
+              ~policy:Charon.Policy.default net prop
+          with
+          | report ->
+              job.wall <- now () -. started;
+              Ok report.Charon.Verify.outcome
+          | exception Invalid_argument msg ->
+              Error ("invalid job: " ^ msg)
+          | exception Failure msg -> Error msg)
+    in
+    finalize t job result;
+    Telemetry.Metrics.observe h_job_wall
+      (int_of_float (job.wall *. 1e9));
+    Telemetry.Span.exit sp
+      ~attrs:(fun () ->
+        [
+          ("job", J.Int job.id);
+          ( "state",
+            J.Str
+              (match job.state with
+              | Done o -> Common.Outcome.label o
+              | Cancelled -> "cancelled"
+              | Failed _ -> "failed"
+              | Queued | Running -> "running") );
+        ])
+  end
+
+let worker t _i =
+  let rec loop () =
+    match Jobq.pop t.queue with
+    | None -> ()
+    | Some job ->
+        (try run_job t job
+         with e ->
+           (* A crashed job must not take the worker domain (and with
+              it the whole pool) down; record and move on. *)
+           finalize t job (Error (Printexc.to_string e)))
+        [@lint.allow "catch-all-exn"];
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Public API (daemon accept loop) *)
+
+let create ?(workers = 4) ?(cache_capacity = 256) () =
+  if workers < 1 then invalid_arg "Scheduler.create: workers must be positive";
+  let t =
+    {
+      mutex = Mutex.create ();
+      jobs = Hashtbl.create 64;
+      queue = Jobq.create ();
+      cache = Cache.create ~capacity:cache_capacity ();
+      workers;
+      next_id = 0;
+      pool = None;
+      started_at = now ();
+      in_flight = Atomic.make 0;
+      peak_in_flight = Atomic.make 0;
+      n_submitted = Atomic.make 0;
+      n_completed = Atomic.make 0;
+      n_cancelled = Atomic.make 0;
+      n_failed = Atomic.make 0;
+    }
+  in
+  t.pool <-
+    Some
+      (Domain.spawn (fun () -> Parallel.Pool.run ~workers (fun i -> worker t i)));
+  t
+
+let state_label = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done _ -> "done"
+  | Cancelled -> "cancelled"
+  | Failed _ -> "failed"
+
+(* Callers hold [mutex]. *)
+let job_json job ~since =
+  let events =
+    List.rev_append
+      (List.filter_map
+         (fun e ->
+           if e.seq < since then None
+           else
+             Some
+               (J.Obj
+                  [
+                    ("seq", J.Int e.seq);
+                    ("t", J.Float e.at);
+                    ("label", J.Str e.label);
+                  ]))
+         job.events)
+      []
+  in
+  let base =
+    [
+      ("id", J.Int job.id);
+      ("name", J.Str job.spec.Protocol.name);
+      ("state", J.Str (state_label job.state));
+      ("next_seq", J.Int job.next_seq);
+      ( "progress",
+        J.Obj
+          [
+            ("nodes", J.Int (Atomic.get job.progress_nodes));
+            ("peak_depth", J.Int (Atomic.get job.progress_depth));
+          ] );
+      ( "cache",
+        J.Obj
+          (("hit", J.Bool job.from_cache)
+          ::
+          (if job.from_cache then
+             [ ("cold_wall_seconds", J.Float job.cold_wall) ]
+           else [])) );
+      ("events", J.Arr events);
+    ]
+  in
+  let base =
+    match job.state with
+    | Done o ->
+        base
+        @ [
+            ("verdict", Protocol.outcome_to_json o);
+            ("wall_seconds", J.Float job.wall);
+          ]
+    | Failed msg -> base @ [ ("error", J.Str msg) ]
+    | Queued | Running | Cancelled -> base
+  in
+  Protocol.ok base
+
+let submit t (spec : Protocol.job_spec) =
+  let key =
+    Cache.key ~network:spec.Protocol.network ~box:spec.Protocol.box
+      ~target:spec.Protocol.target ~delta:spec.Protocol.delta
+  in
+  Atomic.incr t.n_submitted;
+  Telemetry.Metrics.incr c_submitted;
+  with_lock t (fun () ->
+      let id = t.next_id in
+      t.next_id <- t.next_id + 1;
+      let job =
+        {
+          id;
+          spec;
+          key;
+          cancel = Parallel.Cancel.create ();
+          state = Queued;
+          events = [];
+          next_seq = 0;
+          submitted = now ();
+          wall = 0.0;
+          from_cache = false;
+          cold_wall = 0.0;
+          progress_nodes = Atomic.make 0;
+          progress_depth = Atomic.make 0;
+        }
+      in
+      Hashtbl.replace t.jobs id job;
+      emit job "queued";
+      match Cache.get t.cache key with
+      | Some (outcome, cold_wall) ->
+          job.from_cache <- true;
+          job.cold_wall <- cold_wall;
+          job.state <- Done outcome;
+          emit job "cache_hit";
+          emit job (Common.Outcome.label outcome);
+          Atomic.incr t.n_completed;
+          Telemetry.Metrics.incr c_completed;
+          job_json job ~since:0
+      | None ->
+          enter_flight t;
+          if Jobq.push t.queue job then job_json job ~since:0
+          else begin
+            (* Shut down between accept and here. *)
+            job.state <- Cancelled;
+            emit job "cancelled";
+            leave_flight t;
+            Atomic.incr t.n_cancelled;
+            Protocol.error "server is shutting down"
+          end)
+
+let status t ~id ~since =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.jobs id with
+      | Some job -> job_json job ~since
+      | None -> Protocol.error (Printf.sprintf "no such job %d" id))
+
+let cancel t id =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.jobs id with
+      | None -> Protocol.error (Printf.sprintf "no such job %d" id)
+      | Some job -> (
+          match job.state with
+          | Queued ->
+              (* Never started: settle it here; the worker that later
+                 pops it sees a non-queued state and skips. *)
+              Parallel.Cancel.cancel job.cancel;
+              job.state <- Cancelled;
+              emit job "cancelled";
+              leave_flight t;
+              Atomic.incr t.n_cancelled;
+              Telemetry.Metrics.incr c_cancelled;
+              job_json job ~since:0
+          | Running ->
+              (* Cooperative: the verifier polls the token once per
+                 region and its worker finalizes the job. *)
+              Parallel.Cancel.cancel job.cancel;
+              emit job "cancel_requested";
+              job_json job ~since:0
+          | Done _ | Cancelled | Failed _ -> job_json job ~since:0))
+
+let stats t =
+  let cache = Cache.stats t.cache in
+  let lookups = cache.Cache.hits + cache.Cache.misses in
+  let hit_rate =
+    if lookups = 0 then 0.0
+    else float_of_int cache.Cache.hits /. float_of_int lookups
+  in
+  let states = Hashtbl.create 8 in
+  with_lock t (fun () ->
+      Hashtbl.iter
+        (fun _ job ->
+          let l = state_label job.state in
+          Hashtbl.replace states l
+            (1 + Option.value ~default:0 (Hashtbl.find_opt states l)))
+        t.jobs);
+  Protocol.ok
+    [
+      ("workers", J.Int t.workers);
+      ("uptime_seconds", J.Float (now () -. t.started_at));
+      ("queue_depth", J.Int (Jobq.length t.queue));
+      ("in_flight", J.Int (Atomic.get t.in_flight));
+      ("peak_in_flight", J.Int (Atomic.get t.peak_in_flight));
+      ( "jobs",
+        J.Obj
+          (("submitted", J.Int (Atomic.get t.n_submitted))
+          :: ("completed", J.Int (Atomic.get t.n_completed))
+          :: ("cancelled", J.Int (Atomic.get t.n_cancelled))
+          :: ("failed", J.Int (Atomic.get t.n_failed))
+          :: (Hashtbl.fold
+                (fun l n acc -> (l, J.Int n) :: acc)
+                states []
+             |> List.sort (fun (a, _) (b, _) -> String.compare a b))) );
+      ( "cache",
+        J.Obj
+          [
+            ("size", J.Int cache.Cache.size);
+            ("capacity", J.Int cache.Cache.capacity);
+            ("hits", J.Int cache.Cache.hits);
+            ("misses", J.Int cache.Cache.misses);
+            ("evictions", J.Int cache.Cache.evictions);
+            ("hit_rate", J.Float hit_rate);
+          ] );
+      ( "counters",
+        J.Obj
+          (List.map (fun (k, v) -> (k, J.Int v)) (Telemetry.Metrics.counters ()))
+      );
+    ]
+
+let shutdown t =
+  let pool =
+    with_lock t (fun () ->
+        (* Reject new work, settle everything still pending, and ask
+           running jobs to stop at their next region poll. *)
+        Jobq.close t.queue;
+        Hashtbl.iter
+          (fun _ job ->
+            match job.state with
+            | Queued ->
+                Parallel.Cancel.cancel job.cancel;
+                job.state <- Cancelled;
+                emit job "cancelled";
+                leave_flight t;
+                Atomic.incr t.n_cancelled;
+                Telemetry.Metrics.incr c_cancelled
+            | Running -> Parallel.Cancel.cancel job.cancel
+            | Done _ | Cancelled | Failed _ -> ())
+          t.jobs;
+        let pool = t.pool in
+        t.pool <- None;
+        pool)
+  in
+  (* Workers drain their current (now cancelled) jobs and exit on the
+     closed queue; joining here is what guarantees no orphaned domains
+     outlive the scheduler. *)
+  Option.iter Domain.join pool
+
+let workers t = t.workers

@@ -1,0 +1,45 @@
+(** The charon-serve job scheduler: a job table, a blocking FIFO, and a
+    pool of worker domains draining it through [Charon.Verify.run] with
+    per-job budgets and cooperative cancellation, fronted by the
+    {!Cache} verdict cache.
+
+    All entry points return the wire-ready JSON response the daemon
+    writes back, so the accept loop stays a thin dispatcher.  Every
+    function is safe to call from any domain. *)
+
+type t
+
+val create : ?workers:int -> ?cache_capacity:int -> unit -> t
+(** Start the pool ([workers], default 4, worker domains inside one
+    supervisor domain) and an empty cache.  Returns immediately.
+    @raise Invalid_argument when [workers < 1]. *)
+
+val submit : t -> Protocol.job_spec -> Telemetry.Jsonw.t
+(** Enqueue a job — or answer synchronously when the verdict cache hits
+    (the response's [cache.hit] is [true] and [cache.cold_wall_seconds]
+    reports what the cold run cost).  The response carries the job
+    [id] used by {!status} and {!cancel}. *)
+
+val status : t -> id:int -> since:int -> Telemetry.Jsonw.t
+(** Snapshot of one job: state, progress (nodes explored, peak split
+    depth — updated live by the running worker), verdict when done,
+    and the status events with sequence number at least [since]
+    (queued → running → verdict/cancelled/failed).  Poll with
+    [since = next_seq] of the previous response to stream events
+    without duplicates. *)
+
+val cancel : t -> int -> Telemetry.Jsonw.t
+(** Cancel a job.  A queued job settles immediately; a running one has
+    its token flagged and stops at the verifier's next region poll.
+    Terminal jobs are returned unchanged. *)
+
+val stats : t -> Telemetry.Jsonw.t
+(** Queue depth, in-flight and peak in-flight job counts, per-state
+    tallies, cache statistics (including hit rate), and the non-zero
+    telemetry counters. *)
+
+val shutdown : t -> unit
+(** Close the queue, cancel every queued and running job, and join the
+    pool — no worker domain outlives this call.  Idempotent. *)
+
+val workers : t -> int

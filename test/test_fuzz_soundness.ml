@@ -1,0 +1,90 @@
+(* Fuzz harness for the soundness contract (docs/testing.md).
+
+   Random small ReLU networks and input boxes are thrown at the full
+   decision procedure.  The one unforgivable answer is an unsound
+   [Verified]: every proof is cross-examined by two independent
+   refutation attempts — dense random sampling of the region and a
+   dedicated PGD attack — either of which finding a violating point
+   means the abstract proof accepted a falsifiable property.
+   Refutations are held to the delta-completeness contract instead
+   (witness inside the region, objective at most delta).
+
+   Case count: CHARON_FUZZ_CASES, defaulting to a quick smoke run under
+   the default `dune runtest`.  `dune build @fuzz` reruns the same
+   harness at 500 cases (see test/dune).  All randomness flows from
+   Util.repeat, so any failure reproduces from the printed
+   CHARON_TEST_SEED. *)
+
+open Linalg
+open Domains
+
+let cases =
+  match Sys.getenv_opt "CHARON_FUZZ_CASES" with
+  | None -> 50
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | _ -> 50)
+
+let delta = 1e-4
+
+(* A PGD attack noticeably stronger than the one inside the verifier,
+   so the cross-check is not just replaying the search that already
+   failed: more restarts, more steps, and no early stop above 0. *)
+let attack_config =
+  {
+    Optim.Pgd.steps = 80;
+    restarts = 10;
+    step_scale = 0.25;
+    early_stop = Some 0.0;
+  }
+
+let check_case rng i =
+  let net = Util.small_net rng in
+  let box = Util.small_box rng net.Nn.Network.input_dim in
+  let k = Rng.int rng net.Nn.Network.output_dim in
+  let prop = Common.Property.create ~region:box ~target:k () in
+  (* Every fifth case drains the region queue on two domains, so the
+     parallel path faces the same fuzzer as the sequential one. *)
+  let workers = if i mod 5 = 0 then 2 else 1 in
+  let report =
+    Charon.Verify.run
+      ~budget:(Common.Budget.of_steps 20_000)
+      ~workers ~rng:(Rng.split rng) ~policy:Charon.Policy.default net prop
+  in
+  match report.Charon.Verify.outcome with
+  | Common.Outcome.Verified -> (
+      (match Common.Property.check_samples rng net prop ~n:1_000 with
+      | None -> ()
+      | Some x ->
+          Alcotest.failf "unsound: verified, but sampling found %s"
+            (Format.asprintf "%a" Vec.pp x));
+      let obj = Optim.Objective.create net ~k in
+      let x, f = Optim.Pgd.minimize ~config:attack_config ~rng obj box in
+      if f <= 0.0 then
+        Alcotest.failf "unsound: verified, but PGD found F(%s) = %.17g"
+          (Format.asprintf "%a" Vec.pp x)
+          f)
+  | Common.Outcome.Refuted x ->
+      Util.check_true "witness inside the region" (Box.contains box x);
+      Util.check_true "witness is a delta-counterexample"
+        (Optim.Objective.is_delta_counterexample
+           (Optim.Objective.create net ~k)
+           ~delta x)
+  | Common.Outcome.Timeout -> ()
+  | Common.Outcome.Unknown ->
+      Alcotest.fail "charon never answers unknown on splittable regions"
+
+let test_fuzz_soundness () = Util.repeat ~seed:20_190_622 ~count:cases check_case
+
+let () =
+  Alcotest.run "fuzz-soundness"
+    [
+      ( "fuzz",
+        [
+          Util.case
+            (Printf.sprintf "random nets never verified unsoundly (%d cases)"
+               cases)
+            test_fuzz_soundness;
+        ] );
+    ]

@@ -1,0 +1,370 @@
+(* Lifecycle tests for the charon-serve daemon (docs/serving.md): a
+   real daemon on a temp Unix socket, driven through the real client.
+
+   The workload is the "staircase" network: inputs x in R^d over the
+   box [-1, 1.5]^d, hidden banks relu(x_i) and relu(x_i - 1), and
+
+     y_0 = sum_i (relu(x_i) - relu(x_i - 1))        y_1 = -eps
+
+   Each summand is the ramp min(relu(x_i), 1), so the margin
+   y_0 - y_1 is at least eps everywhere: the property always holds,
+   and PGD can never refute it (eps is far above delta).  But the
+   margin puts a NEGATIVE coefficient on the relu(x_i - 1) bank, so
+   both intervals (which forget that the two banks share x_i) and
+   zonotopes (whose crossing-ReLU relaxation is loose) underestimate
+   it by about d/2 on the full box — the proof only lands after
+   splitting essentially every input dimension, making verification
+   cost grow geometrically with d.  One family thus dials from
+   "instant" through "hundreds of milliseconds" to "effectively
+   forever". *)
+
+open Linalg
+
+module J = Telemetry.Jsonw
+
+let eps = 0.05
+
+let staircase dim =
+  let w1 =
+    Mat.init (2 * dim) dim (fun r c ->
+        if r = c || r - dim = c then 1.0 else 0.0)
+  in
+  let b1 = Vec.init (2 * dim) (fun r -> if r < dim then 0.0 else -1.0) in
+  let w2 =
+    Mat.init 2 (2 * dim) (fun r c ->
+        if r = 1 then 0.0 else if c < dim then 1.0 else -1.0)
+  in
+  Nn.Network.create ~input_dim:dim
+    [
+      Nn.Layer.affine w1 b1;
+      Nn.Layer.Relu;
+      Nn.Layer.affine w2 [| 0.0; -.eps |];
+    ]
+
+let staircase_spec ?(name = "staircase") ?timeout ?max_steps ?(seed = 1) dim =
+  {
+    Server.Protocol.name;
+    network = Nn.Serial.to_string (staircase dim);
+    box = Domains.Box.of_center_radius (Vec.create dim 0.25) 1.25;
+    target = 0;
+    delta = 1e-4;
+    timeout;
+    max_steps;
+    seed;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON plumbing *)
+
+let jget json path =
+  let rec go json = function
+    | [] -> json
+    | key :: rest -> (
+        match J.member key json with
+        | Some v -> go v rest
+        | None ->
+            Alcotest.failf "no %S in %s" key (J.to_string ~pretty:true json))
+  in
+  go json path
+
+let jint json path =
+  match J.to_int_opt (jget json path) with
+  | Some i -> i
+  | None -> Alcotest.failf "not an int at %s" (String.concat "." path)
+
+let jfloat json path =
+  match J.to_float_opt (jget json path) with
+  | Some f -> f
+  | None -> Alcotest.failf "not a number at %s" (String.concat "." path)
+
+let jstr json path =
+  match J.to_string_opt (jget json path) with
+  | Some s -> s
+  | None -> Alcotest.failf "not a string at %s" (String.concat "." path)
+
+let jbool json path =
+  match jget json path with
+  | J.Bool b -> b
+  | _ -> Alcotest.failf "not a bool at %s" (String.concat "." path)
+
+let check_ok json = Util.check_true "ok response" (jbool json [ "ok" ])
+
+(* ------------------------------------------------------------------ *)
+(* Daemon harness *)
+
+let fresh_socket =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "charon-serve-test-%d-%d.sock" (Unix.getpid ()) !n)
+
+let with_daemon ?(workers = 4) ?(cache_capacity = 16) f =
+  let socket = fresh_socket () in
+  let handle = Server.Daemon.start ~socket ~workers ~cache_capacity () in
+  let stopped = ref false in
+  let stop () =
+    if not !stopped then begin
+      stopped := true;
+      Server.Daemon.stop handle
+    end
+  in
+  Fun.protect ~finally:stop (fun () ->
+      let r = f socket in
+      stop ();
+      Util.check_true "socket file removed on shutdown"
+        (not (Sys.file_exists socket));
+      r)
+
+let wait socket id = Server.Client.wait ~socket ~deadline:60.0 id
+
+(* ------------------------------------------------------------------ *)
+(* Tests *)
+
+let test_ping_and_stats () =
+  with_daemon ~workers:2 (fun socket ->
+      check_ok (Server.Client.ping ~socket ());
+      let stats = Server.Client.stats ~socket () in
+      check_ok stats;
+      Alcotest.(check int) "workers" 2 (jint stats [ "workers" ]);
+      Alcotest.(check int) "empty queue" 0 (jint stats [ "queue_depth" ]);
+      Alcotest.(check int) "nothing in flight" 0 (jint stats [ "in_flight" ]))
+
+let test_verdicts_round_trip () =
+  with_daemon (fun socket ->
+      (* The staircase property holds with margin eps. *)
+      let id, _ = Server.Client.submit ~socket (staircase_spec 3) in
+      let final = wait socket id in
+      Alcotest.(check string) "state" "done" (jstr final [ "state" ]);
+      Alcotest.(check string)
+        "verified" "verified"
+        (jstr final [ "verdict"; "verdict" ]);
+      (* Target class 1 loses by exactly eps everywhere: refuted, and
+         the bit-exact witness string round-trips through the wire. *)
+      let spec = { (staircase_spec 3) with Server.Protocol.target = 1 } in
+      let id, _ = Server.Client.submit ~socket spec in
+      let final = wait socket id in
+      Alcotest.(check string)
+        "falsified" "falsified"
+        (jstr final [ "verdict"; "verdict" ]);
+      (match Server.Protocol.outcome_of_json (jget final [ "verdict" ]) with
+      | Common.Outcome.Refuted x ->
+          Util.check_true "witness in region"
+            (Domains.Box.contains spec.Server.Protocol.box x)
+      | _ -> Alcotest.fail "expected a witness");
+      (* The event stream tells the whole story, in order. *)
+      let labels =
+        match jget final [ "events" ] with
+        | J.Arr events -> List.map (fun e -> jstr e [ "label" ]) events
+        | _ -> Alcotest.fail "events must be an array"
+      in
+      Util.check_true
+        (Printf.sprintf "event order (got %s)" (String.concat " -> " labels))
+        (match labels with
+        | [ "queued"; "running"; "falsified" ] -> true
+        | _ -> false))
+
+let test_cache_hit_on_repeat () =
+  with_daemon (fun socket ->
+      (* Large enough that the cold run costs real wall time, small
+         enough to stay far from the test deadline. *)
+      let spec = staircase_spec 5 in
+      let id, first = Server.Client.submit ~socket spec in
+      Util.check_true "cold submit misses" (not (jbool first [ "cache"; "hit" ]));
+      let final = wait socket id in
+      let cold_wall = jfloat final [ "wall_seconds" ] in
+      Util.check_true "cold run does real work" (cold_wall > 0.0);
+      (* Same question again: answered synchronously from the cache,
+         with the cold run's cost echoed for comparison. *)
+      let t0 = Unix.gettimeofday () in
+      let _, second = Server.Client.submit ~socket spec in
+      let hit_wall = Unix.gettimeofday () -. t0 in
+      Alcotest.(check string) "done at submit" "done" (jstr second [ "state" ]);
+      Util.check_true "cache hit" (jbool second [ "cache"; "hit" ]);
+      Alcotest.(check string)
+        "same verdict" "verified"
+        (jstr second [ "verdict"; "verdict" ]);
+      Util.check_close ~eps:1e-12 "cold wall echoed" cold_wall
+        (jfloat second [ "cache"; "cold_wall_seconds" ]);
+      (* The acceptance bar: a repeat answered at least 10x faster than
+         the cold run it replaces (in practice it is a socket round
+         trip vs hundreds of milliseconds of verification). *)
+      Util.check_true
+        (Printf.sprintf "10x faster (%.4fs cached vs %.4fs cold)" hit_wall
+           cold_wall)
+        (hit_wall *. 10.0 <= cold_wall);
+      (* A different question (other target class) must not hit. *)
+      let other = { spec with Server.Protocol.target = 1 } in
+      let id, third = Server.Client.submit ~socket other in
+      Util.check_true "different key misses" (not (jbool third [ "cache"; "hit" ]));
+      ignore (wait socket id);
+      let stats = Server.Client.stats ~socket () in
+      Util.check_true "hits counted" (jint stats [ "cache"; "hits" ] >= 1);
+      Util.check_true "misses counted" (jint stats [ "cache"; "misses" ] >= 2);
+      Util.check_true "hit rate reported"
+        (jfloat stats [ "cache"; "hit_rate" ] > 0.0))
+
+let test_concurrent_jobs_cancel_timeout () =
+  with_daemon ~workers:4 (fun socket ->
+      (* Ten effectively-endless jobs on four workers: the pool holds
+         them all in flight (4 running + 6 queued) at once.  Distinct
+         seeds keep the cache out of the way. *)
+      let ids =
+        List.init 10 (fun i ->
+            fst
+              (Server.Client.submit ~socket
+                 (staircase_spec 20 ~seed:(100 + i)
+                    ~name:(Printf.sprintf "slow-%d" i))))
+      in
+      let stats = Server.Client.stats ~socket () in
+      Util.check_true
+        (Printf.sprintf "10 in flight (got %d)" (jint stats [ "in_flight" ]))
+        (jint stats [ "in_flight" ] >= 8);
+      Util.check_true "queue holds the overflow"
+        (jint stats [ "queue_depth" ] >= 1);
+      (* Wait until the pool actually picked up four of them. *)
+      let deadline = Unix.gettimeofday () +. 30.0 in
+      let running () =
+        List.length
+          (List.filter
+             (fun id ->
+               jstr (Server.Client.status ~socket id) [ "state" ] = "running")
+             ids)
+      in
+      while running () < 4 && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.01
+      done;
+      Alcotest.(check int) "all four workers busy" 4 (running ());
+      (* A running job reports live progress. *)
+      let some_running =
+        List.find
+          (fun id ->
+            jstr (Server.Client.status ~socket id) [ "state" ] = "running")
+          ids
+      in
+      let progressed () =
+        jint (Server.Client.status ~socket some_running) [ "progress"; "nodes" ]
+        > 0
+      in
+      while (not (progressed ())) && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.01
+      done;
+      Util.check_true "running job streams split progress" (progressed ());
+      (* Cancel them all: queued ones settle synchronously, running
+         ones at the verifier's next region poll. *)
+      List.iter (fun id -> check_ok (Server.Client.cancel ~socket id)) ids;
+      let finals = List.map (fun id -> wait socket id) ids in
+      List.iter
+        (fun final ->
+          Alcotest.(check string)
+            "cancelled" "cancelled"
+            (jstr final [ "state" ]))
+        finals;
+      let stats = Server.Client.stats ~socket () in
+      Alcotest.(check int) "nothing left in flight" 0
+        (jint stats [ "in_flight" ]);
+      Util.check_true "peak concurrency recorded"
+        (jint stats [ "peak_in_flight" ] >= 8);
+      Alcotest.(check int) "all ten cancelled" 10
+        (jint stats [ "jobs"; "cancelled" ]);
+      (* Per-job budgets: a wall-clock timeout comes back as a timeout
+         verdict, a step budget likewise; neither verdict is cached. *)
+      let id, _ =
+        Server.Client.submit ~socket (staircase_spec 20 ~timeout:0.2)
+      in
+      let final = wait socket id in
+      Alcotest.(check string) "done" "done" (jstr final [ "state" ]);
+      Alcotest.(check string)
+        "wall timeout" "timeout"
+        (jstr final [ "verdict"; "verdict" ]);
+      let id, resubmit =
+        Server.Client.submit ~socket (staircase_spec 20 ~timeout:0.2)
+      in
+      Util.check_true "timeouts are not cached"
+        (not (jbool resubmit [ "cache"; "hit" ]));
+      ignore (wait socket id);
+      let id, _ =
+        Server.Client.submit ~socket (staircase_spec 20 ~max_steps:50 ~seed:2)
+      in
+      let final = wait socket id in
+      Alcotest.(check string)
+        "step timeout" "timeout"
+        (jstr final [ "verdict"; "verdict" ]))
+
+let test_failed_job_and_bad_requests () =
+  with_daemon ~workers:1 (fun socket ->
+      (* A syntactically valid request whose network text is garbage
+         fails that job — and only that job. *)
+      let spec =
+        { (staircase_spec 2) with Server.Protocol.network = "not a network" }
+      in
+      let id, _ = Server.Client.submit ~socket spec in
+      let final = wait socket id in
+      Alcotest.(check string) "failed" "failed" (jstr final [ "state" ]);
+      Util.check_true "failure reason included"
+        (J.member "error" final <> None);
+      (* The daemon survives and still answers. *)
+      let id, _ = Server.Client.submit ~socket (staircase_spec 2) in
+      Alcotest.(check string)
+        "next job unaffected" "verified"
+        (jstr (wait socket id) [ "verdict"; "verdict" ]);
+      (* Unknown ids and malformed requests are refusals, not crashes. *)
+      (match Server.Client.status ~socket 999 with
+      | _ -> Alcotest.fail "unknown job id must be refused"
+      | exception Server.Client.Server_error _ -> ());
+      let raw_request line =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            Unix.connect fd (Unix.ADDR_UNIX socket);
+            let oc = Unix.out_channel_of_descr fd in
+            output_string oc (line ^ "\n");
+            flush oc;
+            input_line (Unix.in_channel_of_descr fd))
+      in
+      Util.check_true "malformed json refused"
+        (not (jbool (J.parse (raw_request "this is not json")) [ "ok" ]));
+      Util.check_true "unknown op refused"
+        (not (jbool (J.parse (raw_request {|{"op":"frobnicate"}|})) [ "ok" ]));
+      (* And the daemon is still alive after both. *)
+      check_ok (Server.Client.ping ~socket ()))
+
+let test_shutdown_cancels_pending () =
+  (* Shutdown with a full queue: pending jobs are cancelled, every
+     domain is joined, the socket file disappears, and a fresh daemon
+     can bind the same path again. *)
+  let socket = fresh_socket () in
+  let handle = Server.Daemon.start ~socket ~workers:2 () in
+  let ids =
+    List.init 6 (fun i ->
+        fst (Server.Client.submit ~socket (staircase_spec 20 ~seed:(200 + i))))
+  in
+  Alcotest.(check int) "six submitted" 6 (List.length ids);
+  Server.Daemon.stop handle;
+  Util.check_true "socket removed" (not (Sys.file_exists socket));
+  (match Server.Client.ping ~socket () with
+  | _ -> Alcotest.fail "daemon still answering after stop"
+  | exception (Unix.Unix_error _ | Sys_error _) -> ());
+  (* Same path, fresh daemon: nothing from the first life leaks in. *)
+  let handle = Server.Daemon.start ~socket ~workers:2 () in
+  let stats = Server.Client.stats ~socket () in
+  Alcotest.(check int) "fresh job table" 0 (jint stats [ "jobs"; "submitted" ]);
+  Server.Daemon.stop handle;
+  Util.check_true "socket removed again" (not (Sys.file_exists socket))
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "lifecycle",
+        [
+          Util.case "ping and stats" test_ping_and_stats;
+          Util.case "verdicts round-trip" test_verdicts_round_trip;
+          Util.case "repeat submit hits the cache" test_cache_hit_on_repeat;
+          Util.slow_case "concurrency, cancellation, timeouts"
+            test_concurrent_jobs_cancel_timeout;
+          Util.case "failed jobs stay isolated" test_failed_job_and_bad_requests;
+          Util.case "shutdown cancels pending work" test_shutdown_cancels_pending;
+        ] );
+    ]
