@@ -1,0 +1,198 @@
+(* Proof-cache warm-start benchmark.
+
+   Measures what the subregion proof cache buys on overlapping queries:
+   verify a base region cold, then verify a region shifted by 20% of
+   its width in one dimension against the populated cache.  Split cuts
+   snap onto the canonical partition (Domains.Partition), so the two
+   searches reach bit-identical subregions inside the overlap and the
+   warm run discharges whole subtrees without an analyze call.
+
+   Counterexample search is disabled (the RQ2 ablation): the candidate
+   point is then the region center, so the policy's feature vector —
+   and with it the whole split tree — is a deterministic function of
+   the region.  That makes the reuse measurable instead of hostage to
+   PGD's RNG.
+
+   Usage:
+     dune exec bench/proofcache.exe                # sweep -> BENCH_proofcache.json
+     dune exec bench/proofcache.exe -- --out FILE  # custom output path
+     dune exec bench/proofcache.exe -- --quick     # single repeat; CI's
+                                                   # warn-only regression probe
+     dune exec bench/proofcache.exe -- --smoke     # tiny budget, gates only
+                                                   # (nonzero hits, verdicts),
+                                                   # no timing, no JSON *)
+
+open Linalg
+open Domains
+
+type result = {
+  group : string;
+  name : string;
+  shape : string;
+  ns_per_op : float;
+  speedup : float;
+}
+
+let results : result list ref = ref []
+
+let record ~group ~name ~shape ?(speedup = 0.0) ns =
+  results := { group; name; shape; ns_per_op = ns; speedup } :: !results;
+  Printf.printf "  %-16s %-26s %14.0f ns/op%s\n%!" name shape ns
+    (if speedup > 0.0 then Printf.sprintf "  %5.2fx" speedup else "")
+
+(* ------------------------------------------------------------------ *)
+(* Workload: a fixed dense ReLU net and a robust box; the warm query is
+   the same box shifted +15% of its width along dimension 0.  The net
+   is awkward enough that the proof needs a few hundred splits (about
+   380 nodes cold), so the cache has subtrees worth reusing. *)
+
+let net =
+  let rng = Rng.create 11 in
+  Nn.Init.dense rng ~layer_sizes:[ 3; 24; 24; 3 ]
+
+let radius = 0.55
+
+let center = [| 0.2; -0.4; 0.6 |]
+
+let target = Nn.Network.classify net center
+
+let base_box = Box.of_center_radius center radius
+
+let shifted_box =
+  (* +15% of the width in dimension 0: well inside the <= 25%/dim
+     overlap regime the cache is built for. *)
+  let shift = 0.15 *. (2.0 *. radius) in
+  let lo = Array.copy base_box.Box.lo in
+  let hi = Array.copy base_box.Box.hi in
+  lo.(0) <- lo.(0) +. shift;
+  hi.(0) <- hi.(0) +. shift;
+  Box.create ~lo ~hi
+
+let config =
+  { Charon.Verify.default_config with Charon.Verify.use_cex_search = false }
+
+let verify ~cache ~steps box =
+  let prop = Common.Property.create ~region:box ~target () in
+  Charon.Verify.run ~config
+    ~budget:(Common.Budget.of_steps steps)
+    ~proofcache:cache ~rng:(Rng.create 7) ~policy:Charon.Policy.default net
+    prop
+
+let require_verified what (report : Charon.Verify.report) =
+  match report.Charon.Verify.outcome with
+  | Common.Outcome.Verified -> ()
+  | o ->
+      Printf.eprintf "bench/proofcache: %s run ended %s, not verified\n%!" what
+        (Common.Outcome.label o);
+      exit 1
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+(* One cold / warm pair.  Both runs verify the *shifted* box so the
+   comparison is apples to apples; the warm cache was populated by an
+   untimed run on the base box.  Fresh caches per repeat keep later
+   repeats from inheriting earlier ones' facts. *)
+let measure_pair ~steps =
+  let cold_cache = Charon.Proofcache.create () in
+  let cold_s, cold_report =
+    time (fun () -> verify ~cache:cold_cache ~steps shifted_box)
+  in
+  require_verified "cold" cold_report;
+  let warm_cache = Charon.Proofcache.create () in
+  require_verified "populate" (verify ~cache:warm_cache ~steps base_box);
+  let warm_s, warm_report =
+    time (fun () -> verify ~cache:warm_cache ~steps shifted_box)
+  in
+  require_verified "warm" warm_report;
+  (cold_s, warm_s, warm_report)
+
+let run_bench ~repeats ~steps =
+  let best_cold = ref infinity and best_warm = ref infinity in
+  let hits = ref 0 and lookups = ref 0 in
+  for _ = 1 to repeats do
+    let cold_s, warm_s, warm_report = measure_pair ~steps in
+    if cold_s < !best_cold then best_cold := cold_s;
+    if warm_s < !best_warm then best_warm := warm_s;
+    hits := warm_report.Charon.Verify.cache_hits;
+    lookups := warm_report.Charon.Verify.cache_lookups
+  done;
+  let shape = Printf.sprintf "3->24->24->3 r%.2f +15%%d0" radius in
+  let cold_ns = !best_cold *. 1e9 and warm_ns = !best_warm *. 1e9 in
+  Printf.printf "== proofcache warm start ==\n%!";
+  record ~group:"proofcache" ~name:"cold" ~shape cold_ns;
+  record ~group:"proofcache" ~name:"warm-shifted" ~shape
+    ~speedup:(cold_ns /. warm_ns) warm_ns;
+  Printf.printf "  warm run: %d cache hits / %d lookups\n%!" !hits !lookups;
+  if !hits = 0 then begin
+    Printf.eprintf
+      "bench/proofcache: warm run scored zero cache hits — the canonical \
+       partition is not aligning overlapping queries\n%!";
+    exit 1
+  end;
+  let speedup = cold_ns /. warm_ns in
+  if speedup < 2.0 then
+    Printf.eprintf
+      "WARNING: warm-start speedup %.2fx < 2x (cold %.1fms, warm %.1fms)\n%!"
+      speedup (cold_ns /. 1e6) (warm_ns /. 1e6)
+
+(* ------------------------------------------------------------------ *)
+(* JSON output: same record schema as bench/kernels.ml, so
+   bin/benchdiff.exe can diff BENCH_proofcache.json baselines. *)
+
+let write_json path rs =
+  let open Telemetry.Jsonw in
+  let row r =
+    Obj
+      [
+        ("group", Str r.group);
+        ("name", Str r.name);
+        ("shape", Str r.shape);
+        ("ns_per_op", Float r.ns_per_op);
+        ("gflops", Float 0.0);
+        ("speedup", Float r.speedup);
+      ]
+  in
+  let doc =
+    Obj
+      [
+        ("benchmark", Str "proofcache");
+        ("workers", Int 1);
+        ("results", Arr (List.map row rs));
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~pretty:true doc ^ "\n"));
+  Printf.printf "wrote %s (%d records)\n%!" path (List.length rs)
+
+let () =
+  let smoke = Array.exists (String.equal "--smoke") Sys.argv in
+  let quick = Array.exists (String.equal "--quick") Sys.argv in
+  let out_path =
+    let rec find = function
+      | "--out" :: v :: _ -> v
+      | _ :: rest -> find rest
+      | [] -> "BENCH_proofcache.json"
+    in
+    find (Array.to_list Sys.argv)
+  in
+  if smoke then begin
+    (* Correctness gates only, used under `dune runtest`: the warm run
+       must score hits and all verdicts must be Verified. *)
+    let _, _, warm_report = measure_pair ~steps:400_000 in
+    if warm_report.Charon.Verify.cache_hits = 0 then begin
+      prerr_endline "bench/proofcache: smoke scored zero warm cache hits";
+      exit 1
+    end;
+    Printf.printf "proofcache smoke ok (%d hits / %d lookups)\n%!"
+      warm_report.Charon.Verify.cache_hits
+      warm_report.Charon.Verify.cache_lookups
+  end
+  else begin
+    run_bench ~repeats:(if quick then 1 else 5) ~steps:400_000;
+    write_json out_path (List.rev !results)
+  end

@@ -114,23 +114,65 @@ let with_telemetry ~trace ~stats f =
       if Telemetry.enabled () then Telemetry.disable ())
     f
 
+(* Subregion proof cache plumbing (docs/serving.md).  [--proofcache]
+   attaches an in-memory cache to the run; [--proofcache-persist F]
+   additionally replays F's journal first and appends newly proved
+   subregions to it, so repeated invocations warm-start each other. *)
+
+let proofcache_flag =
+  let doc =
+    "Attach a subregion proof cache: proved sub-boxes are reused across \
+     the properties of this invocation (and across invocations with \
+     $(b,--proofcache-persist))."
+  in
+  Arg.(value & flag & info [ "proofcache" ] ~doc)
+
+let proofcache_persist_arg =
+  let doc =
+    "Persist the proof cache as a JSONL journal at $(docv): proved \
+     subregions are loaded from it on start and appended as they are \
+     found.  Implies $(b,--proofcache)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "proofcache-persist" ] ~docv:"FILE" ~doc)
+
+let proofcache_of ~enabled ~persist =
+  if enabled || Option.is_some persist then
+    Some (Charon.Proofcache.create ?persist ())
+  else None
+
+let report_proofcache cache =
+  Option.iter
+    (fun cache ->
+      let s = Charon.Proofcache.stats cache in
+      Format.printf "proof cache: %d hits / %d lookups, %d entries@."
+        s.Charon.Proofcache.hits s.Charon.Proofcache.lookups
+        s.Charon.Proofcache.entries;
+      Charon.Proofcache.close cache)
+    cache
+
 (* ------------------------------------------------------------------ *)
 (* verify                                                             *)
 
 let verify_cmd =
   let run () network target center radius box timeout delta seed workers
-      policy_file trace stats =
+      policy_file use_proofcache proofcache_persist trace stats =
     let net = Nn.Serial.load network in
     let region = region_of ~center ~radius ~box in
     let prop = Common.Property.create ~region ~target () in
     let policy = load_policy policy_file in
     let config = { Charon.Verify.default_config with Charon.Verify.delta } in
     let rng = Linalg.Rng.create seed in
+    let proofcache =
+      proofcache_of ~enabled:use_proofcache ~persist:proofcache_persist
+    in
     let report =
       with_telemetry ~trace ~stats (fun () ->
           Charon.Verify.run ~config
             ~budget:(Common.Budget.of_seconds timeout)
-            ~workers ~rng ~policy net prop)
+            ~workers ?proofcache ~rng ~policy net prop)
     in
     Format.printf "%a@." Common.Outcome.pp report.Charon.Verify.outcome;
     Format.printf
@@ -143,6 +185,10 @@ let verify_cmd =
       (fun (spec, n) ->
         Format.printf "  domain %a used %d times@." Domains.Domain.pp spec n)
       report.Charon.Verify.domains_used;
+    if Option.is_some proofcache then
+      Format.printf "proof cache: %d hits / %d lookups this run@."
+        report.Charon.Verify.cache_hits report.Charon.Verify.cache_lookups;
+    report_proofcache proofcache;
     match report.Charon.Verify.outcome with
     | Common.Outcome.Verified | Common.Outcome.Refuted _ -> 0
     | Common.Outcome.Timeout | Common.Outcome.Unknown -> 1
@@ -151,7 +197,8 @@ let verify_cmd =
     Term.(
       const run $ logs_term $ network_arg $ target_arg $ center_arg
       $ radius_arg $ box_arg $ timeout_arg $ delta_arg $ seed_arg
-      $ workers_arg $ policy_arg $ trace_arg $ stats_arg)
+      $ workers_arg $ policy_arg $ proofcache_flag $ proofcache_persist_arg
+      $ trace_arg $ stats_arg)
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify or refute a robustness property")
@@ -259,10 +306,16 @@ let check_cmd =
       value & opt (some file) None & info [ "network"; "n" ] ~docv:"FILE" ~doc)
   in
   let run () props_file default_net timeout delta seed workers policy_file
-      trace stats =
+      use_proofcache proofcache_persist trace stats =
     let entries = Common.Propfile.load props_file in
     let policy = load_policy policy_file in
     let config = { Charon.Verify.default_config with Charon.Verify.delta } in
+    (* One proof cache across the whole property file: overlapping
+       regions on the same network reuse each other's subregion
+       proofs. *)
+    let proofcache =
+      proofcache_of ~enabled:use_proofcache ~persist:proofcache_persist
+    in
     (* Cache loaded networks: property files typically share one. *)
     let nets = Hashtbl.create 4 in
     let network_of entry =
@@ -291,7 +344,8 @@ let check_cmd =
             let report =
               Charon.Verify.run ~config
                 ~budget:(Common.Budget.of_seconds timeout)
-                ~workers ~rng ~policy net entry.Common.Propfile.property
+                ~workers ?proofcache ~rng ~policy net
+                entry.Common.Propfile.property
             in
             if not (Common.Outcome.is_solved report.Charon.Verify.outcome) then
               incr unsolved;
@@ -301,13 +355,14 @@ let check_cmd =
               report.Charon.Verify.elapsed)
           entries);
     Format.printf "%d properties, %d unsolved@." (List.length entries) !unsolved;
+    report_proofcache proofcache;
     if !unsolved = 0 then 0 else 1
   in
   let term =
     Term.(
       const run $ logs_term $ props_arg $ default_net_arg $ timeout_arg
-      $ delta_arg $ seed_arg $ workers_arg $ policy_arg $ trace_arg
-      $ stats_arg)
+      $ delta_arg $ seed_arg $ workers_arg $ policy_arg $ proofcache_flag
+      $ proofcache_persist_arg $ trace_arg $ stats_arg)
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Decide every property in a property file")
@@ -444,20 +499,31 @@ let serve_cmd =
     let doc = "Verdict cache capacity (entries, LRU eviction)." in
     Arg.(value & opt int 256 & info [ "cache-size" ] ~docv:"N" ~doc)
   in
-  let run () socket workers cache_size trace stats =
+  let proofcache_size_arg =
+    let doc = "Subregion proof cache capacity (entries, LRU eviction)." in
+    Arg.(value & opt int 65536 & info [ "proofcache-size" ] ~docv:"N" ~doc)
+  in
+  let run () socket workers cache_size proofcache_size proofcache_persist
+      trace stats =
     (match trace with
     | Some path -> Telemetry.enable ~path ()
     | None -> Telemetry.enable ());
-    Printf.printf "charon serve: listening on %s (%d workers, cache %d)\n%!"
-      socket workers cache_size;
-    Server.Daemon.serve ~socket ~workers ~cache_capacity:cache_size ();
+    Printf.printf
+      "charon serve: listening on %s (%d workers, cache %d, proofcache %d%s)\n%!"
+      socket workers cache_size proofcache_size
+      (match proofcache_persist with
+      | Some p -> Printf.sprintf " persisted to %s" p
+      | None -> "");
+    Server.Daemon.serve ~socket ~workers ~cache_capacity:cache_size
+      ~proofcache_capacity:proofcache_size ?proofcache_persist ();
     if stats then print_string (Telemetry.Metrics.summary_table ());
     Telemetry.disable ();
     0
   in
   let term =
     Term.(
-      const run $ logs_term $ socket_arg $ workers_arg $ cache_arg $ trace_arg
+      const run $ logs_term $ socket_arg $ workers_arg $ cache_arg
+      $ proofcache_size_arg $ proofcache_persist_arg $ trace_arg
       $ stats_arg)
   in
   Cmd.v

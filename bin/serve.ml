@@ -27,6 +27,21 @@ let cache_arg =
   let doc = "Verdict cache capacity (entries, LRU eviction)." in
   Arg.(value & opt int 256 & info [ "cache-size" ] ~docv:"N" ~doc)
 
+let proofcache_arg =
+  let doc = "Subregion proof cache capacity (entries, LRU eviction)." in
+  Arg.(value & opt int 65536 & info [ "proofcache-size" ] ~docv:"N" ~doc)
+
+let proofcache_persist_arg =
+  let doc =
+    "Persist the subregion proof cache as a JSONL journal at $(docv): \
+     proved subregions are replayed on start and appended as jobs prove \
+     new ones, so warm starts survive daemon restarts."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "proofcache-persist" ] ~docv:"FILE" ~doc)
+
 let trace_arg =
   let doc = "Stream a JSONL telemetry trace to $(docv) (docs/telemetry.md)." in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
@@ -35,7 +50,8 @@ let stats_arg =
   let doc = "Print the telemetry summary table when the daemon exits." in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
-let run socket workers cache_size trace stats =
+let run socket workers cache_size proofcache_size proofcache_persist trace
+    stats =
   if workers < 1 then begin
     prerr_endline "charon-serve: --workers must be at least 1";
     2
@@ -44,9 +60,14 @@ let run socket workers cache_size trace stats =
     (match trace with
     | Some path -> Telemetry.enable ~path ()
     | None -> Telemetry.enable ());
-    Printf.printf "charon-serve: listening on %s (%d workers, cache %d)\n%!"
-      socket workers cache_size;
-    Server.Daemon.serve ~socket ~workers ~cache_capacity:cache_size ();
+    Printf.printf
+      "charon-serve: listening on %s (%d workers, cache %d, proofcache %d%s)\n%!"
+      socket workers cache_size proofcache_size
+      (match proofcache_persist with
+      | Some p -> Printf.sprintf " persisted to %s" p
+      | None -> "");
+    Server.Daemon.serve ~socket ~workers ~cache_capacity:cache_size
+      ~proofcache_capacity:proofcache_size ?proofcache_persist ();
     if stats then print_string (Telemetry.Metrics.summary_table ());
     Telemetry.disable ();
     print_endline "charon-serve: shut down cleanly";
@@ -57,7 +78,7 @@ let cmd =
   let doc = "concurrent verification service with a verdict cache" in
   Cmd.v
     (Cmd.info "charon-serve" ~version:"1.0.0" ~doc)
-    Term.(const run $ socket_arg $ workers_arg $ cache_arg $ trace_arg
-          $ stats_arg)
+    Term.(const run $ socket_arg $ workers_arg $ cache_arg $ proofcache_arg
+          $ proofcache_persist_arg $ trace_arg $ stats_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,142 @@
+(* A generic string-keyed LRU table.
+
+   Extracted from the charon-serve verdict cache so the subregion proof
+   cache and any future memo table share one audited implementation of
+   the tricky part: the intrusive doubly-linked recency list.  [get] and
+   [put] both move the touched entry to the front; inserting into a full
+   table drops the back.
+
+   Domain-safe by one mutex over the table and the list.  The
+   hit/miss/eviction tallies are atomics, fetch-and-add only, so they
+   can be read without the lock (status polls never contend with
+   workers).  This module deliberately knows nothing about telemetry:
+   callers that want named counters mirror events from the return values
+   ([get]'s option, [put]'s eviction flag).
+
+   Discipline: every mutable field (list links, table, front/back) is
+   only touched with [mutex] held. *)
+
+type 'a entry = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a entry option;  (* toward the front (most recent) *)
+  mutable next : 'a entry option;  (* toward the back (eviction end) *)
+}
+[@@lint.allow "domain-unsafe-global"]
+
+type 'a t = {
+  mutex : Mutex.t;
+  table : (string, 'a entry) Hashtbl.t;
+  capacity : int;
+  mutable front : 'a entry option;
+  mutable back : 'a entry option;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+}
+[@@lint.allow "domain-unsafe-global"]
+
+let create ?(capacity = 256) () =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be positive";
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create (2 * capacity);
+    capacity;
+    front = None;
+    back = None;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* List surgery; callers hold [mutex]. *)
+
+let unlink t e =
+  (match e.prev with
+  | Some p -> p.next <- e.next
+  | None -> t.front <- e.next);
+  (match e.next with
+  | Some n -> n.prev <- e.prev
+  | None -> t.back <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.prev <- None;
+  e.next <- t.front;
+  (match t.front with Some f -> f.prev <- Some e | None -> t.back <- Some e);
+  t.front <- Some e
+
+let get t k =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some e ->
+          unlink t e;
+          push_front t e;
+          ignore (Atomic.fetch_and_add t.hits 1);
+          Some e.value
+      | None ->
+          ignore (Atomic.fetch_and_add t.misses 1);
+          None)
+
+let put t k v =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some e ->
+          (* Refresh in place: no growth, so no eviction either. *)
+          e.value <- v;
+          unlink t e;
+          push_front t e;
+          false
+      | None ->
+          let evicted =
+            if Hashtbl.length t.table >= t.capacity then begin
+              match t.back with
+              | Some victim ->
+                  unlink t victim;
+                  Hashtbl.remove t.table victim.key;
+                  ignore (Atomic.fetch_and_add t.evictions 1);
+                  true
+              | None -> false
+            end
+            else false
+          in
+          let e = { key = k; value = v; prev = None; next = None } in
+          Hashtbl.replace t.table k e;
+          push_front t e;
+          evicted)
+
+let mem t k = with_lock t (fun () -> Hashtbl.mem t.table k)
+
+let length t = with_lock t (fun () -> Hashtbl.length t.table)
+
+(* Front-to-back walk; the snapshot is taken under the lock. *)
+let keys t =
+  with_lock t (fun () ->
+      let rec walk acc = function
+        | None -> List.rev acc
+        | Some e -> walk (e.key :: acc) e.next
+      in
+      walk [] t.front)
+
+type stats = {
+  size : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        size = Hashtbl.length t.table;
+        capacity = t.capacity;
+        hits = Atomic.get t.hits;
+        misses = Atomic.get t.misses;
+        evictions = Atomic.get t.evictions;
+      })

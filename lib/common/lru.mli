@@ -1,0 +1,44 @@
+(** A generic, domain-safe, string-keyed LRU table.
+
+    The shared machinery behind the charon-serve verdict cache and the
+    subregion proof cache: an intrusive doubly-linked recency list over
+    a hashtable, one mutex, LRU eviction at a fixed capacity.  Both
+    [get] and [put] refresh recency.  Hit/miss/eviction tallies are kept
+    in atomics readable without the lock; the module has no telemetry
+    dependency — callers mirror events into named counters from the
+    return values. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] (default 256) is the maximum number of entries; the
+    least-recently-used entry is evicted on overflow.
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val get : 'a t -> string -> 'a option
+(** Lookup, refreshing recency and counting a hit or a miss. *)
+
+val put : 'a t -> string -> 'a -> bool
+(** Insert, or refresh the value and recency of an existing key (which
+    never evicts).  Returns [true] when the insert evicted the
+    least-recently-used entry to make room. *)
+
+val mem : 'a t -> string -> bool
+(** Presence test; does not refresh recency and counts nothing. *)
+
+val length : 'a t -> int
+
+val keys : 'a t -> string list
+(** Keys from most to least recently used (a locked snapshot). *)
+
+type stats = {
+  size : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val stats : 'a t -> stats
+(** Size and counter snapshot; the counters are monotone across the
+    table's lifetime ([hits + misses] equals the number of [get]s). *)

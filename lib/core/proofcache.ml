@@ -1,0 +1,173 @@
+(* The subregion proof cache.
+
+   Algorithm 1 re-proves the same sub-boxes over and over across
+   overlapping queries; this cache remembers them.  An entry is a
+   *proof fact*: "the property (network, target class, delta) holds on
+   this exact region".  Only [Verified] is ever stored — a proof is
+   independent of the budget, depth limit, policy and RNG that happened
+   to produce it, so replaying it later (or for a different query that
+   reaches the same subregion) is sound.  Refutations, timeouts and
+   unknowns are all run-relative and are never cached here.
+
+   The key digests the network weights (the Nn.Serial text, which
+   renders every float with %.17g and so round-trips bit-for-bit), the
+   target class, delta, and the bit-exact region bounds from
+   Domains.Partition.key_of_box.  A changed network changes the digest
+   and silently invalidates every entry — no epochs or flush calls.
+   Cross-query hits come from Verify splitting on canonical partition
+   cuts whenever a cache is attached: interior subregions of
+   overlapping root boxes then coincide bit-for-bit.
+
+   Persistence is an append-only JSONL journal: one {"v":1,"proved":
+   "<hex>"} object per line, appended (and flushed) as facts are
+   recorded, replayed into the LRU on [create].  The journal may hold
+   more facts than [capacity]; the most recent [capacity] survive the
+   load.  Unparseable lines are skipped, so a torn tail write cannot
+   poison a restart.
+
+   Domain-safe: the LRU has its own lock; the journal channel is
+   guarded by [io_mutex].  Hit/lookup tallies live in the LRU's atomics
+   and are mirrored into the telemetry counters proofcache.lookups /
+   .hits / .records / .evictions. *)
+
+type t = {
+  lru : unit Common.Lru.t;
+  io_mutex : Mutex.t;
+  mutable journal : out_channel option;
+  path : string option;
+  loaded : int;
+}
+[@@lint.allow "domain-unsafe-global"]
+
+let c_lookups = Telemetry.Metrics.counter "proofcache.lookups"
+
+let c_hits = Telemetry.Metrics.counter "proofcache.hits"
+
+let c_records = Telemetry.Metrics.counter "proofcache.records"
+
+let c_evictions = Telemetry.Metrics.counter "proofcache.evictions"
+
+let net_digest net = Digest.to_hex (Digest.string (Nn.Serial.to_string net))
+
+let key ~net_digest ~target ~delta ~(region : Domains.Box.t) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf net_digest;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (string_of_int target);
+  Buffer.add_char buf '\n';
+  Buffer.add_int64_le buf (Int64.bits_of_float delta);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Domains.Partition.key_of_box region);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* One journal line.  Keys are hex digests, so no JSON escaping is ever
+   needed on the write side, and the read side can scan for the quoted
+   value without a full parser. *)
+let journal_line k = Printf.sprintf "{\"v\":1,\"proved\":\"%s\"}" k
+
+let parse_journal_line line =
+  let marker = "\"proved\":\"" in
+  let n = String.length line and m = String.length marker in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub line i m = marker then
+      let j = i + m in
+      match String.index_from_opt line j '"' with
+      | Some close when close > j -> Some (String.sub line j (close - j))
+      | _ -> None
+    else find (i + 1)
+  in
+  find 0
+
+let load_journal lru path =
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let n = ref 0 in
+        (try
+           while true do
+             match parse_journal_line (input_line ic) with
+             | Some k ->
+                 ignore (Common.Lru.put lru k ());
+                 incr n
+             | None -> ()
+           done
+         with End_of_file -> ());
+        !n)
+  end
+  else 0
+
+let create ?(capacity = 65536) ?persist () =
+  let lru = Common.Lru.create ~capacity () in
+  let loaded =
+    match persist with Some p -> load_journal lru p | None -> 0
+  in
+  let journal =
+    match persist with
+    | Some p ->
+        Some (open_out_gen [ Open_append; Open_creat ] 0o644 p)
+    | None -> None
+  in
+  { lru; io_mutex = Mutex.create (); journal; path = persist; loaded }
+
+let loaded t = t.loaded
+
+let persist_path t = t.path
+
+let lookup t k =
+  Telemetry.Metrics.incr c_lookups;
+  match Common.Lru.get t.lru k with
+  | Some () ->
+      Telemetry.Metrics.incr c_hits;
+      true
+  | None -> false
+
+let record t k =
+  (* [mem] first so a warm run does not re-journal facts it just
+     loaded; the mem/put race across domains can at worst duplicate a
+     line on disk, and the load path dedupes through the LRU anyway. *)
+  let known = Common.Lru.mem t.lru k in
+  if Common.Lru.put t.lru k () then Telemetry.Metrics.incr c_evictions;
+  Telemetry.Metrics.incr c_records;
+  if not known then
+    match t.journal with
+    | None -> ()
+    | Some oc ->
+        Mutex.lock t.io_mutex;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.io_mutex)
+          (fun () ->
+            output_string oc (journal_line k);
+            output_char oc '\n';
+            flush oc)
+
+let close t =
+  Mutex.lock t.io_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.io_mutex)
+    (fun () ->
+      match t.journal with
+      | Some oc ->
+          t.journal <- None;
+          close_out_noerr oc
+      | None -> ())
+
+type stats = {
+  entries : int;
+  capacity : int;
+  lookups : int;
+  hits : int;
+  evictions : int;
+}
+
+let stats t =
+  let s = Common.Lru.stats t.lru in
+  {
+    entries = s.Common.Lru.size;
+    capacity = s.Common.Lru.capacity;
+    lookups = s.Common.Lru.hits + s.Common.Lru.misses;
+    hits = s.Common.Lru.hits;
+    evictions = s.Common.Lru.evictions;
+  }

@@ -33,6 +33,8 @@ type report = {
   peak_depth : int;
   workers : int;
   domains_used : (Domain.spec * int) list;
+  cache_lookups : int;
+  cache_hits : int;
 }
 
 (* Counters are shared by every worker domain, so the integer ones are
@@ -48,6 +50,8 @@ type counters = {
   pgd_calls : int Atomic.t;
   transformer_calls : int Atomic.t;
   peak_depth : int Atomic.t;
+  cache_lookups : int Atomic.t;
+  cache_hits : int Atomic.t;
   domains_mutex : Mutex.t;
   domains : (Domain.spec, int) Hashtbl.t;
 }
@@ -74,15 +78,50 @@ let c_analyze = Telemetry.Metrics.counter "verify.analyze_calls"
 
 let h_region_depth = Telemetry.Metrics.histogram "verify.region_depth"
 
+(* Parent-completion links for the proof cache.  Every split region
+   gets a node holding its own cache key and a countdown of unproved
+   children; when a child is proved (directly, or by a cache hit that
+   covers its whole subtree) it decrements the parent, and the worker
+   that brings a node to zero records the parent's region as Verified
+   and continues upward.  This is what lets a warm re-run of the same
+   query hit at (or near) the root instead of re-walking the frontier:
+   internal regions become cached facts, not just leaves.
+
+   Each node is decremented exactly once per child (a region is popped
+   and processed by exactly one worker), so [pending] reaching zero is
+   a sound "both halves proved" signal even under parallel drains.
+   Abandoned subtrees (budget, cancel, refutation) simply leave the
+   countdown above zero and nothing is recorded. *)
+type pnode = {
+  pkey : string;
+  pending : int Atomic.t;
+  parent : pnode option;
+}
+[@@lint.allow "domain-unsafe-global"]
+
+let rec subtree_proved cache = function
+  | None -> ()
+  | Some n ->
+      if Atomic.fetch_and_add n.pending (-1) = 1 then begin
+        Proofcache.record cache n.pkey;
+        subtree_proved cache n.parent
+      end
+
 (* A unit of work: one sub-region of the input, the split depth that
-   produced it, and its own RNG stream.  Carrying the RNG in the item
-   (split off the parent's at push time) makes the search tree a pure
-   function of the root seed — independent of which worker processes
-   which region, so a fixed (seed, workers) pair is reproducible. *)
-type item = { region : Box.t; depth : int; rng : Linalg.Rng.t }
+   produced it, its own RNG stream, and its proof-cache parent link.
+   Carrying the RNG in the item (split off the parent's at push time)
+   makes the search tree a pure function of the root seed — independent
+   of which worker processes which region, so a fixed (seed, workers)
+   pair is reproducible. *)
+type item = {
+  region : Box.t;
+  depth : int;
+  rng : Linalg.Rng.t;
+  pnode : pnode option;
+}
 
 let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
-    ?(workers = 1) ?cancel ?on_progress ~rng ~policy net
+    ?(workers = 1) ?cancel ?on_progress ?proofcache ~rng ~policy net
     (prop : Common.Property.t) =
   if config.delta <= 0.0 then invalid_arg "Verify.run: delta must be positive";
   if workers < 1 then invalid_arg "Verify.run: workers must be at least 1";
@@ -99,9 +138,26 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
       pgd_calls = Atomic.make 0;
       transformer_calls = Atomic.make 0;
       peak_depth = Atomic.make 0;
+      cache_lookups = Atomic.make 0;
+      cache_hits = Atomic.make 0;
       domains_mutex = Mutex.create ();
       domains = Hashtbl.create 8;
     }
+  in
+  (* The network digest is the expensive part of a cache key; compute
+     it once per run.  [pc = None] keeps every cache branch below dead
+     and the search bit-identical to an uncached run (including the
+     PGD-guided, un-snapped split cuts). *)
+  let pc =
+    Option.map (fun cache -> (cache, Proofcache.net_digest net)) proofcache
+  in
+  let region_key region =
+    Option.map
+      (fun (cache, dg) ->
+        ( cache,
+          Proofcache.key ~net_digest:dg ~target:prop.Common.Property.target
+            ~delta:config.delta ~region ))
+      pc
   in
   let objective = Optim.Objective.create net ~k:prop.Common.Property.target in
   let pgd_config =
@@ -122,8 +178,8 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
      (lines 2-4), a proof attempt with the policy's domain (lines 5-7),
      and on failure a policy-guided split (lines 8-12).  Returns the
      sub-regions still to be proven. *)
-  let process ~rng region depth :
-      (Common.Outcome.t, (Box.t * int * float) list) Either.t =
+  let process ~rng ~pnode region depth :
+      (Common.Outcome.t, (Box.t * int * float) list * pnode option) Either.t =
     Atomic.incr counters.nodes;
     atomic_max counters.peak_depth depth;
     Telemetry.Metrics.incr c_regions;
@@ -170,10 +226,35 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
       finish_span (Either.Left Common.Outcome.Timeout)
     end
     else if depth > config.max_depth then begin
-      sp_outcome := "timeout";
-      finish_span (Either.Left Common.Outcome.Timeout)
+      (* The depth cap is a precision limit, not resource exhaustion:
+         there may be plenty of budget left, we are just refusing to
+         refine further — the same contract as the unsplittable branch
+         below, so the answer is Unknown, not Timeout. *)
+      sp_outcome := "depth_limit";
+      finish_span (Either.Left Common.Outcome.Unknown)
     end
     else begin
+      let pkey = region_key region in
+      let cached =
+        match pkey with
+        | None -> false
+        | Some (cache, k) ->
+            Atomic.incr counters.cache_lookups;
+            let hit = Proofcache.lookup cache k in
+            if hit then Atomic.incr counters.cache_hits;
+            hit
+      in
+      if cached then begin
+        (* A prior run proved this exact (network, target, delta,
+           region) fact; the whole subtree is discharged without PGD or
+           an analyze call. *)
+        (match pkey with
+        | Some (cache, _) -> subtree_proved cache pnode
+        | None -> ());
+        sp_outcome := "cached";
+        finish_span (Either.Right ([], None))
+      end
+      else begin
       let xstar, fstar = search_candidate ~rng region in
       sp_fstar := fstar;
       Log.debug (fun m ->
@@ -224,8 +305,13 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
         match verdict with
         | Absint.Analyzer.Verified ->
             Telemetry.Metrics.incr c_proved;
+            (match pkey with
+            | Some (cache, k) ->
+                Proofcache.record cache k;
+                subtree_proved cache pnode
+            | None -> ());
             sp_outcome := "proved";
-            finish_span (Either.Right [])
+            finish_span (Either.Right ([], None))
         | Absint.Analyzer.Unknown ->
             let dim, at = Policy.choose_split policy input in
             if Box.width region dim <= 0.0 then begin
@@ -237,14 +323,31 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
               finish_span (Either.Left Common.Outcome.Unknown)
             end
             else begin
+              (* With a proof cache attached the cut snaps onto the
+                 canonical partition, so the same subregions reappear
+                 across overlapping queries; without one, the policy's
+                 PGD-guided cut is used untouched. *)
+              let at =
+                match pc with
+                | Some _ -> Partition.snap_split region ~dim
+                | None -> at
+              in
               let left, right = Box.split region ~dim ~at in
               Telemetry.Metrics.incr c_splits;
               sp_outcome := "split";
               sp_split := Some (dim, at);
+              let child_pnode =
+                match pkey with
+                | Some (_, k) ->
+                    Some { pkey = k; pending = Atomic.make 2; parent = pnode }
+                | None -> None
+              in
               finish_span
                 (Either.Right
-                   [ (left, depth + 1, fstar); (right, depth + 1, fstar) ])
+                   ( [ (left, depth + 1, fstar); (right, depth + 1, fstar) ],
+                     child_pnode ))
             end
+      end
       end
     end
   in
@@ -257,29 +360,31 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
     | Depth_first ->
         let rec drain = function
           | [] -> Common.Outcome.Verified
-          | (region, depth) :: rest -> begin
-              match process ~rng region depth with
+          | (region, depth, pnode) :: rest -> begin
+              match process ~rng ~pnode region depth with
               | Either.Left outcome -> outcome
-              | Either.Right children ->
+              | Either.Right (children, child_pnode) ->
                   drain
-                    (List.map (fun (r, d, _) -> (r, d)) children @ rest)
+                    (List.map (fun (r, d, _) -> (r, d, child_pnode)) children
+                    @ rest)
             end
         in
-        drain [ (prop.Common.Property.region, 0) ]
+        drain [ (prop.Common.Property.region, 0, None) ]
     | Best_first ->
         let heap = Common.Pqueue.create () in
         Common.Pqueue.push heap ~priority:0.0
-          (prop.Common.Property.region, 0);
+          (prop.Common.Property.region, 0, None);
         let rec drain () =
           match Common.Pqueue.pop heap with
           | None -> Common.Outcome.Verified
-          | Some (_, (region, depth)) -> begin
-              match process ~rng region depth with
+          | Some (_, (region, depth, pnode)) -> begin
+              match process ~rng ~pnode region depth with
               | Either.Left outcome -> outcome
-              | Either.Right children ->
+              | Either.Right (children, child_pnode) ->
                   List.iter
                     (fun (r, d, fstar) ->
-                      Common.Pqueue.push heap ~priority:fstar (r, d))
+                      Common.Pqueue.push heap ~priority:fstar
+                        (r, d, child_pnode))
                     children;
                   drain ()
             end
@@ -289,17 +394,37 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
   (* Parallel drain: the worklist becomes a shared work-sharing queue
      and [workers] domains race on it.  A [Refuted]/[Timeout]/[Unknown]
      answer from any worker settles the result and cancels outstanding
-     work; [Verified] requires the queue to drain empty, because every
-     sub-region carries part of the proof obligation. *)
+     work (with Refuted allowed to upgrade a raced Timeout/Unknown, see
+     [settle]); [Verified] requires the queue to drain empty, because
+     every sub-region carries part of the proof obligation. *)
   let parallel () =
     let queue = Parallel.Wqueue.create () in
     let cancel = Parallel.Cancel.create () in
     let result = Atomic.make None in
-    let settle outcome =
-      if Atomic.compare_and_set result None (Some outcome) then begin
-        Parallel.Cancel.cancel cancel;
-        Parallel.Wqueue.close queue
-      end
+    (* First settle wins the cancellation, but not unconditionally the
+       answer: a worker that exhausts its budget races workers still
+       probing their regions, and first-settle-wins would let its
+       Timeout/Unknown beat a concurrently found counterexample —
+       silently dropping a real refutation.  So Refuted may upgrade an
+       already-settled Timeout/Unknown (never the reverse: once a
+       counterexample is in, it stays).  The CAS loop re-reads the
+       stored value so the swap only replaces the exact outcome it
+       inspected. *)
+    let rec settle outcome =
+      match Atomic.get result with
+      | None ->
+          if Atomic.compare_and_set result None (Some outcome) then begin
+            Parallel.Cancel.cancel cancel;
+            Parallel.Wqueue.close queue
+          end
+          else settle outcome
+      | Some (Common.Outcome.Timeout | Common.Outcome.Unknown) as cur -> (
+          match outcome with
+          | Common.Outcome.Refuted _ ->
+              if not (Atomic.compare_and_set result cur (Some outcome)) then
+                settle outcome
+          | _ -> ())
+      | Some (Common.Outcome.Verified | Common.Outcome.Refuted _) -> ()
     in
     let priority ~depth ~fstar =
       match config.strategy with
@@ -313,6 +438,7 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
         region = prop.Common.Property.region;
         depth = 0;
         rng = Linalg.Rng.split rng;
+        pnode = None;
       };
     let worker id =
       let my_tasks = ref 0 in
@@ -322,14 +448,19 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
         | Some it ->
             incr my_tasks;
             if not (Parallel.Cancel.cancelled cancel) then begin
-              match process ~rng:it.rng it.region it.depth with
+              match process ~rng:it.rng ~pnode:it.pnode it.region it.depth with
               | Either.Left outcome -> settle outcome
-              | Either.Right children ->
+              | Either.Right (children, child_pnode) ->
                   List.iter
                     (fun (r, d, fstar) ->
                       Parallel.Wqueue.push queue
                         ~priority:(priority ~depth:d ~fstar)
-                        { region = r; depth = d; rng = Linalg.Rng.split it.rng })
+                        {
+                          region = r;
+                          depth = d;
+                          rng = Linalg.Rng.split it.rng;
+                          pnode = child_pnode;
+                        })
                     children
             end;
             Parallel.Wqueue.finish queue;
@@ -374,4 +505,6 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
     workers;
     domains_used =
       Hashtbl.fold (fun spec n acc -> (spec, n) :: acc) counters.domains [];
+    cache_lookups = Atomic.get counters.cache_lookups;
+    cache_hits = Atomic.get counters.cache_hits;
   }

@@ -44,6 +44,11 @@ type report = {
   workers : int;  (** worker domains used for the region search *)
   domains_used : (Domains.Domain.spec * int) list;
       (** how often the policy chose each abstract domain *)
+  cache_lookups : int;
+      (** proof-cache consultations this run (0 without [?proofcache]) *)
+  cache_hits : int;
+      (** subtrees discharged from the proof cache without an analyze
+          call *)
 }
 
 val run :
@@ -52,6 +57,7 @@ val run :
   ?workers:int ->
   ?cancel:Parallel.Cancel.t ->
   ?on_progress:(nodes:int -> depth:int -> unit) ->
+  ?proofcache:Proofcache.t ->
   rng:Linalg.Rng.t ->
   policy:Policy.t ->
   Nn.Network.t ->
@@ -60,18 +66,32 @@ val run :
 (** Verify or refute the property.  [Refuted x] guarantees
     [F(x) <= delta] with [x] in the input region (δ-completeness);
     [Verified] guarantees the property holds (soundness).  [Timeout] is
-    returned when the budget or the depth limit is exhausted, and
-    [Unknown] when the region cannot be split further (a zero-width
-    dimension) yet the abstract proof still fails.
+    returned only for genuine resource exhaustion — the step/wall
+    budget ran out or the run was cancelled.  [Unknown] means a
+    precision limit was hit with budget to spare: the region cannot be
+    split further (a zero-width dimension), or the split depth reached
+    [config.max_depth], yet the abstract proof still fails.
+
+    [proofcache] attaches a subregion proof cache: before each abstract
+    proof attempt the region's fact is looked up (a hit discharges the
+    whole subtree), every proved region — including internal split
+    nodes once both halves are proved — is recorded, and split cuts
+    snap onto the canonical partition ([Domains.Partition]) so
+    overlapping queries reach bit-identical subregions.  Without it the
+    search is bit-identical to earlier releases, PGD-guided cuts and
+    all.
 
     [workers] (default 1) drains the region worklist on that many OCaml
     domains.  [workers = 1] is exactly the sequential Algorithm 1 path.
     With more workers the first [Refuted]/[Timeout]/[Unknown] answer
-    cancels outstanding work, while [Verified] requires the shared
-    queue to drain empty; each work item carries an RNG split off its
-    parent's, so a fixed (seed, workers) pair reproduces the same search
-    tree regardless of scheduling.  Raises [Invalid_argument] when
-    [workers < 1].
+    cancels outstanding work — with the one exception that a
+    concurrently found [Refuted x] upgrades a just-settled
+    [Timeout]/[Unknown] (a counterexample in hand is never dropped;
+    the reverse downgrade can never happen) — while [Verified] requires
+    the shared queue to drain empty; each work item carries an RNG
+    split off its parent's, so a fixed (seed, workers) pair reproduces
+    the same search tree regardless of scheduling.  Raises
+    [Invalid_argument] when [workers < 1].
 
     [cancel] is a cooperative external stop: the token is polled once
     per region, and a run that observes it abandons the search and

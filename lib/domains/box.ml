@@ -78,7 +78,26 @@ let corner b mask =
   Vec.init (dim b) (fun i ->
       if (mask lsr i) land 1 = 1 then b.hi.(i) else b.lo.(i))
 
-let equal a b = a.lo = b.lo && a.hi = b.hi
+(* Bounds are compared per element on their IEEE bits, not with
+   polymorphic [=] on the arrays (and not with Float.equal either):
+   both go through the float compare path, where [-0.0 = 0.0] holds —
+   yet the two bounds key differently in the proof cache
+   (Partition.key_of_box digests the bits).  Equality here must agree
+   with the key scheme, so two boxes are equal exactly when every
+   bound is the same IEEE double.  Bounds are always finite (see
+   [create]), so NaN payload subtleties cannot arise. *)
+let equal a b =
+  let bits_eq x y = Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y) in
+  let d = dim a in
+  d = dim b
+  && begin
+       let ok = ref true in
+       for i = 0 to d - 1 do
+         if not (bits_eq a.lo.(i) b.lo.(i) && bits_eq a.hi.(i) b.hi.(i)) then
+           ok := false
+       done;
+       !ok
+     end
 
 let pp fmt b =
   Format.fprintf fmt "@[<h>";

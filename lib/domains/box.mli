@@ -58,6 +58,11 @@ val corner : t -> int -> Linalg.Vec.t
     of dimension [i]; meaningful for [dim b <= 30]. *)
 
 val equal : t -> t -> bool
+(** Bit-exact equality of the bounds: true exactly when every bound is
+    the same IEEE double, so [-0.0] and [0.0] bounds are distinct —
+    matching the proof cache's key scheme
+    ({!Partition.key_of_box}), which digests the bits.  Polymorphic
+    [=] (and [Float.equal]) would conflate the two. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -1,0 +1,79 @@
+(* Canonical split partition.
+
+   The refinement loop (Algorithm 1) is free to cut a region anywhere,
+   and the default policy cuts toward the PGD candidate — which makes
+   every subregion's bounds a function of the query that produced it.
+   Two overlapping queries then never agree on a single sub-box, and a
+   subregion-granular proof cache can never hit across queries.
+
+   This module makes cut points *canonical*: [canonical_cut ~lo ~hi]
+   returns the unique coarsest dyadic rational k * 2^p strictly inside
+   the open interval (lo, hi).  Coarsest means the largest spacing 2^p
+   with a multiple inside; at that spacing the multiple is unique
+   (an open interval shorter than the spacing holds at most one grid
+   point), and of two adjacent multiples of a spacing one is always a
+   multiple of the next-coarser spacing, so the maximal one is unique —
+   the interval, not the query, determines the cut.  Splitting on
+   canonical cuts therefore snaps every search tree onto one global
+   dyadic partition of the input space: interior subregions of
+   different, overlapping root boxes coincide bit-for-bit, which is
+   what lets the proof cache key them by their bounds alone.
+
+   This is the midpoint split_half discipline generalised: for a
+   power-of-two-aligned interval the canonical cut *is* the midpoint.
+   The cut can land near a face (the coarsest point of (1-e, 2-2e) is
+   1.0), in which case Box.split's safety margin clamps it — still a
+   deterministic function of the interval, so equal parent regions keep
+   producing equal children; the clamped child merely sits off the
+   global dyadic grid until its own later cuts re-snap.  Assumption 1's
+   shrink guarantee is the split's clamp, untouched here. *)
+
+let canonical_cut ~lo ~hi =
+  if not (Float.is_finite lo && Float.is_finite hi) then
+    invalid_arg "Partition.canonical_cut: non-finite bound";
+  if not (lo < hi) then invalid_arg "Partition.canonical_cut: empty interval";
+  let mid = 0.5 *. (lo +. hi) in
+  let w = hi -. lo in
+  (* frexp gives w = m * 2^e with m in [0.5, 1), so 2^e is the smallest
+     power of two strictly wider than the interval: at spacing 2^e the
+     open interval holds at most one grid point.  Descending from e, the
+     first spacing with a point inside yields the coarsest point; by
+     spacing 2^(e-2) (strictly narrower than w) a point is guaranteed,
+     so the loop takes at most three steps on well-scaled input.  The
+     [p < e - 4] fallback only fires when k * s is too large to round
+     back inside (bounds astronomically far from 0 relative to their
+     width); the midpoint keeps the split sound, merely uncacheable. *)
+  let _, e = Float.frexp w in
+  let rec find p =
+    if p < e - 4 then mid
+    else
+      let s = Float.ldexp 1.0 p in
+      let k = Float.ceil (lo /. s) in
+      (* ceil can land on lo itself when lo is a grid point; the cut
+         must be strictly inside. *)
+      let k = if k *. s <= lo then k +. 1.0 else k in
+      let cut = k *. s in
+      if cut > lo && cut < hi then cut else find (p - 1)
+  in
+  let cut = find e in
+  (* Normalise -0.0 (from k = -0. at negative lo) so the two bounds the
+     split produces are bit-identical however the interval straddles
+     zero. *)
+  if cut = 0.0 then 0.0 else cut
+
+let snap_split box ~dim =
+  let lo = box.Box.lo.(dim) and hi = box.Box.hi.(dim) in
+  canonical_cut ~lo ~hi
+
+(* Bit-exact bound encoding: 16 opaque bytes per dimension.  Two
+   subregions get equal keys exactly when every bound is the same IEEE
+   double (with -0.0 distinct from 0.0, which canonical_cut never
+   emits). *)
+let key_of_box box =
+  let d = Box.dim box in
+  let buf = Buffer.create ((16 * d) + 2) in
+  for i = 0 to d - 1 do
+    Buffer.add_int64_le buf (Int64.bits_of_float box.Box.lo.(i));
+    Buffer.add_int64_le buf (Int64.bits_of_float box.Box.hi.(i))
+  done;
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** Canonical split partition: deterministic, query-independent cut
+    points, and bit-exact subregion keys for the proof cache.
+
+    Splitting every region at its canonical cut snaps all search trees
+    onto one global dyadic partition of the input space (in the spirit
+    of GAIO's [BoxPartition] and midpoint [split_half]): the cut is a
+    function of the interval alone, so equal regions always split
+    identically, and interior subregions of different overlapping root
+    boxes coincide bit-for-bit.  That coincidence is what makes a
+    subregion proof cache hit across queries: the key of a subregion is
+    just its bounds, no root or split path required. *)
+
+val canonical_cut : lo:float -> hi:float -> float
+(** The unique coarsest dyadic rational [k * 2^p] strictly inside the
+    open interval [(lo, hi)] — the largest spacing [2^p] with a grid
+    point inside has exactly one such point, and it is the same point
+    for every interval that contains it at that coarseness.  Falls back
+    to the midpoint on pathological scaling (bounds astronomically far
+    from zero relative to the width), which keeps the split sound but
+    off the canonical grid.
+    @raise Invalid_argument when the bounds are non-finite or
+    [lo >= hi]. *)
+
+val snap_split : Box.t -> dim:int -> float
+(** [snap_split box ~dim] is [canonical_cut] applied to side [dim] of
+    the box: the cut point to pass to [Box.split] so the children land
+    on the canonical partition. *)
+
+val key_of_box : Box.t -> string
+(** Bit-exact encoding of the box bounds (16 opaque bytes per
+    dimension).  Keys are equal exactly when every bound is the same
+    IEEE double; intended to be digested together with the network and
+    property identity by the proof cache. *)

@@ -99,6 +99,41 @@ let structured e =
   | Pexp_construct ({ txt = Lident "::"; _ }, _) -> true
   | _ -> false
 
+let is_float_array_type ct =
+  match ct.ptyp_desc with
+  | Ptyp_constr ({ txt = Lident "array"; _ }, [ elt ]) -> is_float_type elt
+  | Ptyp_constr ({ txt; _ }, []) -> (
+      (* Repo-local aliases for [float array] that a syntactic check
+         would otherwise see through only at a constraint. *)
+      match Option.map norm (ident_path txt) with
+      | Some ([ "Vec"; "t" ] | [ "Linalg"; "Vec"; "t" ]) -> true
+      | _ -> false)
+  | _ -> false
+
+(* Syntactically an array of floats: a literal with a float head, an
+   [Array.*] constructor seeded with a float, or a [float array]
+   (or [Vec.t]) type constraint.  The well-known blind spot is a bare
+   identifier or field access whose float-array type only the
+   typechecker knows (exactly how [Box.equal]'s [a.lo = b.lo] slipped
+   through); those need an annotation somewhere in the expression to be
+   caught here. *)
+let rec float_arrayish e =
+  match e.pexp_desc with
+  | Pexp_array (x :: _) -> floatish x
+  | Pexp_apply (f, args) -> (
+      match path_of_expr f with
+      | Some [ "Array"; "create_float" ] -> true
+      | Some [ "Array"; ("make" | "init") ] -> (
+          match List.rev args with
+          | (_, last) :: _ -> floatish last
+          | [] -> false)
+      | Some [ "Array"; ("copy" | "append" | "sub" | "map") ] ->
+          List.exists (fun (_, a) -> float_arrayish a) args
+      | _ -> false)
+  | Pexp_constraint (inner, ct) ->
+      is_float_array_type ct || float_arrayish inner
+  | _ -> false
+
 let is_zero_float e =
   match e.pexp_desc with
   | Pexp_constant (Pconst_float (s, _)) -> (
@@ -135,6 +170,27 @@ let poly_compare_rule =
         iter_exprs str (fun e ->
             match e.pexp_desc with
             | Pexp_apply (f, args) ->
+                (* (Dis)equality on arrays of floats: element-wise
+                   structural [=] runs the polymorphic float path, where
+                   [-0.0 = 0.0] and NaN is unequal to itself — so two
+                   bit-different boxes can compare equal.  Scalar float
+                   (dis)equality belongs to the float-eq rule. *)
+                (match (path_of_expr f, args) with
+                | Some [ (("=" | "<>") as op) ], [ (_, a); (_, b) ]
+                  when float_arrayish a || float_arrayish b ->
+                    acc :=
+                      diag ctx ~rule:"poly-compare" ~loc:e.pexp_loc
+                        ~message:
+                          (Printf.sprintf
+                             "polymorphic %s on an array of floats compares \
+                              elements with float structural equality"
+                             op)
+                        ~hint:
+                          "compare per element with Float.equal (NaN-total, \
+                           -0.0 distinct), or [@lint.allow \"poly-compare\"] \
+                           when IEEE semantics are the intent"
+                      :: !acc
+                | _ -> ());
                 (match Option.bind (path_of_expr f) poly_cmp_kind with
                 | Some kind
                   when List.exists

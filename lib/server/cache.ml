@@ -9,36 +9,12 @@
    along, and Unknown on the depth limit, so the scheduler never
    inserts those.
 
-   Eviction is least-recently-used over an intrusive doubly-linked
-   list: [get] and [put] both move the touched entry to the front, and
-   inserting into a full cache drops the back.  All operations take the
-   one mutex; the table is shared between the daemon's accept loop and
-   every pool worker.
+   Storage and eviction live in Common.Lru (shared with the subregion
+   proof cache): intrusive LRU list, one mutex, hit/miss/eviction
+   atomics.  This wrapper owns the key scheme and mirrors events into
+   the serve.cache.* telemetry counters. *)
 
-   Discipline: every mutable field (list links, table, counters) is
-   only touched with [mutex] held; the hit/miss atomics are
-   fetch-and-add only and readable without the lock. *)
-
-type entry = {
-  key : string;
-  outcome : Common.Outcome.t;
-  cold_wall : float;  (* seconds the uncached run took *)
-  mutable prev : entry option;  (* toward the front (most recent) *)
-  mutable next : entry option;  (* toward the back (eviction end) *)
-}
-[@@lint.allow "domain-unsafe-global"]
-
-type t = {
-  mutex : Mutex.t;
-  table : (string, entry) Hashtbl.t;
-  capacity : int;
-  mutable front : entry option;
-  mutable back : entry option;
-  hits : int Atomic.t;
-  misses : int Atomic.t;
-  evictions : int Atomic.t;
-}
-[@@lint.allow "domain-unsafe-global"]
+type t = { lru : (Common.Outcome.t * float) Common.Lru.t }
 
 let c_hits = Telemetry.Metrics.counter "serve.cache.hits"
 
@@ -48,16 +24,7 @@ let c_evictions = Telemetry.Metrics.counter "serve.cache.evictions"
 
 let create ?(capacity = 256) () =
   if capacity < 1 then invalid_arg "Cache.create: capacity must be positive";
-  {
-    mutex = Mutex.create ();
-    table = Hashtbl.create (2 * capacity);
-    capacity;
-    front = None;
-    back = None;
-    hits = Atomic.make 0;
-    misses = Atomic.make 0;
-    evictions = Atomic.make 0;
-  }
+  { lru = Common.Lru.create ~capacity () }
 
 let key ~network ~(box : Domains.Box.t) ~target ~delta =
   let buf = Buffer.create (String.length network + 64) in
@@ -70,59 +37,18 @@ let key ~network ~(box : Domains.Box.t) ~target ~delta =
   Buffer.add_string buf (Printf.sprintf "%.17g" delta);
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
-let with_lock t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
-
-(* List surgery; callers hold [mutex]. *)
-
-let unlink t e =
-  (match e.prev with
-  | Some p -> p.next <- e.next
-  | None -> t.front <- e.next);
-  (match e.next with
-  | Some n -> n.prev <- e.prev
-  | None -> t.back <- e.prev);
-  e.prev <- None;
-  e.next <- None
-
-let push_front t e =
-  e.prev <- None;
-  e.next <- t.front;
-  (match t.front with Some f -> f.prev <- Some e | None -> t.back <- Some e);
-  t.front <- Some e
-
 let get t k =
-  with_lock t (fun () ->
-      match Hashtbl.find_opt t.table k with
-      | Some e ->
-          unlink t e;
-          push_front t e;
-          ignore (Atomic.fetch_and_add t.hits 1);
-          Telemetry.Metrics.incr c_hits;
-          Some (e.outcome, e.cold_wall)
-      | None ->
-          ignore (Atomic.fetch_and_add t.misses 1);
-          Telemetry.Metrics.incr c_misses;
-          None)
+  match Common.Lru.get t.lru k with
+  | Some v ->
+      Telemetry.Metrics.incr c_hits;
+      Some v
+  | None ->
+      Telemetry.Metrics.incr c_misses;
+      None
 
 let put t k outcome ~cold_wall =
-  with_lock t (fun () ->
-      (match Hashtbl.find_opt t.table k with
-      | Some e -> unlink t e; Hashtbl.remove t.table k
-      | None -> ());
-      if Hashtbl.length t.table >= t.capacity then begin
-        match t.back with
-        | Some victim ->
-            unlink t victim;
-            Hashtbl.remove t.table victim.key;
-            ignore (Atomic.fetch_and_add t.evictions 1);
-            Telemetry.Metrics.incr c_evictions
-        | None -> ()
-      end;
-      let e = { key = k; outcome; cold_wall; prev = None; next = None } in
-      Hashtbl.replace t.table k e;
-      push_front t e)
+  if Common.Lru.put t.lru k (outcome, cold_wall) then
+    Telemetry.Metrics.incr c_evictions
 
 type stats = {
   size : int;
@@ -133,11 +59,11 @@ type stats = {
 }
 
 let stats t =
-  with_lock t (fun () ->
-      {
-        size = Hashtbl.length t.table;
-        capacity = t.capacity;
-        hits = Atomic.get t.hits;
-        misses = Atomic.get t.misses;
-        evictions = Atomic.get t.evictions;
-      })
+  let s = Common.Lru.stats t.lru in
+  {
+    size = s.Common.Lru.size;
+    capacity = s.Common.Lru.capacity;
+    hits = s.Common.Lru.hits;
+    misses = s.Common.Lru.misses;
+    evictions = s.Common.Lru.evictions;
+  }

@@ -3,10 +3,11 @@
     Maps a structural digest of the verification question — network
     weights, input box, target class, δ — to a previously computed
     verdict, so a repeated identical request is answered without paying
-    the cold verification.  Domain-safe: one mutex guards the table and
-    recency list, shared between the daemon's accept loop and every
-    pool worker.  Hit/miss/eviction counts are mirrored into the
-    telemetry counters [serve.cache.hits] / [.misses] / [.evictions]. *)
+    the cold verification.  A thin key-scheme wrapper over the shared
+    [Common.Lru] (domain-safe: one mutex over table and recency list,
+    shared between the daemon's accept loop and every pool worker).
+    Hit/miss/eviction counts are mirrored into the telemetry counters
+    [serve.cache.hits] / [.misses] / [.evictions]. *)
 
 type t
 

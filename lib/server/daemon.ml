@@ -100,22 +100,30 @@ let run_until_shutdown ~socket sched listen_fd =
       if Sys.file_exists socket then Sys.remove socket)
     (fun () -> accept_loop sched listen_fd)
 
-let serve ~socket ?(workers = 4) ?(cache_capacity = 256) () =
+let serve ~socket ?(workers = 4) ?(cache_capacity = 256)
+    ?proofcache_capacity ?proofcache_persist () =
   (* The daemon's whole point is serving live counters (cache hit
      rate, queue depth) back to clients, so metrics are always on. *)
   if not (Telemetry.enabled ()) then Telemetry.enable ();
   let listen_fd = bind_socket socket in
-  let sched = Scheduler.create ~workers ~cache_capacity () in
+  let sched =
+    Scheduler.create ~workers ~cache_capacity ?proofcache_capacity
+      ?proofcache_persist ()
+  in
   run_until_shutdown ~socket sched listen_fd
 
 type handle = { socket : string; loop : unit Domain.t }
 
-let start ~socket ?(workers = 4) ?(cache_capacity = 256) () =
+let start ~socket ?(workers = 4) ?(cache_capacity = 256)
+    ?proofcache_capacity ?proofcache_persist () =
   if not (Telemetry.enabled ()) then Telemetry.enable ();
   (* Bind synchronously so a client may connect the moment [start]
      returns; only the accept loop moves to the spawned domain. *)
   let listen_fd = bind_socket socket in
-  let sched = Scheduler.create ~workers ~cache_capacity () in
+  let sched =
+    Scheduler.create ~workers ~cache_capacity ?proofcache_capacity
+      ?proofcache_persist ()
+  in
   {
     socket;
     loop = Domain.spawn (fun () -> run_until_shutdown ~socket sched listen_fd);

@@ -8,16 +8,32 @@
     service's responses. *)
 
 val serve :
-  socket:string -> ?workers:int -> ?cache_capacity:int -> unit -> unit
+  socket:string ->
+  ?workers:int ->
+  ?cache_capacity:int ->
+  ?proofcache_capacity:int ->
+  ?proofcache_persist:string ->
+  unit ->
+  unit
 (** Bind [socket] (replacing a stale socket file), serve requests, and
     block until a shutdown request arrives; then cancel all pending
     jobs, join every worker domain, close and unlink the socket.
-    [workers] defaults to 4, [cache_capacity] to 256. *)
+    [workers] defaults to 4, [cache_capacity] to 256.
+    [proofcache_capacity] / [proofcache_persist] configure the
+    scheduler-wide subregion proof cache (see {!Scheduler.create});
+    with a persistence path, proved subregions survive daemon
+    restarts. *)
 
 type handle
 
 val start :
-  socket:string -> ?workers:int -> ?cache_capacity:int -> unit -> handle
+  socket:string ->
+  ?workers:int ->
+  ?cache_capacity:int ->
+  ?proofcache_capacity:int ->
+  ?proofcache_persist:string ->
+  unit ->
+  handle
 (** In-process variant for tests and embedding: binds synchronously —
     clients may connect as soon as [start] returns — and runs the
     accept loop on a spawned domain. *)

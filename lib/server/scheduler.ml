@@ -51,6 +51,7 @@ type t = {
   jobs : (int, job) Hashtbl.t;
   queue : job Jobq.t;
   cache : Cache.t;
+  proofcache : Charon.Proofcache.t;
   workers : int;
   mutable next_id : int;
   mutable pool : unit Domain.t option;
@@ -90,6 +91,12 @@ let rec atomic_max a v =
   let cur = Atomic.get a in
   if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
 
+(* [in_flight] counts jobs a worker has *claimed* and is running — not
+   queued ones, which have their own gauge — so it can never exceed the
+   pool width and [peak_in_flight] measures realised concurrency.
+   [enter_flight] runs at the claim in [run_job]; the matching
+   [leave_flight] runs at finalize (a claimed job always reaches it,
+   including on crash and cancel-while-running). *)
 let enter_flight t =
   let n = 1 + Atomic.fetch_and_add t.in_flight 1 in
   atomic_max t.peak_in_flight n
@@ -134,6 +141,7 @@ let run_job t job =
         | Queued ->
             job.state <- Running;
             emit job "running";
+            enter_flight t;
             true
         | Running | Done _ | Cancelled | Failed _ -> false)
   in
@@ -164,6 +172,7 @@ let run_job t job =
               ~on_progress:(fun ~nodes ~depth ->
                 Atomic.set job.progress_nodes nodes;
                 atomic_max job.progress_depth depth)
+              ~proofcache:t.proofcache
               ~rng:(Linalg.Rng.create spec.Protocol.seed)
               ~policy:Charon.Policy.default net prop
           with
@@ -209,7 +218,8 @@ let worker t _i =
 (* ------------------------------------------------------------------ *)
 (* Public API (daemon accept loop) *)
 
-let create ?(workers = 4) ?(cache_capacity = 256) () =
+let create ?(workers = 4) ?(cache_capacity = 256)
+    ?(proofcache_capacity = 65536) ?proofcache_persist () =
   if workers < 1 then invalid_arg "Scheduler.create: workers must be positive";
   let t =
     {
@@ -217,6 +227,13 @@ let create ?(workers = 4) ?(cache_capacity = 256) () =
       jobs = Hashtbl.create 64;
       queue = Jobq.create ();
       cache = Cache.create ~capacity:cache_capacity ();
+      (* One proof cache for the whole scheduler: every job threads it
+         through Verify.run, so subregions proved for one tenant's
+         query serve every later overlapping query on the same
+         network. *)
+      proofcache =
+        Charon.Proofcache.create ~capacity:proofcache_capacity
+          ?persist:proofcache_persist ();
       workers;
       next_id = 0;
       pool = None;
@@ -334,13 +351,13 @@ let submit t (spec : Protocol.job_spec) =
           Telemetry.Metrics.incr c_completed;
           job_json job ~since:0
       | None ->
-          enter_flight t;
+          (* Not in flight yet: the job only counts toward [in_flight]
+             once a pool worker claims it in [run_job]. *)
           if Jobq.push t.queue job then job_json job ~since:0
           else begin
             (* Shut down between accept and here. *)
             job.state <- Cancelled;
             emit job "cancelled";
-            leave_flight t;
             Atomic.incr t.n_cancelled;
             Protocol.error "server is shutting down"
           end)
@@ -358,12 +375,12 @@ let cancel t id =
       | Some job -> (
           match job.state with
           | Queued ->
-              (* Never started: settle it here; the worker that later
-                 pops it sees a non-queued state and skips. *)
+              (* Never started (so never in flight): settle it here;
+                 the worker that later pops it sees a non-queued state
+                 and skips. *)
               Parallel.Cancel.cancel job.cancel;
               job.state <- Cancelled;
               emit job "cancelled";
-              leave_flight t;
               Atomic.incr t.n_cancelled;
               Telemetry.Metrics.incr c_cancelled;
               job_json job ~since:0
@@ -382,6 +399,13 @@ let stats t =
     if lookups = 0 then 0.0
     else float_of_int cache.Cache.hits /. float_of_int lookups
   in
+  let pstats = Charon.Proofcache.stats t.proofcache in
+  let p_hit_rate =
+    if pstats.Charon.Proofcache.lookups = 0 then 0.0
+    else
+      float_of_int pstats.Charon.Proofcache.hits
+      /. float_of_int pstats.Charon.Proofcache.lookups
+  in
   let states = Hashtbl.create 8 in
   with_lock t (fun () ->
       Hashtbl.iter
@@ -390,11 +414,13 @@ let stats t =
           Hashtbl.replace states l
             (1 + Option.value ~default:0 (Hashtbl.find_opt states l)))
         t.jobs);
+  let queued = Option.value ~default:0 (Hashtbl.find_opt states "queued") in
   Protocol.ok
     [
       ("workers", J.Int t.workers);
       ("uptime_seconds", J.Float (now () -. t.started_at));
       ("queue_depth", J.Int (Jobq.length t.queue));
+      ("queued", J.Int queued);
       ("in_flight", J.Int (Atomic.get t.in_flight));
       ("peak_in_flight", J.Int (Atomic.get t.peak_in_flight));
       ( "jobs",
@@ -417,6 +443,16 @@ let stats t =
             ("evictions", J.Int cache.Cache.evictions);
             ("hit_rate", J.Float hit_rate);
           ] );
+      ( "proofcache",
+        J.Obj
+          [
+            ("entries", J.Int pstats.Charon.Proofcache.entries);
+            ("capacity", J.Int pstats.Charon.Proofcache.capacity);
+            ("lookups", J.Int pstats.Charon.Proofcache.lookups);
+            ("hits", J.Int pstats.Charon.Proofcache.hits);
+            ("evictions", J.Int pstats.Charon.Proofcache.evictions);
+            ("hit_rate", J.Float p_hit_rate);
+          ] );
       ( "counters",
         J.Obj
           (List.map (fun (k, v) -> (k, J.Int v)) (Telemetry.Metrics.counters ()))
@@ -436,7 +472,6 @@ let shutdown t =
                 Parallel.Cancel.cancel job.cancel;
                 job.state <- Cancelled;
                 emit job "cancelled";
-                leave_flight t;
                 Atomic.incr t.n_cancelled;
                 Telemetry.Metrics.incr c_cancelled
             | Running -> Parallel.Cancel.cancel job.cancel
@@ -449,6 +484,10 @@ let shutdown t =
   (* Workers drain their current (now cancelled) jobs and exit on the
      closed queue; joining here is what guarantees no orphaned domains
      outlive the scheduler. *)
-  Option.iter Domain.join pool
+  Option.iter Domain.join pool;
+  (* Safe only after the join: no worker can record further facts. *)
+  Charon.Proofcache.close t.proofcache
 
 let workers t = t.workers
+
+let proofcache t = t.proofcache

@@ -9,9 +9,22 @@
 
 type t
 
-val create : ?workers:int -> ?cache_capacity:int -> unit -> t
+val create :
+  ?workers:int ->
+  ?cache_capacity:int ->
+  ?proofcache_capacity:int ->
+  ?proofcache_persist:string ->
+  unit ->
+  t
 (** Start the pool ([workers], default 4, worker domains inside one
-    supervisor domain) and an empty cache.  Returns immediately.
+    supervisor domain), an empty verdict cache, and one subregion proof
+    cache ([Charon.Proofcache], capacity [proofcache_capacity], default
+    65536) shared by every job the pool runs — overlapping queries from
+    different clients reuse each other's subregion proofs.
+    [proofcache_persist] names the proof cache's JSONL journal: proved
+    facts are replayed from it on create and appended to it as jobs
+    prove new ones, so warm starts survive restarts.  Returns
+    immediately.
     @raise Invalid_argument when [workers < 1]. *)
 
 val submit : t -> Protocol.job_spec -> Telemetry.Jsonw.t
@@ -34,12 +47,17 @@ val cancel : t -> int -> Telemetry.Jsonw.t
     Terminal jobs are returned unchanged. *)
 
 val stats : t -> Telemetry.Jsonw.t
-(** Queue depth, in-flight and peak in-flight job counts, per-state
-    tallies, cache statistics (including hit rate), and the non-zero
-    telemetry counters. *)
+(** Queue depth, queued and in-flight (claimed-by-a-worker, so never
+    above [workers]) and peak in-flight job counts, per-state tallies,
+    verdict-cache and proof-cache statistics (each with a hit rate),
+    and the non-zero telemetry counters. *)
 
 val shutdown : t -> unit
-(** Close the queue, cancel every queued and running job, and join the
-    pool — no worker domain outlives this call.  Idempotent. *)
+(** Close the queue, cancel every queued and running job, join the
+    pool — no worker domain outlives this call — and close the proof
+    cache journal.  Idempotent. *)
 
 val workers : t -> int
+
+val proofcache : t -> Charon.Proofcache.t
+(** The scheduler-wide subregion proof cache (shared by all jobs). *)

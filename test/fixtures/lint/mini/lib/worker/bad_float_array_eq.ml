@@ -1,0 +1,11 @@
+(* Polymorphic (dis)equality on arrays of floats: element comparisons
+   run the float structural-equality path (-0.0 = 0.0, NaN <> NaN), so
+   two bit-different arrays can compare equal. *)
+
+let literal () = [| 1.0; 2.0 |] = [| 1.0; -0.0 |]
+
+let seeded w = Array.make 3 0.5 <> w
+
+let annotated (a : float array) b = (a : float array) = b
+
+let vec_alias lo hi = (lo : Vec.t) <> hi

@@ -1,0 +1,305 @@
+(* Tests for the caching stack introduced with the subregion proof
+   cache: the generic LRU (Common.Lru), the canonical split partition
+   (Domains.Partition), and the proof cache itself (Charon.Proofcache)
+   including its JSONL persistence and its end-to-end behaviour inside
+   Verify.run. *)
+
+open Linalg
+open Domains
+
+(* ------------------------------------------------------------------ *)
+(* Common.Lru *)
+
+let test_lru_rejects_bad_capacity () =
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Lru.create: capacity must be positive") (fun () ->
+      ignore (Common.Lru.create ~capacity:0 ()))
+
+let test_lru_eviction_order () =
+  let t = Common.Lru.create ~capacity:3 () in
+  Util.check_true "no eviction below capacity" (not (Common.Lru.put t "a" 1));
+  ignore (Common.Lru.put t "b" 2);
+  ignore (Common.Lru.put t "c" 3);
+  Alcotest.(check (list string)) "MRU first" [ "c"; "b"; "a" ]
+    (Common.Lru.keys t);
+  (* Touch "a": it becomes most recent, so "b" is now the LRU victim. *)
+  Alcotest.(check (option int)) "get a" (Some 1) (Common.Lru.get t "a");
+  Util.check_true "insert at capacity evicts" (Common.Lru.put t "d" 4);
+  Alcotest.(check (list string)) "b was evicted" [ "d"; "a"; "c" ]
+    (Common.Lru.keys t);
+  Alcotest.(check (option int)) "b gone" None (Common.Lru.get t "b");
+  Alcotest.(check int) "length" 3 (Common.Lru.length t)
+
+let test_lru_resident_put_never_evicts () =
+  let t = Common.Lru.create ~capacity:2 () in
+  ignore (Common.Lru.put t "x" 0);
+  ignore (Common.Lru.put t "y" 1);
+  (* Refreshing a resident key at capacity must not evict anything,
+     just update value and recency. *)
+  Util.check_true "re-put does not evict" (not (Common.Lru.put t "x" 42));
+  Alcotest.(check int) "still full" 2 (Common.Lru.length t);
+  Alcotest.(check (list string)) "x refreshed to MRU" [ "x"; "y" ]
+    (Common.Lru.keys t);
+  Alcotest.(check (option int)) "value updated" (Some 42)
+    (Common.Lru.get t "x");
+  let s = Common.Lru.stats t in
+  Alcotest.(check int) "no evictions" 0 s.Common.Lru.evictions
+
+let test_lru_stats_consistency () =
+  let t = Common.Lru.create ~capacity:4 () in
+  for i = 0 to 9 do
+    ignore (Common.Lru.put t (string_of_int i) i)
+  done;
+  let hits = ref 0 and misses = ref 0 in
+  for i = 0 to 9 do
+    match Common.Lru.get t (string_of_int i) with
+    | Some v ->
+        Alcotest.(check int) "cached value" i v;
+        incr hits
+    | None -> incr misses
+  done;
+  let s = Common.Lru.stats t in
+  Alcotest.(check int) "hits" !hits s.Common.Lru.hits;
+  Alcotest.(check int) "misses" !misses s.Common.Lru.misses;
+  Alcotest.(check int) "evictions" 6 s.Common.Lru.evictions;
+  Alcotest.(check int) "size" 4 s.Common.Lru.size;
+  Alcotest.(check int) "capacity" 4 s.Common.Lru.capacity
+
+let test_lru_concurrent_counters () =
+  (* Four domains hammer one table with overlapping key ranges.  The
+     structural invariants and the counter bookkeeping must survive:
+     size never exceeds capacity, every get is tallied exactly once,
+     and evictions = inserts - capacity (no key is ever double-evicted
+     or resurrected). *)
+  let capacity = 64 in
+  let t = Common.Lru.create ~capacity () in
+  let per_domain = 2_000 in
+  let domains = 4 in
+  let worker d () =
+    let rng = Rng.create (1000 + d) in
+    for i = 1 to per_domain do
+      let k = string_of_int (Rng.int rng 200) in
+      if i mod 2 = 0 then ignore (Common.Lru.put t k i)
+      else ignore (Common.Lru.get t k)
+    done
+  in
+  let spawned =
+    List.init domains (fun d -> Stdlib.Domain.spawn (worker d))
+  in
+  List.iter Stdlib.Domain.join spawned;
+  let s = Common.Lru.stats t in
+  Alcotest.(check int) "every get tallied"
+    (domains * per_domain / 2)
+    (s.Common.Lru.hits + s.Common.Lru.misses);
+  Util.check_true "size bounded" (s.Common.Lru.size <= capacity);
+  Util.check_true "evictions sane"
+    (s.Common.Lru.evictions <= domains * per_domain / 2);
+  Alcotest.(check int) "keys snapshot agrees with size" s.Common.Lru.size
+    (List.length (Common.Lru.keys t))
+
+(* ------------------------------------------------------------------ *)
+(* Domains.Partition *)
+
+let test_canonical_cut_basics () =
+  Util.check_close ~eps:0.0 "unit interval" 0.5
+    (Partition.canonical_cut ~lo:0.0 ~hi:1.0);
+  Util.check_close ~eps:0.0 "shifted unit interval snaps to 1" 1.0
+    (Partition.canonical_cut ~lo:0.25 ~hi:1.25);
+  Util.check_close ~eps:0.0 "negative interval" 0.0
+    (Partition.canonical_cut ~lo:(-0.75) ~hi:0.25);
+  (* A cut that lands on the zero grid point must be +0.0 bit-exactly,
+     never -0.0, or bit-exact keys would split into two. *)
+  Alcotest.(check int64) "no negative zero" 0L
+    (Int64.bits_of_float (Partition.canonical_cut ~lo:(-1.0) ~hi:0.5));
+  Alcotest.check_raises "degenerate interval"
+    (Invalid_argument "Partition.canonical_cut: empty interval") (fun () ->
+      ignore (Partition.canonical_cut ~lo:1.0 ~hi:1.0))
+
+let test_canonical_cut_properties () =
+  (* Randomized contract: the cut is strictly inside, deterministic,
+     and — the property the proof cache lives on — every sub-interval
+     that still strictly contains the cut agrees on it. *)
+  Util.repeat ~seed:2_718 ~count:500 (fun rng _ ->
+      let lo = Rng.uniform rng ~lo:(-50.0) ~hi:50.0 in
+      let w = 1e-6 +. Rng.float rng 10.0 in
+      let hi = lo +. w in
+      let cut = Partition.canonical_cut ~lo ~hi in
+      Util.check_true "strictly inside" (cut > lo && cut < hi);
+      Util.check_close ~eps:0.0 "deterministic" cut
+        (Partition.canonical_cut ~lo ~hi);
+      (* Shrink toward the cut from both sides; the canonical point of
+         the shrunk interval must be the same point. *)
+      let lo' = lo +. (0.9 *. (cut -. lo)) in
+      let hi' = hi -. (0.9 *. (hi -. cut)) in
+      if lo' < cut && cut < hi' then
+        Util.check_close ~eps:0.0 "sub-interval agrees" cut
+          (Partition.canonical_cut ~lo:lo' ~hi:hi'))
+
+let test_partition_key_bit_exact () =
+  let b1 = Box.create ~lo:[| 0.0; -1.0 |] ~hi:[| 1.0; 1.0 |] in
+  let b2 = Box.create ~lo:[| 0.0; -1.0 |] ~hi:[| 1.0; 1.0 |] in
+  let b3 = Box.create ~lo:[| -0.0; -1.0 |] ~hi:[| 1.0; 1.0 |] in
+  Alcotest.(check string) "equal boxes, equal keys" (Partition.key_of_box b1)
+    (Partition.key_of_box b2);
+  Util.check_true "-0.0 bound is a different key"
+    (not (String.equal (Partition.key_of_box b1) (Partition.key_of_box b3)));
+  Alcotest.(check int) "16 bytes per dimension" 32
+    (String.length (Partition.key_of_box b1))
+
+let test_partition_same_subregion_via_different_queries () =
+  (* The point of the canonical partition: two overlapping root boxes,
+     split along canonical cuts, reach the *same* subregion — same
+     bounds bit-for-bit, hence the same cache key — through different
+     split paths. *)
+  let split box dim =
+    Box.split box ~dim ~at:(Partition.snap_split box ~dim)
+  in
+  let base = Box.create ~lo:[| 0.0; 0.0 |] ~hi:[| 1.0; 1.0 |] in
+  let shifted = Box.create ~lo:[| 0.25; 0.0 |] ~hi:[| 1.25; 1.0 |] in
+  (* base:    (0,1)    --cut 0.5--> right half (0.5, 1). *)
+  let _, from_base = split base 0 in
+  (* shifted: (0.25,1.25) --cut 1--> left (0.25,1) --cut 0.5--> (0.5,1). *)
+  let l, _ = split shifted 0 in
+  let _, from_shifted = split l 0 in
+  Util.check_true "boxes coincide bit-for-bit"
+    (Box.equal from_base from_shifted);
+  Alcotest.(check string) "and so do their keys"
+    (Partition.key_of_box from_base)
+    (Partition.key_of_box from_shifted)
+
+(* ------------------------------------------------------------------ *)
+(* Charon.Proofcache *)
+
+let xor_net = Nn.Init.xor ()
+
+let mk_key ?(target = 1) ?(delta = 1e-4) net region =
+  Charon.Proofcache.key
+    ~net_digest:(Charon.Proofcache.net_digest net)
+    ~target ~delta ~region
+
+let test_proofcache_keys_separate_facts () =
+  let region = Box.create ~lo:[| 0.3; 0.3 |] ~hi:[| 0.7; 0.7 |] in
+  let other = Box.create ~lo:[| 0.3; 0.3 |] ~hi:[| 0.7; 0.8 |] in
+  let k = mk_key xor_net region in
+  Util.check_true "target changes the key"
+    (not (String.equal k (mk_key ~target:0 xor_net region)));
+  Util.check_true "delta changes the key"
+    (not (String.equal k (mk_key ~delta:1e-3 xor_net region)));
+  Util.check_true "region changes the key"
+    (not (String.equal k (mk_key xor_net other)));
+  Util.check_true "network changes the key"
+    (not (String.equal k (mk_key (Nn.Init.example_2_3 ()) region)));
+  Alcotest.(check string) "same fact, same key" k (mk_key xor_net region)
+
+let test_proofcache_record_lookup_stats () =
+  let c = Charon.Proofcache.create ~capacity:8 () in
+  let region = Box.create ~lo:[| 0.0; 0.0 |] ~hi:[| 1.0; 1.0 |] in
+  let k = mk_key xor_net region in
+  Util.check_true "miss before record" (not (Charon.Proofcache.lookup c k));
+  Charon.Proofcache.record c k;
+  Util.check_true "hit after record" (Charon.Proofcache.lookup c k);
+  let s = Charon.Proofcache.stats c in
+  Alcotest.(check int) "entries" 1 s.Charon.Proofcache.entries;
+  Alcotest.(check int) "lookups" 2 s.Charon.Proofcache.lookups;
+  Alcotest.(check int) "hits" 1 s.Charon.Proofcache.hits;
+  Alcotest.(check int) "evictions" 0 s.Charon.Proofcache.evictions
+
+let with_temp_journal f =
+  let path = Filename.temp_file "charon_proofcache" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_proofcache_persistence_roundtrip () =
+  with_temp_journal (fun path ->
+      let keys =
+        List.init 5 (fun i ->
+            mk_key xor_net
+              (Box.create ~lo:[| 0.0; 0.0 |]
+                 ~hi:[| 1.0; float_of_int (i + 1) |]))
+      in
+      let c = Charon.Proofcache.create ~capacity:64 ~persist:path () in
+      Alcotest.(check int) "fresh journal" 0 (Charon.Proofcache.loaded c);
+      List.iter (Charon.Proofcache.record c) keys;
+      (* Recording an already-present fact must not duplicate it. *)
+      List.iter (Charon.Proofcache.record c) keys;
+      Charon.Proofcache.close c;
+      let c2 = Charon.Proofcache.create ~capacity:64 ~persist:path () in
+      Alcotest.(check int) "all facts replayed" 5
+        (Charon.Proofcache.loaded c2);
+      List.iter
+        (fun k -> Util.check_true "replayed fact hits"
+            (Charon.Proofcache.lookup c2 k))
+        keys;
+      Charon.Proofcache.close c2)
+
+let test_proofcache_journal_skips_garbage () =
+  with_temp_journal (fun path ->
+      let k = mk_key xor_net (Box.create ~lo:[| 0.0 |] ~hi:[| 1.0 |]) in
+      let oc = open_out path in
+      output_string oc ("{\"v\":1,\"proved\":\"" ^ k ^ "\"}\n");
+      output_string oc "not json at all\n";
+      output_string oc "{\"v\":1,\"proved\":\"";
+      (* torn final line: no closing quote, no newline *)
+      close_out oc;
+      let c = Charon.Proofcache.create ~persist:path () in
+      Alcotest.(check int) "only the intact line loads" 1
+        (Charon.Proofcache.loaded c);
+      Util.check_true "intact fact hits" (Charon.Proofcache.lookup c k);
+      Charon.Proofcache.close c)
+
+let test_proofcache_warm_rerun_hits_at_root () =
+  (* End-to-end: verifying the same property twice against one cache
+     must discharge the whole second run from the root fact. *)
+  let net = Nn.Init.xor () in
+  let region = Box.create ~lo:[| 0.3; 0.3 |] ~hi:[| 0.7; 0.7 |] in
+  let prop = Common.Property.create ~region ~target:1 () in
+  let cache = Charon.Proofcache.create () in
+  let go seed =
+    Charon.Verify.run ~proofcache:cache ~rng:(Rng.create seed)
+      ~policy:Charon.Policy.default net prop
+  in
+  let cold = go 1 in
+  Util.check_true "cold verifies"
+    (cold.Charon.Verify.outcome = Common.Outcome.Verified);
+  Alcotest.(check int) "cold run has no hits" 0 cold.Charon.Verify.cache_hits;
+  (* A different seed must not matter: proved facts are RNG-independent. *)
+  let warm = go 2 in
+  Util.check_true "warm verifies"
+    (warm.Charon.Verify.outcome = Common.Outcome.Verified);
+  Alcotest.(check int) "warm run is one root hit" 1
+    warm.Charon.Verify.cache_hits;
+  Alcotest.(check int) "warm run explores one node" 1 warm.Charon.Verify.nodes;
+  Alcotest.(check int) "warm run never analyzes" 0
+    warm.Charon.Verify.analyze_calls
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "lru",
+        [
+          Util.case "rejects bad capacity" test_lru_rejects_bad_capacity;
+          Util.case "eviction order" test_lru_eviction_order;
+          Util.case "resident re-put never evicts"
+            test_lru_resident_put_never_evicts;
+          Util.case "stats consistency" test_lru_stats_consistency;
+          Util.case "concurrent counters" test_lru_concurrent_counters;
+        ] );
+      ( "partition",
+        [
+          Util.case "canonical cut basics" test_canonical_cut_basics;
+          Util.case "canonical cut properties" test_canonical_cut_properties;
+          Util.case "key is bit-exact" test_partition_key_bit_exact;
+          Util.case "same subregion via different queries"
+            test_partition_same_subregion_via_different_queries;
+        ] );
+      ( "proofcache",
+        [
+          Util.case "keys separate facts" test_proofcache_keys_separate_facts;
+          Util.case "record/lookup/stats" test_proofcache_record_lookup_stats;
+          Util.case "persistence roundtrip"
+            test_proofcache_persistence_roundtrip;
+          Util.case "journal skips garbage" test_proofcache_journal_skips_garbage;
+          Util.case "warm rerun hits at root"
+            test_proofcache_warm_rerun_hits_at_root;
+        ] );
+    ]

@@ -176,7 +176,10 @@ let test_verify_soundness_and_delta_completeness () =
                (Optim.Objective.create net ~k)
                ~delta x)
       | Common.Outcome.Timeout -> ()
-      | Common.Outcome.Unknown -> Alcotest.fail "charon never answers unknown")
+      | Common.Outcome.Unknown ->
+          (* Precision limit (depth cap or zero-width region): allowed,
+             it just must never masquerade as a verdict. *)
+          ())
 
 let test_verify_terminates_with_budget () =
   (* Termination in practice: a generous step budget always ends the
@@ -223,7 +226,7 @@ let test_verify_no_cex_search_still_sound () =
                (Optim.Objective.create net ~k)
                ~delta:1e-4 x)
       | Common.Outcome.Timeout -> ()
-      | Common.Outcome.Unknown -> Alcotest.fail "never unknown");
+      | Common.Outcome.Unknown -> ());
   (* And the ablation must not call PGD at all. *)
   let rng = Rng.create 146 in
   let net = Util.small_net rng in
@@ -271,6 +274,69 @@ let test_verify_rejects_nonpositive_delta () =
   Alcotest.check_raises "delta must be positive"
     (Invalid_argument "Verify.run: delta must be positive") (fun () ->
       ignore (run ~config ~seed:1 net prop))
+
+let test_verify_depth_cap_answers_unknown () =
+  (* Regression: hitting max_depth used to be reported as Timeout, but
+     it is a precision limit — budget to spare, we just refuse to
+     refine further — so the answer must be Unknown, same as the
+     zero-width-dimension branch. *)
+  let net = Nn.Init.dense (Rng.create 11) ~layer_sizes:[ 3; 24; 24; 3 ] in
+  let center = [| 0.2; -0.4; 0.6 |] in
+  let region = Box.of_center_radius center 0.55 in
+  let prop =
+    Common.Property.create ~region ~target:(Nn.Network.classify net center) ()
+  in
+  (* Provable with splitting (about 400 nodes), but never at the root:
+     with the cap at 0 the first split already overruns it. *)
+  let config = { Charon.Verify.default_config with Charon.Verify.max_depth = 0 } in
+  let report = run ~config ~seed:5 net prop in
+  (match report.Charon.Verify.outcome with
+  | Common.Outcome.Unknown -> ()
+  | o ->
+      Alcotest.failf "expected unknown at the depth cap, got %s"
+        (Common.Outcome.label o));
+  (* The generous default budget rules out a genuine timeout. *)
+  Util.check_true "budget not exhausted" (report.Charon.Verify.nodes < 100)
+
+let test_verify_settle_keeps_refutation () =
+  (* Regression for the parallel settle race: a worker that exhausts
+     the step budget settles Timeout while another worker is still
+     probing a refutable corner.  The counterexample, once found, must
+     win — so whenever the refuted-regions counter moved, the run's
+     outcome has to be Refuted, never the raced Timeout/Unknown.  The
+     telemetry counter is the oracle for "a refutation was found". *)
+  let c_refuted = Telemetry.Metrics.counter "verify.refuted_regions" in
+  let config =
+    { Charon.Verify.default_config with Charon.Verify.use_cex_search = false }
+  in
+  Telemetry.enable ();
+  Fun.protect ~finally:Telemetry.disable (fun () ->
+      let refuted_runs = ref 0 in
+      Util.repeat ~seed:148 ~count:12 (fun rng i ->
+          let net = Util.small_net rng in
+          let box = Util.small_box rng net.Nn.Network.input_dim in
+          let k = Rng.int rng net.Nn.Network.output_dim in
+          let prop = Common.Property.create ~region:box ~target:k () in
+          let before = Telemetry.Metrics.value c_refuted in
+          let report =
+            Charon.Verify.run ~config ~workers:4
+              ~budget:(Common.Budget.of_steps 2_000)
+              ~rng:(Rng.create i) ~policy:default_policy net prop
+          in
+          let found = Telemetry.Metrics.value c_refuted - before in
+          if found > 0 then begin
+            incr refuted_runs;
+            match report.Charon.Verify.outcome with
+            | Common.Outcome.Refuted _ -> ()
+            | o ->
+                Alcotest.failf
+                  "settle dropped a found counterexample: %d refuted \
+                   region(s) but outcome %s"
+                  found (Common.Outcome.label o)
+          end);
+      (* The oracle must actually fire, or this test checks nothing. *)
+      Util.check_true "at least one run found a counterexample"
+        (!refuted_runs > 0))
 
 let test_verify_report_counters () =
   let net = Nn.Init.xor () in
@@ -369,6 +435,9 @@ let () =
           Util.case "sound without cex search" test_verify_no_cex_search_still_sound;
           Util.case "best-first agrees with depth-first" test_verify_best_first_agrees;
           Util.case "rejects nonpositive delta" test_verify_rejects_nonpositive_delta;
+          Util.case "depth cap answers unknown" test_verify_depth_cap_answers_unknown;
+          Util.case "parallel settle keeps refutations"
+            test_verify_settle_keeps_refutation;
           Util.case "report counters" test_verify_report_counters;
         ] );
       ( "learn",

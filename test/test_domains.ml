@@ -73,6 +73,20 @@ let test_box_corner () =
   Util.check_vec "corner 0" [| 0.0; 10.0 |] (Box.corner b 0);
   Util.check_vec "corner 3" [| 1.0; 20.0 |] (Box.corner b 3)
 
+let test_box_equal_is_bitwise () =
+  (* Regression: [equal] used polymorphic [=] on the bound arrays,
+     which conflates 0.0 with -0.0 — a real difference to the proof
+     cache, whose keys are the IEEE bits of the bounds.  Per-element
+     [Float.equal] keeps [equal] aligned with the key scheme. *)
+  let plain = Box.create ~lo:[| 0.0; -1.0 |] ~hi:[| 1.0; 1.0 |] in
+  let signed = Box.create ~lo:[| -0.0; -1.0 |] ~hi:[| 1.0; 1.0 |] in
+  Util.check_true "equal to itself" (Box.equal plain plain);
+  Util.check_true "equal to a bitwise copy"
+    (Box.equal plain (Box.create ~lo:[| 0.0; -1.0 |] ~hi:[| 1.0; 1.0 |]));
+  Util.check_true "-0.0 bound differs" (not (Box.equal plain signed));
+  Util.check_true "dimension mismatch differs"
+    (not (Box.equal plain (Box.create ~lo:[| 0.0 |] ~hi:[| 1.0 |])))
+
 (* ------------------------------------------------------------------ *)
 (* Generic soundness of a domain on random networks: for any point in
    the input box, the network output must lie inside the abstract
@@ -423,6 +437,7 @@ let () =
           Util.case "samples inside" test_box_sample_inside;
           Util.case "hull" test_box_hull;
           Util.case "corner" test_box_corner;
+          Util.case "equal is bitwise" test_box_equal_is_bitwise;
         ] );
       ( "soundness",
         [

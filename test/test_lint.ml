@@ -26,8 +26,8 @@ let test_parses_fixture_tree () =
   let r = Lazy.force result in
   Alcotest.(check (list (pair string string))) "no parse errors" []
     r.Driver.errors;
-  (* parallel/pool, worker/bad_* x6 + suppressed, solo/good, bin/main *)
-  Alcotest.(check int) "files scanned" 10 r.Driver.files_scanned
+  (* parallel/pool, worker/bad_* x7 + suppressed, solo/good, bin/main *)
+  Alcotest.(check int) "files scanned" 11 r.Driver.files_scanned
 
 let test_poly_compare () =
   check_flagged ~file:"lib/worker/bad_poly.ml" ~rule:"poly-compare"
@@ -40,6 +40,17 @@ let test_poly_compare () =
 let test_float_eq () =
   check_flagged ~file:"lib/worker/bad_float_eq.ml" ~rule:"float-eq"
     ~at_least:3
+
+let test_float_array_eq () =
+  (* = / <> whose operands are arrays of floats route to poly-compare
+     (the Box.equal bug shape); all four spellings in the fixture —
+     literal, Array.make, float array annotation, Vec.t alias — must
+     fire, and none of them double-report under float-eq. *)
+  check_flagged ~file:"lib/worker/bad_float_array_eq.ml" ~rule:"poly-compare"
+    ~at_least:4;
+  Alcotest.(check int)
+    "no float-eq findings on array operands" 0
+    (List.length (findings_in "lib/worker/bad_float_array_eq.ml" "float-eq"))
 
 let test_domain_unsafe_global () =
   (* Two toplevel bindings plus the mutable type declaration. *)
@@ -168,6 +179,7 @@ let () =
         [
           Util.case "poly-compare" test_poly_compare;
           Util.case "float-eq" test_float_eq;
+          Util.case "float-array poly-compare" test_float_array_eq;
           Util.case "domain-unsafe-global" test_domain_unsafe_global;
           Util.case "unsafe-array" test_unsafe_array;
           Util.case "catch-all-exn" test_catch_all;

@@ -129,7 +129,14 @@ let test_ping_and_stats () =
       check_ok stats;
       Alcotest.(check int) "workers" 2 (jint stats [ "workers" ]);
       Alcotest.(check int) "empty queue" 0 (jint stats [ "queue_depth" ]);
-      Alcotest.(check int) "nothing in flight" 0 (jint stats [ "in_flight" ]))
+      Alcotest.(check int) "nothing queued" 0 (jint stats [ "queued" ]);
+      Alcotest.(check int) "nothing in flight" 0 (jint stats [ "in_flight" ]);
+      (* The scheduler-wide subregion proof cache reports through the
+         same stats response. *)
+      Alcotest.(check int) "proof cache empty" 0
+        (jint stats [ "proofcache"; "entries" ]);
+      Alcotest.(check int) "proof cache idle" 0
+        (jint stats [ "proofcache"; "lookups" ]))
 
 let test_verdicts_round_trip () =
   with_daemon (fun socket ->
@@ -203,13 +210,22 @@ let test_cache_hit_on_repeat () =
       Util.check_true "hits counted" (jint stats [ "cache"; "hits" ] >= 1);
       Util.check_true "misses counted" (jint stats [ "cache"; "misses" ] >= 2);
       Util.check_true "hit rate reported"
-        (jfloat stats [ "cache"; "hit_rate" ] > 0.0))
+        (jfloat stats [ "cache"; "hit_rate" ] > 0.0);
+      (* The verifications behind the verdicts above ran with the
+         shared proof cache attached: lookups must have been counted
+         and the proved subregions recorded. *)
+      Util.check_true "proof cache consulted"
+        (jint stats [ "proofcache"; "lookups" ] >= 1);
+      Util.check_true "proved subregions recorded"
+        (jint stats [ "proofcache"; "entries" ] >= 1);
+      Util.check_true "proof cache hit rate reported"
+        (jfloat stats [ "proofcache"; "hit_rate" ] >= 0.0))
 
 let test_concurrent_jobs_cancel_timeout () =
   with_daemon ~workers:4 (fun socket ->
-      (* Ten effectively-endless jobs on four workers: the pool holds
-         them all in flight (4 running + 6 queued) at once.  Distinct
-         seeds keep the cache out of the way. *)
+      (* Ten effectively-endless jobs on four workers: four get claimed
+         and run, six sit in the queue.  Distinct seeds keep the cache
+         out of the way. *)
       let ids =
         List.init 10 (fun i ->
             fst
@@ -218,11 +234,18 @@ let test_concurrent_jobs_cancel_timeout () =
                     ~name:(Printf.sprintf "slow-%d" i))))
       in
       let stats = Server.Client.stats ~socket () in
+      (* In-flight counts *claimed* jobs only (the queued backlog has
+         its own gauge), so it can never exceed the pool width — this
+         is the regression test for the gauge that used to count queued
+         submissions too. *)
       Util.check_true
-        (Printf.sprintf "10 in flight (got %d)" (jint stats [ "in_flight" ]))
-        (jint stats [ "in_flight" ] >= 8);
-      Util.check_true "queue holds the overflow"
-        (jint stats [ "queue_depth" ] >= 1);
+        (Printf.sprintf "in flight bounded by workers (got %d)"
+           (jint stats [ "in_flight" ]))
+        (jint stats [ "in_flight" ] <= 4);
+      Util.check_true
+        (Printf.sprintf "queued gauge sees the backlog (got %d)"
+           (jint stats [ "queued" ]))
+        (jint stats [ "queued" ] >= 6);
       (* Wait until the pool actually picked up four of them. *)
       let deadline = Unix.gettimeofday () +. 30.0 in
       let running () =
@@ -236,6 +259,11 @@ let test_concurrent_jobs_cancel_timeout () =
         Unix.sleepf 0.01
       done;
       Alcotest.(check int) "all four workers busy" 4 (running ());
+      (* With all four workers pinned on endless jobs the gauges are
+         stable: exactly the pool width in flight, the rest queued. *)
+      let stats = Server.Client.stats ~socket () in
+      Alcotest.(check int) "in flight = workers" 4 (jint stats [ "in_flight" ]);
+      Alcotest.(check int) "backlog queued" 6 (jint stats [ "queued" ]);
       (* A running job reports live progress. *)
       let some_running =
         List.find
@@ -264,8 +292,8 @@ let test_concurrent_jobs_cancel_timeout () =
       let stats = Server.Client.stats ~socket () in
       Alcotest.(check int) "nothing left in flight" 0
         (jint stats [ "in_flight" ]);
-      Util.check_true "peak concurrency recorded"
-        (jint stats [ "peak_in_flight" ] >= 8);
+      Alcotest.(check int) "peak realised concurrency = pool width" 4
+        (jint stats [ "peak_in_flight" ]);
       Alcotest.(check int) "all ten cancelled" 10
         (jint stats [ "jobs"; "cancelled" ]);
       (* Per-job budgets: a wall-clock timeout comes back as a timeout
