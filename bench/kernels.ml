@@ -21,6 +21,7 @@ type result = {
   group : string;
   name : string;
   shape : string;
+  workers : int;  (** kernel worker count for this row; 1 = sequential *)
   ns_per_op : float;
   gflops : float;  (** 0.0 when a FLOP count is not meaningful *)
   speedup : float;  (** vs the group's reference kernel; 0.0 if none *)
@@ -60,11 +61,13 @@ let time_pair_ns ?(quota = 0.2) ?(repeats = 5) fref fcand =
 
 let results : result list ref = ref []
 
-let record ~group ~name ~shape ~flops ?(speedup = 0.0) ns =
+let record ~group ~name ~shape ?(workers = 1) ~flops ?(speedup = 0.0) ns =
   let gflops = if flops <= 0.0 then 0.0 else flops /. ns in
-  results := { group; name; shape; ns_per_op = ns; gflops; speedup } :: !results;
-  Printf.printf "  %-24s %-18s %12.0f ns/op %8.2f GFLOP/s%s\n%!" name shape ns
-    gflops
+  results :=
+    { group; name; shape; workers; ns_per_op = ns; gflops; speedup }
+    :: !results;
+  Printf.printf "  %-24s %-18s w%d %12.0f ns/op %8.2f GFLOP/s%s\n%!" name shape
+    workers ns gflops
     (if speedup > 0.0 then Printf.sprintf "  %5.2fx" speedup else "")
 
 let rng = Rng.create 2019
@@ -76,9 +79,9 @@ let random_vec n = Vec.init n (fun _ -> Rng.gaussian rng)
 (* ------------------------------------------------------------------ *)
 (* GEMM *)
 
-let bench_gemm ~sizes () =
+let bench_gemm ?(jobs_sweep = []) ~sizes () =
   Printf.printf "== gemm ==\n%!";
-  List.iter
+  List.concat_map
     (fun n ->
       let a = random_mat n n and b = random_mat n n in
       let c = Mat.zeros n n in
@@ -105,7 +108,33 @@ let bench_gemm ~sizes () =
       in
       record ~group:"gemm" ~name:"matmul-naive" ~shape ~flops naive_ns;
       record ~group:"gemm" ~name:"gemm" ~shape ~flops
-        ~speedup:(naive_ns /. gemm_ns) gemm_ns)
+        ~speedup:(naive_ns /. gemm_ns) gemm_ns;
+      (* Workers sweep: the same product on the kernel-helper team,
+         interleaved against the sequential kernel so the parallel
+         speedup survives frequency drift.  Results must stay
+         bit-identical to the sequential output — that is the whole
+         contract of the row-panel split. *)
+      let seq = Mat.zeros n n in
+      Mat.gemm ~jobs:1 a b seq;
+      List.map
+        (fun j ->
+          let seq_ns, par_ns =
+            time_pair_ns
+              (fun () -> Mat.gemm ~jobs:1 a b c)
+              (fun () -> Mat.gemm ~jobs:j a b c)
+          in
+          let speedup = seq_ns /. par_ns in
+          record ~group:"gemm" ~name:"gemm" ~shape ~workers:j ~flops ~speedup
+            par_ns;
+          Mat.gemm ~jobs:j a b c;
+          if c.Mat.data <> seq.Mat.data then
+            failwith
+              (Printf.sprintf
+                 "bench/kernels: gemm jobs=%d result differs from sequential \
+                  at %s"
+                 j shape);
+          ((n, j), speedup))
+        jobs_sweep)
     sizes
 
 (* ------------------------------------------------------------------ *)
@@ -201,6 +230,74 @@ let bench_conv ~configs () =
     configs
 
 (* ------------------------------------------------------------------ *)
+(* End-to-end deep propagation: a deep affine/ReLU stack pushed through
+   the abstract interpreter with the zonotope domain, at several kernel
+   worker counts.  This is the verifier's actual hot loop — generator
+   GEMMs wrapped in prune/relu bookkeeping — so it shows how much of
+   the raw GEMM speedup survives end to end. *)
+
+let bench_deep_propagate ~jobs_list () =
+  Printf.printf "== deep-propagate ==\n%!";
+  let dim = 192 and pairs = 6 in
+  (* 6 x (affine 192x192 + relu) = 12 layers.  Weights are scaled like
+     Xavier init so activations neither explode nor die. *)
+  let scale = 1.0 /. sqrt (float_of_int dim) in
+  let layers =
+    List.concat
+      (List.init pairs (fun _ ->
+           let w =
+             Mat.init dim dim (fun _ _ -> scale *. Rng.gaussian rng)
+           in
+           [ Nn.Layer.affine w (random_vec dim); Nn.Layer.Relu ]))
+  in
+  let net = Nn.Network.create ~input_dim:dim layers in
+  let center = random_vec dim in
+  let box =
+    Domains.Box.create
+      ~lo:(Vec.init dim (fun i -> center.(i) -. 0.05))
+      ~hi:(Vec.init dim (fun i -> center.(i) +. 0.05))
+  in
+  let shape = Printf.sprintf "%dL x %d" (Nn.Network.num_layers net) dim in
+  let propagate jobs () =
+    ignore
+      (Absint.Analyzer.propagate
+         (module Domains.Zonotope)
+         ~jobs net
+         (Domains.Zonotope.of_box box))
+  in
+  let base_out =
+    Absint.Analyzer.propagate
+      (module Domains.Zonotope)
+      ~jobs:1 net
+      (Domains.Zonotope.of_box box)
+  in
+  List.iter
+    (fun jobs ->
+      let seq_ns, par_ns = time_pair_ns (propagate 1) (propagate jobs) in
+      let ns = if jobs = 1 then seq_ns else par_ns in
+      let speedup = if jobs = 1 then 0.0 else seq_ns /. par_ns in
+      record ~group:"deep-propagate" ~name:"analyzer-zonotope" ~shape
+        ~workers:jobs ~flops:0.0 ~speedup ns;
+      (* Determinism gate: the abstract output must be bit-identical to
+         the sequential pass at every worker count. *)
+      let out =
+        Absint.Analyzer.propagate
+          (module Domains.Zonotope)
+          ~jobs net
+          (Domains.Zonotope.of_box box)
+      in
+      if
+        Domains.Zonotope.center out <> Domains.Zonotope.center base_out
+        || Domains.Zonotope.generators out
+           <> Domains.Zonotope.generators base_out
+      then
+        failwith
+          (Printf.sprintf
+             "bench/kernels: deep propagate jobs=%d differs from sequential"
+             jobs))
+    jobs_list
+
+(* ------------------------------------------------------------------ *)
 (* JSON output *)
 
 let write_json path rs =
@@ -211,16 +308,21 @@ let write_json path rs =
         ("group", Str r.group);
         ("name", Str r.name);
         ("shape", Str r.shape);
+        ("workers", Int r.workers);
         ("ns_per_op", Float r.ns_per_op);
         ("gflops", Float r.gflops);
         ("speedup", Float r.speedup);
       ]
   in
+  (* [cores] records the machine the numbers came from: parallel rows
+     measured on fewer cores than workers are expected to show no
+     speedup, and bin/benchdiff.exe compares rows like-for-like on the
+     per-row [workers] field. *)
   let doc =
     Obj
       [
         ("benchmark", Str "kernels");
-        ("workers", Int 1);
+        ("cores", Int (Domain.recommended_domain_count ()));
         ("results", Arr (List.map row rs));
       ]
   in
@@ -243,8 +345,10 @@ let () =
   in
   if smoke then begin
     (* Tiny sizes: exercises every kernel path and the correctness
-       gates; used as the tier-1 regression smoke under `dune runtest`. *)
-    bench_gemm ~sizes:[ 17 ] ();
+       gates — including the parallel row-panel bit-identity and the
+       deep-propagate determinism gate — used as the tier-1 regression
+       smoke under `dune runtest`. *)
+    ignore (bench_gemm ~jobs_sweep:[ 2; 4 ] ~sizes:[ 17 ] ());
     ignore (bench_zonotope ~configs:[ (9, 13) ] ());
     bench_conv ~configs:[ (2, 6, 3, 3) ] ();
     Printf.printf "kernel smoke ok\n%!"
@@ -252,22 +356,45 @@ let () =
   else if quick then begin
     (* CI regression probe: a mid-size shape per group, chosen to
        overlap the full sweep so bin/benchdiff.exe can compare the
-       output against the committed BENCH_kernels.json baseline. *)
-    bench_gemm ~sizes:[ 64 ] ();
+       output against the committed BENCH_kernels.json baseline
+       (like-for-like on the per-row workers field). *)
+    ignore (bench_gemm ~jobs_sweep:[ 2; 4 ] ~sizes:[ 64 ] ());
     ignore (bench_zonotope ~configs:[ (64, 128) ] ());
     bench_conv ~configs:[ (4, 16, 8, 3) ] ();
+    bench_deep_propagate ~jobs_list:[ 1; 4 ] ();
     write_json out_path (List.rev !results)
   end
   else begin
-    bench_gemm ~sizes:[ 32; 64; 128; 256 ] ();
+    let gemm_speedups =
+      bench_gemm ~jobs_sweep:[ 2; 4 ] ~sizes:[ 32; 64; 128; 256 ] ()
+    in
     let zono = bench_zonotope ~configs:[ (32, 64); (64, 128); (128, 256); (256, 256) ] () in
     bench_conv ~configs:[ (1, 16, 4, 3); (4, 16, 8, 3); (8, 28, 16, 3) ] ();
+    bench_deep_propagate ~jobs_list:[ 1; 2; 4 ] ();
     write_json out_path (List.rev !results);
     (* The acceptance gate of the batching PR: batched zonotope affine
        must beat the per-generator path by >= 3x at 128 gens x 256 dims. *)
-    match List.assoc_opt (128, 256) zono with
+    (match List.assoc_opt (128, 256) zono with
     | Some s when s < 3.0 ->
         Printf.eprintf
           "WARNING: batched zonotope affine speedup %.2fx < 3x at 128x256\n" s
+    | _ -> ());
+    (* The acceptance gate of the parallel-GEMM PR: >= 2.5x at 4 workers
+       on 256x256x256.  Only meaningful on a machine that actually has
+       the cores — a 1-core container runs all panels on one domain and
+       the sweep documents that honestly (speedup ~1x, cores field in
+       the JSON). *)
+    let cores = Domain.recommended_domain_count () in
+    match List.assoc_opt (256, 4) gemm_speedups with
+    | Some s when cores >= 4 && s < 2.5 ->
+        Printf.eprintf
+          "WARNING: parallel gemm speedup %.2fx < 2.5x at 256^3 with 4 \
+           workers on %d cores\n"
+          s cores
+    | Some s when cores < 4 ->
+        Printf.printf
+          "note: %d core(s) available; 4-worker gemm speedup %.2fx is \
+           core-bound, not a regression\n%!"
+          cores s
     | _ -> ()
   end

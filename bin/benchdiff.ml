@@ -6,10 +6,15 @@
                             counts as a regression (default 0.15)
      [--warn-only]          report regressions but exit 0 (CI on noisy
                             shared runners)
+     [--only GROUP]         compare only kernels records of that group
+                            (e.g. CI's hard gate on `gemm` while conv /
+                            deep-propagate stay warn-only)
 
    Understands both repo benchmark schemas:
      - kernels files (bench/kernels.exe): records keyed by
-       (group, name, shape), metric ns_per_op;
+       (group, name, shape, workers) — the worker count defaults to 1
+       when the row predates the field, so parallel rows only ever
+       compare like-for-like — metric ns_per_op;
      - suite files (Runner.save_json): records keyed by
        (tool, network, property), metric time_seconds.
    Top-level wall_seconds and telemetry counters are compared too, as
@@ -21,7 +26,7 @@
 
 module J = Telemetry.Jsonw
 
-type record = { key : string; metric : float }
+type record = { key : string; group : string option; metric : float }
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("benchdiff: " ^ s); exit 2) fmt
 
@@ -44,6 +49,8 @@ let str_field name json =
 let float_field name json =
   Option.bind (J.member name json) J.to_float_opt
 
+let int_field name json = Option.bind (J.member name json) J.to_int_opt
+
 (* One comparable record per result row.  A kernels row is keyed by
    (group, name, shape) with ns_per_op; a suite row by (tool, network,
    property) with time_seconds.  Rows that fit neither schema are
@@ -53,7 +60,17 @@ let record_of_row row =
   match (str_field "group" row, str_field "name" row, str_field "shape" row) with
   | Some g, Some n, Some s -> begin
       match float_field "ns_per_op" row with
-      | Some m -> Some { key = Printf.sprintf "%s/%s %s" g n s; metric = m }
+      | Some m ->
+          (* Workers join the key so a 4-worker row can only ever be
+             compared against another 4-worker row; rows written before
+             the field existed were all sequential. *)
+          let w = Option.value ~default:1 (int_field "workers" row) in
+          Some
+            {
+              key = Printf.sprintf "%s/%s %s@w%d" g n s w;
+              group = Some g;
+              metric = m;
+            }
       | None -> None
     end
   | _ -> begin
@@ -64,7 +81,7 @@ let record_of_row row =
           float_field "time_seconds" row )
       with
       | Some t, Some n, Some p, Some m ->
-          Some { key = Printf.sprintf "%s/%s/%s" t n p; metric = m }
+          Some { key = Printf.sprintf "%s/%s/%s" t n p; group = None; metric = m }
       | _ -> None
     end
 
@@ -84,6 +101,7 @@ let counters json =
 let () =
   let threshold = ref 0.15 in
   let warn_only = ref false in
+  let only = ref None in
   let files = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -96,6 +114,9 @@ let () =
       end
     | "--warn-only" :: rest ->
         warn_only := true;
+        parse_args rest
+    | "--only" :: g :: rest ->
+        only := Some g;
         parse_args rest
     | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
         die "unknown option %s" arg
@@ -110,10 +131,20 @@ let () =
     | _ -> die "expected exactly two files: benchdiff BASE.json NEW.json"
   in
   let base = load base_path and next = load new_path in
-  let base_records = records base in
-  let next_records = records next in
-  if base_records = [] then die "%s: no benchmark records found" base_path;
-  if next_records = [] then die "%s: no benchmark records found" new_path;
+  let keep (r : record) =
+    match !only with None -> true | Some g -> r.group = Some g
+  in
+  let base_records = List.filter keep (records base) in
+  let next_records = List.filter keep (records next) in
+  let qualifier =
+    match !only with
+    | None -> ""
+    | Some g -> Printf.sprintf " in group %s" g
+  in
+  if base_records = [] then
+    die "%s: no benchmark records found%s" base_path qualifier;
+  if next_records = [] then
+    die "%s: no benchmark records found%s" new_path qualifier;
   let regressions = ref 0 and improvements = ref 0 and compared = ref 0 in
   Printf.printf "%-44s %14s %14s %8s\n" "record" "base" "new" "ratio";
   List.iter

@@ -35,6 +35,8 @@ type report = {
   domains_used : (Domain.spec * int) list;
   cache_lookups : int;
   cache_hits : int;
+  kernel_fanouts : int;
+  kernel_peak_domains : int;
 }
 
 (* Counters are shared by every worker domain, so the integer ones are
@@ -52,6 +54,7 @@ type counters = {
   peak_depth : int Atomic.t;
   cache_lookups : int Atomic.t;
   cache_hits : int Atomic.t;
+  kernel_fanouts : int Atomic.t;
   domains_mutex : Mutex.t;
   domains : (Domain.spec, int) Hashtbl.t;
 }
@@ -140,6 +143,7 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
       peak_depth = Atomic.make 0;
       cache_lookups = Atomic.make 0;
       cache_hits = Atomic.make 0;
+      kernel_fanouts = Atomic.make 0;
       domains_mutex = Mutex.create ();
       domains = Hashtbl.create 8;
     }
@@ -178,7 +182,7 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
      (lines 2-4), a proof attempt with the policy's domain (lines 5-7),
      and on failure a policy-guided split (lines 8-12).  Returns the
      sub-regions still to be proven. *)
-  let process ~rng ~pnode region depth :
+  let process ~kjobs ~rng ~pnode region depth :
       (Common.Outcome.t, (Box.t * int * float) list * pnode option) Either.t =
     Atomic.incr counters.nodes;
     atomic_max counters.peak_depth depth;
@@ -289,8 +293,9 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
         let stats = Absint.Analyzer.fresh_stats () in
         Atomic.incr counters.analyze_calls;
         Telemetry.Metrics.incr c_analyze;
+        if kjobs > 1 then Atomic.incr counters.kernel_fanouts;
         let verdict =
-          Absint.Analyzer.analyze ~stats ~budget net region
+          Absint.Analyzer.analyze ~jobs:kjobs ~stats ~budget net region
             ~k:prop.Common.Property.target spec
         in
         ignore
@@ -361,7 +366,7 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
         let rec drain = function
           | [] -> Common.Outcome.Verified
           | (region, depth, pnode) :: rest -> begin
-              match process ~rng ~pnode region depth with
+              match process ~kjobs:1 ~rng ~pnode region depth with
               | Either.Left outcome -> outcome
               | Either.Right (children, child_pnode) ->
                   drain
@@ -378,7 +383,7 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
           match Common.Pqueue.pop heap with
           | None -> Common.Outcome.Verified
           | Some (_, (region, depth, pnode)) -> begin
-              match process ~rng ~pnode region depth with
+              match process ~kjobs:1 ~rng ~pnode region depth with
               | Either.Left outcome -> outcome
               | Either.Right (children, child_pnode) ->
                   List.iter
@@ -448,7 +453,21 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
         | Some it ->
             incr my_tasks;
             if not (Parallel.Cancel.cancelled cancel) then begin
-              match process ~rng:it.rng ~pnode:it.pnode it.region it.depth with
+              (* Solo-in-flight nesting policy: grant this region the
+                 full [-j] budget for its GEMM kernels only when it is
+                 the single outstanding work item — no queued regions,
+                 no other worker mid-region.  The check is race-free:
+                 only in-flight workers push, so with outstanding = 1
+                 (us) nobody can concurrently add work or start a
+                 region.  Any other time the budget is spent on region
+                 parallelism and kernels stay sequential, so computing
+                 domains never exceed [workers]. *)
+              let kjobs =
+                if Parallel.Wqueue.outstanding queue = 1 then workers else 1
+              in
+              match
+                process ~kjobs ~rng:it.rng ~pnode:it.pnode it.region it.depth
+              with
               | Either.Left outcome -> settle outcome
               | Either.Right (children, child_pnode) ->
                   List.iter
@@ -507,4 +526,6 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
       Hashtbl.fold (fun spec n acc -> (spec, n) :: acc) counters.domains [];
     cache_lookups = Atomic.get counters.cache_lookups;
     cache_hits = Atomic.get counters.cache_hits;
+    kernel_fanouts = Atomic.get counters.kernel_fanouts;
+    kernel_peak_domains = Parallel.Kpool.peak_participants ();
   }

@@ -49,6 +49,13 @@ type report = {
   cache_hits : int;
       (** subtrees discharged from the proof cache without an analyze
           call *)
+  kernel_fanouts : int;
+      (** regions analyzed with kernel parallelism granted by the
+          solo-in-flight nesting policy (always 0 when [workers = 1]) *)
+  kernel_peak_domains : int;
+      (** process-wide high-water mark of domains concurrently computing
+          GEMM panels ({!Parallel.Kpool.peak_participants}); the nesting
+          policy keeps it within the [-j] budget *)
 }
 
 val run :
@@ -90,8 +97,13 @@ val run :
     the reverse downgrade can never happen) — while [Verified] requires
     the shared queue to drain empty; each work item carries an RNG
     split off its parent's, so a fixed (seed, workers) pair reproduces
-    the same search tree regardless of scheduling.  Raises
-    [Invalid_argument] when [workers < 1].
+    the same search tree regardless of scheduling.  A worker that holds
+    the only outstanding region (tail of the search, or a tree that
+    never fans out) re-spends the [-j] budget on kernel parallelism
+    inside its abstract pass ({!Linalg.Mat.gemm} row panels,
+    bit-identical results); under full region parallelism kernels stay
+    sequential, so domains computing at once never exceed [workers].
+    Raises [Invalid_argument] when [workers < 1].
 
     [cancel] is a cooperative external stop: the token is polled once
     per region, and a run that observes it abandons the search and

@@ -206,18 +206,34 @@ let zero_dim ~center ~gens i =
 
 let relu t =
   let r = radii t in
-  let center = Vec.copy t.center in
-  let gens = Mat.copy t.gens in
-  let fresh = ref [] in
-  for i = 0 to dim t - 1 do
+  let n = num_gens t and d = dim t in
+  (* Count crossing dimensions first so the output generator matrix —
+     original rows plus one one-hot row per fresh noise symbol — is
+     allocated once, instead of the old copy-then-append double
+     allocation.  Values (and hence results) are unchanged: the same
+     column transforms run in the same ascending-dimension order. *)
+  let extra = ref 0 in
+  for i = 0 to d - 1 do
     let lo = t.center.(i) -. r.(i) and hi = t.center.(i) +. r.(i) in
-    if hi <= 0.0 then zero_dim ~center ~gens i
+    if hi > 0.0 && lo < 0.0 then incr extra
+  done;
+  let center = Vec.copy t.center in
+  let gens = Mat.zeros (n + !extra) d in
+  Array.blit t.gens.Mat.data 0 gens.Mat.data 0 (n * d);
+  (* View of the original rows only: the column transforms must not
+     touch the one-hot rows written below them. *)
+  let top = { Mat.rows = n; cols = d; data = gens.Mat.data } in
+  let next = ref n in
+  for i = 0 to d - 1 do
+    let lo = t.center.(i) -. r.(i) and hi = t.center.(i) +. r.(i) in
+    if hi <= 0.0 then zero_dim ~center ~gens:top i
     else if lo < 0.0 then begin
-      let mu = relu_crossing ~center ~gens i ~lo ~hi in
-      fresh := (i, mu) :: !fresh
+      let mu = relu_crossing ~center ~gens:top i ~lo ~hi in
+      Mat.set gens !next i mu;
+      incr next
     end
   done;
-  { center; gens = prune (append_one_hot_rows gens (List.rev !fresh)) }
+  { center; gens = prune gens }
 
 let maxpool p t =
   let wins = Nn.Pool.windows p in

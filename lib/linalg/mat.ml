@@ -145,16 +145,17 @@ let matvec_t m x =
    [n]).  Outer loops block the [n] and [k] dimensions so the streamed
    panel of [b] stays cache-resident for every row block of [a]. *)
 
-let transposed_data m =
+(* Transpose staging for [transa]: writes [m]^T into [t] (a scratch
+   borrow of exactly [rows * cols] floats, so no allocation on the hot
+   path). *)
+let transpose_into m t =
   let r = m.rows and c = m.cols in
-  let t = Array.make (r * c) 0.0 in
   for i = 0 to r - 1 do
     let base = i * c in
     for j = 0 to c - 1 do
       Array.unsafe_set t ((j * r) + i) (Array.unsafe_get m.data (base + j))
     done
-  done;
-  t
+  done
 
 (* Blocking parameters: a [block_n]-wide panel of [b] over [block_k]
    inner steps is ~512KB of doubles, sized to stay within L2 (and to
@@ -164,9 +165,18 @@ let block_n = 128
 
 let block_k = 512
 
-(* cd (m x n) += alpha * ad (m x k, row-major) * bd^T, where bd holds n
-   rows of length k.  Every row is streamed contiguously. *)
-let gemm_nt ~m ~n ~k ~alpha ad bd cd =
+(* cd rows [i_lo, i_hi) of an (m x n) output += alpha * (rows [i_lo,
+   i_hi) of ad, an m x k row-major matrix) * bd^T, where bd holds n rows
+   of length k.  Every row is streamed contiguously.
+
+   The row range is the parallel partition axis: [gemm ~jobs] hands
+   each task a panel whose bounds are multiples of 4 (except [i_hi] of
+   the last panel, which is [m]), so every row goes through exactly the
+   same inner kernel — 4x4 tile or edge — and the same k-blocked
+   accumulation order as the sequential [i_lo = 0, i_hi = m] sweep.
+   That is the whole bit-identity argument: each output cell is written
+   by exactly one task, via the identical float operation sequence. *)
+let gemm_nt ~i_lo ~i_hi ~n ~k ~alpha ad bd cd =
   (* Dot-product edge kernel for tile remainders. *)
   let edge i_lo i_hi j_lo j_hi p_lo p_hi =
     for i = i_lo to i_hi - 1 do
@@ -324,8 +334,8 @@ let gemm_nt ~m ~n ~k ~alpha ad bd cd =
     let pp = ref 0 in
     while !pp < k do
       let p_hi = Stdlib.min k (!pp + block_k) in
-      let i = ref 0 in
-      while !i + 3 < m do
+      let i = ref i_lo in
+      while !i + 3 < i_hi do
         let j = ref !jj in
         while !j < j_tiled do
           tile4x4 !i !j !pp p_hi;
@@ -334,14 +344,16 @@ let gemm_nt ~m ~n ~k ~alpha ad bd cd =
         if j_tiled < j_hi then edge !i (!i + 4) j_tiled j_hi !pp p_hi;
         i := !i + 4
       done;
-      if !i < m then edge !i m !jj j_hi !pp p_hi;
+      if !i < i_hi then edge !i i_hi !jj j_hi !pp p_hi;
       pp := p_hi
     done;
     jj := j_hi
   done
 
-(* cd (m x n) += alpha * ad (m x k, row-major) * bd (k x n, row-major). *)
-let gemm_nn ~m ~n ~k ~alpha ad bd cd =
+(* cd rows [i_lo, i_hi) += alpha * (rows [i_lo, i_hi) of ad, m x k
+   row-major) * bd (k x n, row-major).  Same row-range contract as
+   [gemm_nt]. *)
+let gemm_nn ~i_lo ~i_hi ~n ~k ~alpha ad bd cd =
   (* Broadcast-accumulate edge kernel: streams contiguous [b] and [c]
      row segments (matvec_t style) for row remainders of the tiling. *)
   let edge i_lo i_hi j_lo j_hi p_lo p_hi =
@@ -456,8 +468,8 @@ let gemm_nn ~m ~n ~k ~alpha ad bd cd =
     let pp = ref 0 in
     while !pp < k do
       let p_hi = Stdlib.min k (!pp + block_k) in
-      let i = ref 0 in
-      while !i + 3 < m do
+      let i = ref i_lo in
+      while !i + 3 < i_hi do
         let j = ref !jj in
         while !j < j_tiled do
           tile4x4 !i !j !pp p_hi;
@@ -466,14 +478,47 @@ let gemm_nn ~m ~n ~k ~alpha ad bd cd =
         if j_tiled < j_hi then edge !i (!i + 4) j_tiled j_hi !pp p_hi;
         i := !i + 4
       done;
-      if !i < m then edge !i m !jj j_hi !pp p_hi;
+      if !i < i_hi then edge !i i_hi !jj j_hi !pp p_hi;
       pp := p_hi
     done;
     jj := j_hi
   done
 
-let gemm ?(transa = false) ?(transb = false) ?(alpha = 1.0) ?(beta = 0.0) a b c
-    =
+(* ------------------------------------------------------------------ *)
+(* Parallel driver.
+
+   [gemm ~jobs] splits the output into row panels and runs them on the
+   persistent kernel-helper team ({!Parallel.Kpool}).  Panels start at
+   multiples of 4 rows so each row meets exactly the kernel (4x4 tile
+   vs edge) and accumulation order it would meet sequentially, and each
+   output cell is written by exactly one panel — results are therefore
+   bit-identical for every worker count, including 1.
+
+   When [?jobs] is omitted the ambient default applies (set by
+   {!with_default_jobs}, the verifier's nesting policy): kernels then
+   fan out only above [parallel_min_flops], so the many small products
+   of a narrow layer stay on the calling domain.  An explicit
+   [~jobs:n] bypasses the threshold (benchmarks, tests). *)
+
+let ambient_jobs = Domain.DLS.new_key (fun () -> 1)
+
+let default_jobs () = Domain.DLS.get ambient_jobs
+
+let with_default_jobs jobs f =
+  let saved = Domain.DLS.get ambient_jobs in
+  Domain.DLS.set ambient_jobs (Stdlib.max 1 jobs);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_jobs saved) f
+
+(* Ambient fan-out threshold, in flops (2*m*n*k): below this a
+   broadcast + park round-trip costs more than the kernel itself. *)
+let parallel_min_flops = 4_000_000.0
+
+let c_parallel = Telemetry.Metrics.counter "kernel.gemm.parallel_calls"
+
+let c_fallback = Telemetry.Metrics.counter "kernel.gemm.sequential_fallbacks"
+
+let gemm ?jobs ?(transa = false) ?(transb = false) ?(alpha = 1.0)
+    ?(beta = 0.0) a b c =
   let m = if transa then a.cols else a.rows
   and kd = if transa then a.rows else a.cols
   and kb = if transb then b.cols else b.rows
@@ -494,9 +539,45 @@ let gemm ?(transa = false) ?(transb = false) ?(alpha = 1.0) ?(beta = 0.0) a b c
       Array.unsafe_set cd i (beta *. Array.unsafe_get cd i)
     done;
   if m > 0 && n > 0 && kd > 0 && alpha <> 0.0 then begin
-    let ad = if transa then transposed_data a else a.data in
-    if transb then gemm_nt ~m ~n ~k:kd ~alpha ad b.data cd
-    else gemm_nn ~m ~n ~k:kd ~alpha ad b.data cd
+    let explicit = jobs <> None in
+    let jobs =
+      match jobs with
+      | Some j -> Stdlib.max 1 j
+      | None -> Domain.DLS.get ambient_jobs
+    in
+    let kernel ad i_lo i_hi =
+      if transb then gemm_nt ~i_lo ~i_hi ~n ~k:kd ~alpha ad b.data cd
+      else gemm_nn ~i_lo ~i_hi ~n ~k:kd ~alpha ad b.data cd
+    in
+    let compute ad =
+      (* Partition the 4-row tile groups; the last panel also takes the
+         edge tail [m/4*4, m), exactly as the sequential sweep would. *)
+      let quads = m / 4 in
+      let tasks = Stdlib.min jobs (Stdlib.max 1 quads) in
+      let big =
+        explicit || 2.0 *. float m *. float n *. float kd >= parallel_min_flops
+      in
+      if jobs > 1 && tasks > 1 && big then begin
+        let chunk = 4 * ((quads + tasks - 1) / tasks) in
+        let ran_parallel =
+          Parallel.Kpool.run ~jobs ~tasks (fun t ->
+              let i_lo = t * chunk in
+              let i_hi = if t = tasks - 1 then m else Stdlib.min m (i_lo + chunk) in
+              if i_lo < i_hi then kernel ad i_lo i_hi)
+        in
+        if ran_parallel then Telemetry.Metrics.incr c_parallel
+        else Telemetry.Metrics.incr c_fallback
+      end
+      else begin
+        if jobs > 1 then Telemetry.Metrics.incr c_fallback;
+        kernel ad 0 m
+      end
+    in
+    if transa then
+      Scratch.with_floats (m * kd) (fun t ->
+          transpose_into a t;
+          compute t)
+    else compute a.data
   end
 
 let matmul a b =
@@ -507,6 +588,13 @@ let matmul a b =
   let c = zeros a.rows b.cols in
   gemm a b c;
   c
+
+(* A scratch-backed matrix for internal hot-path temporaries (im2col
+   patch buffers, generator staging).  Same contract as
+   {!Scratch.with_floats}: zero-filled, must not escape [f]. *)
+let with_scratch rows cols f =
+  if rows < 0 || cols < 0 then invalid_arg "Mat.with_scratch: negative dimension";
+  Scratch.with_floats (rows * cols) (fun data -> f { rows; cols; data })
 
 let outer u v = init (Array.length u) (Array.length v) (fun i j -> u.(i) *. v.(j))
 

@@ -153,13 +153,17 @@ let iter_patch_cells t f =
     done
   done
 
-let im2col t x =
+(* Scratch-backed im2col for the hot paths: the patch matrix of a given
+   layer has the same shape on every call, so the per-domain arena
+   serves the same buffer back instead of allocating megabytes of
+   short-lived garbage per propagation.  The buffer never escapes [f]. *)
+let with_im2col t x f =
   let out = output_shape t in
   let ohow = out.Shape.height * out.Shape.width in
-  let p = Linalg.Mat.zeros (patch_rows t) ohow in
-  iter_patch_cells t (fun ~cell ~input_idx ->
-      p.Linalg.Mat.data.(cell) <- x.(input_idx));
-  p
+  Linalg.Mat.with_scratch (patch_rows t) ohow (fun p ->
+      iter_patch_cells t (fun ~cell ~input_idx ->
+          p.Linalg.Mat.data.(cell) <- x.(input_idx));
+      f p)
 
 (* The weight array viewed as an [OC x (IC*K*K)] matrix (shares the
    underlying storage; treat as read-only). *)
@@ -171,9 +175,8 @@ let forward t x =
     invalid_arg "Conv.forward: input dimension mismatch";
   let out = output_shape t in
   let ohow = out.Shape.height * out.Shape.width in
-  let p = im2col t x in
   let y = Linalg.Mat.zeros t.out_channels ohow in
-  Linalg.Mat.gemm (weight_mat t) p y;
+  with_im2col t x (fun p -> Linalg.Mat.gemm (weight_mat t) p y);
   let yd = y.Linalg.Mat.data in
   for oc = 0 to t.out_channels - 1 do
     let base = oc * ohow and b = t.bias.(oc) in
@@ -189,12 +192,12 @@ let backward t ~dout =
     invalid_arg "Conv.backward: output gradient dimension mismatch";
   let ohow = out.Shape.height * out.Shape.width in
   let dy = { Linalg.Mat.rows = t.out_channels; cols = ohow; data = dout } in
-  let dp = Linalg.Mat.zeros (patch_rows t) ohow in
-  Linalg.Mat.gemm ~transa:true (weight_mat t) dy dp;
   let dx = Array.make (Shape.size t.input) 0.0 in
-  (* col2im: scatter-add the patch gradient back onto the input. *)
-  iter_patch_cells t (fun ~cell ~input_idx ->
-      dx.(input_idx) <- dx.(input_idx) +. dp.Linalg.Mat.data.(cell));
+  Linalg.Mat.with_scratch (patch_rows t) ohow (fun dp ->
+      Linalg.Mat.gemm ~transa:true (weight_mat t) dy dp;
+      (* col2im: scatter-add the patch gradient back onto the input. *)
+      iter_patch_cells t (fun ~cell ~input_idx ->
+          dx.(input_idx) <- dx.(input_idx) +. dp.Linalg.Mat.data.(cell)));
   dx
 
 let grad_params t ~x ~dout =
@@ -204,10 +207,9 @@ let grad_params t ~x ~dout =
   if Array.length dout <> Shape.size out then
     invalid_arg "Conv.grad_params: output gradient dimension mismatch";
   let ohow = out.Shape.height * out.Shape.width in
-  let p = im2col t x in
   let dy = { Linalg.Mat.rows = t.out_channels; cols = ohow; data = dout } in
   let dw = Linalg.Mat.zeros t.out_channels (patch_rows t) in
-  Linalg.Mat.gemm ~transb:true dy p dw;
+  with_im2col t x (fun p -> Linalg.Mat.gemm ~transb:true dy p dw);
   let db = Array.make t.out_channels 0.0 in
   for oc = 0 to t.out_channels - 1 do
     let base = oc * ohow in

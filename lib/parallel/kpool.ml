@@ -1,0 +1,222 @@
+(* A persistent team of kernel-helper domains.
+
+   [Pool.run] spawns domains per call, which is right for coarse region
+   workers (milliseconds to seconds of work each) but would erase the
+   win for intra-kernel parallelism: a 256x256x256 GEMM is ~7 ms
+   single-threaded, and [Domain.spawn] costs tens to hundreds of
+   microseconds per domain per call.  This module keeps one global team
+   of helper domains parked on a condition variable; [run ~jobs ~tasks f]
+   wakes up to [jobs - 1] of them for one round of independent tasks and
+   parks them again.  Helpers are spawned lazily up to the largest
+   [jobs] ever requested (bounded by [max_helpers]) and live until
+   process exit.
+
+   Concurrency contract:
+   - at most one round is in flight at a time ([busy]); a caller that
+     finds the team busy (another domain's round, or a nested call from
+     inside a task) runs its tasks sequentially on its own domain —
+     callers therefore never deadlock and never over-subscribe;
+   - task indices are claimed from an atomic cursor, so the
+     task-to-domain assignment is nondeterministic; [f] must write only
+     per-task state (for GEMM: disjoint output row panels);
+   - exceptions raised by tasks are caught, the round still drains, and
+     the first exception is re-raised in the caller.
+
+   [peak_participants] records the largest number of domains that ever
+   computed tasks concurrently in one round (caller included); the
+   verifier's nesting tests assert it stays within the [-j] budget. *)
+
+(* Hard cap on helper domains, over and above the caller.  Callers pass
+   the real budget via [jobs]; this only bounds runaway requests. *)
+let max_helpers = 15
+
+(* Round descriptor published by the caller; helpers read it after
+   observing a generation change.  [cursor]/[pending] are atomics so
+   claiming a task and retiring it need no lock. *)
+(* Discipline: all mutable fields are atomics; [body]/[tasks] are
+   immutable after publication under [team.mutex]. *)
+type round = {
+  body : int -> unit;
+  tasks : int;
+  cursor : int Atomic.t;
+  pending : int Atomic.t;
+  failure : exn option Atomic.t;
+  seats : int Atomic.t;
+      (* Helper seats left in this round, [jobs - 1] at publication.
+         The wake-up broadcast reaches every parked helper — including
+         ones spawned for earlier, wider rounds — so each helper must
+         claim a seat before computing, or a [jobs:2] round after a
+         [jobs:4] one would burst the caller's domain budget. *)
+}
+[@@lint.allow "domain-unsafe-global"]
+
+(* Discipline: [generation], [current], [helpers], [busy] are read and
+   written only with [mutex] held.  [work] wakes parked helpers on a
+   new round; [idle] wakes the caller when the round's last task
+   retires.  The atomics inside a [round] are lock-free by design. *)
+type team = {
+  mutex : Mutex.t;
+  work : Condition.t;
+  idle : Condition.t;
+  mutable generation : int;
+  mutable current : round option;
+  mutable helpers : int;
+  mutable busy : bool;
+}
+[@@lint.allow "domain-unsafe-global"]
+
+(* Shared-mutable on purpose: the one global team below is the point of
+   this module; every field follows the locking discipline above. *)
+let team =
+  {
+    mutex = Mutex.create ();
+    work = Condition.create ();
+    idle = Condition.create ();
+    generation = 0;
+    current = None;
+    helpers = 0;
+    busy = false;
+  }
+[@@lint.allow "domain-unsafe-global"]
+
+(* Peak concurrent participants (helpers actually computing + the
+   caller) across all rounds; cleared with [reset_peak].  Atomic
+   CAS-max: safe from any domain. *)
+let active = Atomic.make 0 [@@lint.allow "domain-unsafe-global"]
+
+let peak = Atomic.make 0 [@@lint.allow "domain-unsafe-global"]
+
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
+let peak_participants () = Atomic.get peak
+
+let reset_peak () = Atomic.set peak 0
+
+let c_rounds = Telemetry.Metrics.counter "kernel.pool.rounds"
+
+let c_helper_tasks = Telemetry.Metrics.counter "kernel.pool.helper_tasks"
+
+(* Claim-and-run loop shared by the caller and every helper.  Each task
+   index is executed exactly once; the first exception is parked in
+   [failure] and the remaining claimed tasks still retire so [pending]
+   reaches zero. *)
+let drain ~helper (r : round) =
+  atomic_max peak (1 + Atomic.fetch_and_add active 1);
+  let rec claim () =
+    let i = Atomic.fetch_and_add r.cursor 1 in
+    if i < r.tasks then begin
+      (* Total absorption is intended: the round must drain so
+         [pending] reaches zero; the first exception (including
+         Out_of_memory etc.) is re-raised in the caller by [run]. *)
+      (try r.body i
+       with e ->
+         ignore (Atomic.compare_and_set r.failure None (Some e)))
+      [@lint.allow "catch-all-exn"];
+      if helper then Telemetry.Metrics.incr c_helper_tasks;
+      ignore (Atomic.fetch_and_add r.pending (-1));
+      claim ()
+    end
+  in
+  claim ();
+  ignore (Atomic.fetch_and_add active (-1))
+
+let helper_loop () =
+  let my_generation = ref 0 in
+  Mutex.lock team.mutex;
+  let rec loop () =
+    if team.generation = !my_generation then begin
+      Condition.wait team.work team.mutex;
+      loop ()
+    end
+    else begin
+      my_generation := team.generation;
+      match team.current with
+      | None -> loop ()
+      | Some r when Atomic.fetch_and_add r.seats (-1) <= 0 ->
+          (* No seat: this round is narrower than the helper pool.
+             Park again for the next generation. *)
+          loop ()
+      | Some r ->
+          Mutex.unlock team.mutex;
+          drain ~helper:true r;
+          (* Wake the caller if this helper retired the last task. *)
+          if Atomic.get r.pending = 0 then begin
+            Mutex.lock team.mutex;
+            Condition.broadcast team.idle;
+            Mutex.unlock team.mutex
+          end
+          else Mutex.lock team.mutex;
+          loop ()
+    end
+  in
+  loop ()
+
+(* Helpers are daemons: they hold no resources besides a parked domain
+   and die with the process, so no join/teardown path is needed. *)
+let ensure_helpers wanted =
+  let wanted = Stdlib.min wanted max_helpers in
+  while team.helpers < wanted do
+    team.helpers <- team.helpers + 1;
+    ignore (Domain.spawn helper_loop)
+  done
+
+let run_sequential ~tasks f =
+  for i = 0 to tasks - 1 do
+    f i
+  done
+
+let run ~jobs ~tasks f =
+  if tasks <= 0 then true
+  else if jobs <= 1 || tasks = 1 then begin
+    run_sequential ~tasks f;
+    true
+  end
+  else begin
+    Mutex.lock team.mutex;
+    if team.busy then begin
+      (* Another round is in flight (or this is a nested call from a
+         task body): degrade to the caller's domain rather than block.
+         Sequential execution of the same task list is always a valid
+         schedule, so correctness is unaffected. *)
+      Mutex.unlock team.mutex;
+      run_sequential ~tasks f;
+      false
+    end
+    else begin
+      team.busy <- true;
+      ensure_helpers (jobs - 1);
+      let r =
+        {
+          body = f;
+          tasks;
+          cursor = Atomic.make 0;
+          pending = Atomic.make tasks;
+          failure = Atomic.make None;
+          seats = Atomic.make (Stdlib.min (jobs - 1) max_helpers);
+        }
+      in
+      team.current <- Some r;
+      team.generation <- team.generation + 1;
+      Telemetry.Metrics.incr c_rounds;
+      Condition.broadcast team.work;
+      Mutex.unlock team.mutex;
+      drain ~helper:false r;
+      Mutex.lock team.mutex;
+      while Atomic.get r.pending > 0 do
+        Condition.wait team.idle team.mutex
+      done;
+      team.current <- None;
+      team.busy <- false;
+      Mutex.unlock team.mutex;
+      (match Atomic.get r.failure with Some e -> raise e | None -> ());
+      true
+    end
+  end
+
+let helpers () =
+  Mutex.lock team.mutex;
+  let n = team.helpers in
+  Mutex.unlock team.mutex;
+  n

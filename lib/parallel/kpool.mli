@@ -1,0 +1,31 @@
+(** A persistent team of kernel-helper domains for intra-call
+    parallelism (tiled GEMM row panels).
+
+    Unlike {!Pool.run}, which spawns domains per call, the team's
+    helpers are spawned lazily once and then parked between rounds, so
+    fanning a ~millisecond kernel out over the team costs a broadcast,
+    not a [Domain.spawn].  At most one round runs at a time; concurrent
+    or nested callers degrade to sequential execution on their own
+    domain, which keeps the process's total computing-domain count
+    bounded by the caller's own budget discipline. *)
+
+val run : jobs:int -> tasks:int -> (int -> unit) -> bool
+(** [run ~jobs ~tasks f] executes [f 0], ..., [f (tasks - 1)], each
+    exactly once, using the calling domain plus up to [jobs - 1] parked
+    helper domains.  Task-to-domain assignment is nondeterministic, so
+    [f] must write only per-task state (disjoint output tiles).
+    Returns [false] when the team was busy and the tasks ran
+    sequentially on the caller instead; [true] otherwise (including the
+    trivial [jobs <= 1] and [tasks <= 1] cases).  If tasks raise, the
+    round still drains and the first exception is re-raised in the
+    caller. *)
+
+val peak_participants : unit -> int
+(** Largest number of domains that have computed tasks concurrently in
+    any round since the last {!reset_peak} (caller included).  The
+    verifier's nesting tests assert this stays within the [-j] budget. *)
+
+val reset_peak : unit -> unit
+
+val helpers : unit -> int
+(** Helper domains spawned so far (they persist until process exit). *)

@@ -276,6 +276,153 @@ let test_mat_inplace_ops () =
     (Mat.approx_equal ~eps:0.0 (Mat.add (Mat.scale 2.0 a) b) y)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel GEMM: the determinism contract of [Mat.gemm ?jobs] *)
+
+(* Every parallel schedule must produce the exact float array the
+   sequential kernel does (docs/algorithms.md), so the check below is
+   structural equality on [data] — not approx_equal. *)
+let check_gemm_jobs_identical ~transa ~transb ~m ~n ~k rng =
+  let a = if transa then Mat.init k m (fun _ _ -> Rng.gaussian rng)
+          else Mat.init m k (fun _ _ -> Rng.gaussian rng) in
+  let b = if transb then Mat.init n k (fun _ _ -> Rng.gaussian rng)
+          else Mat.init k n (fun _ _ -> Rng.gaussian rng) in
+  let c = Mat.init m n (fun _ _ -> Rng.gaussian rng) in
+  let reference = Mat.copy c in
+  Mat.gemm ~transa ~transb ~alpha:1.5 ~beta:(-0.5) ~jobs:1 a b reference;
+  List.iter
+    (fun jobs ->
+      let got = Mat.copy c in
+      Mat.gemm ~transa ~transb ~alpha:1.5 ~beta:(-0.5) ~jobs a b got;
+      Util.check_true
+        (Printf.sprintf "gemm %dx%dx%d ta=%b tb=%b jobs=%d bit-identical" m n
+           k transa transb jobs)
+        (got.Mat.data = reference.Mat.data))
+    [ 2; 4 ]
+
+let all_transposes =
+  [ (false, false); (false, true); (true, false); (true, true) ]
+
+let test_gemm_jobs_bit_identical () =
+  let rng = Rng.create 26 in
+  (* Sizes straddle the 4-row panel granularity: a multiple of 4, a
+     remainder in every dimension, and a shape wide enough that the
+     panel split is non-trivial at 4 jobs. *)
+  List.iter
+    (fun (m, n, k) ->
+      List.iter
+        (fun (transa, transb) ->
+          check_gemm_jobs_identical ~transa ~transb ~m ~n ~k rng)
+        all_transposes)
+    [ (9, 133, 70); (64, 64, 64); (33, 17, 29); (8, 8, 8) ]
+
+let test_gemm_jobs_degenerate_shapes () =
+  let rng = Rng.create 27 in
+  (* Single-row, single-column, and empty operands: the parallel driver
+     must neither crash on an empty panel split nor diverge from the
+     sequential result (empty products reduce to the beta scaling). *)
+  List.iter
+    (fun (m, n, k) ->
+      List.iter
+        (fun (transa, transb) ->
+          check_gemm_jobs_identical ~transa ~transb ~m ~n ~k rng)
+        all_transposes)
+    [ (1, 50, 20); (50, 1, 20); (3, 3, 1); (0, 5, 5); (5, 0, 5); (5, 5, 0) ]
+
+let qcheck_gemm_jobs_identical =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (triple (int_range 0 40) (int_range 0 40) (int_range 0 48))
+        (triple (int_range 2 8) bool bool))
+  in
+  Util.qtest "gemm ?jobs bit-identical on random shapes" ~count:60 gen
+    (fun ((m, n, k), (jobs, transa, transb)) ->
+      (* Operands derive deterministically from the generated shape so a
+         failure reproduces from the printed counterexample alone. *)
+      let rng =
+        Rng.create (1 + m + (41 * n) + (1681 * k) + (79_507 * jobs))
+      in
+      let a = if transa then Mat.init k m (fun _ _ -> Rng.gaussian rng)
+              else Mat.init m k (fun _ _ -> Rng.gaussian rng) in
+      let b = if transb then Mat.init n k (fun _ _ -> Rng.gaussian rng)
+              else Mat.init k n (fun _ _ -> Rng.gaussian rng) in
+      let c = Mat.init m n (fun _ _ -> Rng.gaussian rng) in
+      let reference = Mat.copy c in
+      Mat.gemm ~transa ~transb ~beta:1.0 ~jobs:1 a b reference;
+      let got = Mat.copy c in
+      Mat.gemm ~transa ~transb ~beta:1.0 ~jobs a b got;
+      got.Mat.data = reference.Mat.data)
+
+let test_gemm_ambient_jobs_scoped () =
+  (* [with_default_jobs] must set the ambient width only inside its
+     scope, and an ambient width must not change results. *)
+  Alcotest.(check int) "default ambient" 1 (Mat.default_jobs ());
+  let rng = Rng.create 28 in
+  let a = Mat.init 24 24 (fun _ _ -> Rng.gaussian rng) in
+  let b = Mat.init 24 24 (fun _ _ -> Rng.gaussian rng) in
+  let seq = Mat.zeros 24 24 in
+  Mat.gemm a b seq;
+  let amb =
+    Mat.with_default_jobs 4 (fun () ->
+        Alcotest.(check int) "ambient in scope" 4 (Mat.default_jobs ());
+        let c = Mat.zeros 24 24 in
+        Mat.gemm a b c;
+        c)
+  in
+  Alcotest.(check int) "ambient restored" 1 (Mat.default_jobs ());
+  Util.check_true "ambient width is bit-identical"
+    (amb.Mat.data = seq.Mat.data)
+
+(* ------------------------------------------------------------------ *)
+(* Scratch arena *)
+
+let test_scratch_zero_filled_and_reused () =
+  Scratch.trim ();
+  (* The escaping reference below is only compared for physical
+     identity, never read or written outside the scope. *)
+  let first = ref [||] in
+  Scratch.with_floats 64 (fun buf ->
+      Alcotest.(check int) "requested size" 64 (Array.length buf);
+      Util.check_true "fresh buffer is zero"
+        (Array.for_all (fun x -> x = 0.0) buf);
+      Array.fill buf 0 64 7.0;
+      first := buf);
+  Scratch.with_floats 64 (fun buf ->
+      Util.check_true "same-size borrow is physically reused" (buf == !first);
+      Util.check_true "recycled buffer is re-zeroed"
+        (Array.for_all (fun x -> x = 0.0) buf))
+
+let test_scratch_nested_borrows_distinct () =
+  Scratch.with_floats 32 (fun outer ->
+      Scratch.with_floats 32 (fun inner ->
+          Util.check_true "nested same-size borrows are distinct"
+            (not (inner == outer))))
+
+let test_scratch_reclaims_on_raise () =
+  Scratch.trim ();
+  let first = ref [||] in
+  (try
+     Scratch.with_floats 48 (fun buf ->
+         first := buf;
+         failwith "boom")
+   with Failure _ -> ());
+  Scratch.with_floats 48 (fun buf ->
+      Util.check_true "buffer reclaimed across raise" (buf == !first))
+
+let test_scratch_trim_and_accounting () =
+  Scratch.trim ();
+  Alcotest.(check int) "empty after trim" 0 (Scratch.live_words ());
+  Scratch.with_floats 128 (fun _ ->
+      Util.check_true "borrowed words counted"
+        (Scratch.live_words () >= 128));
+  Util.check_true "arena retains the freed buffer"
+    (Scratch.live_words () >= 128);
+  Util.check_true "highwater covers the borrow"
+    (Scratch.highwater_words () >= 128);
+  Scratch.trim ();
+  Alcotest.(check int) "trim drops free buffers" 0 (Scratch.live_words ())
+
+(* ------------------------------------------------------------------ *)
 (* Stats and Special *)
 
 let test_stats_basics () =
@@ -350,6 +497,20 @@ let () =
           Util.case "rejects shape mismatch" test_gemm_rejects_mismatch;
           Util.case "matmul routes through gemm" test_mat_matmul_is_gemm;
           Util.case "in-place ops" test_mat_inplace_ops;
+        ] );
+      ( "gemm-jobs",
+        [
+          Util.case "bit-identical across jobs" test_gemm_jobs_bit_identical;
+          Util.case "degenerate shapes" test_gemm_jobs_degenerate_shapes;
+          qcheck_gemm_jobs_identical;
+          Util.case "ambient jobs scoped" test_gemm_ambient_jobs_scoped;
+        ] );
+      ( "scratch",
+        [
+          Util.case "zero-filled and reused" test_scratch_zero_filled_and_reused;
+          Util.case "nested borrows distinct" test_scratch_nested_borrows_distinct;
+          Util.case "reclaims on raise" test_scratch_reclaims_on_raise;
+          Util.case "trim and accounting" test_scratch_trim_and_accounting;
         ] );
       ( "stats-special",
         [

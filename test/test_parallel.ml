@@ -127,6 +127,62 @@ let test_pool_run_reraises () =
           if i = 1 then raise Boom))
 
 (* ------------------------------------------------------------------ *)
+(* Kpool: the persistent kernel-helper team *)
+
+let test_kpool_covers_tasks_exactly_once () =
+  let n = 64 in
+  let hits = Array.init n (fun _ -> Atomic.make 0) in
+  ignore
+    (Parallel.Kpool.run ~jobs:workers_under_test ~tasks:n (fun i ->
+         Atomic.incr hits.(i)));
+  Array.iteri
+    (fun i h ->
+      Alcotest.(check int) (Printf.sprintf "task %d" i) 1 (Atomic.get h))
+    hits
+
+let test_kpool_trivial_widths_run_inline () =
+  let ran = ref false in
+  Util.check_true "jobs=1 is the trivial case"
+    (Parallel.Kpool.run ~jobs:1 ~tasks:4 (fun _ -> ran := true));
+  Util.check_true "tasks ran" !ran;
+  Util.check_true "tasks=1 is the trivial case"
+    (Parallel.Kpool.run ~jobs:4 ~tasks:1 (fun _ -> ()))
+
+let test_kpool_nested_call_degrades_sequentially () =
+  (* A kernel call issued from inside a kernel task must not deadlock
+     or over-subscribe: the team is busy, so the inner call reports
+     [false] and runs inline on its own domain. *)
+  let inner_parallel = Atomic.make false in
+  let inner_ran = Array.init 8 (fun _ -> Atomic.make 0) in
+  ignore
+    (Parallel.Kpool.run ~jobs:2 ~tasks:2 (fun _ ->
+         if
+           Parallel.Kpool.run ~jobs:2 ~tasks:8 (fun i ->
+               Atomic.incr inner_ran.(i))
+         then Atomic.set inner_parallel true));
+  Util.check_true "inner call fell back to sequential"
+    (not (Atomic.get inner_parallel));
+  (* Degrading must not drop work: both nested rounds of 8 tasks ran. *)
+  Array.iteri
+    (fun i h ->
+      Alcotest.(check int) (Printf.sprintf "nested task %d" i) 2 (Atomic.get h))
+    inner_ran
+
+let test_kpool_reraises_task_exception () =
+  Alcotest.check_raises "task exception propagates" Boom (fun () ->
+      ignore
+        (Parallel.Kpool.run ~jobs:2 ~tasks:8 (fun i ->
+             if i = 3 then raise Boom)))
+
+let test_kpool_peak_stays_within_jobs () =
+  Parallel.Kpool.reset_peak ();
+  ignore
+    (Parallel.Kpool.run ~jobs:2 ~tasks:16 (fun _ -> Unix.sleepf 0.001));
+  Util.check_true
+    (Printf.sprintf "peak %d <= 2" (Parallel.Kpool.peak_participants ()))
+    (Parallel.Kpool.peak_participants () <= 2)
+
+(* ------------------------------------------------------------------ *)
 (* Parallel verification: determinism and cancellation *)
 
 let verdict_kind = function
@@ -249,6 +305,65 @@ let test_workers_validated () =
       ignore (outcome ~workers:0 ~seed:1 net prop))
 
 (* ------------------------------------------------------------------ *)
+(* Kernel-parallelism nesting policy (Verify.run + Mat.gemm ?jobs) *)
+
+let test_kernel_nesting_respects_domain_budget () =
+  (* A net wide enough that one layer's zonotope GEMM crosses the
+     kernel parallel-size threshold (2*128^3 flops >= Mat's 4e6-flop
+     floor), so a solo-in-flight verifier worker genuinely fans its
+     kernels out onto the Kpool team. *)
+  let dim = 128 in
+  (* A wide random hidden layer followed by a constant-margin output
+     layer (zero weights, biased logit): class 0 wins everywhere, so
+     the run must reach the analyzer and verify — a random dense net
+     would be refuted by PGD at the root, before any GEMM fans out. *)
+  let rng = Rng.create 91 in
+  let hidden =
+    Mat.init dim dim (fun _ _ -> Rng.gaussian rng /. sqrt (float_of_int dim))
+  in
+  let net =
+    Nn.Network.create ~input_dim:dim
+      [
+        Nn.Layer.affine hidden (Vec.zeros dim);
+        Nn.Layer.Relu;
+        Nn.Layer.affine (Mat.zeros 2 dim) [| 1.0; 0.0 |];
+      ]
+  in
+  let region =
+    Domains.Box.create
+      ~lo:(Array.make dim (-0.01))
+      ~hi:(Array.make dim 0.01)
+  in
+  let prop = Common.Property.create ~region ~target:0 () in
+  let run workers =
+    Charon.Verify.run
+      ~budget:(Common.Budget.of_steps 500)
+      ~workers ~rng:(Rng.create 91) ~policy:Charon.Policy.default net prop
+  in
+  let seq = run 1 in
+  Util.check_true "sequential run never fans out"
+    (seq.Charon.Verify.kernel_fanouts = 0);
+  Parallel.Kpool.reset_peak ();
+  let workers = max 2 workers_under_test in
+  let par = run workers in
+  Alcotest.(check string)
+    "verdict matches sequential"
+    (verdict_kind seq.Charon.Verify.outcome)
+    (verdict_kind par.Charon.Verify.outcome);
+  (* The worker holding the only outstanding region re-spends the
+     worker budget on kernel jobs, so at least the root region fans
+     out... *)
+  Util.check_true "solo-in-flight worker fanned out"
+    (par.Charon.Verify.kernel_fanouts >= 1);
+  (* ...and the nesting policy keeps the total domain budget intact:
+     the kernel team never had more participants computing at once than
+     the [-j] width that Verify.run was given. *)
+  Util.check_true
+    (Printf.sprintf "peak kernel domains %d <= %d"
+       par.Charon.Verify.kernel_peak_domains workers)
+    (par.Charon.Verify.kernel_peak_domains <= workers)
+
+(* ------------------------------------------------------------------ *)
 (* Parallel suite runner *)
 
 let tiny_workload () =
@@ -311,6 +426,15 @@ let () =
             test_pool_run_spawns_each_worker_once;
           Util.case "run re-raises" test_pool_run_reraises;
         ];
+      Util.suite "kpool"
+        [
+          Util.case "covers tasks exactly once" test_kpool_covers_tasks_exactly_once;
+          Util.case "trivial widths run inline" test_kpool_trivial_widths_run_inline;
+          Util.case "nested call degrades sequentially"
+            test_kpool_nested_call_degrades_sequentially;
+          Util.case "re-raises task exception" test_kpool_reraises_task_exception;
+          Util.case "peak stays within jobs" test_kpool_peak_stays_within_jobs;
+        ];
       Util.suite "verify-parallel"
         [
           Util.case "workers agree on xor" test_workers_agree_xor;
@@ -319,6 +443,8 @@ let () =
             test_workers_agree_random_problems;
           Util.case "starved budget times out" test_parallel_timeout_terminates;
           Util.case "workers validated" test_workers_validated;
+          Util.case "kernel nesting respects domain budget"
+            test_kernel_nesting_respects_domain_budget;
         ];
       Util.suite "runner-parallel"
         [ Util.case "jobs preserve order" test_run_suite_jobs_preserves_order ];
