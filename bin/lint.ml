@@ -1,20 +1,25 @@
 (* charon-lint: the repo's own soundness & data-race lint.
 
-   Parses every .ml with compiler-libs and runs the rule registry in
-   lib/lint (see docs/lint.md).  Exit code: 0 clean, 1 findings,
-   2 parse errors — so `dune build @lint` fails the build on a new
-   finding. *)
+   Parses every .ml with compiler-libs and runs the selected passes
+   from lib/lint (see docs/lint.md).  Exit code: 0 clean, 1 findings,
+   2 parse/usage errors — so `dune build @lint` fails the build on a
+   new finding. *)
 
 let usage =
   "charon-lint [options] [paths...]\n\
    Lints the .ml files under the given root-relative paths (default: lib \
    bin).\nOptions:"
 
+let split_commas s = String.split_on_char ',' s |> List.filter (( <> ) "")
+
 let () =
   let json = ref false in
   let show_suppressed = ref false in
   let list_rules = ref false in
   let root = ref "." in
+  let pass = ref "all" in
+  let only = ref [] in
+  let exclude = ref [] in
   let paths = ref [] in
   let spec =
     [
@@ -26,15 +31,45 @@ let () =
       ( "--root",
         Arg.Set_string root,
         "DIR directory the paths are relative to (default: .)" );
+      ( "--pass",
+        Arg.Symbol
+          ([ "syntactic"; "race"; "all" ], fun s -> pass := s),
+        " which passes run: per-file syntactic rules, the \
+         interprocedural race pass, or both (default: all)" );
+      ( "--only",
+        Arg.String (fun s -> only := !only @ split_commas s),
+        "RULES run only these rules (comma-separated; repeatable)" );
+      ( "--exclude",
+        Arg.String (fun s -> exclude := !exclude @ split_commas s),
+        "RULES skip these rules (comma-separated; repeatable)" );
     ]
   in
   Arg.parse (Arg.align spec) (fun p -> paths := p :: !paths) usage;
   if !list_rules then print_string (Charon_lint.Driver.list_rules_text ())
   else begin
+    let known = Charon_lint.Driver.rule_ids () in
+    (match
+       List.filter (fun id -> not (List.mem id known)) (!only @ !exclude)
+     with
+    | [] -> ()
+    | unknown ->
+        Printf.eprintf "charon-lint: unknown rule%s: %s (see --list-rules)\n"
+          (if List.length unknown > 1 then "s" else "")
+          (String.concat ", " unknown);
+        exit 2);
+    let passes =
+      match !pass with
+      | "syntactic" -> [ Charon_lint.Driver.Syntactic ]
+      | "race" -> [ Charon_lint.Driver.Race ]
+      | _ -> [ Charon_lint.Driver.Syntactic; Charon_lint.Driver.Race ]
+    in
     let paths =
       match List.rev !paths with [] -> [ "lib"; "bin" ] | ps -> ps
     in
-    let result = Charon_lint.Driver.lint ~root:!root ~paths () in
+    let result =
+      Charon_lint.Driver.lint ~passes ~only:!only ~exclude:!exclude
+        ~root:!root ~paths ()
+    in
     if !json then print_endline (Charon_lint.Driver.render_json result)
     else
       print_string

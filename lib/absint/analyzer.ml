@@ -3,14 +3,14 @@ open Domains
 
 type verdict = Verified | Unknown
 
-(* Discipline: a [stats] record is created per analysis call and only
-   ever mutated by the domain running that call; it is never shared. *)
+(* A [stats] record is created per analysis call and only ever mutated
+   by the domain running that call; it is never shared. *)
 type stats = {
   mutable peak_disjuncts : int;
   mutable peak_generators : int;
   mutable transformer_calls : int;
 }
-[@@lint.allow "domain-unsafe-global"]
+[@@race.domain_local]
 
 let fresh_stats () =
   { peak_disjuncts = 0; peak_generators = 0; transformer_calls = 0 }

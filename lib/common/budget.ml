@@ -2,7 +2,7 @@
    pieces are atomics: [spend] and [exhausted] may be called from any
    domain concurrently.
 
-   Discipline (lock-free by design, hence the lint allow below):
+   Lock-free by design:
    - [used] and [polls] are only ever fetch_and_add'ed — no
      read-modify-write cycles that could lose updates;
    - [expired] is sticky: it transitions false -> true exactly once and
@@ -16,7 +16,7 @@ type t = {
   polls : int Atomic.t;  (** wall-clock polls since creation *)
   expired : bool Atomic.t;  (** sticky once the deadline passes *)
 }
-[@@lint.allow "domain-unsafe-global"]
+[@@race.atomic]
 
 let now () = Unix.gettimeofday ()
 

@@ -11,10 +11,7 @@
    can be read without the lock (status polls never contend with
    workers).  This module deliberately knows nothing about telemetry:
    callers that want named counters mirror events from the return values
-   ([get]'s option, [put]'s eviction flag).
-
-   Discipline: every mutable field (list links, table, front/back) is
-   only touched with [mutex] held. *)
+   ([get]'s option, [put]'s eviction flag). *)
 
 type 'a entry = {
   key : string;
@@ -22,7 +19,7 @@ type 'a entry = {
   mutable prev : 'a entry option;  (* toward the front (most recent) *)
   mutable next : 'a entry option;  (* toward the back (eviction end) *)
 }
-[@@lint.allow "domain-unsafe-global"]
+[@@race.guarded_by "mutex"]
 
 type 'a t = {
   mutex : Mutex.t;
@@ -34,7 +31,7 @@ type 'a t = {
   misses : int Atomic.t;
   evictions : int Atomic.t;
 }
-[@@lint.allow "domain-unsafe-global"]
+[@@race.guarded_by "mutex"]
 
 let create ?(capacity = 256) () =
   if capacity < 1 then invalid_arg "Lru.create: capacity must be positive";
@@ -64,12 +61,14 @@ let unlink t e =
   | None -> t.back <- e.prev);
   e.prev <- None;
   e.next <- None
+[@@race.locked "mutex"]
 
 let push_front t e =
   e.prev <- None;
   e.next <- t.front;
   (match t.front with Some f -> f.prev <- Some e | None -> t.back <- Some e);
   t.front <- Some e
+[@@race.locked "mutex"]
 
 let get t k =
   with_lock t (fun () ->

@@ -1,13 +1,13 @@
 (* Array-backed binary min-heap.
 
-   Discipline: unsynchronized by design — this is the sequential
-   verifier's frontier; the parallel path uses [Parallel.Wqueue]
-   (mutex/condition guarded) instead.  Never share one across domains. *)
+   Unsynchronized by design — this is the sequential verifier's
+   frontier; the parallel path uses [Parallel.Wqueue] (mutex/condition
+   guarded) instead.  Never share one across domains. *)
 type 'a t = {
   mutable data : (float * 'a) array;  (** slots [0, size) are live *)
   mutable size : int;
 }
-[@@lint.allow "domain-unsafe-global"]
+[@@race.domain_local]
 
 let create () = { data = [||]; size = 0 }
 

@@ -1,9 +1,7 @@
 type entry = { property : Property.t; network : string option }
 
-(* Partially parsed record fields.
-
-   Discipline: a [draft] lives only inside one [parse] call on one
-   domain; it never escapes the parser. *)
+(* Partially parsed record fields.  A [draft] lives only inside one
+   [parse] call on one domain; it never escapes the parser. *)
 type draft = {
   mutable name : string option;
   mutable network : string option;
@@ -12,7 +10,7 @@ type draft = {
   mutable center : Linalg.Vec.t option;
   mutable radius : float option;
 }
-[@@lint.allow "domain-unsafe-global"]
+[@@race.domain_local]
 
 let fresh () =
   { name = None; network = None; target = None; box = None; center = None;

@@ -37,7 +37,7 @@ type t = {
   path : string option;
   loaded : int;
 }
-[@@lint.allow "domain-unsafe-global"]
+[@@race.guarded_by "io_mutex"]
 
 let c_lookups = Telemetry.Metrics.counter "proofcache.lookups"
 

@@ -43,9 +43,7 @@ type report = {
    atomics and the per-domain-spec histogram hides behind a mutex.  In
    the sequential (workers = 1) case the atomics are uncontended and the
    numbers are bit-for-bit what the old mutable-record code produced.
-
-   Discipline: never read [domains] without holding [domains_mutex];
-   the atomics are updated with fetch_and_add / [atomic_max] only. *)
+   The atomics are updated with fetch_and_add / [atomic_max] only. *)
 type counters = {
   nodes : int Atomic.t;
   analyze_calls : int Atomic.t;
@@ -58,7 +56,7 @@ type counters = {
   domains_mutex : Mutex.t;
   domains : (Domain.spec, int) Hashtbl.t;
 }
-[@@lint.allow "domain-unsafe-global"]
+[@@race.guarded_by "domains_mutex"]
 
 let rec atomic_max a v =
   let cur = Atomic.get a in
@@ -100,7 +98,7 @@ type pnode = {
   pending : int Atomic.t;
   parent : pnode option;
 }
-[@@lint.allow "domain-unsafe-global"]
+[@@race.atomic]
 
 let rec subtree_proved cache = function
   | None -> ()

@@ -176,7 +176,7 @@ let attack_grid =
     (0.70, 0.50);
     (0.80, 0.25);
   |]
-[@@lint.allow "domain-unsafe-global"]
+[@@race.read_only]
 
 let properties ~seed entry ~count =
   if count <= 0 then invalid_arg "Suite.properties: count <= 0";

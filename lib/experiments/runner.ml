@@ -56,7 +56,9 @@ let run_suite ?(progress = fun _ -> ()) ?(jobs = 1) ~seed ~timeout tools
       instances
   else begin
     let instances = Array.of_list instances in
-    let results = Array.make (Array.length instances) None in
+    (* Each worker writes only its own index, so the slots are
+       domain-disjoint by construction. *)
+    let results = (Array.make (Array.length instances) None [@race.domain_local]) in
     let progress_mutex = Mutex.create () in
     Parallel.Pool.iter ~workers:jobs (Array.length instances) (fun i ->
         let result = execute instances.(i) in

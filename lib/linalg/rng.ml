@@ -1,6 +1,6 @@
-(* Discipline: one stream per owner — parallel workers get their own
-   stream via [split] at push time and never touch the parent's. *)
-type t = { mutable state : int64 } [@@lint.allow "domain-unsafe-global"]
+(* One stream per owner — parallel workers get their own stream via
+   [split] at push time and never touch the parent's. *)
+type t = { mutable state : int64 } [@@race.domain_local]
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 

@@ -29,14 +29,14 @@ let max_pooled_words = 1 lsl 20
 
 let max_per_size = 4
 
-(* Discipline: per-domain via [Domain.DLS]; [free], [words] and the
-   hashtable are touched only by the owning domain. *)
+(* Per-domain via [Domain.DLS]; [free], [words] and the hashtable are
+   touched only by the owning domain. *)
 type arena = {
   free : (int, float array list) Hashtbl.t;
   mutable words : int;  (* total floats allocated by this arena *)
   mutable borrows : int;
 }
-[@@lint.allow "domain-unsafe-global"]
+[@@race.domain_local]
 
 let arena_key =
   Domain.DLS.new_key (fun () ->
@@ -45,11 +45,11 @@ let arena_key =
 (* Global footprint accounting.  [global_words] sums every arena's
    allocation; [highwater] is its CAS-max.  The telemetry counter
    mirrors the high-water mark by adding only the winning delta, so
-   [Metrics.value c_highwater] equals the mark when telemetry is on.
-   Discipline: atomics only, updated on the (rare) allocation path. *)
-let global_words = Atomic.make 0 [@@lint.allow "domain-unsafe-global"]
+   [Metrics.value c_highwater] equals the mark when telemetry is on;
+   both are updated on the (rare) allocation path only. *)
+let global_words = Atomic.make 0 [@@race.atomic]
 
-let highwater = Atomic.make 0 [@@lint.allow "domain-unsafe-global"]
+let highwater = Atomic.make 0 [@@race.atomic]
 
 let c_highwater = Telemetry.Metrics.counter "kernel.scratch.highwater_words"
 

@@ -1,0 +1,231 @@
+open Parsetree
+
+let rec ident_path (li : Longident.t) =
+  match li with
+  | Lident s -> Some [ s ]
+  | Ldot (p, s) -> Option.map (fun l -> l @ [ s ]) (ident_path p)
+  | Lapply _ -> None
+
+let norm = function "Stdlib" :: rest -> rest | p -> p
+
+let path_of_expr e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Option.map norm (ident_path txt)
+  | _ -> None
+
+let iter_exprs str f =
+  let super = Ast_iterator.default_iterator in
+  let it =
+    {
+      super with
+      Ast_iterator.expr =
+        (fun self e ->
+          f e;
+          super.expr self e);
+    }
+  in
+  it.structure it str
+
+let iter_expr e f =
+  let super = Ast_iterator.default_iterator in
+  let it =
+    {
+      super with
+      Ast_iterator.expr =
+        (fun self e ->
+          f e;
+          super.expr self e);
+    }
+  in
+  it.expr it e
+
+(* One-level traversal: the collecting callback deliberately does not
+   recurse, so running the default iterator on the node yields exactly
+   its immediate subexpressions (through cases, bindings, etc.). *)
+let child_exprs e f =
+  let super = Ast_iterator.default_iterator in
+  let it = { super with Ast_iterator.expr = (fun _self c -> f c) } in
+  super.expr it e
+
+let rec peel_constraint e =
+  match e.pexp_desc with
+  | Pexp_constraint (inner, _) -> peel_constraint inner
+  | _ -> e
+
+let mutable_makers =
+  [
+    ([ "ref" ], "ref cell");
+    ([ "Hashtbl"; "create" ], "Hashtbl");
+    ([ "Array"; "make" ], "array");
+    ([ "Array"; "init" ], "array");
+    ([ "Array"; "create_float" ], "array");
+    ([ "Array"; "make_matrix" ], "array");
+    ([ "Array"; "of_list" ], "array");
+    ([ "Array"; "copy" ], "array");
+    ([ "Bytes"; "create" ], "bytes");
+    ([ "Bytes"; "make" ], "bytes");
+    ([ "Buffer"; "create" ], "Buffer");
+    ([ "Queue"; "create" ], "Queue");
+    ([ "Stack"; "create" ], "Stack");
+    ([ "Atomic"; "make" ], "atomic");
+    ([ "Dynarray"; "create" ], "Dynarray");
+    ([ "Weak"; "create" ], "weak array");
+  ]
+
+let mutable_maker e =
+  let e = peel_constraint e in
+  match e.pexp_desc with
+  | Pexp_apply (f, _) ->
+      Option.bind (path_of_expr f) (fun p -> List.assoc_opt p mutable_makers)
+  | Pexp_array _ -> Some "array literal"
+  | Pexp_lazy _ -> Some "lazy thunk (forcing races under domains)"
+  | Pexp_record (fields, _)
+    when List.exists
+           (fun (_, v) ->
+             match (peel_constraint v).pexp_desc with
+             | Pexp_apply (f, _) -> (
+                 match path_of_expr f with
+                 | Some [ "ref" ] -> true
+                 | _ -> false)
+             | _ -> false)
+           fields ->
+      Some "record carrying ref cells"
+  | _ -> None
+
+let mutable_type_paths =
+  [
+    [ "ref" ]; [ "Atomic"; "t" ]; [ "Hashtbl"; "t" ]; [ "Buffer"; "t" ];
+    [ "Queue"; "t" ]; [ "Stack"; "t" ]; [ "Dynarray"; "t" ]; [ "Weak"; "t" ];
+    [ "bytes" ];
+  ]
+
+let rec mutable_core_type ct =
+  match ct.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, args) ->
+      (match Option.map norm (ident_path txt) with
+      | Some p when List.mem p mutable_type_paths -> true
+      | _ -> false)
+      || List.exists mutable_core_type args
+  | _ -> false
+
+let mutable_paths_of_core_type ct =
+  let acc = ref [] in
+  let rec go ct =
+    match ct.ptyp_desc with
+    | Ptyp_constr ({ txt; _ }, args) ->
+        (match Option.map norm (ident_path txt) with
+        | Some p when List.mem p mutable_type_paths -> acc := p :: !acc
+        | _ -> ());
+        List.iter go args
+    | Ptyp_arrow (_, a, b) ->
+        go a;
+        go b
+    | Ptyp_tuple ts -> List.iter go ts
+    | _ -> ()
+  in
+  go ct;
+  !acc
+
+let shared_mutable_fields decl =
+  match decl.ptype_kind with
+  | Ptype_record labels ->
+      List.filter_map
+        (fun l ->
+          if l.pld_mutable = Asttypes.Mutable then
+            Some (l.pld_name.txt, "mutable")
+          else if mutable_core_type l.pld_type then
+            Some (l.pld_name.txt, "shared")
+          else None)
+        labels
+  | _ -> (
+      match decl.ptype_manifest with
+      | Some ct when mutable_core_type ct -> [ (decl.ptype_name.txt, "shared") ]
+      | _ -> [])
+
+let pat_vars p =
+  let acc = ref [] in
+  let rec go p =
+    match p.ppat_desc with
+    | Ppat_var { txt; _ } -> acc := txt :: !acc
+    | Ppat_alias (p, { txt; _ }) ->
+        acc := txt :: !acc;
+        go p
+    | Ppat_constraint (p, _) | Ppat_lazy p | Ppat_exception p | Ppat_open (_, p)
+      ->
+        go p
+    | Ppat_tuple ps | Ppat_array ps -> List.iter go ps
+    | Ppat_construct (_, Some (_, p)) | Ppat_variant (_, Some p) -> go p
+    | Ppat_record (fields, _) -> List.iter (fun (_, p) -> go p) fields
+    | Ppat_or (a, b) ->
+        go a;
+        go b
+    | _ -> ()
+  in
+  go p;
+  !acc
+
+let fun_params e =
+  let rec go acc e =
+    match e.pexp_desc with
+    | Pexp_fun (_, _, pat, body) -> go (List.rev_append (pat_vars pat) acc) body
+    | Pexp_newtype (_, body) -> go acc body
+    | Pexp_constraint (body, _) -> go acc body
+    | _ -> (List.rev acc, e)
+  in
+  go [] e
+
+let is_function_expr e =
+  match (peel_constraint e).pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | _ -> false
+
+(* Stdlib entry points that mutate their main argument.  Any positional
+   identifier argument counts as a potential target, which
+   over-approximates ([Array.blit src ... dst ...] marks both) but
+   never misses the mutated one. *)
+let mutator_names =
+  [
+    ("Array", [ "set"; "fill"; "blit"; "sort"; "unsafe_set" ]);
+    ( "Hashtbl",
+      [ "add"; "replace"; "remove"; "reset"; "clear"; "filter_map_inplace" ] );
+    ("Bytes", [ "set"; "fill"; "blit"; "blit_string"; "unsafe_set" ]);
+    ( "Buffer",
+      [
+        "add_string"; "add_char"; "add_bytes"; "add_substring"; "add_buffer";
+        "add_subbytes"; "clear"; "reset"; "truncate";
+      ] );
+    ("Queue", [ "add"; "push"; "pop"; "take"; "clear"; "transfer" ]);
+    ("Stack", [ "push"; "pop"; "clear" ]);
+    ("Dynarray", [ "add_last"; "set"; "remove_last"; "clear"; "append" ]);
+    ("Weak", [ "set"; "fill"; "blit" ]);
+  ]
+
+let mutator_path = function
+  | [ m; f ] -> (
+      match List.assoc_opt m mutator_names with
+      | Some fns -> List.mem f fns
+      | None -> false)
+  | [ ("incr" | "decr") ] -> true
+  | _ -> false
+
+let rec access_path e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } ->
+      Option.map (fun p -> String.concat "." p) (Option.map norm (ident_path txt))
+  | Pexp_field (inner, { txt; _ }) -> (
+      match (access_path inner, ident_path txt) with
+      | Some base, Some p ->
+          Some (base ^ "." ^ List.nth p (List.length p - 1))
+      | _ -> None)
+  | Pexp_constraint (inner, _) -> access_path inner
+  | _ -> None
+
+let last_seg s =
+  match String.rindex_opt s '.' with
+  | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+  | None -> s
+
+let has_race_attr attrs =
+  List.exists
+    (fun (a : attribute) -> String.starts_with ~prefix:"race." a.attr_name.txt)
+    attrs

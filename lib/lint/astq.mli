@@ -1,0 +1,78 @@
+(** Shared parsetree query helpers for the syntactic rules and the
+    interprocedural race pass.
+
+    Everything here is purely syntactic: the linter runs without the
+    typer, so these helpers answer "what does the source say", never
+    "what is the type". *)
+
+(** [Longident.flatten] is fatal on [Lapply]; this version is total. *)
+val ident_path : Longident.t -> string list option
+
+(** Drop a leading ["Stdlib"], so [Stdlib.compare] and [compare] are
+    treated alike. *)
+val norm : string list -> string list
+
+(** The (normalised) path of an identifier expression, if it is one. *)
+val path_of_expr : Parsetree.expression -> string list option
+
+(** Call [f] on every expression node of a structure (resp. of an
+    expression, the node itself included). *)
+val iter_exprs : Parsetree.structure -> (Parsetree.expression -> unit) -> unit
+
+val iter_expr : Parsetree.expression -> (Parsetree.expression -> unit) -> unit
+
+(** Call [f] on every expression that is an immediate child of the
+    given node (its subexpressions, case bodies, binding bodies, ...),
+    without recursing further. *)
+val child_exprs : Parsetree.expression -> (Parsetree.expression -> unit) -> unit
+
+(** Strip [Pexp_constraint] wrappers. *)
+val peel_constraint : Parsetree.expression -> Parsetree.expression
+
+(** Allocation sites of shared-mutable values, as (path, description)
+    pairs: [ref], [Hashtbl.create], [Array.make], ... *)
+val mutable_makers : (string list * string) list
+
+(** [Some description] when the expression (constraints peeled)
+    allocates shared-mutable state: an application of one of
+    [mutable_makers], an array literal, a lazy thunk, or a record
+    literal carrying ref cells. *)
+val mutable_maker : Parsetree.expression -> string option
+
+(** Type constructors whose values are shared-mutable. *)
+val mutable_type_paths : string list list
+
+(** The type mentions one of [mutable_type_paths], at any depth. *)
+val mutable_core_type : Parsetree.core_type -> bool
+
+(** Every [mutable_type_paths] constructor mentioned in the type. *)
+val mutable_paths_of_core_type : Parsetree.core_type -> string list list
+
+(** Fields (or the manifest) making a type declaration shared-mutable:
+    [(name, "mutable" | "shared")]. *)
+val shared_mutable_fields :
+  Parsetree.type_declaration -> (string * string) list
+
+(** The variables bound by a pattern. *)
+val pat_vars : Parsetree.pattern -> string list
+
+(** Peel the [fun p1 ... pn ->] chain of a binding body: the bound
+    parameter names and the inner body. *)
+val fun_params : Parsetree.expression -> string list * Parsetree.expression
+
+(** The expression (constraints peeled) is a [fun]/[function] literal. *)
+val is_function_expr : Parsetree.expression -> bool
+
+(** Head paths of stdlib calls that mutate a positional argument:
+    [Array.set], [Hashtbl.replace], [incr], ... *)
+val mutator_path : string list -> bool
+
+(** The dotted source path of an identifier-or-field-projection chain
+    ([x], [t.mutex], [state.sink.oc]), if the expression is one. *)
+val access_path : Parsetree.expression -> string option
+
+(** Last ['.']-separated segment of a dotted path string. *)
+val last_seg : string -> string
+
+(** The attribute list carries some [[@race.*]] annotation. *)
+val has_race_attr : Parsetree.attributes -> bool

@@ -1,3 +1,5 @@
+type pass = Syntactic | Race
+
 type result = {
   files_scanned : int;
   findings : Diagnostic.t list;
@@ -57,43 +59,82 @@ let first_segment path =
   | Some i -> String.sub path 0 i
   | None -> path
 
-let lint ?(parallel_roots = [ "parallel" ])
+let rule_ids () = List.map (fun r -> r.Rules.id) Rules.all @ Race.rule_ids
+
+let lint ?(passes = [ Syntactic; Race ]) ?(only = []) ?(exclude = [])
+    ?(parallel_roots = [ "parallel" ])
     ?(unsafe_allowlist = [ "lib/linalg/mat.ml" ]) ~root ~paths () =
+  let selected id =
+    (match only with [] -> true | l -> List.mem id l)
+    && not (List.mem id exclude)
+  in
   let libs = Deps.scan ~root ~paths in
   let reachable = Deps.parallel_reachable libs ~roots:parallel_roots in
   let files = collect_ml_files ~root ~paths in
+  let errors = ref [] in
+  (* Parse once; both passes (and the suppression spans) share the
+     trees. *)
+  let parsed =
+    List.filter_map
+      (fun (full, rel) ->
+        match read_file full with
+        | None ->
+            errors := (rel, "unreadable") :: !errors;
+            None
+        | Some src -> (
+            match parse_impl ~path:rel src with
+            | Error msg ->
+                errors := (rel, msg) :: !errors;
+                None
+            | Ok str -> Some (rel, str)))
+      files
+  in
+  let raw = ref [] in
+  if List.mem Syntactic passes then
+    List.iter
+      (fun (rel, str) ->
+        let ctx =
+          {
+            Rules.file = rel;
+            in_lib = String.equal (first_segment rel) "lib";
+            parallel_reachable =
+              (match Deps.lib_of_file libs rel with
+              | Some l -> reachable l.Deps.name
+              | None -> false);
+            unsafe_allowlist;
+          }
+        in
+        List.iter
+          (fun (r : Rules.rule) ->
+            if selected r.Rules.id then raw := r.Rules.check ctx str @ !raw)
+          Rules.all)
+      parsed;
+  if List.mem Race passes && List.exists selected Race.rule_ids then
+    raw :=
+      List.filter
+        (fun (d : Diagnostic.t) -> selected d.Diagnostic.rule)
+        (Race.analyze ~files:parsed ~libs ~parallel_reachable:reachable)
+      @ !raw;
+  let spans =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (rel, str) -> Hashtbl.replace tbl rel (Suppress.collect str))
+      parsed;
+    tbl
+  in
   let findings = ref [] in
   let suppressed = ref [] in
-  let errors = ref [] in
   List.iter
-    (fun (full, rel) ->
-      match read_file full with
-      | None -> errors := (rel, "unreadable") :: !errors
-      | Some src -> (
-          match parse_impl ~path:rel src with
-          | Error msg -> errors := (rel, msg) :: !errors
-          | Ok str ->
-              let ctx =
-                {
-                  Rules.file = rel;
-                  in_lib = String.equal (first_segment rel) "lib";
-                  parallel_reachable =
-                    (match Deps.lib_of_file libs rel with
-                    | Some l -> reachable l.Deps.name
-                    | None -> false);
-                  unsafe_allowlist;
-                }
-              in
-              let spans = Suppress.collect str in
-              List.iter
-                (fun (d : Diagnostic.t) ->
-                  if
-                    Suppress.is_suppressed spans ~rule:d.Diagnostic.rule
-                      ~line:d.Diagnostic.line
-                  then suppressed := d :: !suppressed
-                  else findings := d :: !findings)
-                (Rules.check_all ctx str)))
-    files;
+    (fun (d : Diagnostic.t) ->
+      let file_spans =
+        Option.value ~default:[] (Hashtbl.find_opt spans d.Diagnostic.file)
+      in
+      if
+        Suppress.is_suppressed file_spans ~rule:d.Diagnostic.rule
+          ~line:d.Diagnostic.line
+      then suppressed := d :: !suppressed
+      else findings := d :: !findings)
+    !raw;
   {
     files_scanned = List.length files;
     findings = List.sort Diagnostic.order !findings;
@@ -169,6 +210,10 @@ let list_rules_text () =
   List.iter
     (fun (r : Rules.rule) ->
       Buffer.add_string buf
-        (Printf.sprintf "%-21s %s\n" r.Rules.id r.Rules.summary))
+        (Printf.sprintf "%-22s %s\n" r.Rules.id r.Rules.summary))
     Rules.all;
+  List.iter
+    (fun (id, summary) ->
+      Buffer.add_string buf (Printf.sprintf "%-22s %s\n" id summary))
+    Race.rules;
   Buffer.contents buf

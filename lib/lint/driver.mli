@@ -1,10 +1,14 @@
 (** The linter driver: walk the tree, parse every [.ml] with
-    compiler-libs, run the rule registry, apply [[@lint.allow]]
-    suppression, and render the result.
+    compiler-libs (once — the passes share the trees), run the selected
+    passes, apply [[@lint.allow]] suppression, and render the result.
 
     The driver never prints — it returns strings — so library code
     stays clean under its own [printf-in-lib] rule; [bin/lint.exe] does
     the printing and owns the exit code. *)
+
+(** [Syntactic] runs the per-file rules of {!Rules.all}; [Race] runs the
+    interprocedural {!Race.analyze} pass over the whole file set. *)
+type pass = Syntactic | Race
 
 type result = {
   files_scanned : int;
@@ -15,14 +19,28 @@ type result = {
       (** files the parser rejected: (path, message) *)
 }
 
+(** Every known rule id, syntactic rules first then race rules, in
+    listing order. *)
+val rule_ids : unit -> string list
+
 (** [lint ~root ~paths ()] lints every [.ml] under the root-relative
     [paths] (files or directories; directories recurse, skipping
-    [_*]/dot entries).  The dune dependency graph is scanned from the
-    same paths; [parallel_roots] (default [["parallel"]]) seeds the
-    reachability analysis of the [domain-unsafe-global] rule, and
-    [unsafe_allowlist] (default [["lib/linalg/mat.ml"]]) names the
-    audited kernels exempt from [unsafe-array]. *)
+    [_*]/dot entries).
+
+    [passes] selects which passes run (default: both).  [only] keeps
+    only the named rules (empty = all); [exclude] then drops the named
+    ones.  The filters apply before the passes run, so a fully
+    filtered-out pass costs nothing.  The dune dependency graph is
+    scanned from the same paths; [parallel_roots] (default
+    [["parallel"]]) seeds the domain-reachability analysis shared by
+    [domain-unsafe-global] and the race pass, and [unsafe_allowlist]
+    (default [["lib/linalg/mat.ml"]]) names the audited kernels exempt
+    from [unsafe-array].  Suppression spans apply to findings from
+    every pass. *)
 val lint :
+  ?passes:pass list ->
+  ?only:string list ->
+  ?exclude:string list ->
   ?parallel_roots:string list ->
   ?unsafe_allowlist:string list ->
   root:string ->
@@ -37,6 +55,7 @@ val render_text : ?show_suppressed:bool -> result -> string
     [file], [line], [col], [rule], [message], [hint]. *)
 val render_json : result -> string
 
+(** One line per rule, id then summary, syntactic rules first. *)
 val list_rules_text : unit -> string
 
 (** [true] iff there are neither findings nor parse errors. *)

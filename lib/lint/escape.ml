@@ -1,0 +1,140 @@
+open Parsetree
+
+type hit = { name : string; kind : string; loc : Location.t }
+
+(* Environment: innermost binding first.  [gen] is the number of spawn
+   boundaries enclosing the binding site; a write at a deeper [gen]
+   than its target's crossed a domain boundary. *)
+type entry = { e_name : string; e_kind : string option; e_gen : int }
+
+let lookup env name = List.find_opt (fun e -> String.equal e.e_name name) env
+
+let mask env names gen =
+  List.fold_left
+    (fun env n -> { e_name = n; e_kind = None; e_gen = gen } :: env)
+    env names
+
+let check body =
+  let hits = ref [] in
+  (* Local identifiers handed by name to a spawn point anywhere in this
+     binding: their defining closures run on other domains. *)
+  let spawned_names = ref [] in
+  Astq.iter_expr body (fun e ->
+      match e.pexp_desc with
+      | Pexp_apply (head, args)
+        when (match Astq.path_of_expr head with
+             | Some p -> Callgraph.spawn_head p
+             | None -> false) ->
+          List.iter
+            (fun (_, a) ->
+              match Astq.path_of_expr a with
+              | Some [ x ] -> spawned_names := x :: !spawned_names
+              | _ -> ())
+            args
+      | _ -> ());
+  let spawned_names = !spawned_names in
+  let flag env gen loc name =
+    match lookup env name with
+    | Some { e_kind = Some kind; e_gen; _ } when e_gen < gen ->
+        hits := { name; kind; loc } :: !hits
+    | _ -> ()
+  in
+  let rec walk env gen e =
+    match e.pexp_desc with
+    | Pexp_let (rf, vbs, inner) ->
+        let names = List.concat_map (fun vb -> Astq.pat_vars vb.pvb_pat) vbs in
+        let rhs_env =
+          match rf with
+          | Asttypes.Recursive -> mask env names gen
+          | Asttypes.Nonrecursive -> env
+        in
+        let env' =
+          List.fold_left
+            (fun env' vb ->
+              (* Walk the right-hand side; a let-bound closure that is
+                 later passed to a spawn point is walked as if it were
+                 an inline closure literal at the spawn site. *)
+              let vars = Astq.pat_vars vb.pvb_pat in
+              let body_gen =
+                match vars with
+                | [ n ]
+                  when List.mem n spawned_names && Astq.is_function_expr vb.pvb_expr ->
+                    gen + 1
+                | _ -> gen
+              in
+              walk rhs_env body_gen vb.pvb_expr;
+              match vars with
+              | [ n ] ->
+                  let exempt =
+                    Astq.has_race_attr vb.pvb_attributes
+                    || Astq.has_race_attr vb.pvb_expr.pexp_attributes
+                  in
+                  let kind =
+                    match Astq.mutable_maker vb.pvb_expr with
+                    | Some k when (not exempt) && not (String.equal k "atomic")
+                      ->
+                        Some k
+                    | _ -> None
+                  in
+                  { e_name = n; e_kind = kind; e_gen = gen } :: env'
+              | ns -> mask env' ns gen)
+            env vbs
+        in
+        walk env' gen inner
+    | Pexp_fun (_, default, pat, inner) ->
+        Option.iter (walk env gen) default;
+        walk (mask env (Astq.pat_vars pat) gen) gen inner
+    | Pexp_function cases -> walk_cases env gen cases
+    | Pexp_match (e0, cases) | Pexp_try (e0, cases) ->
+        walk env gen e0;
+        walk_cases env gen cases
+    | Pexp_for (pat, a, b, _, inner) ->
+        walk env gen a;
+        walk env gen b;
+        walk (mask env (Astq.pat_vars pat) gen) gen inner
+    | Pexp_setfield (e0, _, v) ->
+        (match Astq.path_of_expr e0 with
+        | Some [ x ] -> flag env gen e.pexp_loc x
+        | _ -> ());
+        walk env gen e0;
+        walk env gen v
+    | Pexp_apply (head, args) ->
+        let hp = Astq.path_of_expr head in
+        let spawning =
+          match hp with Some p -> Callgraph.spawn_head p | None -> false
+        in
+        (match hp with
+        | Some [ ":=" ] -> (
+            match args with
+            | (_, lhs) :: _ -> (
+                match Astq.path_of_expr lhs with
+                | Some [ x ] -> flag env gen e.pexp_loc x
+                | _ -> ())
+            | [] -> ())
+        | Some p when Astq.mutator_path p ->
+            List.iter
+              (fun (lbl, a) ->
+                match (lbl, Astq.path_of_expr a) with
+                | Asttypes.Nolabel, Some [ x ] -> flag env gen e.pexp_loc x
+                | _ -> ())
+              args
+        | _ -> ());
+        walk env gen head;
+        List.iter
+          (fun (_, a) ->
+            if spawning && Astq.is_function_expr a then
+              (* The closure literal crosses a domain boundary. *)
+              walk env (gen + 1) a
+            else walk env gen a)
+          args
+    | _ -> Astq.child_exprs e (walk env gen)
+  and walk_cases env gen cases =
+    List.iter
+      (fun c ->
+        let env' = mask env (Astq.pat_vars c.pc_lhs) gen in
+        Option.iter (walk env' gen) c.pc_guard;
+        walk env' gen c.pc_rhs)
+      cases
+  in
+  walk [] 0 body;
+  List.rev !hits

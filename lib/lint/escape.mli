@@ -1,0 +1,28 @@
+(** Captured-escape analysis for one toplevel binding.
+
+    A local mutable value ([ref], array, [Hashtbl], ...) defined
+    *outside* a closure that is handed to a parallel entry point
+    ([Domain.spawn], [Pool.run], [Pool.iter], [Kpool.run]) but written
+    *inside* it is shared between domains without any discipline the
+    checker can see.  [check] finds such writes.
+
+    Approximations: writes through further function calls are not
+    followed (the analysis is per-binding), reads are not flagged (a
+    racy read needs a concurrent write, which is the flagged side), and
+    function parameters are not tracked — a caller passing shared state
+    in is responsible at its own allocation site.  Locals carrying any
+    [[@race.*]] attribute (on the binding or its right-hand side) are
+    exempt: the annotation states the discipline, e.g.
+    [@race.domain_local] for arrays written at disjoint indices.
+    [Atomic.make] locals are always safe and never flagged. *)
+
+type hit = {
+  name : string;  (** the captured local *)
+  kind : string;  (** what it is: "ref cell", "array", ... *)
+  loc : Location.t;  (** the offending write *)
+}
+
+(** [check body] analyses the body of one toplevel binding, following
+    locally [let]-bound closures that are passed by name to a spawn
+    point as if they were inline closure literals. *)
+val check : Parsetree.expression -> hit list

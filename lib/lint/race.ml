@@ -1,0 +1,601 @@
+open Parsetree
+
+let rules =
+  [
+    ( "race-unguarded-global",
+      "mutable global accessed from domain-reachable code without a declared \
+       discipline" );
+    ( "race-wrong-mutex",
+      "access to [@race.guarded_by] state without holding the named mutex" );
+    ( "race-captured-escape",
+      "local mutable state captured and written across a domain boundary" );
+    ( "race-locked-caller",
+      "call to a [@race.locked] function without holding its mutex" );
+    ( "race-bad-annotation",
+      "malformed or unverifiable [@race.*] annotation" );
+  ]
+
+let rule_ids = List.map fst rules
+
+let annot_hint =
+  "see the [@race.*] annotation table in docs/lint.md (Interprocedural \
+   passes)"
+
+(* ------------------------------------------------------------------ *)
+(* Annotations. *)
+
+type ann = Guarded_by of string | Atomic | Domain_local | Read_only
+
+type parsed = {
+  ann : ann option;
+  locked : string option;
+  bad : (Location.t * string) list;
+}
+
+let string_payload (a : attribute) =
+  match a.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+(* [kinds] restricts which annotations make sense at this position
+   (e.g. [@race.locked] only on bindings, [@race.read_only] not on
+   type declarations). *)
+let parse_attrs ~kinds attrs =
+  let ann = ref None and locked = ref None and bad = ref [] in
+  let reject loc msg = bad := (loc, msg) :: !bad in
+  List.iter
+    (fun (a : attribute) ->
+      let name = a.attr_name.txt in
+      if String.starts_with ~prefix:"race." name then begin
+        let sub = String.sub name 5 (String.length name - 5) in
+        let loc = a.attr_name.loc in
+        if not (List.mem sub kinds) then
+          reject loc
+            (Printf.sprintf "[@race.%s] does not apply to this position" sub)
+        else
+          match sub with
+          | "guarded_by" -> (
+              match string_payload a with
+              | Some g -> ann := Some (Guarded_by g)
+              | None ->
+                  reject loc
+                    "[@race.guarded_by] needs a string payload naming the \
+                     mutex")
+          | "atomic" -> ann := Some Atomic
+          | "domain_local" -> ann := Some Domain_local
+          | "read_only" -> ann := Some Read_only
+          | "locked" -> (
+              match string_payload a with
+              | Some g -> locked := Some g
+              | None ->
+                  reject loc
+                    "[@race.locked] needs a string payload naming the mutex \
+                     the caller must hold")
+          | _ ->
+              reject loc
+                (Printf.sprintf
+                   "unknown annotation [@race.%s] (known: guarded_by, atomic, \
+                    domain_local, read_only, locked)"
+                   sub)
+      end)
+    attrs;
+  { ann = !ann; locked = !locked; bad = !bad }
+
+let binding_kinds =
+  [ "guarded_by"; "atomic"; "domain_local"; "read_only"; "locked" ]
+
+let type_kinds = [ "guarded_by"; "atomic"; "domain_local" ]
+
+let field_kinds = [ "guarded_by"; "atomic"; "domain_local" ]
+
+(* ------------------------------------------------------------------ *)
+(* Lock acquisitions. *)
+
+let positional args =
+  List.filter_map
+    (fun (l, a) -> match l with Asttypes.Nolabel -> Some a | _ -> None)
+    args
+
+(* Mutexes this expression acquires directly, as dotted source paths
+   ("registry_mutex", "t.mutex"). *)
+let direct_acqs body =
+  let acc = ref [] in
+  Astq.iter_expr body (fun e ->
+      match e.pexp_desc with
+      | Pexp_apply (head, args) -> (
+          match (Astq.path_of_expr head, positional args) with
+          | Some [ "Mutex"; ("lock" | "protect") ], m :: _ ->
+              Option.iter (fun p -> acc := p :: !acc) (Astq.access_path m)
+          | Some [ "Condition"; "wait" ], _ :: m :: _ ->
+              Option.iter (fun p -> acc := p :: !acc) (Astq.access_path m)
+          | _ -> ())
+      | _ -> ());
+  List.sort_uniq String.compare !acc
+
+(* A lock wrapper ([with_lock t f] and friends): acquires a mutex and
+   runs a function parameter inside.  Callers of a wrapper inherit its
+   acquisitions; the parameter is recognised either as the head of an
+   application or as a positional argument to [Fun.protect]. *)
+let applies_param body params =
+  let found = ref false in
+  Astq.iter_expr body (fun e ->
+      match e.pexp_desc with
+      | Pexp_apply (head, args) -> (
+          match Astq.path_of_expr head with
+          | Some [ p ] when List.mem p params -> found := true
+          | Some [ "Fun"; "protect" ] ->
+              if
+                List.exists
+                  (fun a ->
+                    match Astq.path_of_expr a with
+                    | Some [ p ] -> List.mem p params
+                    | _ -> false)
+                  (positional args)
+              then found := true
+          | _ -> ())
+      | _ -> ());
+  !found
+
+(* Guard names are matched by dotted-path suffix: the type-level guard
+   "mutex" matches an acquisition of "t.mutex" or "team.mutex".  This
+   deliberately conflates same-named mutexes of different values — the
+   per-file, per-record naming in this repo keeps that unambiguous, and
+   docs/lint.md lists it as a known approximation. *)
+let guard_matches ~guard a =
+  String.equal guard a || String.equal (Astq.last_seg guard) (Astq.last_seg a)
+
+(* ------------------------------------------------------------------ *)
+(* The analysis. *)
+
+type dinfo = {
+  d : Callgraph.decl;
+  acqs : string list;  (** direct acquisitions of the body *)
+  wrapper : bool;
+  ann : ann option;
+  locked : string option;
+  kind : string option;  (** [mutable_maker] description of the RHS *)
+}
+
+let analyze ~files ~libs ~parallel_reachable =
+  let cg = Callgraph.build ~files ~libs in
+  let out = ref [] in
+  let emit ~rule ~file ~loc ~message ~hint =
+    out := Diagnostic.make ~rule ~file ~loc ~message ~hint :: !out
+  in
+  let bad_annot ~file (loc, message) =
+    emit ~rule:"race-bad-annotation" ~file ~loc ~message ~hint:annot_hint
+  in
+  let lib_reachable =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (file, _) ->
+        Hashtbl.replace tbl file
+          (match Deps.lib_of_file libs file with
+          | Some l -> parallel_reachable l.Deps.name
+          | None -> false))
+      files;
+    fun file -> Option.value ~default:false (Hashtbl.find_opt tbl file)
+  in
+  (* Per-binding info: annotations, acquisitions, wrapper-ness. *)
+  let dinfos =
+    Array.of_list
+      (List.map
+         (fun (d : Callgraph.decl) ->
+           let attrs =
+             d.Callgraph.attrs
+             @ (Astq.peel_constraint d.Callgraph.body).pexp_attributes
+           in
+           let parsed = parse_attrs ~kinds:binding_kinds attrs in
+           List.iter (bad_annot ~file:d.Callgraph.file) parsed.bad;
+           let params, _ = Astq.fun_params d.Callgraph.body in
+           let acqs = direct_acqs d.Callgraph.body in
+           {
+             d;
+             acqs;
+             wrapper =
+               acqs <> [] && params <> [] && applies_param d.Callgraph.body params;
+             ann = parsed.ann;
+             locked = parsed.locked;
+             kind = Astq.mutable_maker d.Callgraph.body;
+           })
+         (Callgraph.decls cg))
+  in
+  (* All mutexes acquired anywhere in a file, to validate that a
+     declared guard is real. *)
+  let file_acqs =
+    let tbl = Hashtbl.create 64 in
+    Array.iter
+      (fun info ->
+        Hashtbl.replace tbl info.d.Callgraph.file
+          (info.acqs
+          @ Option.value ~default:[]
+              (Hashtbl.find_opt tbl info.d.Callgraph.file)))
+      dinfos;
+    tbl
+  in
+  let guard_acquired ~file guard =
+    List.exists
+      (fun a -> guard_matches ~guard a)
+      (Option.value ~default:[] (Hashtbl.find_opt file_acqs file))
+  in
+  let check_guard_real ~file ~loc guard =
+    if not (guard_acquired ~file guard) then
+      bad_annot ~file
+        ( loc,
+          Printf.sprintf
+            "guard %S is never acquired (Mutex.lock/protect, Condition.wait) \
+             in %s"
+            guard file )
+  in
+  (* Binding-level declaration checks. *)
+  Array.iter
+    (fun info ->
+      let file = info.d.Callgraph.file in
+      let loc = info.d.Callgraph.loc in
+      (match info.ann with
+      | Some Atomic -> (
+          match
+            (Astq.peel_constraint info.d.Callgraph.body).pexp_desc
+          with
+          | Pexp_apply (head, _)
+            when Astq.path_of_expr head = Some [ "Atomic"; "make" ] ->
+              ()
+          | _ ->
+              bad_annot ~file
+                ( loc,
+                  "[@race.atomic] on a binding whose right-hand side is not \
+                   Atomic.make" ))
+      | Some (Guarded_by g) -> check_guard_real ~file ~loc g
+      | Some Domain_local | Some Read_only | None -> ());
+      match info.locked with
+      | Some g -> check_guard_real ~file ~loc g
+      | None -> ())
+    dinfos;
+  (* Type declarations: collect guarded fields, validate annotations. *)
+  let guarded_fields_of_file = Hashtbl.create 64 in
+  let atomic_leaf ct =
+    List.for_all
+      (fun p -> p = [ "Atomic"; "t" ])
+      (Astq.mutable_paths_of_core_type ct)
+  in
+  let mentions_atomic ct =
+    List.exists
+      (fun p -> p = [ "Atomic"; "t" ])
+      (Astq.mutable_paths_of_core_type ct)
+  in
+  let process_type ~file (decl : type_declaration) =
+    let parsed = parse_attrs ~kinds:type_kinds decl.ptype_attributes in
+    List.iter (bad_annot ~file) parsed.bad;
+    let fields =
+      match Hashtbl.find_opt guarded_fields_of_file file with
+      | Some tbl -> tbl
+      | None ->
+          let tbl = Hashtbl.create 16 in
+          Hashtbl.add guarded_fields_of_file file tbl;
+          tbl
+    in
+    let add_guard fname guard =
+      Hashtbl.replace fields fname
+        (guard :: Option.value ~default:[] (Hashtbl.find_opt fields fname))
+    in
+    match decl.ptype_kind with
+    | Ptype_record labels ->
+        List.iter
+          (fun l ->
+            let fparsed = parse_attrs ~kinds:field_kinds l.pld_attributes in
+            List.iter (bad_annot ~file) fparsed.bad;
+            let guardable =
+              l.pld_mutable = Asttypes.Mutable || not (atomic_leaf l.pld_type)
+            in
+            match fparsed.ann with
+            | Some (Guarded_by g) ->
+                check_guard_real ~file ~loc:l.pld_loc g;
+                add_guard l.pld_name.txt g
+            | Some Atomic ->
+                if not (mentions_atomic l.pld_type) then
+                  bad_annot ~file
+                    ( l.pld_loc,
+                      Printf.sprintf
+                        "[@race.atomic] field %s has no Atomic.t in its type"
+                        l.pld_name.txt )
+            | Some Domain_local -> ()
+            | Some Read_only | None -> (
+                match parsed.ann with
+                | Some (Guarded_by g) when guardable ->
+                    add_guard l.pld_name.txt g
+                | Some Atomic when guardable ->
+                    bad_annot ~file
+                      ( l.pld_loc,
+                        Printf.sprintf
+                          "field %s of the [@race.atomic] type %s is not \
+                           Atomic-based; guard it with a field-level \
+                           [@race.guarded_by] or make it Atomic"
+                          l.pld_name.txt decl.ptype_name.txt )
+                | _ -> ())
+          )
+          labels;
+        (match parsed.ann with
+        | Some (Guarded_by g) ->
+            check_guard_real ~file ~loc:decl.ptype_loc g
+        | _ -> ())
+    | _ -> (
+        match (parsed.ann, decl.ptype_manifest) with
+        | Some Atomic, Some ct when not (atomic_leaf ct) ->
+            bad_annot ~file
+              ( decl.ptype_loc,
+                Printf.sprintf
+                  "[@race.atomic] type %s has non-Atomic mutable structure"
+                  decl.ptype_name.txt )
+        | Some (Guarded_by _), _ ->
+            bad_annot ~file
+              ( decl.ptype_loc,
+                Printf.sprintf
+                  "[@race.guarded_by] on type %s cannot be checked without \
+                   record fields; annotate the record or the bindings"
+                  decl.ptype_name.txt )
+        | _ -> ())
+  in
+  List.iter
+    (fun (file, str) ->
+      let rec walk_items items =
+        List.iter
+          (fun item ->
+            match item.pstr_desc with
+            | Pstr_type (_, decls) -> List.iter (process_type ~file) decls
+            | Pstr_module mb -> walk_module mb.pmb_expr
+            | Pstr_recmodule mbs ->
+                List.iter (fun mb -> walk_module mb.pmb_expr) mbs
+            | Pstr_include i -> walk_module i.pincl_mod
+            | _ -> ())
+          items
+      and walk_module me =
+        match me.pmod_desc with
+        | Pmod_structure items -> walk_items items
+        | Pmod_constraint (m, _) -> walk_module m
+        | Pmod_functor (_, m) -> walk_module m
+        | _ -> ()
+      in
+      walk_items str)
+    files;
+  (* Effective acquisitions of one binding: its own, those of the lock
+     wrappers it calls, and its [@race.locked] precondition. *)
+  let eff_acqs info =
+    let acc = ref info.acqs in
+    Astq.iter_expr info.d.Callgraph.body (fun e ->
+        match e.pexp_desc with
+        | Pexp_apply (head, _) -> (
+            match Astq.path_of_expr head with
+            | Some p -> (
+                match Callgraph.resolve cg ~file:info.d.Callgraph.file p with
+                | Some callee ->
+                    let ci = dinfos.(callee.Callgraph.did) in
+                    if ci.wrapper then acc := ci.acqs @ !acc
+                | None -> ())
+            | None -> ())
+        | _ -> ());
+    (match info.locked with Some g -> acc := g :: !acc | None -> ());
+    List.sort_uniq String.compare !acc
+  in
+  (* The per-binding access walk. *)
+  let check_decl info =
+    let d = info.d in
+    let file = d.Callgraph.file in
+    let eff = eff_acqs info in
+    let holds guard = List.exists (fun a -> guard_matches ~guard a) eff in
+    let reach_here = Callgraph.reachable cg d in
+    let held_desc =
+      match eff with
+      | [] -> "no mutex is held"
+      | l -> "held: " ^ String.concat ", " l
+    in
+    let guarded_fields = Hashtbl.find_opt guarded_fields_of_file file in
+    let resolve_scoped scope path =
+      match path with
+      | [ x ] when List.mem x scope -> None
+      | _ -> Callgraph.resolve cg ~file path
+    in
+    let check_global loc (g : dinfo) =
+      match g.ann with
+      | Some Atomic | Some Domain_local | Some Read_only -> ()
+      | Some (Guarded_by guard) ->
+          if not (holds guard) then
+            emit ~rule:"race-wrong-mutex" ~file ~loc
+              ~message:
+                (Printf.sprintf
+                   "access to %s ([@race.guarded_by %S]) in a function where \
+                    %s"
+                   g.d.Callgraph.name guard held_desc)
+              ~hint:
+                (Printf.sprintf
+                   "acquire %S on the syntactic path (Mutex.lock/protect or a \
+                    with_lock wrapper), or mark the enclosing function \
+                    [@@race.locked %S]"
+                   guard guard)
+      | None -> (
+          match g.kind with
+          | Some kind
+            when reach_here
+                 && lib_reachable g.d.Callgraph.file
+                 && g.d.Callgraph.did <> d.Callgraph.did ->
+              emit ~rule:"race-unguarded-global" ~file ~loc
+                ~message:
+                  (Printf.sprintf
+                     "mutable global %s (%s, defined in %s) accessed from \
+                      domain-reachable code without a declared discipline"
+                     g.d.Callgraph.name kind g.d.Callgraph.file)
+                ~hint:
+                  "declare the discipline: [@@race.guarded_by \"m\"], \
+                   [@@race.atomic], [@@race.domain_local] or \
+                   [@@race.read_only] (machine-checked by --pass race)"
+          | _ -> ())
+    in
+    let check_field lid loc =
+      match guarded_fields with
+      | None -> ()
+      | Some fields -> (
+          match Astq.ident_path lid with
+          | Some p -> (
+              let fname = List.nth p (List.length p - 1) in
+              match Hashtbl.find_opt fields fname with
+              | Some guards when not (List.exists holds guards) ->
+                  emit ~rule:"race-wrong-mutex" ~file ~loc
+                    ~message:
+                      (Printf.sprintf
+                         "access to guarded field %s ([@race.guarded_by %s]) \
+                          in a function where %s"
+                         fname
+                         (String.concat "/"
+                            (List.map (Printf.sprintf "%S") guards))
+                         held_desc)
+                    ~hint:
+                      "acquire the guard on the syntactic path, or mark the \
+                       enclosing function [@@race.locked \"m\"] if every \
+                       caller holds it"
+              | _ -> ())
+          | None -> ())
+    in
+    let check_readonly_write scope loc a =
+      match Astq.path_of_expr a with
+      | Some path -> (
+          match resolve_scoped scope path with
+          | Some g when dinfos.(g.Callgraph.did).ann = Some Read_only ->
+              emit ~rule:"race-unguarded-global" ~file ~loc
+                ~message:
+                  (Printf.sprintf
+                     "write to %s, which is declared [@race.read_only]"
+                     g.Callgraph.name)
+                ~hint:
+                  "read-only state must be fully initialised at its \
+                   definition; drop the annotation if mutation is intended"
+          | _ -> ())
+      | None -> ()
+    in
+    let rec walk scope sync e =
+      match e.pexp_desc with
+      | Pexp_ident { txt; _ } ->
+          if not sync then (
+            match Option.map Astq.norm (Astq.ident_path txt) with
+            | Some path -> (
+                match resolve_scoped scope path with
+                | Some g -> check_global e.pexp_loc dinfos.(g.Callgraph.did)
+                | None -> ())
+            | None -> ())
+      | Pexp_apply (head, args) ->
+          let hp = Astq.path_of_expr head in
+          (* [@race.locked] preconditions at resolvable call heads. *)
+          (match hp with
+          | Some path -> (
+              match resolve_scoped scope path with
+              | Some callee -> (
+                  match dinfos.(callee.Callgraph.did).locked with
+                  | Some g when not (holds g) ->
+                      emit ~rule:"race-locked-caller" ~file ~loc:head.pexp_loc
+                        ~message:
+                          (Printf.sprintf
+                             "call to %s ([@race.locked %S]) in a function \
+                              where %s"
+                             callee.Callgraph.name g held_desc)
+                        ~hint:
+                          "acquire the mutex before the call, or propagate \
+                           [@@race.locked] to this function if its own \
+                           callers hold it"
+                  | _ -> ())
+              | None -> ())
+          | None -> ());
+          (* Writes to [@race.read_only] state. *)
+          (match hp with
+          | Some p when Astq.mutator_path p ->
+              List.iter
+                (fun a -> check_readonly_write scope a.pexp_loc a)
+                (positional args)
+          | _ -> ());
+          (* Arguments of Mutex/Condition primitives are lock-handle
+             uses, not data accesses — but closure arguments (the body
+             of [Mutex.protect m f]) are still real code. *)
+          let sync_head =
+            match hp with
+            | Some (m :: _ :: _) -> List.mem m [ "Mutex"; "Condition" ]
+            | _ -> false
+          in
+          walk scope sync head;
+          List.iter
+            (fun (_, a) ->
+              walk scope
+                (sync || (sync_head && not (Astq.is_function_expr a)))
+                a)
+            args
+      | Pexp_field (e0, lid) ->
+          if not sync then check_field lid.txt e.pexp_loc;
+          walk scope sync e0
+      | Pexp_setfield (e0, lid, v) ->
+          if not sync then check_field lid.txt e.pexp_loc;
+          check_readonly_write scope e.pexp_loc e0;
+          walk scope sync e0;
+          walk scope sync v
+      | Pexp_let (rf, vbs, inner) ->
+          let names =
+            List.concat_map (fun vb -> Astq.pat_vars vb.pvb_pat) vbs
+          in
+          let rhs_scope =
+            match rf with
+            | Asttypes.Recursive -> names @ scope
+            | Asttypes.Nonrecursive -> scope
+          in
+          List.iter
+            (fun vb ->
+              (* Validate local [@race.*] annotations (the escape pass
+                 honours them as exemptions). *)
+              let parsed =
+                parse_attrs ~kinds:binding_kinds
+                  (vb.pvb_attributes @ vb.pvb_expr.pexp_attributes)
+              in
+              List.iter (bad_annot ~file) parsed.bad;
+              walk rhs_scope sync vb.pvb_expr)
+            vbs;
+          walk (names @ scope) sync inner
+      | Pexp_fun (_, default, pat, inner) ->
+          Option.iter (walk scope sync) default;
+          walk (Astq.pat_vars pat @ scope) sync inner
+      | Pexp_function cases -> walk_cases scope sync cases
+      | Pexp_match (e0, cases) | Pexp_try (e0, cases) ->
+          walk scope sync e0;
+          walk_cases scope sync cases
+      | Pexp_for (pat, a, b, _, inner) ->
+          walk scope sync a;
+          walk scope sync b;
+          walk (Astq.pat_vars pat @ scope) sync inner
+      | _ -> Astq.child_exprs e (walk scope sync)
+    and walk_cases scope sync cases =
+      List.iter
+        (fun c ->
+          let scope' = Astq.pat_vars c.pc_lhs @ scope in
+          Option.iter (walk scope' sync) c.pc_guard;
+          walk scope' sync c.pc_rhs)
+        cases
+    in
+    walk [] false d.Callgraph.body;
+    (* Captured-escape: locals written across a spawn boundary. *)
+    List.iter
+      (fun (h : Escape.hit) ->
+        emit ~rule:"race-captured-escape" ~file ~loc:h.loc
+          ~message:
+            (Printf.sprintf
+               "local %s %s is captured and written inside a closure that \
+                crosses a domain boundary"
+               h.kind h.name)
+          ~hint:
+            "make it an Atomic, allocate it inside the closure, or annotate \
+             the binding [@race.domain_local] when writes are domain-disjoint")
+      (Escape.check d.Callgraph.body)
+  in
+  Array.iter check_decl dinfos;
+  !out

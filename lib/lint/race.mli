@@ -1,0 +1,45 @@
+(** The interprocedural race pass: machine-checks the [[@race.*]]
+    discipline annotations against the whole-repo call graph.
+
+    Annotations (see docs/lint.md for the reference table):
+
+    - [[@@race.guarded_by "m"]] on a toplevel binding, type declaration,
+      or record field: every access must occur in a function that
+      acquires a mutex matching [m] ([Mutex.lock]/[Mutex.protect]/
+      [Condition.wait], directly or through a same-file lock-wrapper
+      like [with_lock]), or that is itself marked [[@@race.locked "m"]].
+      Matching is by dotted-path suffix, so the type-level guard
+      ["mutex"] matches an acquisition of [t.mutex].
+    - [[@@race.atomic]]: the binding's right-hand side must be
+      [Atomic.make] (resp. every shared-mutable field of the type must
+      be [Atomic]-based); accesses are then type-safe by construction.
+    - [[@@race.domain_local]]: the checker trusts the stated
+      confinement (per-domain values, index-disjoint writes) and stops
+      flagging accesses.
+    - [[@@race.read_only]]: immutable after initialisation; syntactic
+      writes anywhere are flagged.
+    - [[@@race.locked "m"]] on a function: declares the precondition
+      "caller holds [m]"; every resolvable call site is checked.
+
+    Rule ids: [race-unguarded-global] (undisciplined mutable global
+    touched by domain-reachable code, or a write to [read_only] state),
+    [race-wrong-mutex] (guarded access without a matching acquisition),
+    [race-captured-escape] (local mutable state written across a spawn
+    boundary), [race-locked-caller] (call to a [locked] function
+    without its mutex), [race-bad-annotation] (malformed or
+    unverifiable annotation). *)
+
+(** (id, summary) for [--list-rules] and the docs-sync test. *)
+val rules : (string * string) list
+
+val rule_ids : string list
+
+(** Analyze every parsed file as one program.  [parallel_reachable]
+    is the dune-graph predicate from {!Deps.parallel_reachable}:
+    undisciplined globals are only flagged in libraries whose code can
+    run on worker domains.  Findings are not suppression-filtered. *)
+val analyze :
+  files:(string * Parsetree.structure) list ->
+  libs:Deps.lib list ->
+  parallel_reachable:(string -> bool) ->
+  Diagnostic.t list

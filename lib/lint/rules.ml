@@ -14,35 +14,15 @@ type rule = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* Shared syntax helpers. *)
+(* Shared syntax helpers live in [Astq] (the race pass uses them too). *)
 
-(* [Longident.flatten] is fatal on [Lapply]; this version is total. *)
-let rec ident_path (li : Longident.t) =
-  match li with
-  | Lident s -> Some [ s ]
-  | Ldot (p, s) -> Option.map (fun l -> l @ [ s ]) (ident_path p)
-  | Lapply _ -> None
+let ident_path = Astq.ident_path
 
-(* Treat [Stdlib.compare] and [compare] alike. *)
-let norm = function "Stdlib" :: rest -> rest | p -> p
+let norm = Astq.norm
 
-let path_of_expr e =
-  match e.pexp_desc with
-  | Pexp_ident { txt; _ } -> Option.map norm (ident_path txt)
-  | _ -> None
+let path_of_expr = Astq.path_of_expr
 
-let iter_exprs str f =
-  let super = Ast_iterator.default_iterator in
-  let it =
-    {
-      super with
-      Ast_iterator.expr =
-        (fun self e ->
-          f e;
-          super.expr self e);
-    }
-  in
-  it.structure it str
+let iter_exprs = Astq.iter_exprs
 
 (* Operators and functions of the stdlib that return float, used to
    decide — without the typer — that an expression is float-valued. *)
@@ -245,80 +225,24 @@ let poly_compare_rule =
    domains.  Atomics are flagged too — not as bugs, but so every piece
    of cross-domain state carries a documented discipline. *)
 
-let mutable_makers =
-  [
-    ([ "ref" ], "ref cell");
-    ([ "Hashtbl"; "create" ], "Hashtbl");
-    ([ "Array"; "make" ], "array");
-    ([ "Array"; "init" ], "array");
-    ([ "Array"; "create_float" ], "array");
-    ([ "Array"; "make_matrix" ], "array");
-    ([ "Array"; "of_list" ], "array");
-    ([ "Array"; "copy" ], "array");
-    ([ "Bytes"; "create" ], "bytes");
-    ([ "Bytes"; "make" ], "bytes");
-    ([ "Buffer"; "create" ], "Buffer");
-    ([ "Queue"; "create" ], "Queue");
-    ([ "Stack"; "create" ], "Stack");
-    ([ "Atomic"; "make" ], "atomic");
-    ([ "Dynarray"; "create" ], "Dynarray");
-    ([ "Weak"; "create" ], "weak array");
-  ]
+let mutable_maker = Astq.mutable_maker
 
-let rec peel_constraint e =
-  match e.pexp_desc with
-  | Pexp_constraint (inner, _) -> peel_constraint inner
-  | _ -> e
+let shared_mutable_fields = Astq.shared_mutable_fields
 
-let mutable_maker e =
-  let e = peel_constraint e in
-  match e.pexp_desc with
-  | Pexp_apply (f, _) ->
-      Option.bind (path_of_expr f) (fun p -> List.assoc_opt p mutable_makers)
-  | Pexp_array _ -> Some "array literal"
-  | Pexp_lazy _ -> Some "lazy thunk (forcing races under domains)"
-  | Pexp_record (fields, _)
-    when List.exists
-           (fun (_, v) ->
-             match (peel_constraint v).pexp_desc with
-             | Pexp_apply (f, _) -> (
-                 match path_of_expr f with
-                 | Some [ "ref" ] -> true
-                 | _ -> false)
-             | _ -> false)
-           fields ->
-      Some "record carrying ref cells"
-  | _ -> None
+(* A declaration carrying any [@race.*] annotation is exempt here: it
+   states a discipline that the interprocedural race pass
+   machine-checks (docs/lint.md, "Interprocedural passes"). *)
+let race_annotated_value vb =
+  Astq.has_race_attr vb.pvb_attributes
+  || Astq.has_race_attr (Astq.peel_constraint vb.pvb_expr).pexp_attributes
 
-let mutable_type_paths =
-  [
-    [ "ref" ]; [ "Atomic"; "t" ]; [ "Hashtbl"; "t" ]; [ "Buffer"; "t" ];
-    [ "Queue"; "t" ]; [ "Stack"; "t" ]; [ "Dynarray"; "t" ]; [ "Weak"; "t" ];
-    [ "bytes" ];
-  ]
-
-let rec mutable_core_type ct =
-  match ct.ptyp_desc with
-  | Ptyp_constr ({ txt; _ }, args) ->
-      (match Option.map norm (ident_path txt) with
-      | Some p when List.mem p mutable_type_paths -> true
-      | _ -> false)
-      || List.exists mutable_core_type args
-  | _ -> false
-
-let shared_mutable_fields decl =
+let race_annotated_type decl =
+  Astq.has_race_attr decl.ptype_attributes
+  ||
   match decl.ptype_kind with
   | Ptype_record labels ->
-      List.filter_map
-        (fun l ->
-          if l.pld_mutable = Asttypes.Mutable then Some (l.pld_name.txt, "mutable")
-          else if mutable_core_type l.pld_type then Some (l.pld_name.txt, "shared")
-          else None)
-        labels
-  | _ -> (
-      match decl.ptype_manifest with
-      | Some ct when mutable_core_type ct -> [ (decl.ptype_name.txt, "shared") ]
-      | _ -> [])
+      List.exists (fun l -> Astq.has_race_attr l.pld_attributes) labels
+  | _ -> false
 
 let domain_unsafe_rule =
   {
@@ -333,7 +257,7 @@ let domain_unsafe_rule =
           let acc = ref [] in
           let flag_value vb =
             match mutable_maker vb.pvb_expr with
-            | Some kind ->
+            | Some kind when not (race_annotated_value vb) ->
                 acc :=
                   diag ctx ~rule:"domain-unsafe-global" ~loc:vb.pvb_loc
                     ~message:
@@ -342,14 +266,16 @@ let domain_unsafe_rule =
                           from Parallel.Pool workers"
                          kind)
                     ~hint:
-                      "allocate per use or per domain, or [@@lint.allow \
-                       \"domain-unsafe-global\"] with a comment stating the \
-                       locking discipline"
+                      "declare the discipline with [@@race.guarded_by \
+                       \"m\"] / [@@race.atomic] / [@@race.domain_local] \
+                       (machine-checked by --pass race), allocate per use or \
+                       per domain, or [@@lint.allow \"domain-unsafe-global\"]"
                   :: !acc
-            | None -> ()
+            | _ -> ()
           in
           let flag_type decl =
             match shared_mutable_fields decl with
+            | _ when race_annotated_type decl -> ()
             | [] -> ()
             | fields ->
                 let names = String.concat ", " (List.map fst fields) in
@@ -365,9 +291,11 @@ let domain_unsafe_rule =
                          (if unsync then "mutable" else "shared-mutable")
                          names)
                     ~hint:
-                      "state the synchronization discipline in a comment and \
-                       [@@lint.allow \"domain-unsafe-global\"], or confine \
-                       values to a single domain"
+                      "declare the discipline with [@@race.guarded_by \"m\"] \
+                       / [@@race.atomic] / [@@race.domain_local] on the type \
+                       or its fields (machine-checked by --pass race), \
+                       confine values to a single domain, or [@@lint.allow \
+                       \"domain-unsafe-global\"]"
                   :: !acc
           in
           let rec walk_items items = List.iter walk_item items
@@ -497,8 +425,16 @@ let rec catches_everything p =
   | Ppat_or (a, b) -> catches_everything a || catches_everything b
   | _ -> false
 
+(* A handler that calls one of these is either re-raising directly or
+   parking the exception with its backtrace for a later
+   [Printexc.raise_with_backtrace] (the failure-propagation idiom in
+   Kpool: the round must still drain, so the first exception is stored
+   and re-raised in the caller). *)
 let reraise_names =
-  [ "raise"; "raise_notrace"; "reraise"; "raise_with_backtrace" ]
+  [
+    "raise"; "raise_notrace"; "reraise"; "raise_with_backtrace";
+    "get_raw_backtrace";
+  ]
 
 let mentions_reraise e =
   let found = ref false in

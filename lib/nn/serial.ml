@@ -36,11 +36,10 @@ let to_string net =
   Buffer.add_string buf "end\n";
   Buffer.contents buf
 
-(* A simple cursor over whitespace-separated tokens.
-
-   Discipline: a cursor is local to one [of_string] call on one domain. *)
+(* A simple cursor over whitespace-separated tokens; a cursor is local
+   to one [of_string] call on one domain. *)
 type cursor = { tokens : string array; mutable pos : int }
-[@@lint.allow "domain-unsafe-global"]
+[@@race.domain_local]
 
 let cursor_of_string s =
   let tokens =

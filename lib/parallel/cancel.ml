@@ -6,9 +6,9 @@
    observes cancellation finishes (or abandons) its current item and
    stops picking up new ones. *)
 
-(* Discipline: cross-domain sharing is the whole point; the single
-   atomic flag is set-once (sticky) and polled, never read-modify-write. *)
-type t = bool Atomic.t [@@lint.allow "domain-unsafe-global"]
+(* Cross-domain sharing is the whole point; the single atomic flag is
+   set-once (sticky) and polled, never read-modify-write. *)
+type t = bool Atomic.t [@@race.atomic]
 
 let create () = Atomic.make false
 

@@ -33,14 +33,12 @@ let max_helpers = 15
 (* Round descriptor published by the caller; helpers read it after
    observing a generation change.  [cursor]/[pending] are atomics so
    claiming a task and retiring it need no lock. *)
-(* Discipline: all mutable fields are atomics; [body]/[tasks] are
-   immutable after publication under [team.mutex]. *)
 type round = {
   body : int -> unit;
   tasks : int;
   cursor : int Atomic.t;
   pending : int Atomic.t;
-  failure : exn option Atomic.t;
+  failure : (exn * Printexc.raw_backtrace) option Atomic.t;
   seats : int Atomic.t;
       (* Helper seats left in this round, [jobs - 1] at publication.
          The wake-up broadcast reaches every parked helper — including
@@ -48,12 +46,11 @@ type round = {
          claim a seat before computing, or a [jobs:2] round after a
          [jobs:4] one would burst the caller's domain budget. *)
 }
-[@@lint.allow "domain-unsafe-global"]
+[@@race.atomic]
 
-(* Discipline: [generation], [current], [helpers], [busy] are read and
-   written only with [mutex] held.  [work] wakes parked helpers on a
-   new round; [idle] wakes the caller when the round's last task
-   retires.  The atomics inside a [round] are lock-free by design. *)
+(* [work] wakes parked helpers on a new round; [idle] wakes the caller
+   when the round's last task retires.  The atomics inside a [round]
+   are lock-free by design. *)
 type team = {
   mutex : Mutex.t;
   work : Condition.t;
@@ -63,10 +60,10 @@ type team = {
   mutable helpers : int;
   mutable busy : bool;
 }
-[@@lint.allow "domain-unsafe-global"]
+[@@race.guarded_by "mutex"]
 
 (* Shared-mutable on purpose: the one global team below is the point of
-   this module; every field follows the locking discipline above. *)
+   this module; every field follows the guarded_by discipline above. *)
 let team =
   {
     mutex = Mutex.create ();
@@ -77,14 +74,13 @@ let team =
     helpers = 0;
     busy = false;
   }
-[@@lint.allow "domain-unsafe-global"]
 
 (* Peak concurrent participants (helpers actually computing + the
    caller) across all rounds; cleared with [reset_peak].  Atomic
    CAS-max: safe from any domain. *)
-let active = Atomic.make 0 [@@lint.allow "domain-unsafe-global"]
+let active = Atomic.make 0 [@@race.atomic]
 
-let peak = Atomic.make 0 [@@lint.allow "domain-unsafe-global"]
+let peak = Atomic.make 0 [@@race.atomic]
 
 let rec atomic_max a v =
   let cur = Atomic.get a in
@@ -109,11 +105,12 @@ let drain ~helper (r : round) =
     if i < r.tasks then begin
       (* Total absorption is intended: the round must drain so
          [pending] reaches zero; the first exception (including
-         Out_of_memory etc.) is re-raised in the caller by [run]. *)
+         Out_of_memory etc.) is parked with its backtrace and re-raised
+         in the caller by [run]. *)
       (try r.body i
        with e ->
-         ignore (Atomic.compare_and_set r.failure None (Some e)))
-      [@lint.allow "catch-all-exn"];
+         let bt = Printexc.get_raw_backtrace () in
+         ignore (Atomic.compare_and_set r.failure None (Some (e, bt))));
       if helper then Telemetry.Metrics.incr c_helper_tasks;
       ignore (Atomic.fetch_and_add r.pending (-1));
       claim ()
@@ -161,6 +158,7 @@ let ensure_helpers wanted =
     team.helpers <- team.helpers + 1;
     ignore (Domain.spawn helper_loop)
   done
+[@@race.locked "mutex"]
 
 let run_sequential ~tasks f =
   for i = 0 to tasks - 1 do
@@ -210,7 +208,9 @@ let run ~jobs ~tasks f =
       team.current <- None;
       team.busy <- false;
       Mutex.unlock team.mutex;
-      (match Atomic.get r.failure with Some e -> raise e | None -> ());
+      (match Atomic.get r.failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
       true
     end
   end

@@ -20,8 +20,7 @@
    every blocked and future [pop] returns [None].  Built on OCaml 5
    stdlib primitives only. *)
 
-(* Discipline: every mutable field below is read and written only with
-   [mutex] held; [wakeup] is signalled on push/done_one/close. *)
+(* [wakeup] is signalled on push/done_one/close. *)
 type 'a t = {
   mutex : Mutex.t;
   wakeup : Condition.t;
@@ -30,7 +29,7 @@ type 'a t = {
   mutable outstanding : int;
   mutable closed : bool;
 }
-[@@lint.allow "domain-unsafe-global"]
+[@@race.guarded_by "mutex"]
 
 let create () =
   {
@@ -48,6 +47,7 @@ let swap t i j =
   let tmp = t.data.(i) in
   t.data.(i) <- t.data.(j);
   t.data.(j) <- tmp
+[@@race.locked "mutex"]
 
 let rec sift_up t i =
   if i > 0 then begin
@@ -57,6 +57,7 @@ let rec sift_up t i =
       sift_up t parent
     end
   end
+[@@race.locked "mutex"]
 
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
@@ -67,6 +68,7 @@ let rec sift_down t i =
     swap t i !smallest;
     sift_down t !smallest
   end
+[@@race.locked "mutex"]
 
 let heap_push t entry =
   let cap = Array.length t.data in
@@ -78,6 +80,7 @@ let heap_push t entry =
   t.data.(t.size) <- entry;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
+[@@race.locked "mutex"]
 
 let heap_pop t =
   let top = t.data.(0) in
@@ -87,6 +90,7 @@ let heap_pop t =
     sift_down t 0
   end;
   snd top
+[@@race.locked "mutex"]
 
 (* ------------------------------------------------------------------ *)
 

@@ -7,15 +7,14 @@
    the only way a consumer ever sees [None].  Items are served strictly
    in arrival order.
 
-   Discipline: every mutable field is read and written with [mutex]
-   held; [wakeup] is signalled on push and broadcast on close. *)
+   [wakeup] is signalled on push and broadcast on close. *)
 type 'a t = {
   mutex : Mutex.t;
   wakeup : Condition.t;
   items : 'a Queue.t;
   mutable closed : bool;
 }
-[@@lint.allow "domain-unsafe-global"]
+[@@race.guarded_by "mutex"]
 
 let create () =
   {

@@ -44,7 +44,7 @@ type job = {
   progress_nodes : int Atomic.t;
   progress_depth : int Atomic.t;
 }
-[@@lint.allow "domain-unsafe-global"]
+[@@race.guarded_by "mutex"]
 
 type t = {
   mutex : Mutex.t;
@@ -63,7 +63,7 @@ type t = {
   n_cancelled : int Atomic.t;
   n_failed : int Atomic.t;
 }
-[@@lint.allow "domain-unsafe-global"]
+[@@race.guarded_by "mutex"]
 
 let c_submitted = Telemetry.Metrics.counter "serve.jobs.submitted"
 
@@ -89,11 +89,11 @@ let with_lock t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-(* Callers hold [mutex]. *)
 let emit job label =
   job.events <- { seq = job.next_seq; at = now () -. job.submitted; label }
                  :: job.events;
   job.next_seq <- job.next_seq + 1
+[@@race.locked "mutex"]
 
 let rec atomic_max a v =
   let cur = Atomic.get a in
@@ -114,10 +114,11 @@ let leave_flight t = ignore (Atomic.fetch_and_add t.in_flight (-1))
 (* ------------------------------------------------------------------ *)
 (* Job execution (pool workers) *)
 
-let finalize t job outcome =
+let finalize t job ~wall outcome =
   with_lock t (fun () ->
       match job.state with
       | Running ->
+          job.wall <- wall;
           (match outcome with
           | Ok _ when Parallel.Cancel.cancelled job.cancel ->
               job.state <- Cancelled;
@@ -130,7 +131,7 @@ let finalize t job outcome =
               Atomic.incr t.n_completed;
               Telemetry.Metrics.incr c_completed;
               if Common.Outcome.is_solved o then
-                Cache.put t.cache job.key o ~cold_wall:job.wall
+                Cache.put t.cache job.key o ~cold_wall:wall
           | Error msg ->
               job.state <- Failed msg;
               emit job "failed";
@@ -155,6 +156,7 @@ let run_job t job =
   in
   if claimed then begin
     let sp = Telemetry.Span.enter "serve.job" in
+    let wall = ref 0.0 in
     let result =
       match Nn.Serial.of_string job.spec.Protocol.network with
       | exception Failure msg -> Error ("bad network: " ^ msg)
@@ -185,27 +187,25 @@ let run_job t job =
               ~policy:Charon.Policy.default net prop
           with
           | report ->
-              job.wall <- now () -. started;
+              wall := now () -. started;
               Ok report.Charon.Verify.outcome
           | exception Invalid_argument msg ->
               Error ("invalid job: " ^ msg)
           | exception Failure msg -> Error msg)
     in
-    finalize t job result;
-    Telemetry.Metrics.observe h_job_wall
-      (int_of_float (job.wall *. 1e9));
+    finalize t job ~wall:!wall result;
+    Telemetry.Metrics.observe h_job_wall (int_of_float (!wall *. 1e9));
+    let final_state =
+      with_lock t (fun () ->
+          match job.state with
+          | Done o -> Common.Outcome.label o
+          | Cancelled -> "cancelled"
+          | Failed _ -> "failed"
+          | Queued | Running -> "running")
+    in
     Telemetry.Span.exit sp
       ~attrs:(fun () ->
-        [
-          ("job", J.Int job.id);
-          ( "state",
-            J.Str
-              (match job.state with
-              | Done o -> Common.Outcome.label o
-              | Cancelled -> "cancelled"
-              | Failed _ -> "failed"
-              | Queued | Running -> "running") );
-        ])
+        [ ("job", J.Int job.id); ("state", J.Str final_state) ])
   end
 
 let worker t _i =
@@ -217,7 +217,7 @@ let worker t _i =
          with e ->
            (* A crashed job must not take the worker domain (and with
               it the whole pool) down; record and move on. *)
-           finalize t job (Error (Printexc.to_string e)))
+           finalize t job ~wall:0.0 (Error (Printexc.to_string e)))
         [@lint.allow "catch-all-exn"];
         loop ()
   in
@@ -254,9 +254,11 @@ let create ?(workers = 4) ?(cache_capacity = 256)
       n_failed = Atomic.make 0;
     }
   in
-  t.pool <-
-    Some
-      (Domain.spawn (fun () -> Parallel.Pool.run ~workers (fun i -> worker t i)));
+  with_lock t (fun () ->
+      t.pool <-
+        Some
+          (Domain.spawn (fun () ->
+               Parallel.Pool.run ~workers (fun i -> worker t i))));
   t
 
 let state_label = function
@@ -266,7 +268,6 @@ let state_label = function
   | Cancelled -> "cancelled"
   | Failed _ -> "failed"
 
-(* Callers hold [mutex]. *)
 let job_json job ~since =
   let events =
     List.rev_append
@@ -318,6 +319,7 @@ let job_json job ~since =
     | Queued | Running | Cancelled -> base
   in
   Protocol.ok base
+[@@race.locked "mutex"]
 
 let submit t (spec : Protocol.job_spec) =
   let key =

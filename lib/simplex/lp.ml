@@ -4,15 +4,15 @@ type row = (int * float) list
 
 type stored = { coeffs : row; bound : float; kind : [ `Le | `Ge | `Eq ] }
 
-(* Discipline: an LP builder is confined to the solver call that created
-   it; each worker domain builds its own. *)
+(* An LP builder is confined to the solver call that created it; each
+   worker domain builds its own. *)
 type t = {
   n : int;
   lo : float array;
   hi : float array;
   mutable rows : stored list;  (** in reverse insertion order *)
 }
-[@@lint.allow "domain-unsafe-global"]
+[@@race.domain_local]
 
 type solution =
   | Optimal of { x : Vec.t; value : float }

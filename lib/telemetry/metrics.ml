@@ -9,8 +9,7 @@
    loops only — recording never takes the mutex, so worker domains
    cannot contend on anything but the cell itself. *)
 
-type counter = { cname : string; value : int Atomic.t }
-[@@lint.allow "domain-unsafe-global"]
+type counter = { cname : string; value : int Atomic.t } [@@race.atomic]
 
 (* Buckets: cell [i] counts observations [v] with floor(log2 v) = i
    (v <= 1 lands in cell 0), so quantiles come back with at most 2x
@@ -23,18 +22,17 @@ type histogram = {
   vmax : int Atomic.t;
   buckets : int Atomic.t array;
 }
-[@@lint.allow "domain-unsafe-global"]
+[@@race.atomic]
 
 let nbuckets = 63
 
 let registry_mutex = Mutex.create ()
 
-(* Registry discipline: guarded by [registry_mutex]; see header. *)
 let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 64
-[@@lint.allow "domain-unsafe-global"]
+[@@race.guarded_by "registry_mutex"]
 
 let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 64
-[@@lint.allow "domain-unsafe-global"]
+[@@race.guarded_by "registry_mutex"]
 
 let with_registry f =
   Mutex.lock registry_mutex;

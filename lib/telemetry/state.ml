@@ -9,7 +9,7 @@
 
 (* 0 = off (no-op), 1 = metrics (counters, histograms, span timings),
    2 = metrics + JSONL tracing. *)
-let level = Atomic.make 0 [@@lint.allow "domain-unsafe-global"]
+let level = Atomic.make 0 [@@race.atomic]
 
 let metrics_on () = Atomic.get level > 0
 

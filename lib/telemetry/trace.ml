@@ -12,27 +12,26 @@
    The [generation] counter lets a domain detect that the trace was
    re-enabled since it last wrote and discard its stale state. *)
 
-let generation = Atomic.make 0 [@@lint.allow "domain-unsafe-global"]
+let generation = Atomic.make 0 [@@race.atomic]
 
 (* Trace timestamps are nanoseconds relative to [epoch] (set at
    enable), so traces from different runs line up at 0. *)
-let epoch = Atomic.make 0 [@@lint.allow "domain-unsafe-global"]
+let epoch = Atomic.make 0 [@@race.atomic]
 
-(* Discipline: [oc] is only touched with [mutex] held. *)
 type sink_state = { mutex : Mutex.t; mutable oc : out_channel option }
-[@@lint.allow "domain-unsafe-global"]
+[@@race.guarded_by "mutex"]
 
 let sink = { mutex = Mutex.create (); oc = None }
 
-(* Discipline: a [local] value is confined to the domain that created
-   it (Domain.DLS) — no synchronization needed. *)
+(* A [local] value is confined to the domain that created it
+   (Domain.DLS). *)
 type local = {
   buf : Buffer.t;
   mutable stack : int list;  (* open span ids, innermost first *)
   mutable next_id : int;
   mutable gen : int;  (* generation the ids/stack belong to *)
 }
-[@@lint.allow "domain-unsafe-global"]
+[@@race.domain_local]
 
 let dls_key =
   Domain.DLS.new_key (fun () ->

@@ -1,0 +1,10 @@
+(* Seeded: malformed or unverifiable [@race.*] annotations
+   (race-bad-annotation) — an atomic claim on a non-atomic value, a
+   guard that is never acquired anywhere in the file, and an annotation
+   in a position it does not apply to. *)
+
+let flag = ref false [@@race.atomic]
+
+let count = Atomic.make 0 [@@race.guarded_by "nonexistent"]
+
+type r = { mutable n : int } [@@race.read_only]

@@ -1,0 +1,9 @@
+(* Seeded race: a closure-captured ref escaping into Kpool.run — every
+   helper domain runs the closure, so the unsynchronized read-modify-
+   write on [total] loses updates (race-captured-escape). *)
+
+let sum tasks =
+  let total = ref 0 in
+  Kpool.run (fun i -> total := !total + i);
+  ignore tasks;
+  !total

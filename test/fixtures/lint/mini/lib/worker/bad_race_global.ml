@@ -1,0 +1,9 @@
+(* Seeded race: a mutable global written by a function transitively
+   reachable from a spawn point, with no declared discipline.  The race
+   pass must flag the accesses in [record] (race-unguarded-global). *)
+
+let table = Hashtbl.create 16
+
+let record k v = Hashtbl.replace table k v
+
+let launch () = Pool.run (fun () -> record "x" 1)

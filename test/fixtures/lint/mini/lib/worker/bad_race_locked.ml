@@ -1,0 +1,13 @@
+(* Seeded race: calling a [@race.locked] function without holding its
+   mutex (race-locked-caller). *)
+
+type s = { m : Mutex.t; mutable v : int } [@@race.guarded_by "m"]
+
+let advance s = s.v <- s.v + 1 [@@race.locked "m"]
+
+let poke s = advance s
+
+let poke_locked s =
+  Mutex.lock s.m;
+  advance s;
+  Mutex.unlock s.m

@@ -1,0 +1,19 @@
+(* Seeded race: accesses to [@race.guarded_by] state without the named
+   mutex on the syntactic path (race-wrong-mutex) — once with no lock
+   at all, once holding a different mutex. *)
+
+type t = { mutex : Mutex.t; mutable count : int } [@@race.guarded_by "mutex"]
+
+let other = Mutex.create ()
+
+let bump t = t.count <- t.count + 1
+
+let bump_wrong t =
+  Mutex.lock other;
+  t.count <- t.count + 1;
+  Mutex.unlock other
+
+let bump_locked t =
+  Mutex.lock t.mutex;
+  t.count <- t.count + 1;
+  Mutex.unlock t.mutex

@@ -1,0 +1,41 @@
+(* Accept cases for the race pass: every declared discipline below is
+   machine-checked and holds, so this file must stay clean under both
+   passes. *)
+
+(* Atomic discipline: lock-free counter bumped from worker domains. *)
+let hits = Atomic.make 0 [@@race.atomic]
+
+let bump () = Atomic.incr hits
+
+let launch () = Pool.run (fun () -> bump ())
+
+(* Domain-local discipline: each Kpool task writes only its own slot,
+   so the array is domain-disjoint by construction. *)
+let gather n =
+  let out = (Array.make n 0 [@race.domain_local]) in
+  Kpool.run (fun i -> out.(i) <- i);
+  out
+
+(* Guarded discipline: the mutex really is held on every access. *)
+type box = { lock : Mutex.t; mutable value : int } [@@race.guarded_by "lock"]
+
+let read b =
+  Mutex.lock b.lock;
+  let v = b.value in
+  Mutex.unlock b.lock;
+  v
+
+(* The failure-park idiom: a catch-all that captures the backtrace for
+   a later Printexc.raise_with_backtrace is not a swallowed exception. *)
+let parked = Atomic.make None [@@race.atomic]
+
+let guard f =
+  try f ()
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    Atomic.set parked (Some (e, bt))
+
+let repark () =
+  match Atomic.get parked with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()

@@ -1,7 +1,9 @@
 (* charon-lint (lib/lint) against the fixture mini-repo in
-   fixtures/lint/mini: every rule has a known-bad file that must be
-   flagged and a known-good twin that must stay clean, plus
-   [@lint.allow] suppression and --json round-trip checks. *)
+   fixtures/lint/mini: every rule — syntactic and interprocedural race
+   — has a known-bad file that must be flagged and a known-good twin
+   that must stay clean, plus [@lint.allow] suppression, pass/rule
+   filtering, --json round-trip, docs sync, and an annotation-strip
+   check against the real lib/parallel/kpool.ml. *)
 
 open Charon_lint
 
@@ -22,12 +24,24 @@ let check_flagged ~file ~rule ~at_least =
     Alcotest.failf "expected >= %d %s findings in %s, got %d" at_least rule
       file (List.length hits)
 
+let check_line ~file ~rule ~line =
+  let hits = findings_in file rule in
+  if not (List.exists (fun (d : Diagnostic.t) -> d.Diagnostic.line = line) hits)
+  then
+    Alcotest.failf "expected a %s finding in %s at line %d, got lines [%s]"
+      rule file line
+      (String.concat "; "
+         (List.map
+            (fun (d : Diagnostic.t) -> string_of_int d.Diagnostic.line)
+            hits))
+
 let test_parses_fixture_tree () =
   let r = Lazy.force result in
   Alcotest.(check (list (pair string string))) "no parse errors" []
     r.Driver.errors;
-  (* parallel/pool, worker/bad_* x7 + suppressed, solo/good, bin/main *)
-  Alcotest.(check int) "files scanned" 11 r.Driver.files_scanned
+  (* parallel/pool, worker/bad_* x12 + suppressed + good_race,
+     solo/good, bin/main *)
+  Alcotest.(check int) "files scanned" 17 r.Driver.files_scanned
 
 let test_poly_compare () =
   check_flagged ~file:"lib/worker/bad_poly.ml" ~rule:"poly-compare"
@@ -69,11 +83,60 @@ let test_printf_in_lib () =
   check_flagged ~file:"lib/worker/bad_printf.ml" ~rule:"printf-in-lib"
     ~at_least:2
 
+(* --- the interprocedural race pass, one seeded fixture per rule --- *)
+
+let test_race_unguarded_global () =
+  (* [record] is reachable from the Pool.run closure in [launch]; the
+     Hashtbl access inside it is the finding, at its own line. *)
+  check_flagged ~file:"lib/worker/bad_race_global.ml"
+    ~rule:"race-unguarded-global" ~at_least:1;
+  check_line ~file:"lib/worker/bad_race_global.ml"
+    ~rule:"race-unguarded-global" ~line:7
+
+let test_race_wrong_mutex () =
+  (* [bump] holds nothing (line 9), [bump_wrong] holds the wrong mutex
+     (line 13); [bump_locked] holds t.mutex and must not be flagged. *)
+  check_flagged ~file:"lib/worker/bad_race_mutex.ml" ~rule:"race-wrong-mutex"
+    ~at_least:2;
+  check_line ~file:"lib/worker/bad_race_mutex.ml" ~rule:"race-wrong-mutex"
+    ~line:9;
+  check_line ~file:"lib/worker/bad_race_mutex.ml" ~rule:"race-wrong-mutex"
+    ~line:13;
+  if
+    List.exists
+      (fun (d : Diagnostic.t) -> d.Diagnostic.line > 15)
+      (findings_in "lib/worker/bad_race_mutex.ml" "race-wrong-mutex")
+  then Alcotest.fail "bump_locked (correctly locked) was flagged"
+
+let test_race_captured_escape () =
+  check_flagged ~file:"lib/worker/bad_race_capture.ml"
+    ~rule:"race-captured-escape" ~at_least:1;
+  check_line ~file:"lib/worker/bad_race_capture.ml"
+    ~rule:"race-captured-escape" ~line:7
+
+let test_race_locked_caller () =
+  (* [poke] calls the [@race.locked "m"] function without the mutex;
+     [poke_locked] holds it and must stay clean. *)
+  check_flagged ~file:"lib/worker/bad_race_locked.ml"
+    ~rule:"race-locked-caller" ~at_least:1;
+  check_line ~file:"lib/worker/bad_race_locked.ml" ~rule:"race-locked-caller"
+    ~line:8;
+  Alcotest.(check int)
+    "poke_locked not flagged" 1
+    (List.length (findings_in "lib/worker/bad_race_locked.ml" "race-locked-caller"))
+
+let test_race_bad_annotation () =
+  (* atomic claim on a ref, a never-acquired guard, read_only on a
+     type declaration. *)
+  check_flagged ~file:"lib/worker/bad_race_annot.ml"
+    ~rule:"race-bad-annotation" ~at_least:3
+
 let test_good_twins_clean () =
   List.iter
     (fun (d : Diagnostic.t) ->
       if
         d.Diagnostic.file = "lib/solo/good.ml"
+        || d.Diagnostic.file = "lib/worker/good_race.ml"
         || d.Diagnostic.file = "bin/main.ml"
       then
         Alcotest.failf "good twin flagged: %s" (Diagnostic.to_string d))
@@ -81,8 +144,9 @@ let test_good_twins_clean () =
     @ (Lazy.force result).Driver.suppressed)
 
 let test_every_rule_has_bad_and_good () =
-  (* The acceptance bar: each registered rule fires somewhere in the
-     fixture tree and never on the good twins (checked above). *)
+  (* The acceptance bar: each registered rule — across both passes —
+     fires somewhere in the fixture tree and never on the good twins
+     (checked above). *)
   let flagged_rules =
     List.sort_uniq String.compare
       (List.map
@@ -91,10 +155,10 @@ let test_every_rule_has_bad_and_good () =
          @ (Lazy.force result).Driver.suppressed))
   in
   List.iter
-    (fun (r : Rules.rule) ->
-      if not (List.mem r.Rules.id flagged_rules) then
-        Alcotest.failf "rule %s never fired on the fixture tree" r.Rules.id)
-    Rules.all
+    (fun id ->
+      if not (List.mem id flagged_rules) then
+        Alcotest.failf "rule %s never fired on the fixture tree" id)
+    (Driver.rule_ids ())
 
 let test_suppression () =
   let r = Lazy.force result in
@@ -125,6 +189,66 @@ let test_exit_semantics () =
   in
   Util.check_true "good-only subtree is clean" (Driver.clean clean)
 
+(* --- pass and rule selection --- *)
+
+let is_race_rule id =
+  String.length id >= 5 && String.sub id 0 5 = "race-"
+
+let test_pass_selection () =
+  let syn =
+    Driver.lint ~passes:[ Driver.Syntactic ] ~root:fixture_root
+      ~paths:[ "lib"; "bin" ] ()
+  in
+  List.iter
+    (fun (d : Diagnostic.t) ->
+      if is_race_rule d.Diagnostic.rule then
+        Alcotest.failf "race finding under --pass syntactic: %s"
+          (Diagnostic.to_string d))
+    syn.Driver.findings;
+  let race =
+    Driver.lint ~passes:[ Driver.Race ] ~root:fixture_root
+      ~paths:[ "lib"; "bin" ] ()
+  in
+  Util.check_true "race pass has findings" (race.Driver.findings <> []);
+  List.iter
+    (fun (d : Diagnostic.t) ->
+      if not (is_race_rule d.Diagnostic.rule) then
+        Alcotest.failf "syntactic finding under --pass race: %s"
+          (Diagnostic.to_string d))
+    race.Driver.findings;
+  (* Both passes together partition the default run. *)
+  Alcotest.(check int)
+    "syntactic + race = all"
+    (List.length (Lazy.force result).Driver.findings)
+    (List.length syn.Driver.findings + List.length race.Driver.findings)
+
+let test_only_exclude () =
+  let only =
+    Driver.lint ~only:[ "race-captured-escape" ] ~root:fixture_root
+      ~paths:[ "lib"; "bin" ] ()
+  in
+  Util.check_true "--only keeps the selected rule"
+    (only.Driver.findings <> []);
+  List.iter
+    (fun (d : Diagnostic.t) ->
+      Alcotest.(check string)
+        "--only filters to the rule" "race-captured-escape"
+        d.Diagnostic.rule)
+    only.Driver.findings;
+  let excl =
+    Driver.lint ~exclude:[ "race-captured-escape" ] ~root:fixture_root
+      ~paths:[ "lib"; "bin" ] ()
+  in
+  if
+    List.exists
+      (fun (d : Diagnostic.t) -> d.Diagnostic.rule = "race-captured-escape")
+      excl.Driver.findings
+  then Alcotest.fail "--exclude left the excluded rule in";
+  Alcotest.(check int)
+    "only + exclude = all"
+    (List.length (Lazy.force result).Driver.findings)
+    (List.length only.Driver.findings + List.length excl.Driver.findings)
+
 let test_json_roundtrip () =
   let r = Lazy.force result in
   let j = Util.Json.parse (Driver.render_json r) in
@@ -154,6 +278,22 @@ let test_json_roundtrip () =
     "suppressed count" (List.length r.Driver.suppressed)
     (List.length Util.Json.(to_list (member "suppressed" j)))
 
+let test_json_race_findings () =
+  (* Race findings survive the --json round trip with the same schema
+     as syntactic ones. *)
+  let race =
+    Driver.lint ~passes:[ Driver.Race ] ~root:fixture_root
+      ~paths:[ "lib"; "bin" ] ()
+  in
+  let j = Util.Json.parse (Driver.render_json race) in
+  let findings = Util.Json.(to_list (member "findings" j)) in
+  Util.check_true "race findings present in json" (findings <> []);
+  List.iter
+    (fun jd ->
+      Util.check_true "race rule id in json"
+        (is_race_rule Util.Json.(to_string (member "rule" jd))))
+    findings
+
 let contains ~sub s =
   let n = String.length s and m = String.length sub in
   let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
@@ -163,8 +303,108 @@ let test_render_text () =
   let r = Lazy.force result in
   let text = Driver.render_text ~show_suppressed:true r in
   Util.check_true "mentions a finding" (contains ~sub:"bad_poly.ml" text);
+  Util.check_true "mentions a race finding"
+    (contains ~sub:"race-wrong-mutex" text);
   Util.check_true "mentions the audit trail"
     (contains ~sub:"suppressed.ml" text)
+
+(* --- docs stay in sync with the registry --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_docs_in_sync () =
+  (* Every rule id has a `### \`rule-id\`` section in docs/lint.md and
+     every such section names a registered rule, so --list-rules and
+     the docs cannot drift apart. *)
+  let doc = read_file "../docs/lint.md" in
+  let documented = ref [] in
+  List.iter
+    (fun line ->
+      let prefix = "### `" in
+      let pl = String.length prefix in
+      if
+        String.length line > pl
+        && String.sub line 0 pl = prefix
+        && String.contains_from line pl '`'
+      then
+        let stop = String.index_from line pl '`' in
+        documented := String.sub line pl (stop - pl) :: !documented)
+    (String.split_on_char '\n' doc);
+  let documented = List.sort_uniq String.compare !documented in
+  let registered = List.sort_uniq String.compare (Driver.rule_ids ()) in
+  Alcotest.(check (list string))
+    "docs/lint.md sections match --list-rules" registered documented
+
+(* --- stripping any kpool annotation reproduces a finding --- *)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let race_attr_spans src =
+  (* Occurrences of [@race....] / [@@race....] including the closing
+     bracket (the payloads are string literals with no nested ']'). *)
+  let n = String.length src in
+  let starts_at i p =
+    i + String.length p <= n && String.sub src i (String.length p) = p
+  in
+  let spans = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let at = !i in
+    if starts_at at "[@race." || starts_at at "[@@race." then begin
+      let stop = String.index_from src at ']' in
+      spans := (at, stop + 1) :: !spans;
+      i := stop + 1
+    end
+    else incr i
+  done;
+  List.rev !spans
+
+let test_kpool_annotations_load_bearing () =
+  (* The real lib/parallel/kpool.ml is the flagship annotated module:
+     deleting any single [@race.*] annotation must reproduce at least
+     one finding when the file is linted standalone, proving the
+     annotations are machine-checked claims rather than decoration. *)
+  let src = read_file "../lib/parallel/kpool.ml" in
+  let spans = race_attr_spans src in
+  Util.check_true "kpool has race annotations" (List.length spans >= 4);
+  let tmp =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "charon_lint_strip_%d" (Unix.getpid ()))
+  in
+  let dir = Filename.concat tmp "lib/parallel" in
+  List.iteri
+    (fun k (a, b) ->
+      if Sys.file_exists tmp then rm_rf tmp;
+      ignore (Sys.command (Printf.sprintf "mkdir -p %s" (Filename.quote dir)));
+      write_file (Filename.concat dir "dune") "(library\n (name parallel))\n";
+      let stripped =
+        String.sub src 0 a ^ String.sub src b (String.length src - b)
+      in
+      write_file (Filename.concat dir "kpool.ml") stripped;
+      let r = Driver.lint ~root:tmp ~paths:[ "lib" ] () in
+      Alcotest.(check (list (pair string string)))
+        "stripped kpool still parses" [] r.Driver.errors;
+      if r.Driver.findings = [] then
+        Alcotest.failf
+          "stripping kpool annotation %d (%s) produced no finding" k
+          (String.sub src a (b - a)))
+    spans;
+  if Sys.file_exists tmp then rm_rf tmp
 
 let () =
   Alcotest.run "lint"
@@ -173,6 +413,8 @@ let () =
         [
           Util.case "parses fixture tree" test_parses_fixture_tree;
           Util.case "exit semantics" test_exit_semantics;
+          Util.case "pass selection" test_pass_selection;
+          Util.case "--only / --exclude" test_only_exclude;
           Util.case "render text" test_render_text;
         ] );
       ( "rules",
@@ -187,7 +429,22 @@ let () =
           Util.case "good twins clean" test_good_twins_clean;
           Util.case "every rule fires" test_every_rule_has_bad_and_good;
         ] );
+      ( "race",
+        [
+          Util.case "race-unguarded-global" test_race_unguarded_global;
+          Util.case "race-wrong-mutex" test_race_wrong_mutex;
+          Util.case "race-captured-escape" test_race_captured_escape;
+          Util.case "race-locked-caller" test_race_locked_caller;
+          Util.case "race-bad-annotation" test_race_bad_annotation;
+          Util.case "kpool annotations load-bearing"
+            test_kpool_annotations_load_bearing;
+        ] );
       ( "suppression",
         [ Util.case "allow attribute" test_suppression ] );
-      ( "json", [ Util.case "roundtrip" test_json_roundtrip ] );
+      ( "json",
+        [
+          Util.case "roundtrip" test_json_roundtrip;
+          Util.case "race findings" test_json_race_findings;
+        ] );
+      ( "docs", [ Util.case "rules documented" test_docs_in_sync ] );
     ]
