@@ -1,0 +1,248 @@
+(* Distributed split-and-conquer benchmark (docs/serving.md).
+
+   Verifies the staircase family — always Verified, cost geometric in
+   the input dimension — three ways: in-process [Charon.Verify.run]
+   (the oracle), and through the charon-dverify coordinator with one
+   and with two worker processes.  The interesting numbers are the
+   coordination tax (w1 vs single: process spawn, JSON framing, split
+   round-trips) and the scaling win (w2 vs w1).
+
+   The bench re-executes itself as its own worker fleet, exactly like
+   `charon_cli dverify` does, so process spawn and handshake costs are
+   the real ones.
+
+   Usage:
+     dune exec bench/distributed.exe                # sweep -> BENCH_distributed.json
+     dune exec bench/distributed.exe -- --out FILE  # custom output path
+     dune exec bench/distributed.exe -- --quick     # smallest sweep, single
+                                                    # repeat; CI's warn-only
+                                                    # regression probe
+     dune exec bench/distributed.exe -- --smoke     # verdict gates only (incl.
+                                                    # a crash-injected run), no
+                                                    # timing, no JSON
+     dune exec bench/distributed.exe -- --emit-net FILE [--dim N]
+                                                    # just write the staircase
+                                                    # network (Nn.Serial text),
+                                                    # for `charon_cli dverify`
+                                                    # runs in CI *)
+
+(* Worker re-exec mode: must run before anything else touches argv. *)
+let () =
+  if Array.exists (String.equal "--charon-dverify-worker") Sys.argv then
+    exit (Server.Worker.main ())
+
+open Linalg
+
+type result = {
+  group : string;
+  name : string;
+  shape : string;
+  workers : int;
+  ns_per_op : float;
+  speedup : float;
+}
+
+let results : result list ref = ref []
+
+let record ~name ~shape ~workers ?(speedup = 0.0) ns =
+  results :=
+    { group = "distributed"; name; shape; workers; ns_per_op = ns; speedup }
+    :: !results;
+  Printf.printf "  %-12s %-16s %14.0f ns/op%s\n%!" name shape ns
+    (if speedup > 0.0 then Printf.sprintf "  %5.2fx" speedup else "")
+
+(* ------------------------------------------------------------------ *)
+(* Workload: the staircase family of test_server.ml.  Margin >= eps
+   everywhere, but interval/zonotope proofs only land after splitting
+   essentially every input dimension. *)
+
+let eps = 0.05
+
+let staircase dim =
+  let w1 =
+    Mat.init (2 * dim) dim (fun r c ->
+        if r = c || r - dim = c then 1.0 else 0.0)
+  in
+  let b1 = Vec.init (2 * dim) (fun r -> if r < dim then 0.0 else -1.0) in
+  let w2 =
+    Mat.init 2 (2 * dim) (fun r c ->
+        if r = 1 then 0.0 else if c < dim then 1.0 else -1.0)
+  in
+  Nn.Network.create ~input_dim:dim
+    [
+      Nn.Layer.affine w1 b1;
+      Nn.Layer.Relu;
+      Nn.Layer.affine w2 [| 0.0; -.eps |];
+    ]
+
+let staircase_box dim = Domains.Box.of_center_radius (Vec.create dim 0.25) 1.25
+
+let spec dim =
+  {
+    Server.Protocol.name = Printf.sprintf "staircase-d%d" dim;
+    network = Nn.Serial.to_string (staircase dim);
+    box = staircase_box dim;
+    target = 0;
+    delta = 1e-4;
+    timeout = Some 600.0;
+    max_steps = None;
+    seed = 1;
+  }
+
+let require_verified what outcome =
+  match outcome with
+  | Common.Outcome.Verified -> ()
+  | o ->
+      Printf.eprintf "bench/distributed: %s run ended %s, not verified\n%!"
+        what (Common.Outcome.label o);
+      exit 1
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let single dim =
+  let prop =
+    Common.Property.create
+      ~name:(Printf.sprintf "staircase-d%d" dim)
+      ~region:(staircase_box dim) ~target:0 ()
+  in
+  let r =
+    Charon.Verify.run
+      ~budget:(Common.Budget.create ~seconds:600.0 ())
+      ~rng:(Rng.create 1) ~policy:Charon.Policy.default (staircase dim) prop
+  in
+  r.Charon.Verify.outcome
+
+let self_worker = [| Sys.executable_name; "--charon-dverify-worker" |]
+
+let dverify ?crash_injection ~workers dim =
+  let config =
+    { (Server.Coordinator.default_config ~workers) with crash_injection }
+  in
+  Server.Coordinator.run ~worker_cmd:self_worker ~config (spec dim)
+
+(* ------------------------------------------------------------------ *)
+
+let best repeats f =
+  let b = ref infinity in
+  for _ = 1 to repeats do
+    let s, () = time f in
+    if s < !b then b := s
+  done;
+  !b
+
+let run_bench ~repeats ~dims =
+  List.iter
+    (fun dim ->
+      let shape = Printf.sprintf "staircase-d%d" dim in
+      Printf.printf "== %s ==\n%!" shape;
+      let single_s =
+        best repeats (fun () -> require_verified "single" (single dim))
+      in
+      let dist workers =
+        best repeats (fun () ->
+            let r = dverify ~workers dim in
+            require_verified
+              (Printf.sprintf "w%d" workers)
+              r.Server.Coordinator.outcome)
+      in
+      let w1_s = dist 1 in
+      let w2_s = dist 2 in
+      let ns s = s *. 1e9 in
+      record ~name:"single" ~shape ~workers:1 (ns single_s);
+      record ~name:"dverify" ~shape ~workers:1
+        ~speedup:(single_s /. w1_s) (ns w1_s);
+      record ~name:"dverify" ~shape ~workers:2
+        ~speedup:(single_s /. w2_s) (ns w2_s))
+    dims
+
+(* ------------------------------------------------------------------ *)
+(* JSON output: bench/kernels.ml record schema with a per-row workers
+   field, so bin/benchdiff.exe keys w1 and w2 rows apart. *)
+
+let write_json path rs =
+  let open Telemetry.Jsonw in
+  let row r =
+    Obj
+      [
+        ("group", Str r.group);
+        ("name", Str r.name);
+        ("shape", Str r.shape);
+        ("workers", Int r.workers);
+        ("ns_per_op", Float r.ns_per_op);
+        ("gflops", Float 0.0);
+        ("speedup", Float r.speedup);
+      ]
+  in
+  let doc =
+    Obj
+      [
+        ("benchmark", Str "distributed");
+        ("workers", Int 2);
+        ("results", Arr (List.map row rs));
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~pretty:true doc ^ "\n"));
+  Printf.printf "wrote %s (%d records)\n%!" path (List.length rs)
+
+let flag_value name =
+  let rec find = function
+    | f :: v :: _ when String.equal f name -> Some v
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
+let () =
+  let smoke = Array.exists (String.equal "--smoke") Sys.argv in
+  let quick = Array.exists (String.equal "--quick") Sys.argv in
+  let out_path =
+    Option.value (flag_value "--out") ~default:"BENCH_distributed.json"
+  in
+  match flag_value "--emit-net" with
+  | Some path ->
+      let dim =
+        match Option.map int_of_string_opt (flag_value "--dim") with
+        | Some (Some d) when d >= 1 -> d
+        | Some _ ->
+            prerr_endline "bench/distributed: --dim wants a positive int";
+            exit 2
+        | None -> 6
+      in
+      Nn.Serial.save path (staircase dim);
+      Printf.printf
+        "wrote %s (staircase d%d; verify with --center %s --radius 1.25 \
+         --target 0)\n%!"
+        path dim
+        (String.concat "," (List.init dim (fun _ -> "0.25")))
+  | None ->
+  if smoke then begin
+    (* Verdict gates only, used under `dune runtest`: a 2-worker run and
+       a crash-injected run must both agree with the in-process oracle.
+       No timing, so scheduler noise can't fail CI. *)
+    let dim = 5 in
+    require_verified "single" (single dim);
+    let r = dverify ~workers:2 dim in
+    require_verified "w2" r.Server.Coordinator.outcome;
+    let r = dverify ~workers:2 ~crash_injection:(0, 0) dim in
+    require_verified "w2-crash" r.Server.Coordinator.outcome;
+    let s = r.Server.Coordinator.stats in
+    if s.Server.Coordinator.worker_deaths < 1 then begin
+      prerr_endline "bench/distributed: crash injection killed no worker";
+      exit 1
+    end;
+    Printf.printf
+      "distributed smoke ok (crash run: %d deaths, %d reassigned)\n%!"
+      s.Server.Coordinator.worker_deaths s.Server.Coordinator.reassigned
+  end
+  else begin
+    run_bench
+      ~repeats:(if quick then 1 else 3)
+      ~dims:(if quick then [ 6 ] else [ 6; 7 ]);
+    write_json out_path (List.rev !results)
+  end

@@ -587,6 +587,195 @@ let submit_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* dverify / worker                                                   *)
+
+let dverify_cmd =
+  let dworkers_arg =
+    let doc = "Worker $(i,processes) to shard the problem across." in
+    Arg.(value & opt int 2 & info [ "workers"; "w" ] ~docv:"N" ~doc)
+  in
+  let splits_arg =
+    let doc =
+      "Lower bound on initial canonical splits (0 = four per worker)."
+    in
+    Arg.(value & opt int 0 & info [ "splits" ] ~docv:"N" ~doc)
+  in
+  let steps_arg =
+    let doc =
+      "Per-split transformer-step budget before a shard yields its \
+       frontier for escalation."
+    in
+    Arg.(value & opt int 20_000 & info [ "split-steps" ] ~docv:"N" ~doc)
+  in
+  let worker_exe_arg =
+    let doc =
+      "Worker executable (defaults to this binary, re-executed as \
+       $(b,charon worker))."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "worker-exe" ] ~docv:"EXE" ~doc)
+  in
+  let crash_after_arg =
+    let doc =
+      "Crash injection: the first worker SIGKILLs itself upon receiving \
+       its ($(docv)+1)-th split.  Exercises the reassignment path (used \
+       by the CI distributed lane)."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "crash-after" ] ~docv:"K" ~doc)
+  in
+  let trace_dir_arg =
+    let doc =
+      "Directory for per-process JSONL traces (coordinator.jsonl plus \
+       worker-N.jsonl, via each worker's CHARON_WORKER_TRACE)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR" ~doc)
+  in
+  let stats_json_arg =
+    let doc = "Write the outcome and coordinator statistics to $(docv)." in
+    Arg.(
+      value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE" ~doc)
+  in
+  let run () network target center radius box timeout delta seed workers
+      splits steps worker_exe crash_after trace_dir proofcache_persist
+      stats_json trace stats =
+    let spec =
+      {
+        Server.Protocol.name = Filename.basename network;
+        network = In_channel.with_open_text network In_channel.input_all;
+        box = region_of ~center ~radius ~box;
+        target;
+        delta;
+        timeout = Some timeout;
+        max_steps = None;
+        seed;
+      }
+    in
+    let config =
+      {
+        (Server.Coordinator.default_config ~workers) with
+        Server.Coordinator.initial_splits = splits;
+        initial_steps = steps;
+        trace_dir;
+        proofcache_persist;
+        crash_injection = Option.map (fun k -> (0, k)) crash_after;
+      }
+    in
+    (match trace_dir with
+    | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+    | Some _ | None -> ());
+    let worker_cmd =
+      match worker_exe with
+      | Some exe -> [| exe; "worker" |]
+      | None -> [| Sys.executable_name; "worker" |]
+    in
+    let trace =
+      (* --trace-dir routes the coordinator's own trace next to the
+         workers' unless --trace already named a file. *)
+      match (trace, trace_dir) with
+      | (Some _ as t), _ -> t
+      | None, Some dir -> Some (Filename.concat dir "coordinator.jsonl")
+      | None, None -> None
+    in
+    with_telemetry ~trace ~stats (fun () ->
+        match Server.Coordinator.run ~worker_cmd ~config spec with
+        | r ->
+            let s = r.Server.Coordinator.stats in
+            Format.printf "%a@." Common.Outcome.pp r.Server.Coordinator.outcome;
+            Format.printf "time %.3fs, %d worker processes@."
+              r.Server.Coordinator.elapsed workers;
+            Format.printf
+              "dverify stats: initial %d, dealt %d, stolen %d, reassigned \
+               %d, escalated %d, deaths %d, respawns %d@."
+              s.Server.Coordinator.initial_splits s.Server.Coordinator.dealt
+              s.Server.Coordinator.stolen s.Server.Coordinator.reassigned
+              s.Server.Coordinator.escalated
+              s.Server.Coordinator.worker_deaths
+              s.Server.Coordinator.respawns;
+            List.iter
+              (fun (slot, wall) ->
+                Format.printf "  shard %d busy %.3fs@." slot wall)
+              s.Server.Coordinator.shard_walls;
+            (match stats_json with
+            | None -> ()
+            | Some path ->
+                let j =
+                  Telemetry.Jsonw.Obj
+                    [
+                      ( "outcome",
+                        Server.Protocol.outcome_to_json
+                          r.Server.Coordinator.outcome );
+                      ("elapsed", Telemetry.Jsonw.Float
+                         r.Server.Coordinator.elapsed);
+                      ("workers", Telemetry.Jsonw.Int workers);
+                      ( "initial_splits",
+                        Telemetry.Jsonw.Int s.Server.Coordinator.initial_splits
+                      );
+                      ("dealt", Telemetry.Jsonw.Int s.Server.Coordinator.dealt);
+                      ( "stolen",
+                        Telemetry.Jsonw.Int s.Server.Coordinator.stolen );
+                      ( "reassigned",
+                        Telemetry.Jsonw.Int s.Server.Coordinator.reassigned );
+                      ( "escalated",
+                        Telemetry.Jsonw.Int s.Server.Coordinator.escalated );
+                      ( "worker_deaths",
+                        Telemetry.Jsonw.Int s.Server.Coordinator.worker_deaths
+                      );
+                      ( "respawns",
+                        Telemetry.Jsonw.Int s.Server.Coordinator.respawns );
+                      ( "handshake_rejects",
+                        Telemetry.Jsonw.Int
+                          s.Server.Coordinator.handshake_rejects );
+                      ( "shard_walls",
+                        Telemetry.Jsonw.Arr
+                          (List.map
+                             (fun (slot, wall) ->
+                               Telemetry.Jsonw.Obj
+                                 [
+                                   ("slot", Telemetry.Jsonw.Int slot);
+                                   ("wall", Telemetry.Jsonw.Float wall);
+                                 ])
+                             s.Server.Coordinator.shard_walls) );
+                    ]
+                in
+                Out_channel.with_open_text path (fun oc ->
+                    output_string oc
+                      (Telemetry.Jsonw.to_string ~pretty:true j);
+                    output_char oc '\n'));
+            (match r.Server.Coordinator.outcome with
+            | Common.Outcome.Verified | Common.Outcome.Refuted _ -> 0
+            | Common.Outcome.Timeout | Common.Outcome.Unknown -> 1)
+        | exception Failure msg ->
+            Printf.eprintf "charon dverify: %s\n" msg;
+            2)
+  in
+  let term =
+    Term.(
+      const run $ logs_term $ network_arg $ target_arg $ center_arg
+      $ radius_arg $ box_arg $ timeout_arg $ delta_arg $ seed_arg
+      $ dworkers_arg $ splits_arg $ steps_arg $ worker_exe_arg
+      $ crash_after_arg $ trace_dir_arg $ proofcache_persist_arg
+      $ stats_json_arg $ trace_arg $ stats_arg)
+  in
+  Cmd.v
+    (Cmd.info "dverify"
+       ~doc:
+         "Verify one hard property across multiple worker processes \
+          (split-and-conquer with work-stealing and crash recovery)")
+    term
+
+let worker_cmd =
+  let run () = Server.Worker.main () in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Run as a charon-dverify worker speaking Protocol.Dist on \
+          stdin/stdout (spawned by $(b,charon dverify); rarely useful \
+          by hand)")
+    Term.(const run $ logs_term)
+
+(* ------------------------------------------------------------------ *)
 (* demo                                                               *)
 
 let demo_cmd =
@@ -633,5 +822,7 @@ let () =
             export_cmd;
             serve_cmd;
             submit_cmd;
+            dverify_cmd;
+            worker_cmd;
             demo_cmd;
           ]))

@@ -8,9 +8,26 @@
      dune exec bin/serve.exe -- --socket /tmp/charon.sock --workers 4
 
    The process runs until a client sends {"op":"shutdown"} (e.g.
-   `charon-serve-client shutdown`). *)
+   `charon-serve-client shutdown`).
+
+   With --worker the binary is a charon-dverify worker instead: it
+   speaks Protocol.Dist on stdin/stdout and verifies split subtrees
+   for a coordinator (`charon dverify --worker-exe ...`). *)
 
 open Cmdliner
+
+(* Intercepted before cmdliner: a worker's stdin/stdout belong to the
+   coordinator's pipes, so nothing else (not even --help printing) may
+   touch them. *)
+(* Both spellings so the binary also fits `charon dverify
+   --worker-exe`, which invokes its worker executable with argv
+   [|exe; "worker"|]. *)
+let () =
+  if
+    Array.exists
+      (fun a -> String.equal a "--worker" || String.equal a "worker")
+      Sys.argv
+  then exit (Server.Worker.main ())
 
 let socket_arg =
   let doc = "Unix-domain socket path to listen on." in

@@ -29,6 +29,12 @@ let with_server f =
   | exception Server.Client.Server_error msg ->
       Printf.eprintf "server error: %s\n" msg;
       1
+  | exception Telemetry.Jsonw.Parse_error msg ->
+      (* A daemon dying mid-write can also tear a line *on* the '\n'
+         boundary, leaving syntactically broken JSON; that is a failed
+         request, not a response worth exit code 0. *)
+      Printf.eprintf "malformed response from the daemon: %s\n" msg;
+      1
 
 let id_arg =
   let doc = "Job id (from the submit response)." in

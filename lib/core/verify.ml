@@ -58,6 +58,20 @@ type counters = {
 }
 [@@race.guarded_by "domains_mutex"]
 
+let fresh_counters () =
+  {
+    nodes = Atomic.make 0;
+    analyze_calls = Atomic.make 0;
+    pgd_calls = Atomic.make 0;
+    transformer_calls = Atomic.make 0;
+    peak_depth = Atomic.make 0;
+    cache_lookups = Atomic.make 0;
+    cache_hits = Atomic.make 0;
+    kernel_fanouts = Atomic.make 0;
+    domains_mutex = Mutex.create ();
+    domains = Hashtbl.create 8;
+  }
+
 let rec atomic_max a v =
   let cur = Atomic.get a in
   if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
@@ -121,152 +135,169 @@ type item = {
   pnode : pnode option;
 }
 
-let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
-    ?(workers = 1) ?cancel ?on_progress ?proofcache ~rng ~policy net
+(* Everything one region step needs, bundled so the in-process drains
+   ([run]'s sequential and parallel paths) and the distributed subtree
+   entry point ([run_subtree], charon-dverify's worker loop) share a
+   single implementation of the PGD / analyze / split pipeline. *)
+type ctx = {
+  cfg : config;
+  budget : Common.Budget.t;
+  ctrs : counters;
+  ext_cancelled : unit -> bool;
+  progress : (nodes:int -> depth:int -> unit) option;
+  cpc : (Proofcache.t * string) option;  (* cache, network digest *)
+  policy : Policy.t;
+  net : Nn.Network.t;
+  prop : Common.Property.t;
+  objective : Optim.Objective.t;
+  pgd_config : Optim.Pgd.config;
+}
+
+let make_ctx ~config ~budget ~cancel ~on_progress ~proofcache ~policy net
     (prop : Common.Property.t) =
-  if config.delta <= 0.0 then invalid_arg "Verify.run: delta must be positive";
-  if workers < 1 then invalid_arg "Verify.run: workers must be at least 1";
-  let externally_cancelled () =
+  if config.delta <= 0.0 then
+    invalid_arg "Verify.run: delta must be positive";
+  let ext_cancelled () =
     match cancel with
     | Some c -> Parallel.Cancel.cancelled c
     | None -> false
   in
-  let started = Unix.gettimeofday () in
-  let counters =
-    {
-      nodes = Atomic.make 0;
-      analyze_calls = Atomic.make 0;
-      pgd_calls = Atomic.make 0;
-      transformer_calls = Atomic.make 0;
-      peak_depth = Atomic.make 0;
-      cache_lookups = Atomic.make 0;
-      cache_hits = Atomic.make 0;
-      kernel_fanouts = Atomic.make 0;
-      domains_mutex = Mutex.create ();
-      domains = Hashtbl.create 8;
-    }
-  in
   (* The network digest is the expensive part of a cache key; compute
-     it once per run.  [pc = None] keeps every cache branch below dead
+     it once per run.  [cpc = None] keeps every cache branch below dead
      and the search bit-identical to an uncached run (including the
      PGD-guided, un-snapped split cuts). *)
-  let pc =
+  let cpc =
     Option.map (fun cache -> (cache, Proofcache.net_digest net)) proofcache
-  in
-  let region_key region =
-    Option.map
-      (fun (cache, dg) ->
-        ( cache,
-          Proofcache.key ~net_digest:dg ~target:prop.Common.Property.target
-            ~delta:config.delta ~region ))
-      pc
   in
   let objective = Optim.Objective.create net ~k:prop.Common.Property.target in
   let pgd_config =
     { config.pgd with Optim.Pgd.early_stop = Some config.delta }
   in
-  let search_candidate ~rng region =
-    if config.use_cex_search then begin
-      Atomic.incr counters.pgd_calls;
-      Telemetry.Metrics.incr c_pgd;
-      Optim.Pgd.minimize ~config:pgd_config ~rng objective region
-    end
-    else begin
-      let c = Box.center region in
-      (c, Optim.Objective.value objective c)
-    end
+  {
+    cfg = config;
+    budget;
+    ctrs = fresh_counters ();
+    ext_cancelled;
+    progress = on_progress;
+    cpc;
+    policy;
+    net;
+    prop;
+    objective;
+    pgd_config;
+  }
+
+let region_key ctx region =
+  Option.map
+    (fun (cache, dg) ->
+      ( cache,
+        Proofcache.key ~net_digest:dg ~target:ctx.prop.Common.Property.target
+          ~delta:ctx.cfg.delta ~region ))
+    ctx.cpc
+
+let search_candidate ctx ~rng region =
+  if ctx.cfg.use_cex_search then begin
+    Atomic.incr ctx.ctrs.pgd_calls;
+    Telemetry.Metrics.incr c_pgd;
+    Optim.Pgd.minimize ~config:ctx.pgd_config ~rng ctx.objective region
+  end
+  else begin
+    let c = Box.center region in
+    (c, Optim.Objective.value ctx.objective c)
+  end
+
+(* Process one region of the worklist: PGD counterexample search
+   (lines 2-4), a proof attempt with the policy's domain (lines 5-7),
+   and on failure a policy-guided split (lines 8-12).  Returns the
+   sub-regions still to be proven. *)
+let process ctx ~kjobs ~rng ~pnode region depth :
+    (Common.Outcome.t, (Box.t * int * float) list * pnode option) Either.t =
+  let counters = ctx.ctrs in
+  Atomic.incr counters.nodes;
+  atomic_max counters.peak_depth depth;
+  Telemetry.Metrics.incr c_regions;
+  Telemetry.Metrics.observe h_region_depth depth;
+  (match ctx.progress with
+  | Some f -> f ~nodes:(Atomic.get counters.nodes) ~depth
+  | None -> ());
+  let sp = Telemetry.Span.enter "verify.region" in
+  (* Attributes for the region span, filled in as the region is
+     processed.  The thunks passed to [Span.exit] run only when a
+     trace file is attached, so the refs cost two words per region
+     and zero formatting work otherwise. *)
+  let sp_fstar = ref nan in
+  let sp_domain = ref "" in
+  let sp_split = ref None in
+  let sp_outcome = ref "unknown" in
+  let finish_span result =
+    Telemetry.Span.exit sp
+      ~attrs:(fun () ->
+        let base =
+          [
+            ("depth", Telemetry.Jsonw.Int depth);
+            ("outcome", Telemetry.Jsonw.Str !sp_outcome);
+          ]
+        in
+        let base =
+          if Float.is_nan !sp_fstar then base
+          else ("fstar", Telemetry.Jsonw.Float !sp_fstar) :: base
+        in
+        let base =
+          if String.equal !sp_domain "" then base
+          else ("domain", Telemetry.Jsonw.Str !sp_domain) :: base
+        in
+        match !sp_split with
+        | None -> base
+        | Some (dim, at) ->
+            ("split_dim", Telemetry.Jsonw.Int dim)
+            :: ("split_at", Telemetry.Jsonw.Float at)
+            :: base);
+    result
   in
-  (* Process one region of the worklist: PGD counterexample search
-     (lines 2-4), a proof attempt with the policy's domain (lines 5-7),
-     and on failure a policy-guided split (lines 8-12).  Returns the
-     sub-regions still to be proven. *)
-  let process ~kjobs ~rng ~pnode region depth :
-      (Common.Outcome.t, (Box.t * int * float) list * pnode option) Either.t =
-    Atomic.incr counters.nodes;
-    atomic_max counters.peak_depth depth;
-    Telemetry.Metrics.incr c_regions;
-    Telemetry.Metrics.observe h_region_depth depth;
-    (match on_progress with
-    | Some f -> f ~nodes:(Atomic.get counters.nodes) ~depth
-    | None -> ());
-    let sp = Telemetry.Span.enter "verify.region" in
-    (* Attributes for the region span, filled in as the region is
-       processed.  The thunks passed to [Span.exit] run only when a
-       trace file is attached, so the refs cost two words per region
-       and zero formatting work otherwise. *)
-    let sp_fstar = ref nan in
-    let sp_domain = ref "" in
-    let sp_split = ref None in
-    let sp_outcome = ref "unknown" in
-    let finish_span result =
-      Telemetry.Span.exit sp
-        ~attrs:(fun () ->
-          let base =
-            [
-              ("depth", Telemetry.Jsonw.Int depth);
-              ("outcome", Telemetry.Jsonw.Str !sp_outcome);
-            ]
-          in
-          let base =
-            if Float.is_nan !sp_fstar then base
-            else ("fstar", Telemetry.Jsonw.Float !sp_fstar) :: base
-          in
-          let base =
-            if String.equal !sp_domain "" then base
-            else ("domain", Telemetry.Jsonw.Str !sp_domain) :: base
-          in
-          match !sp_split with
-          | None -> base
-          | Some (dim, at) ->
-              ("split_dim", Telemetry.Jsonw.Int dim)
-              :: ("split_at", Telemetry.Jsonw.Float at)
-              :: base);
-      result
+  if Common.Budget.exhausted ctx.budget || ctx.ext_cancelled () then begin
+    sp_outcome := "timeout";
+    finish_span (Either.Left Common.Outcome.Timeout)
+  end
+  else if depth > ctx.cfg.max_depth then begin
+    (* The depth cap is a precision limit, not resource exhaustion:
+       there may be plenty of budget left, we are just refusing to
+       refine further — the same contract as the unsplittable branch
+       below, so the answer is Unknown, not Timeout. *)
+    sp_outcome := "depth_limit";
+    finish_span (Either.Left Common.Outcome.Unknown)
+  end
+  else begin
+    let pkey = region_key ctx region in
+    let cached =
+      match pkey with
+      | None -> false
+      | Some (cache, k) ->
+          Atomic.incr counters.cache_lookups;
+          let hit = Proofcache.lookup cache k in
+          if hit then Atomic.incr counters.cache_hits;
+          hit
     in
-    if Common.Budget.exhausted budget || externally_cancelled () then begin
-      sp_outcome := "timeout";
-      finish_span (Either.Left Common.Outcome.Timeout)
-    end
-    else if depth > config.max_depth then begin
-      (* The depth cap is a precision limit, not resource exhaustion:
-         there may be plenty of budget left, we are just refusing to
-         refine further — the same contract as the unsplittable branch
-         below, so the answer is Unknown, not Timeout. *)
-      sp_outcome := "depth_limit";
-      finish_span (Either.Left Common.Outcome.Unknown)
+    if cached then begin
+      (* A prior run proved this exact (network, target, delta,
+         region) fact; the whole subtree is discharged without PGD or
+         an analyze call. *)
+      (match pkey with
+      | Some (cache, _) -> subtree_proved cache pnode
+      | None -> ());
+      sp_outcome := "cached";
+      finish_span (Either.Right ([], None))
     end
     else begin
-      let pkey = region_key region in
-      let cached =
-        match pkey with
-        | None -> false
-        | Some (cache, k) ->
-            Atomic.incr counters.cache_lookups;
-            let hit = Proofcache.lookup cache k in
-            if hit then Atomic.incr counters.cache_hits;
-            hit
-      in
-      if cached then begin
-        (* A prior run proved this exact (network, target, delta,
-           region) fact; the whole subtree is discharged without PGD or
-           an analyze call. *)
-        (match pkey with
-        | Some (cache, _) -> subtree_proved cache pnode
-        | None -> ());
-        sp_outcome := "cached";
-        finish_span (Either.Right ([], None))
-      end
-      else begin
-      let xstar, fstar = search_candidate ~rng region in
+      let xstar, fstar = search_candidate ctx ~rng region in
       sp_fstar := fstar;
       Log.debug (fun m ->
           m "node %d depth %d region %a: F(x*) = %g"
             (Atomic.get counters.nodes)
             depth Box.pp region fstar);
-      if fstar <= config.delta then begin
+      if fstar <= ctx.cfg.delta then begin
         Log.info (fun m ->
             m "refuted at depth %d with F = %g <= delta = %g" depth fstar
-              config.delta);
+              ctx.cfg.delta);
         Telemetry.Metrics.incr c_refuted;
         sp_outcome := "refuted";
         finish_span (Either.Left (Common.Outcome.Refuted xstar))
@@ -274,14 +305,14 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
       else begin
         let input =
           {
-            Features.net;
+            Features.net = ctx.net;
             region;
-            target = prop.Common.Property.target;
+            target = ctx.prop.Common.Property.target;
             xstar;
             fstar;
           }
         in
-        let spec = Policy.choose_domain policy input in
+        let spec = Policy.choose_domain ctx.policy input in
         if Telemetry.tracing () then
           sp_domain := Format.asprintf "%a" Domain.pp spec;
         Mutex.lock counters.domains_mutex;
@@ -293,13 +324,13 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
         Telemetry.Metrics.incr c_analyze;
         if kjobs > 1 then Atomic.incr counters.kernel_fanouts;
         let verdict =
-          Absint.Analyzer.analyze ~jobs:kjobs ~stats ~budget net region
-            ~k:prop.Common.Property.target spec
+          Absint.Analyzer.analyze ~jobs:kjobs ~stats ~budget:ctx.budget ctx.net
+            region ~k:ctx.prop.Common.Property.target spec
         in
         ignore
           (Atomic.fetch_and_add counters.transformer_calls
              stats.Absint.Analyzer.transformer_calls);
-        Common.Budget.spend budget stats.Absint.Analyzer.transformer_calls;
+        Common.Budget.spend ctx.budget stats.Absint.Analyzer.transformer_calls;
         Log.debug (fun m ->
             m "domain %a -> %s" Domain.pp spec
               (match verdict with
@@ -316,7 +347,7 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
             sp_outcome := "proved";
             finish_span (Either.Right ([], None))
         | Absint.Analyzer.Unknown ->
-            let dim, at = Policy.choose_split policy input in
+            let dim, at = Policy.choose_split ctx.policy input in
             if Box.width region dim <= 0.0 then begin
               (* An unsplittable (zero-width) dimension is a precision
                  failure, not resource exhaustion: budget and depth may
@@ -331,7 +362,7 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
                  across overlapping queries; without one, the policy's
                  PGD-guided cut is used untouched. *)
               let at =
-                match pc with
+                match ctx.cpc with
                 | Some _ -> Partition.snap_split region ~dim
                 | None -> at
               in
@@ -351,8 +382,20 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
                      child_pnode ))
             end
       end
-      end
     end
+  end
+
+let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
+    ?(workers = 1) ?cancel ?on_progress ?proofcache ~rng ~policy net
+    (prop : Common.Property.t) =
+  if workers < 1 then invalid_arg "Verify.run: workers must be at least 1";
+  let started = Unix.gettimeofday () in
+  let ctx =
+    make_ctx ~config ~budget ~cancel ~on_progress ~proofcache ~policy net prop
+  in
+  let counters = ctx.ctrs in
+  let process ~kjobs ~rng ~pnode region depth =
+    process ctx ~kjobs ~rng ~pnode region depth
   in
   (* The worklist realises the strategy: LIFO for the paper's recursion
      (Algorithm 1, left branch first), a min-priority queue on the
@@ -521,9 +564,110 @@ let run ?(config = default_config) ?(budget = Common.Budget.unlimited ())
     peak_depth = Atomic.get counters.peak_depth;
     workers;
     domains_used =
-      Hashtbl.fold (fun spec n acc -> (spec, n) :: acc) counters.domains [];
+      (* Workers have all joined, so the lock is uncontended — it is
+         taken anyway to keep the guard discipline machine-checkable. *)
+      (Mutex.lock counters.domains_mutex;
+       let used =
+         Hashtbl.fold (fun spec n acc -> (spec, n) :: acc) counters.domains []
+       in
+       Mutex.unlock counters.domains_mutex;
+       used);
     cache_lookups = Atomic.get counters.cache_lookups;
     cache_hits = Atomic.get counters.cache_hits;
     kernel_fanouts = Atomic.get counters.kernel_fanouts;
     kernel_peak_domains = Parallel.Kpool.peak_participants ();
   }
+
+(* ------------------------------------------------------------------ *)
+(* Resumable subtree verification (charon-dverify's worker unit).
+
+   One shard of a distributed split-and-conquer run verifies a subtree
+   rooted at some sub-box of the original property, entering the
+   recursion at the depth that produced the sub-box so depth caps and
+   canonical-partition keys line up with a single-process run.  The
+   drain is the sequential depth-first one, with two extra stop
+   conditions checked between regions: the budget (per-shard, escalated
+   by the coordinator across re-deals) and a cooperative [yield] hook
+   (the coordinator's work-stealing request).  Stopping early is not an
+   answer — the unexplored frontier travels back to the caller so no
+   region's proof obligation is ever dropped. *)
+
+type subtree_outcome =
+  | Subtree_proved
+  | Subtree_refuted of Linalg.Vec.t
+  | Subtree_unknown
+  | Subtree_yielded
+
+type subtree_report = {
+  subtree_outcome : subtree_outcome;
+  frontier : (Box.t * int) list;
+  subtree_nodes : int;
+  subtree_analyze_calls : int;
+  subtree_pgd_calls : int;
+  subtree_transformer_calls : int;
+  subtree_cache_lookups : int;
+  subtree_cache_hits : int;
+  subtree_elapsed : float;
+}
+
+let run_subtree ?(config = default_config)
+    ?(budget = Common.Budget.unlimited ()) ?cancel ?(yield = fun () -> false)
+    ?proofcache ?(root_depth = 0) ~rng ~policy net
+    (prop : Common.Property.t) =
+  if root_depth < 0 then
+    invalid_arg "Verify.run_subtree: root_depth must be non-negative";
+  let started = Unix.gettimeofday () in
+  let ctx =
+    make_ctx ~config ~budget ~cancel ~on_progress:None ~proofcache ~policy net
+      prop
+  in
+  let finish subtree_outcome frontier =
+    let c = ctx.ctrs in
+    {
+      subtree_outcome;
+      frontier;
+      subtree_nodes = Atomic.get c.nodes;
+      subtree_analyze_calls = Atomic.get c.analyze_calls;
+      subtree_pgd_calls = Atomic.get c.pgd_calls;
+      subtree_transformer_calls = Atomic.get c.transformer_calls;
+      subtree_cache_lookups = Atomic.get c.cache_lookups;
+      subtree_cache_hits = Atomic.get c.cache_hits;
+      subtree_elapsed = Unix.gettimeofday () -. started;
+    }
+  in
+  let frontier_of worklist =
+    List.map (fun (region, depth, _) -> (region, depth)) worklist
+  in
+  let rec drain = function
+    | [] -> finish Subtree_proved []
+    | ((region, depth, pnode) :: rest) as worklist ->
+        (* Stop *between* regions, never mid-region: the current item
+           has not been processed yet, so it belongs to the frontier. *)
+        if
+          yield ()
+          || Common.Budget.exhausted ctx.budget
+          || ctx.ext_cancelled ()
+        then finish Subtree_yielded (frontier_of worklist)
+        else begin
+          match process ctx ~kjobs:1 ~rng ~pnode region depth with
+          | Either.Left Common.Outcome.Timeout ->
+              (* The budget ran out (or cancellation landed) in the
+                 window between our check and the region's own: the
+                 region was counted but not decided, so it stays on the
+                 frontier. *)
+              finish Subtree_yielded (frontier_of worklist)
+          | Either.Left Common.Outcome.Unknown ->
+              finish Subtree_unknown (frontier_of rest)
+          | Either.Left (Common.Outcome.Refuted x) ->
+              finish (Subtree_refuted x) []
+          | Either.Left Common.Outcome.Verified ->
+              (* [process] never returns Verified directly (a proved
+                 region comes back as Right ([], _)); drain the rest. *)
+              drain rest
+          | Either.Right (children, child_pnode) ->
+              drain
+                (List.map (fun (r, d, _) -> (r, d, child_pnode)) children
+                @ rest)
+        end
+  in
+  drain [ (prop.Common.Property.region, root_depth, None) ]

@@ -114,3 +114,64 @@ val run :
     the callback must be domain-safe (the serving layer stores the
     numbers in atomics).  Both hooks default to off and cost nothing
     when absent. *)
+
+(** {1 Resumable subtree verification}
+
+    The unit of work of a charon-dverify shard: verify the subtree
+    rooted at one sub-box of a property, with the ability to stop
+    between regions and hand the unexplored frontier back to the
+    coordinator (for budget escalation or work-stealing). *)
+
+type subtree_outcome =
+  | Subtree_proved  (** every region of the subtree was proved *)
+  | Subtree_refuted of Linalg.Vec.t
+      (** counterexample found; [F(x) <= delta] *)
+  | Subtree_unknown
+      (** a region hit a precision limit (depth cap or zero-width
+          split); refining harder will not help *)
+  | Subtree_yielded
+      (** stopped early — budget exhausted, [yield] asked, or [cancel]
+          fired; the undecided regions are in [frontier] *)
+
+type subtree_report = {
+  subtree_outcome : subtree_outcome;
+  frontier : (Domains.Box.t * int) list;
+      (** unexplored [(region, absolute depth)] pairs, left-most first;
+          non-empty only for [Subtree_yielded].  Re-running each entry
+          (at its recorded depth) completes the original obligation —
+          nothing is dropped by stopping early. *)
+  subtree_nodes : int;
+  subtree_analyze_calls : int;
+  subtree_pgd_calls : int;
+  subtree_transformer_calls : int;
+  subtree_cache_lookups : int;
+  subtree_cache_hits : int;
+  subtree_elapsed : float;  (** seconds *)
+}
+
+val run_subtree :
+  ?config:config ->
+  ?budget:Common.Budget.t ->
+  ?cancel:Parallel.Cancel.t ->
+  ?yield:(unit -> bool) ->
+  ?proofcache:Proofcache.t ->
+  ?root_depth:int ->
+  rng:Linalg.Rng.t ->
+  policy:Policy.t ->
+  Nn.Network.t ->
+  Common.Property.t ->
+  subtree_report
+(** Sequential depth-first verification of the subtree rooted at
+    [prop.region], entering the recursion at [root_depth] (default 0):
+    regions count against [config.max_depth] from there, and with
+    [?proofcache] the split cuts snap onto the canonical partition, so
+    a shard started at the depth that produced its sub-box explores
+    bit-identical regions (with bit-identical cache keys) to a
+    single-process run that descended to it.
+
+    [yield] is polled once per region *before* the region is processed;
+    returning [true] stops the drain with the pending regions — the
+    polled one included — in [frontier].  [budget] exhaustion and
+    [cancel] stop the same way, so a shard interrupted for any reason
+    loses no proof obligation.  Raises [Invalid_argument] when
+    [root_depth] is negative. *)

@@ -27,7 +27,17 @@ let request ~socket req =
           Protocol.send oc (Protocol.to_json req);
           match Protocol.recv ic with
           | Some json -> json
-          | None -> raise (Server_error "connection closed before a response"))
+          | None -> raise (Server_error "connection closed before a response")
+          | exception Protocol.Torn_line n ->
+              (* A dying daemon can flush a partial line before the
+                 socket drops; surfacing it as success would hand the
+                 caller a truncated verdict. *)
+              raise
+                (Server_error
+                   (Printf.sprintf
+                      "connection closed mid-response (%d bytes of a torn \
+                       message)"
+                      n)))
 
 let ok_or_error json =
   match J.member "ok" json with

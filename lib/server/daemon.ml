@@ -59,6 +59,11 @@ let handle_connection sched fd =
           Telemetry.Metrics.incr c_bad_requests;
           Protocol.send oc (Protocol.error ("malformed request: " ^ msg));
           `Continue
+      | exception Protocol.Torn_line _ ->
+          (* The client hung up mid-request; there is nobody left to
+             answer, so just count it. *)
+          Telemetry.Metrics.incr c_conn_errors;
+          `Continue
       | exception (Unix.Unix_error _ | Sys_error _ | End_of_file) ->
           Telemetry.Metrics.incr c_conn_errors;
           `Continue)

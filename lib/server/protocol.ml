@@ -36,15 +36,35 @@ type request =
 (* ------------------------------------------------------------------ *)
 (* Framing *)
 
+exception Torn_line of int
+
 let send oc (json : J.t) =
   output_string oc (J.to_string json);
   output_char oc '\n';
   flush oc
 
+(* Strict framing: a document only counts once its '\n' terminator has
+   arrived.  [In_channel.input_line] silently treats bytes-then-EOF as
+   a complete line, which let a peer dying mid-write hand the reader a
+   JSON prefix — at best a parse error, at worst (if the tear fell on a
+   document boundary inside a buffered stream) a truncated-but-valid
+   document.  Distinguishing "clean EOF between messages" ([None])
+   from "EOF mid-message" ([Torn_line]) is what lets clients exit
+   non-zero on a torn response and lets the dverify coordinator treat
+   the tear as a worker death. *)
 let recv ic =
-  match In_channel.input_line ic with
-  | None -> None
-  | Some line -> Some (J.parse line)
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    match In_channel.input_char ic with
+    | Some '\n' -> Some (J.parse (Buffer.contents buf))
+    | Some c ->
+        Buffer.add_char buf c;
+        loop ()
+    | None ->
+        if Buffer.length buf = 0 then None
+        else raise (Torn_line (Buffer.length buf))
+  in
+  loop ()
 
 (* ------------------------------------------------------------------ *)
 (* Helpers *)
@@ -206,3 +226,205 @@ let of_json json =
 let ok fields = J.Obj (("ok", J.Bool true) :: fields)
 
 let error msg = J.Obj [ ("ok", J.Bool false); ("error", J.Str msg) ]
+
+(* ------------------------------------------------------------------ *)
+(* Distributed split-and-conquer (charon-dverify, docs/serving.md).
+
+   Same line framing, but over a worker process's stdin/stdout pipes
+   and with a long-lived conversation instead of one request/response
+   pair.  The session opens with a versioned handshake — worker sends
+   [hello], coordinator answers [hello_ok] carrying the job, or an
+   [error] document on version mismatch so an incompatible worker is
+   rejected cleanly instead of hanging on an op it cannot parse. *)
+
+module Dist = struct
+  let version = 1
+
+  type pending = { box : Domains.Box.t; depth : int }
+
+  type to_worker =
+    | Hello_ok of { version : int; job : job_spec; proofcache : string option }
+    | Assign of {
+        sid : int;
+        box : Domains.Box.t;
+        depth : int;
+        max_steps : int;
+        seconds : float option;
+      }
+    | Steal
+    | Cancel_all
+
+  type yield_reason = Budget | Stolen | Precision
+
+  type from_worker =
+    | Hello of { version : int; pid : int }
+    | Split_request
+    | Proved of { sid : int; nodes : int; wall : float }
+    | Refuted of { sid : int; witness : Linalg.Vec.t; wall : float }
+    | Yielded of {
+        sid : int;
+        reason : yield_reason;
+        frontier : pending list;
+        nodes : int;
+        wall : float;
+      }
+
+  let box_to_json box = J.Str (Common.Regionspec.to_box_string box)
+
+  let box_of_field name json =
+    let s = string_field name json in
+    match Common.Regionspec.parse_box s with
+    | box -> box
+    | exception Failure m -> bad "bad box %S: %s" s m
+
+  let pending_to_json { box; depth } =
+    J.Obj [ ("box", box_to_json box); ("depth", J.Int depth) ]
+
+  let pending_of_json json =
+    let depth = int_field "depth" json in
+    if depth < 0 then bad "frontier depth must be non-negative";
+    { box = box_of_field "box" json; depth }
+
+  let reason_to_string = function
+    | Budget -> "budget"
+    | Stolen -> "stolen"
+    | Precision -> "precision"
+
+  let reason_of_string = function
+    | "budget" -> Budget
+    | "stolen" -> Stolen
+    | "precision" -> Precision
+    | other -> bad "unknown yield reason %S" other
+
+  let to_worker_to_json = function
+    | Hello_ok { version = v; job; proofcache } ->
+        let base =
+          [
+            ("op", J.Str "hello_ok");
+            ("version", J.Int v);
+            (* [spec_to_json] tags the spec as a submit request; the
+               embedded job is not one, so the tag is dropped. *)
+            ( "job",
+              J.Obj (List.filter (fun (k, _) -> k <> "op") (spec_to_json job))
+            );
+          ]
+        in
+        J.Obj
+          (match proofcache with
+          | Some path -> base @ [ ("proofcache", J.Str path) ]
+          | None -> base)
+    | Assign { sid; box; depth; max_steps; seconds } ->
+        let base =
+          [
+            ("op", J.Str "split");
+            ("sid", J.Int sid);
+            ("box", box_to_json box);
+            ("depth", J.Int depth);
+            ("max_steps", J.Int max_steps);
+          ]
+        in
+        J.Obj
+          (match seconds with
+          | Some s -> base @ [ ("seconds", J.Float s) ]
+          | None -> base)
+    | Steal -> J.Obj [ ("op", J.Str "steal") ]
+    | Cancel_all -> J.Obj [ ("op", J.Str "cancel") ]
+
+  let to_worker_of_json json =
+    match J.to_string_opt (field "op" json) with
+    | Some "hello_ok" ->
+        Hello_ok
+          {
+            version = int_field "version" json;
+            job = spec_of_json (field "job" json);
+            proofcache = opt_field "proofcache" J.to_string_opt json;
+          }
+    | Some "split" ->
+        let depth = int_field "depth" json in
+        if depth < 0 then bad "split depth must be non-negative";
+        Assign
+          {
+            sid = int_field "sid" json;
+            box = box_of_field "box" json;
+            depth;
+            max_steps = int_field "max_steps" json;
+            seconds = opt_field "seconds" J.to_float_opt json;
+          }
+    | Some "steal" -> Steal
+    | Some "cancel" -> Cancel_all
+    | Some other -> bad "unknown coordinator op %S" other
+    | None -> bad "field \"op\" must be a string"
+
+  let from_worker_to_json = function
+    | Hello { version = v; pid } ->
+        J.Obj [ ("op", J.Str "hello"); ("version", J.Int v); ("pid", J.Int pid) ]
+    | Split_request -> J.Obj [ ("op", J.Str "split_request") ]
+    | Proved { sid; nodes; wall } ->
+        J.Obj
+          [
+            ("op", J.Str "proved");
+            ("sid", J.Int sid);
+            ("nodes", J.Int nodes);
+            ("wall", J.Float wall);
+          ]
+    | Refuted { sid; witness; wall } ->
+        J.Obj
+          [
+            ("op", J.Str "refuted");
+            ("sid", J.Int sid);
+            ("witness", vec_to_json witness);
+            ("wall", J.Float wall);
+          ]
+    | Yielded { sid; reason; frontier; nodes; wall } ->
+        J.Obj
+          [
+            ("op", J.Str "yielded");
+            ("sid", J.Int sid);
+            ("reason", J.Str (reason_to_string reason));
+            ("frontier", J.Arr (List.map pending_to_json frontier));
+            ("nodes", J.Int nodes);
+            ("wall", J.Float wall);
+          ]
+
+  let from_worker_of_json json =
+    match J.to_string_opt (field "op" json) with
+    | Some "hello" ->
+        Hello
+          { version = int_field "version" json; pid = int_field "pid" json }
+    | Some "split_request" -> Split_request
+    | Some "proved" ->
+        Proved
+          {
+            sid = int_field "sid" json;
+            nodes = int_field "nodes" json;
+            wall = Option.value ~default:0.0 (J.to_float_opt (field "wall" json));
+          }
+    | Some "refuted" ->
+        Refuted
+          {
+            sid = int_field "sid" json;
+            witness = vec_of_json (field "witness" json);
+            wall = Option.value ~default:0.0 (J.to_float_opt (field "wall" json));
+          }
+    | Some "yielded" ->
+        Yielded
+          {
+            sid = int_field "sid" json;
+            reason = reason_of_string (string_field "reason" json);
+            frontier =
+              (match field "frontier" json with
+              | J.Arr items -> List.map pending_of_json items
+              | _ -> bad "field \"frontier\" must be an array");
+            nodes = int_field "nodes" json;
+            wall = Option.value ~default:0.0 (J.to_float_opt (field "wall" json));
+          }
+    | Some other -> bad "unknown worker op %S" other
+    | None -> bad "field \"op\" must be a string"
+
+  (* [{"ok": false, ...}] — the coordinator's handshake rejection (and
+     the only non-op document either side ever sends). *)
+  let is_rejection json =
+    match J.member "ok" json with
+    | Some (J.Bool false) -> true
+    | Some _ | None -> false
+end

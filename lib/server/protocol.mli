@@ -29,11 +29,19 @@ exception Bad_request of string
 (** Raised by the parsing functions on malformed or ill-typed input;
     the daemon turns it into an [error] response. *)
 
+exception Torn_line of int
+(** The peer closed the stream in the middle of a message: EOF arrived
+    after that many bytes of an unterminated line.  Clients must treat
+    this as failure (never as a response); the dverify coordinator
+    treats it as a worker death. *)
+
 val send : out_channel -> J.t -> unit
 (** Write one line-framed compact JSON document and flush. *)
 
 val recv : in_channel -> J.t option
-(** Read one line-framed document; [None] on EOF.
+(** Read one line-framed document; [None] on clean EOF (the stream
+    ended exactly on a message boundary).
+    @raise Torn_line on EOF mid-message.
     @raise J.Parse_error on malformed JSON. *)
 
 val to_json : request -> J.t
@@ -53,3 +61,68 @@ val ok : (string * J.t) list -> J.t
 
 val error : string -> J.t
 (** [{"ok": false, "error": msg}] *)
+
+(** The charon-dverify coordinator/worker message set: same line
+    framing over a worker process's stdin/stdout, long-lived session,
+    versioned handshake.  Message grammar and the full session shape:
+    docs/serving.md, "Distributed split-and-conquer". *)
+module Dist : sig
+  val version : int
+  (** Protocol revision spoken by this build.  [hello]/[hello_ok] with
+      any other value is rejected with an [error] document (coordinator
+      side) or a non-zero exit (worker side) — never answered with ops
+      the peer may not know. *)
+
+  type pending = { box : Domains.Box.t; depth : int }
+  (** One unexplored region and the absolute split depth that produced
+      it — exactly a {!Verify.run_subtree} frontier entry. *)
+
+  type to_worker =
+    | Hello_ok of { version : int; job : job_spec; proofcache : string option }
+        (** handshake accept: the job every split belongs to, plus an
+            optional shared proof-cache journal path *)
+    | Assign of {
+        sid : int;
+        box : Domains.Box.t;
+        depth : int;
+        max_steps : int;
+        seconds : float option;
+      }  (** verify this split (op ["split"] on the wire) *)
+    | Steal  (** yield the current split's unexplored frontier back *)
+    | Cancel_all  (** global cancel: stop and exit cleanly *)
+
+  type yield_reason =
+    | Budget  (** the per-split budget ran out; frontier is re-dealt
+                  with an escalated budget *)
+    | Stolen  (** answering a [Steal] *)
+    | Precision
+        (** a region hit a precision limit (depth cap / zero-width
+            split); harder budgets will not help *)
+
+  type from_worker =
+    | Hello of { version : int; pid : int }
+    | Split_request  (** idle and ready for a split *)
+    | Proved of { sid : int; nodes : int; wall : float }
+    | Refuted of { sid : int; witness : Linalg.Vec.t; wall : float }
+    | Yielded of {
+        sid : int;
+        reason : yield_reason;
+        frontier : pending list;
+        nodes : int;
+        wall : float;
+      }
+
+  val to_worker_to_json : to_worker -> J.t
+
+  val to_worker_of_json : J.t -> to_worker
+  (** @raise Bad_request on unknown ops or missing/ill-typed fields. *)
+
+  val from_worker_to_json : from_worker -> J.t
+
+  val from_worker_of_json : J.t -> from_worker
+  (** @raise Bad_request on unknown ops or missing/ill-typed fields. *)
+
+  val is_rejection : J.t -> bool
+  (** [true] for [{"ok": false, ...}] — the coordinator's handshake
+      rejection, the only non-op document in a dverify session. *)
+end
