@@ -499,6 +499,56 @@ let socket_arg =
     & opt string "charon-serve.sock"
     & info [ "socket" ] ~docv:"PATH" ~doc)
 
+let tcp_client_arg =
+  let doc =
+    "Reach the daemon over TCP at $(docv) instead of the Unix socket \
+     (HOST:PORT, or just PORT for 127.0.0.1)."
+  in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
+let api_key_arg =
+  let doc = "Tenant API key (required over TCP when tenants are configured)." in
+  Arg.(value & opt (some string) None & info [ "api-key" ] ~docv:"KEY" ~doc)
+
+let parse_tcp_endpoint s =
+  match String.rindex_opt s ':' with
+  | None -> ("127.0.0.1", int_of_string s)
+  | Some i ->
+      let host = String.sub s 0 i in
+      let port =
+        int_of_string (String.sub s (i + 1) (String.length s - i - 1))
+      in
+      ((if host = "" then "127.0.0.1" else host), port)
+
+let addr_of socket tcp =
+  match tcp with
+  | None -> Server.Client.Unix_socket socket
+  | Some s -> (
+      match parse_tcp_endpoint s with
+      | host, port -> Server.Client.Tcp (host, port)
+      | exception (Failure _ | Invalid_argument _) ->
+          Printf.eprintf "bad --tcp endpoint %S (expected HOST:PORT)\n" s;
+          exit 2)
+
+(* Shared error surface for the daemon-client subcommands (submit,
+   stats): connection failures, structured rejects, prose errors. *)
+let with_daemon addr f =
+  match f () with
+  | code -> code
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "cannot reach the daemon at %s: %s\n"
+        (Server.Client.addr_to_string addr)
+        (Unix.error_message e);
+      1
+  | exception Server.Client.Server_error msg ->
+      Printf.eprintf "server error: %s\n" msg;
+      1
+  | exception Server.Client.Rejected { code; retryable; message } ->
+      Printf.eprintf "rejected (%s%s): %s\n" code
+        (if retryable then ", retryable" else "")
+        message;
+      1
+
 let serve_cmd =
   let cache_arg =
     let doc = "Verdict cache capacity (entries, LRU eviction)." in
@@ -508,26 +558,85 @@ let serve_cmd =
     let doc = "Subregion proof cache capacity (entries, LRU eviction)." in
     Arg.(value & opt int 65536 & info [ "proofcache-size" ] ~docv:"N" ~doc)
   in
-  let run () socket workers cache_size proofcache_size proofcache_persist
-      trace stats =
-    (match trace with
-    | Some path -> Telemetry.enable ~path ()
-    | None -> Telemetry.enable ());
-    Printf.printf
-      "charon serve: listening on %s (%d workers, cache %d, proofcache %d%s)\n%!"
-      socket workers cache_size proofcache_size
-      (match proofcache_persist with
-      | Some p -> Printf.sprintf " persisted to %s" p
-      | None -> "");
-    Server.Daemon.serve ~socket ~workers ~cache_capacity:cache_size
-      ~proofcache_capacity:proofcache_size ?proofcache_persist ();
-    if stats then print_string (Telemetry.Metrics.summary_table ());
-    Telemetry.disable ();
-    0
+  let tcp_listen_arg =
+    let doc =
+      "Also listen on TCP at $(docv) (HOST:PORT, or just PORT for \
+       127.0.0.1; port 0 picks an ephemeral port)."
+    in
+    Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let tenants_file_arg =
+    let doc =
+      "Tenant registry: a JSON file mapping API keys to named tenants \
+       with fair-share weights and quotas (docs/serving.md)."
+    in
+    Arg.(value & opt (some file) None & info [ "tenants" ] ~docv:"FILE" ~doc)
+  in
+  let store_file_arg =
+    let doc =
+      "Persist verdicts as a JSONL journal at $(docv); proved problems \
+       answer from disk across daemon restarts."
+    in
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"FILE" ~doc)
+  in
+  let queue_capacity_arg =
+    let doc =
+      "Bound on queued runs; past it, submits get a retryable busy reject."
+    in
+    Arg.(value & opt int 256 & info [ "queue-capacity" ] ~docv:"N" ~doc)
+  in
+  let run () socket tcp tenants_file store queue_capacity workers cache_size
+      proofcache_size proofcache_persist trace stats =
+    match
+      let socket = if socket = "" then None else Some socket in
+      let tcp =
+        match tcp with
+        | None -> None
+        | Some s -> (
+            try Some (parse_tcp_endpoint s)
+            with Failure _ | Invalid_argument _ ->
+              failwith
+                (Printf.sprintf "bad --tcp endpoint %S (expected HOST:PORT)" s))
+      in
+      let tenants =
+        match tenants_file with
+        | None -> Server.Tenant.empty
+        | Some path -> Server.Tenant.load path
+      in
+      (match trace with
+      | Some path -> Telemetry.enable ~path ()
+      | None -> Telemetry.enable ());
+      Printf.printf
+        "charon serve: listening on %s (%d workers, cache %d, proofcache %d%s%s)\n%!"
+        (String.concat " + "
+           ((match socket with Some s -> [ s ] | None -> [])
+           @
+           match tcp with
+           | Some (h, p) -> [ Printf.sprintf "%s:%d" h p ]
+           | None -> []))
+        workers cache_size proofcache_size
+        (match proofcache_persist with
+        | Some p -> Printf.sprintf " persisted to %s" p
+        | None -> "")
+        (match store with
+        | Some p -> Printf.sprintf ", verdict store %s" p
+        | None -> "");
+      Server.Daemon.serve ?socket ?tcp ~workers ~cache_capacity:cache_size
+        ~proofcache_capacity:proofcache_size ?proofcache_persist
+        ?store_path:store ~queue_capacity ~tenants ()
+    with
+    | () ->
+        if stats then print_string (Telemetry.Metrics.summary_table ());
+        Telemetry.disable ();
+        0
+    | exception (Failure msg | Invalid_argument msg) ->
+        Printf.eprintf "charon serve: %s\n" msg;
+        2
   in
   let term =
     Term.(
-      const run $ logs_term $ socket_arg $ workers_arg $ cache_arg
+      const run $ logs_term $ socket_arg $ tcp_listen_arg $ tenants_file_arg
+      $ store_file_arg $ queue_capacity_arg $ workers_arg $ cache_arg
       $ proofcache_size_arg $ proofcache_persist_arg $ trace_arg
       $ stats_arg)
   in
@@ -545,8 +654,9 @@ let submit_cmd =
     let doc = "Label echoed back in status responses." in
     Arg.(value & opt string "property" & info [ "name" ] ~docv:"NAME" ~doc)
   in
-  let run () socket network target center radius box timeout delta seed name
-      wait =
+  let run () socket tcp api_key network target center radius box timeout delta
+      seed name wait =
+    let addr = addr_of socket tcp in
     let spec =
       {
         Server.Protocol.name;
@@ -559,31 +669,125 @@ let submit_cmd =
         seed;
       }
     in
-    match
-      let id, response = Server.Client.submit ~socket spec in
-      if wait && not (Server.Client.terminal (Server.Client.job_state response))
-      then Server.Client.wait ~socket id
-      else response
-    with
-    | json ->
+    with_daemon addr (fun () ->
+        let id, response = Server.Client.submit ?api_key ~addr spec in
+        let json =
+          if
+            wait
+            && not (Server.Client.terminal (Server.Client.job_state response))
+          then Server.Client.wait ?api_key ~addr id
+          else response
+        in
         print_endline (Telemetry.Jsonw.to_string ~pretty:true json);
-        0
-    | exception Unix.Unix_error (e, _, _) ->
-        Printf.eprintf "cannot reach the daemon at %s: %s\n" socket
-          (Unix.error_message e);
-        1
-    | exception Server.Client.Server_error msg ->
-        Printf.eprintf "server error: %s\n" msg;
-        1
+        0)
   in
   let term =
     Term.(
-      const run $ logs_term $ socket_arg $ network_arg $ target_arg
-      $ center_arg $ radius_arg $ box_arg $ timeout_arg $ delta_arg $ seed_arg
-      $ name_arg $ wait_flag)
+      const run $ logs_term $ socket_arg $ tcp_client_arg $ api_key_arg
+      $ network_arg $ target_arg $ center_arg $ radius_arg $ box_arg
+      $ timeout_arg $ delta_arg $ seed_arg $ name_arg $ wait_flag)
   in
   Cmd.v
     (Cmd.info "submit" ~doc:"Submit one verification job to a running daemon")
+    term
+
+let stats_srv_cmd =
+  let json_flag =
+    let doc = "Print the raw stats JSON instead of the summary." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let module J = Telemetry.Jsonw in
+  (* Tolerant accessors: a field the daemon doesn't know yet (or an
+     older daemon not sending one we expect) prints as 0, not a crash —
+     client and daemon versions may skew. *)
+  let jint path json =
+    let rec go path json =
+      match path with
+      | [] -> J.to_int_opt json
+      | k :: rest -> Option.bind (J.member k json) (go rest)
+    in
+    Option.value ~default:0 (go path json)
+  in
+  let jfloat path json =
+    let rec go path json =
+      match path with
+      | [] -> J.to_float_opt json
+      | k :: rest -> Option.bind (J.member k json) (go rest)
+    in
+    Option.value ~default:0.0 (go path json)
+  in
+  let jstr path json =
+    let rec go path json =
+      match path with
+      | [] -> J.to_string_opt json
+      | k :: rest -> Option.bind (J.member k json) (go rest)
+    in
+    Option.value ~default:"?" (go path json)
+  in
+  let print_summary json =
+    Printf.printf "charon-serve: %d workers, up %.1fs\n" (jint [ "workers" ] json)
+      (jfloat [ "uptime_seconds" ] json);
+    Printf.printf "queue: %d queued (capacity %d), %d in flight (peak %d)\n"
+      (jint [ "queue_depth" ] json)
+      (jint [ "queue_capacity" ] json)
+      (jint [ "in_flight" ] json)
+      (jint [ "peak_in_flight" ] json);
+    Printf.printf
+      "jobs: %d submitted, %d completed, %d cancelled, %d failed, %d rejected\n"
+      (jint [ "jobs"; "submitted" ] json)
+      (jint [ "jobs"; "completed" ] json)
+      (jint [ "jobs"; "cancelled" ] json)
+      (jint [ "jobs"; "failed" ] json)
+      (jint [ "jobs"; "rejected" ] json);
+    Printf.printf "cache: %.1f%% hit rate; coalesced %d (inflight keys %d)\n"
+      (100.0 *. jfloat [ "cache"; "hit_rate" ] json)
+      (jint [ "coalesce"; "coalesced_total" ] json)
+      (jint [ "coalesce"; "inflight_keys" ] json);
+    (match J.member "store" json with
+    | Some store ->
+        Printf.printf "store: %s (%d entries, %d loaded, %d hits)\n"
+          (jstr [ "path" ] store) (jint [ "entries" ] store)
+          (jint [ "loaded" ] store) (jint [ "hits" ] store)
+    | None -> ());
+    match J.member "tenants" json with
+    | Some (J.Arr (_ :: _ as tenants)) ->
+        Printf.printf "%-12s %6s %5s %8s %6s %6s %6s %7s %7s %9s\n" "tenant"
+          "weight" "quota" "accepted" "cached" "coal" "done" "rej/q" "rej/b"
+          "p95-age";
+        List.iter
+          (fun t ->
+            Printf.printf "%-12s %6.1f %5s %8d %6d %6d %6d %7d %7d %8.3fs\n"
+              (jstr [ "name" ] t)
+              (jfloat [ "weight" ] t)
+              (match J.member "quota" t with
+              | Some (J.Int q) -> string_of_int q
+              | _ -> "-")
+              (jint [ "accepted" ] t) (jint [ "cache_hits" ] t)
+              (jint [ "coalesced" ] t) (jint [ "completed" ] t)
+              (jint [ "rejected_quota" ] t)
+              (jint [ "rejected_busy" ] t)
+              (jfloat [ "queue_age"; "p95_seconds" ] t))
+          tenants
+    | Some _ | None -> ()
+  in
+  let run () socket tcp api_key raw =
+    let addr = addr_of socket tcp in
+    with_daemon addr (fun () ->
+        let json = Server.Client.stats ?api_key ~addr () in
+        if raw then print_endline (J.to_string ~pretty:true json)
+        else print_summary json;
+        0)
+  in
+  let term =
+    Term.(
+      const run $ logs_term $ socket_arg $ tcp_client_arg $ api_key_arg
+      $ json_flag)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Per-tenant accounting, queue and cache statistics of a running \
+          daemon")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -822,6 +1026,7 @@ let () =
             export_cmd;
             serve_cmd;
             submit_cmd;
+            stats_srv_cmd;
             dverify_cmd;
             worker_cmd;
             demo_cmd;

@@ -1,11 +1,12 @@
 (* charon-serve: the long-running verification daemon.
 
    Accepts line-framed JSON verification requests over a Unix-domain
-   socket, schedules them onto a pool of worker domains, and answers
-   repeated questions from the verdict cache.  Wire protocol and
-   operational notes: docs/serving.md.
+   socket and/or a TCP endpoint, schedules them onto a pool of worker
+   domains, and answers repeated questions from the verdict cache.
+   Wire protocol, tenancy and operational notes: docs/serving.md.
 
      dune exec bin/serve.exe -- --socket /tmp/charon.sock --workers 4
+     dune exec bin/serve.exe -- --tcp 0.0.0.0:4019 --tenants tenants.json
 
    The process runs until a client sends {"op":"shutdown"} (e.g.
    `charon-serve-client shutdown`).
@@ -30,11 +31,45 @@ let () =
   then exit (Server.Worker.main ())
 
 let socket_arg =
-  let doc = "Unix-domain socket path to listen on." in
+  let doc =
+    "Unix-domain socket path to listen on (trusted local transport). \
+     Pass the empty string to disable it and serve TCP only."
+  in
   Arg.(
     value
     & opt string "charon-serve.sock"
     & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
+
+let tcp_arg =
+  let doc =
+    "Also listen on TCP at $(docv) (HOST:PORT, or just PORT for \
+     127.0.0.1; port 0 picks an ephemeral port).  TCP clients must \
+     open with the hello handshake when tenants are configured."
+  in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
+let tenants_arg =
+  let doc =
+    "Tenant registry: a JSON file mapping API keys to named tenants \
+     with fair-share weights and outstanding-job quotas \
+     (docs/serving.md)."
+  in
+  Arg.(value & opt (some file) None & info [ "tenants" ] ~docv:"FILE" ~doc)
+
+let store_arg =
+  let doc =
+    "Persist verdicts as a JSONL journal at $(docv): entries are \
+     replayed into the cache's backing store on start, so proved \
+     problems answer from disk across restarts."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"FILE" ~doc)
+
+let queue_capacity_arg =
+  let doc =
+    "Bound on queued runs; past it, submits get a retryable \
+     $(i,busy) reject (backpressure)."
+  in
+  Arg.(value & opt int 256 & info [ "queue-capacity" ] ~docv:"N" ~doc)
 
 let workers_arg =
   let doc = "Worker domains in the verification pool." in
@@ -67,35 +102,79 @@ let stats_arg =
   let doc = "Print the telemetry summary table when the daemon exits." in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
-let run socket workers cache_size proofcache_size proofcache_persist trace
-    stats =
+let parse_tcp s =
+  match String.rindex_opt s ':' with
+  | None -> ("127.0.0.1", int_of_string s)
+  | Some i ->
+      let host = String.sub s 0 i in
+      let port =
+        int_of_string (String.sub s (i + 1) (String.length s - i - 1))
+      in
+      ((if host = "" then "127.0.0.1" else host), port)
+
+let run socket tcp tenants_file store queue_capacity workers cache_size
+    proofcache_size proofcache_persist trace stats =
   if workers < 1 then begin
     prerr_endline "charon-serve: --workers must be at least 1";
     2
   end
   else begin
-    (match trace with
-    | Some path -> Telemetry.enable ~path ()
-    | None -> Telemetry.enable ());
-    Printf.printf
-      "charon-serve: listening on %s (%d workers, cache %d, proofcache %d%s)\n%!"
-      socket workers cache_size proofcache_size
-      (match proofcache_persist with
-      | Some p -> Printf.sprintf " persisted to %s" p
-      | None -> "");
-    Server.Daemon.serve ~socket ~workers ~cache_capacity:cache_size
-      ~proofcache_capacity:proofcache_size ?proofcache_persist ();
-    if stats then print_string (Telemetry.Metrics.summary_table ());
-    Telemetry.disable ();
-    print_endline "charon-serve: shut down cleanly";
-    0
+    match
+      let socket = if socket = "" then None else Some socket in
+      let tcp =
+        match tcp with
+        | None -> None
+        | Some s -> (
+            try Some (parse_tcp s)
+            with Failure _ | Invalid_argument _ ->
+              failwith
+                (Printf.sprintf "bad --tcp endpoint %S (expected HOST:PORT)" s))
+      in
+      let tenants =
+        match tenants_file with
+        | None -> Server.Tenant.empty
+        | Some path -> Server.Tenant.load path
+      in
+      (match trace with
+      | Some path -> Telemetry.enable ~path ()
+      | None -> Telemetry.enable ());
+      Printf.printf
+        "charon-serve: listening on %s (%d workers, cache %d, proofcache %d%s%s%s)\n%!"
+        (String.concat " + "
+           ((match socket with Some s -> [ s ] | None -> [])
+           @
+           match tcp with
+           | Some (h, p) -> [ Printf.sprintf "%s:%d" h p ]
+           | None -> []))
+        workers cache_size proofcache_size
+        (match proofcache_persist with
+        | Some p -> Printf.sprintf " persisted to %s" p
+        | None -> "")
+        (match store with
+        | Some p -> Printf.sprintf ", verdict store %s" p
+        | None -> "")
+        (let n = List.length (Server.Tenant.tenants tenants) in
+         if n = 0 then "" else Printf.sprintf ", %d tenants" n);
+      Server.Daemon.serve ?socket ?tcp ~workers ~cache_capacity:cache_size
+        ~proofcache_capacity:proofcache_size ?proofcache_persist
+        ?store_path:store ~queue_capacity ~tenants ()
+    with
+    | () ->
+        if stats then print_string (Telemetry.Metrics.summary_table ());
+        Telemetry.disable ();
+        print_endline "charon-serve: shut down cleanly";
+        0
+    | exception (Failure msg | Invalid_argument msg) ->
+        Printf.eprintf "charon-serve: %s\n" msg;
+        2
   end
 
 let cmd =
   let doc = "concurrent verification service with a verdict cache" in
   Cmd.v
     (Cmd.info "charon-serve" ~version:"1.0.0" ~doc)
-    Term.(const run $ socket_arg $ workers_arg $ cache_arg $ proofcache_arg
+    Term.(const run $ socket_arg $ tcp_arg $ tenants_arg $ store_arg
+          $ queue_capacity_arg $ workers_arg $ cache_arg $ proofcache_arg
           $ proofcache_persist_arg $ trace_arg $ stats_arg)
 
 let () = exit (Cmd.eval' cmd)

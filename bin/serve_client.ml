@@ -3,7 +3,11 @@
 
    Every subcommand opens one connection, performs one request, and
    prints the daemon's JSON response (pretty-printed).  Exit code 0 on
-   an {"ok":true} response, 1 otherwise. *)
+   an {"ok":true} response, 1 otherwise.
+
+   The daemon is addressed either by its Unix socket (--socket, the
+   trusted local transport) or over TCP (--tcp HOST:PORT); --api-key
+   authenticates as a configured tenant on either transport. *)
 
 open Cmdliner
 
@@ -13,6 +17,35 @@ let socket_arg =
     value
     & opt string "charon-serve.sock"
     & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
+
+let tcp_arg =
+  let doc =
+    "Reach the daemon over TCP at $(docv) instead of the Unix socket \
+     (HOST:PORT, or just PORT for 127.0.0.1)."
+  in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
+let api_key_arg =
+  let doc = "Tenant API key (required over TCP when tenants are configured)." in
+  Arg.(value & opt (some string) None & info [ "api-key" ] ~docv:"KEY" ~doc)
+
+let parse_tcp s =
+  match String.rindex_opt s ':' with
+  | None -> ("127.0.0.1", int_of_string s)
+  | Some i ->
+      let host = String.sub s 0 i in
+      let port = int_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+      ((if host = "" then "127.0.0.1" else host), port)
+
+let addr_of socket tcp =
+  match tcp with
+  | None -> Server.Client.Unix_socket socket
+  | Some s -> (
+      match parse_tcp s with
+      | host, port -> Server.Client.Tcp (host, port)
+      | exception (Failure _ | Invalid_argument _) ->
+          Printf.eprintf "bad --tcp endpoint %S (expected HOST:PORT)\n" s;
+          exit 2)
 
 let print_response json =
   print_endline (Telemetry.Jsonw.to_string ~pretty:true json);
@@ -29,6 +62,11 @@ let with_server f =
   | exception Server.Client.Server_error msg ->
       Printf.eprintf "server error: %s\n" msg;
       1
+  | exception Server.Client.Rejected { code; retryable; message } ->
+      Printf.eprintf "rejected (%s%s): %s\n" code
+        (if retryable then ", retryable" else "")
+        message;
+      1
   | exception Telemetry.Jsonw.Parse_error msg ->
       (* A daemon dying mid-write can also tear a line *on* the '\n'
          boundary, leaving syntactically broken JSON; that is a failed
@@ -43,41 +81,54 @@ let id_arg =
 (* ------------------------------------------------------------------ *)
 
 let ping_cmd =
-  let run socket = with_server (fun () -> Server.Client.ping ~socket ()) in
+  let run socket tcp api_key =
+    let addr = addr_of socket tcp in
+    with_server (fun () -> Server.Client.ping ?api_key ~addr ())
+  in
   Cmd.v (Cmd.info "ping" ~doc:"Check that the daemon answers")
-    Term.(const run $ socket_arg)
+    Term.(const run $ socket_arg $ tcp_arg $ api_key_arg)
 
 let stats_cmd =
-  let run socket = with_server (fun () -> Server.Client.stats ~socket ()) in
+  let run socket tcp api_key =
+    let addr = addr_of socket tcp in
+    with_server (fun () -> Server.Client.stats ?api_key ~addr ())
+  in
   Cmd.v
     (Cmd.info "stats"
-       ~doc:"Queue depth, in-flight jobs, cache hit rate, counters")
-    Term.(const run $ socket_arg)
+       ~doc:
+         "Queue depth, in-flight jobs, per-tenant accounting, cache hit \
+          rate, counters")
+    Term.(const run $ socket_arg $ tcp_arg $ api_key_arg)
 
 let status_cmd =
   let since_arg =
     let doc = "Only return events with sequence number at least $(docv)." in
     Arg.(value & opt int 0 & info [ "since" ] ~docv:"SEQ" ~doc)
   in
-  let run socket id since =
-    with_server (fun () -> Server.Client.status ~socket ~since id)
+  let run socket tcp api_key id since =
+    let addr = addr_of socket tcp in
+    with_server (fun () -> Server.Client.status ?api_key ~addr ~since id)
   in
   Cmd.v (Cmd.info "status" ~doc:"Poll one job's state and events")
-    Term.(const run $ socket_arg $ id_arg $ since_arg)
+    Term.(const run $ socket_arg $ tcp_arg $ api_key_arg $ id_arg $ since_arg)
 
 let cancel_cmd =
-  let run socket id = with_server (fun () -> Server.Client.cancel ~socket id) in
+  let run socket tcp api_key id =
+    let addr = addr_of socket tcp in
+    with_server (fun () -> Server.Client.cancel ?api_key ~addr id)
+  in
   Cmd.v (Cmd.info "cancel" ~doc:"Cancel a queued or running job")
-    Term.(const run $ socket_arg $ id_arg)
+    Term.(const run $ socket_arg $ tcp_arg $ api_key_arg $ id_arg)
 
 let shutdown_cmd =
-  let run socket =
-    with_server (fun () -> Server.Client.shutdown ~socket ())
+  let run socket tcp api_key =
+    let addr = addr_of socket tcp in
+    with_server (fun () -> Server.Client.shutdown ?api_key ~addr ())
   in
   Cmd.v
     (Cmd.info "shutdown"
        ~doc:"Stop the daemon (cancels all pending jobs)")
-    Term.(const run $ socket_arg)
+    Term.(const run $ socket_arg $ tcp_arg $ api_key_arg)
 
 let submit_cmd =
   let network_arg =
@@ -126,8 +177,9 @@ let submit_cmd =
     let doc = "Poll until the job finishes and print the final status." in
     Arg.(value & flag & info [ "wait"; "w" ] ~doc)
   in
-  let run socket network target center radius box delta timeout max_steps seed
-      name wait =
+  let run socket tcp api_key network target center radius box delta timeout
+      max_steps seed name wait =
+    let addr = addr_of socket tcp in
     let spec =
       {
         Server.Protocol.name;
@@ -141,17 +193,17 @@ let submit_cmd =
       }
     in
     with_server (fun () ->
-        let id, response = Server.Client.submit ~socket spec in
+        let id, response = Server.Client.submit ?api_key ~addr spec in
         if wait && not (Server.Client.terminal (Server.Client.job_state response))
-        then Server.Client.wait ~socket id
+        then Server.Client.wait ?api_key ~addr id
         else response)
   in
   Cmd.v
     (Cmd.info "submit" ~doc:"Submit a verification job")
     Term.(
-      const run $ socket_arg $ network_arg $ target_arg $ center_arg
-      $ radius_arg $ box_arg $ delta_arg $ timeout_arg $ max_steps_arg
-      $ seed_arg $ name_arg $ wait_arg)
+      const run $ socket_arg $ tcp_arg $ api_key_arg $ network_arg $ target_arg
+      $ center_arg $ radius_arg $ box_arg $ delta_arg $ timeout_arg
+      $ max_steps_arg $ seed_arg $ name_arg $ wait_arg)
 
 let () =
   let doc = "client for the charon-serve verification daemon" in

@@ -1,37 +1,61 @@
-(** The charon-serve daemon: a single-threaded accept loop on a
-    Unix-domain socket, dispatching line-framed JSON requests
-    ({!Protocol}) to a {!Scheduler} whose pool domains do the actual
-    verification.  Wire format and operational notes: docs/serving.md.
+(** The charon-serve daemon: a single-threaded accept loop over a
+    Unix-domain socket and/or a TCP listener, dispatching line-framed
+    JSON requests ({!Protocol}) to a {!Scheduler} whose pool domains do
+    the actual verification.  Wire format, tenancy and operational
+    notes: docs/serving.md.
+
+    The Unix socket is the trusted local endpoint (anonymous requests;
+    filesystem permissions are the credential).  TCP connections must
+    open with the {!Protocol.Serve} hello handshake whenever tenants
+    are configured; unknown keys and version mismatches get terminal
+    structured rejects.  Every accepted connection runs under a
+    receive/send timeout and a line-length bound, so a slow, stalled or
+    hostile peer cannot wedge the accept loop or balloon its memory.
 
     Both entry points force telemetry metrics on — live counters
     (cache hit rate, queue depth, per-job wall times) are part of the
     service's responses. *)
 
 val serve :
-  socket:string ->
+  ?socket:string ->
+  ?tcp:string * int ->
   ?workers:int ->
   ?cache_capacity:int ->
   ?proofcache_capacity:int ->
   ?proofcache_persist:string ->
+  ?store_path:string ->
+  ?queue_capacity:int ->
+  ?tenants:Tenant.t ->
+  ?max_line:int ->
   unit ->
   unit
-(** Bind [socket] (replacing a stale socket file), serve requests, and
-    block until a shutdown request arrives; then cancel all pending
-    jobs, join every worker domain, close and unlink the socket.
-    [workers] defaults to 4, [cache_capacity] to 256.
+(** Bind [socket] (replacing a stale socket file) and/or [tcp] (a
+    [(host, port)] endpoint; port 0 binds an ephemeral port), serve
+    requests, and block until a shutdown request arrives; then cancel
+    all pending jobs, join every worker domain, close and unlink the
+    sockets.  [workers] defaults to 4, [cache_capacity] to 256.
     [proofcache_capacity] / [proofcache_persist] configure the
-    scheduler-wide subregion proof cache (see {!Scheduler.create});
-    with a persistence path, proved subregions survive daemon
-    restarts. *)
+    scheduler-wide subregion proof cache, [store_path] the persistent
+    verdict store, [queue_capacity] the bounded fair-share run queue
+    (see {!Scheduler.create}).  [tenants] is the API-key registry
+    ({!Tenant.load}); [max_line] (default 8 MiB) bounds a request
+    line.
+    @raise Invalid_argument when neither [socket] nor [tcp] is
+    given. *)
 
 type handle
 
 val start :
-  socket:string ->
+  ?socket:string ->
+  ?tcp:string * int ->
   ?workers:int ->
   ?cache_capacity:int ->
   ?proofcache_capacity:int ->
   ?proofcache_persist:string ->
+  ?store_path:string ->
+  ?queue_capacity:int ->
+  ?tenants:Tenant.t ->
+  ?max_line:int ->
   unit ->
   handle
 (** In-process variant for tests and embedding: binds synchronously —
@@ -43,4 +67,8 @@ val stop : handle -> unit
     returns, no domain started by {!start} is still running and the
     socket file has been removed. *)
 
-val socket_path : handle -> string
+val socket_path : handle -> string option
+
+val tcp_port : handle -> int option
+(** The actually-bound TCP port (resolves port 0 to the kernel's
+    choice), when a TCP endpoint was requested. *)

@@ -1,22 +1,39 @@
-(** A domain-safe blocking FIFO for long-lived producer/consumer
-    pipelines (the serving daemon's job queue).
+(** A domain-safe blocking, bounded, priority-aged fair-share queue —
+    the multi-tenant replacement for the serving daemon's FIFO.
 
-    [Parallel.Wqueue] terminates its consumers when the outstanding work
-    tree drains; this queue instead blocks consumers until the producer
-    closes it, which is the shape a daemon's scheduler needs. *)
+    Items live in per-tenant lanes (FIFO within a lane); {!pop} serves
+    lanes by weighted fair queueing (stride scheduling: a lane pays
+    [1/weight] virtual time per item) with linear aging on the head
+    item's wait so no lane ever starves.  Pushing with the default
+    tenant and weight degenerates to a plain FIFO (the dverify worker
+    mailbox).
+
+    [Parallel.Wqueue] terminates its consumers when the outstanding
+    work tree drains; this queue instead blocks consumers until the
+    producer closes it, which is the shape a daemon's scheduler
+    needs. *)
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?capacity:int -> ?aging_rate:float -> unit -> 'a t
+(** [capacity] (default unbounded) bounds total queued items across
+    all lanes — the daemon's backpressure limit.  [aging_rate]
+    (default 0.05) is the virtual-time credit a waiting lane gains per
+    second; higher values approach global FIFO, 0 is pure weighted
+    fair queueing.
+    @raise Invalid_argument on [capacity < 1] or negative rate. *)
 
-val push : 'a t -> 'a -> bool
-(** Enqueue one item; wakes one blocked consumer.  Returns [false] (and
-    drops the item) if the queue has been closed. *)
+val push : ?tenant:string -> ?weight:float -> 'a t -> 'a -> [ `Queued | `Busy | `Closed ]
+(** Enqueue one item on [tenant]'s lane ([weight] updates the lane's
+    fair share); wakes one blocked consumer.  [`Busy] when the queue
+    is at capacity (the item is dropped — callers reject with a
+    retryable error), [`Closed] after {!close}.
+    @raise Invalid_argument when [weight <= 0]. *)
 
 val pop : 'a t -> 'a option
-(** Dequeue in arrival order, blocking while the queue is empty and
-    open.  [None] means the queue was closed; remaining items are still
-    served before [None] is reported. *)
+(** Dequeue the fair-share winner, blocking while the queue is empty
+    and open.  [None] means the queue was closed; remaining items are
+    still served before [None] is reported. *)
 
 val close : 'a t -> unit
 (** Idempotent.  Blocked and future [pop]s drain leftover items, then
@@ -25,4 +42,10 @@ val close : 'a t -> unit
 val closed : 'a t -> bool
 
 val length : 'a t -> int
-(** Items currently queued (the daemon's queue-depth gauge). *)
+(** Total items currently queued (the daemon's queue-depth gauge). *)
+
+val capacity : 'a t -> int
+
+val depths : 'a t -> (string * int) list
+(** Per-tenant queued-item counts (non-empty lanes only), in lane
+    creation order. *)

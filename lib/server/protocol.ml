@@ -38,6 +38,8 @@ type request =
 
 exception Torn_line of int
 
+exception Oversized_line of int
+
 let send oc (json : J.t) =
   output_string oc (J.to_string json);
   output_char oc '\n';
@@ -52,13 +54,18 @@ let send oc (json : J.t) =
    from "EOF mid-message" ([Torn_line]) is what lets clients exit
    non-zero on a torn response and lets the dverify coordinator treat
    the tear as a worker death. *)
-let recv ic =
+let recv ?(max_len = max_int) ic =
   let buf = Buffer.create 256 in
   let rec loop () =
     match In_channel.input_char ic with
     | Some '\n' -> Some (J.parse (Buffer.contents buf))
     | Some c ->
         Buffer.add_char buf c;
+        (* Refuse unbounded lines before buffering them: a peer
+           streaming garbage without a newline must cost at most
+           [max_len] bytes of memory, not the machine. *)
+        if Buffer.length buf > max_len then
+          raise (Oversized_line (Buffer.length buf));
         loop ()
     | None ->
         if Buffer.length buf = 0 then None
@@ -226,6 +233,72 @@ let of_json json =
 let ok fields = J.Obj (("ok", J.Bool true) :: fields)
 
 let error msg = J.Obj [ ("ok", J.Bool false); ("error", J.Str msg) ]
+
+(* Structured rejects: every multi-tenant refusal carries a machine
+   code and a retryability bit so clients can distinguish "back off
+   and resend" (queue full) from "fix your request" (bad key, quota
+   exhausted, protocol mismatch) without parsing prose. *)
+let reject ~code ~retryable msg =
+  J.Obj
+    [
+      ("ok", J.Bool false);
+      ("error", J.Str msg);
+      ("code", J.Str code);
+      ("retryable", J.Bool retryable);
+    ]
+
+let reject_code json =
+  match J.member "code" json with
+  | Some (J.Str c) -> Some c
+  | Some _ | None -> None
+
+let reject_retryable json =
+  match J.member "retryable" json with
+  | Some (J.Bool b) -> b
+  | Some _ | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* The multi-tenant TCP handshake (docs/serving.md).
+
+   Unix-socket connections stay trusted and anonymous: filesystem
+   permissions on the socket path are the credential, and the first
+   line is the request itself, exactly as in the single-tenant
+   protocol.  TCP reaches beyond the machine boundary, so a TCP
+   connection must open with a [hello] carrying the protocol version
+   and the tenant's API key; the daemon answers [hello_ok] (echoing
+   the resolved tenant name) or a terminal reject — code ["version"]
+   or ["auth"] — before any request is read.  Same versioned-handshake
+   discipline as [Dist], for the same reason: an incompatible peer is
+   refused with a document it can parse, never answered with ops it
+   cannot. *)
+
+module Serve = struct
+  let version = 1
+
+  type hello = { version : int; api_key : string option }
+
+  let hello_to_json { version = v; api_key } =
+    let base = [ ("op", J.Str "hello"); ("version", J.Int v) ] in
+    J.Obj
+      (match api_key with
+      | Some k -> base @ [ ("api_key", J.Str k) ]
+      | None -> base)
+
+  let is_hello json =
+    match J.member "op" json with
+    | Some (J.Str "hello") -> true
+    | Some _ | None -> false
+
+  let hello_of_json json =
+    {
+      version = int_field "version" json;
+      api_key = opt_field "api_key" J.to_string_opt json;
+    }
+
+  let hello_ok ~tenant =
+    ok [ ("op", J.Str "hello_ok"); ("version", J.Int version);
+         ("tenant", J.Str tenant) ]
+end
 
 (* ------------------------------------------------------------------ *)
 (* Distributed split-and-conquer (charon-dverify, docs/serving.md).

@@ -35,13 +35,21 @@ exception Torn_line of int
     this as failure (never as a response); the dverify coordinator
     treats it as a worker death. *)
 
+exception Oversized_line of int
+(** A line exceeded the reader's [max_len] bound: that many bytes
+    arrived with no terminator.  The daemon answers with a
+    code=["oversized"] reject and closes the connection. *)
+
 val send : out_channel -> J.t -> unit
 (** Write one line-framed compact JSON document and flush. *)
 
-val recv : in_channel -> J.t option
+val recv : ?max_len:int -> in_channel -> J.t option
 (** Read one line-framed document; [None] on clean EOF (the stream
-    ended exactly on a message boundary).
+    ended exactly on a message boundary).  [max_len] (default
+    unbounded) caps the line length in bytes — the daemon's defence
+    against a peer streaming newline-free garbage.
     @raise Torn_line on EOF mid-message.
+    @raise Oversized_line when a line exceeds [max_len].
     @raise J.Parse_error on malformed JSON. *)
 
 val to_json : request -> J.t
@@ -61,6 +69,44 @@ val ok : (string * J.t) list -> J.t
 
 val error : string -> J.t
 (** [{"ok": false, "error": msg}] *)
+
+val reject : code:string -> retryable:bool -> string -> J.t
+(** [{"ok": false, "error": msg, "code": code, "retryable": b}] — a
+    structured refusal.  Codes in use: ["busy"] (queue full, retryable),
+    ["quota"] (tenant's outstanding-job limit), ["auth"] (unknown or
+    missing API key), ["version"] (handshake mismatch), ["oversized"],
+    ["bad_request"], ["shutting_down"]. *)
+
+val reject_code : J.t -> string option
+(** The [code] of a structured reject, if present. *)
+
+val reject_retryable : J.t -> bool
+(** The [retryable] bit of a reject; [false] when absent. *)
+
+(** The multi-tenant TCP handshake.  Unix-socket connections stay
+    anonymous (the socket path's filesystem permissions are the
+    credential) and send their request directly; TCP connections must
+    open with [hello] (version + API key) and wait for [hello_ok] —
+    or a terminal code=["version"]/["auth"] reject — before the
+    request line. *)
+module Serve : sig
+  val version : int
+
+  type hello = { version : int; api_key : string option }
+
+  val hello_to_json : hello -> J.t
+
+  val is_hello : J.t -> bool
+  (** [true] for [{"op": "hello", ...}] — lets the daemon accept an
+      optional hello on the trusted Unix socket too (a client that
+      always greets works on both transports). *)
+
+  val hello_of_json : J.t -> hello
+  (** @raise Bad_request on missing/ill-typed fields. *)
+
+  val hello_ok : tenant:string -> J.t
+  (** [{"ok": true, "op": "hello_ok", "version": v, "tenant": name}] *)
+end
 
 (** The charon-dverify coordinator/worker message set: same line
     framing over a worker process's stdin/stdout, long-lived session,

@@ -1,7 +1,10 @@
-(** The charon-serve job scheduler: a job table, a blocking FIFO, and a
-    pool of worker domains draining it through [Charon.Verify.run] with
-    per-job budgets and cooperative cancellation, fronted by the
-    {!Cache} verdict cache.
+(** The charon-serve job scheduler: a job table, a priority-aged
+    fair-share queue of *runs* (one execution per distinct verification
+    question — duplicate submits coalesce onto the in-flight run as
+    followers), and a pool of worker domains draining it through
+    [Charon.Verify.run] with per-run budgets and cooperative
+    cancellation, fronted by the {!Cache} verdict cache (an LRU hot
+    set over an optional persistent {!Store}).
 
     All entry points return the wire-ready JSON response the daemon
     writes back, so the accept loop stays a thin dispatcher.  Every
@@ -14,24 +17,40 @@ val create :
   ?cache_capacity:int ->
   ?proofcache_capacity:int ->
   ?proofcache_persist:string ->
+  ?store_path:string ->
+  ?queue_capacity:int ->
+  ?aging_rate:float ->
+  ?tenants:Tenant.t ->
   unit ->
   t
 (** Start the pool ([workers], default 4, worker domains inside one
     supervisor domain), an empty verdict cache, and one subregion proof
     cache ([Charon.Proofcache], capacity [proofcache_capacity], default
-    65536) shared by every job the pool runs — overlapping queries from
-    different clients reuse each other's subregion proofs.
-    [proofcache_persist] names the proof cache's JSONL journal: proved
-    facts are replayed from it on create and appended to it as jobs
-    prove new ones, so warm starts survive restarts.  Returns
-    immediately.
-    @raise Invalid_argument when [workers < 1]. *)
+    65536) shared by every run the pool executes — overlapping queries
+    from different clients reuse each other's subregion proofs.
+    [proofcache_persist] names the proof cache's JSONL journal;
+    [store_path] names the persistent *verdict* store's journal (solved
+    verdicts are replayed from it on create and appended as runs solve
+    new ones, so restarts answer old questions from disk).
+    [queue_capacity] (default 256) bounds the run queue — submits
+    beyond it get a retryable code=["busy"] reject.  [aging_rate]
+    tunes the fair-share queue's anti-starvation term ({!Jobq.create}).
+    [tenants] seeds the per-tenant accounting in config order.
+    Returns immediately.
+    @raise Invalid_argument when [workers < 1] or
+    [queue_capacity < 1]. *)
 
-val submit : t -> Protocol.job_spec -> Telemetry.Jsonw.t
-(** Enqueue a job — or answer synchronously when the verdict cache hits
-    (the response's [cache.hit] is [true] and [cache.cold_wall_seconds]
-    reports what the cold run cost).  The response carries the job
-    [id] used by {!status} and {!cancel}. *)
+val submit : ?tenant:Tenant.tenant -> t -> Protocol.job_spec -> Telemetry.Jsonw.t
+(** Enqueue a job for [tenant] (default {!Tenant.anonymous}) — or
+    answer synchronously when the verdict cache hits (the response's
+    [cache.hit] is [true] and [cache.cold_wall_seconds] reports what
+    the cold run cost), or attach to an identical in-flight run (the
+    response's [coalesced] is [true]; the job settles when that run
+    does).  The response carries the job [id] used by {!status} and
+    {!cancel}.  Refusals are structured rejects: code=["quota"] when
+    the tenant's outstanding-jobs quota is reached (retryable once one
+    settles), code=["busy"] when the run queue is full (retryable with
+    backoff), code=["shutting_down"] after {!shutdown}. *)
 
 val status : t -> id:int -> since:int -> Telemetry.Jsonw.t
 (** Snapshot of one job: state, progress (nodes explored, peak split
@@ -42,22 +61,32 @@ val status : t -> id:int -> since:int -> Telemetry.Jsonw.t
     without duplicates. *)
 
 val cancel : t -> int -> Telemetry.Jsonw.t
-(** Cancel a job.  A queued job settles immediately; a running one has
-    its token flagged and stops at the verifier's next region poll.
-    Terminal jobs are returned unchanged. *)
+(** Cancel a job.  A job sharing its run with other attachments
+    detaches and settles immediately — the run (and everyone else
+    riding it) is untouched.  The sole attachment of a queued run
+    settles immediately and kills the run; the sole attachment of an
+    executing run has the run's token flagged and stops at the
+    verifier's next region poll.  Terminal jobs are returned
+    unchanged. *)
 
 val stats : t -> Telemetry.Jsonw.t
-(** Queue depth, queued and in-flight (claimed-by-a-worker, so never
-    above [workers]) and peak in-flight job counts, per-state tallies,
-    verdict-cache and proof-cache statistics (each with a hit rate),
-    and the non-zero telemetry counters. *)
+(** Queue depth/capacity (total and per tenant), queued and in-flight
+    (claimed-by-a-worker, so never above [workers]) and peak in-flight
+    run counts, per-state tallies, coalescing totals, the per-tenant
+    accounting blocks (accepted/rejected/coalesced counts and
+    queue-age mean/p95/max), verdict-cache, persistent-store and
+    proof-cache statistics (each with a hit rate), and the non-zero
+    telemetry counters. *)
 
 val shutdown : t -> unit
-(** Close the queue, cancel every queued and running job, join the
+(** Close the queue, cancel every queued and running run, join the
     pool — no worker domain outlives this call — and close the proof
-    cache journal.  Idempotent. *)
+    cache and verdict store journals.  Idempotent. *)
 
 val workers : t -> int
 
 val proofcache : t -> Charon.Proofcache.t
-(** The scheduler-wide subregion proof cache (shared by all jobs). *)
+(** The scheduler-wide subregion proof cache (shared by all runs). *)
+
+val store : t -> Store.t option
+(** The persistent verdict store, when [store_path] was given. *)

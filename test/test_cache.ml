@@ -272,6 +272,67 @@ let test_proofcache_warm_rerun_hits_at_root () =
   Alcotest.(check int) "warm run never analyzes" 0
     warm.Charon.Verify.analyze_calls
 
+(* ------------------------------------------------------------------ *)
+(* Server.Cache over Server.Store — the serve verdict layer *)
+
+let test_verdict_cache_cold_hit_rate () =
+  (* Regression: hit_rate divided hits by lookups without guarding the
+     cold start, handing nan to the stats JSON before the first get. *)
+  let c = Server.Cache.create ~capacity:4 () in
+  Util.check_close ~eps:0.0 "0.0 before any lookup" 0.0
+    (Server.Cache.hit_rate c);
+  ignore (Server.Cache.get c "absent");
+  Util.check_close ~eps:0.0 "0.0 after a pure miss" 0.0
+    (Server.Cache.hit_rate c);
+  Server.Cache.put c "k" Common.Outcome.Verified ~cold_wall:0.5;
+  ignore (Server.Cache.get c "k");
+  Util.check_close ~eps:1e-9 "hits over lookups" 0.5
+    (Server.Cache.hit_rate c)
+
+let test_verdict_store_roundtrip_skips_garbage () =
+  with_temp_journal (fun path ->
+      let witness = [| 0.5; -0.25 |] in
+      let s = Server.Store.create ~path () in
+      Server.Store.record s "kv" Common.Outcome.Verified ~cold_wall:1.25;
+      Server.Store.record s "kr" (Common.Outcome.Refuted witness)
+        ~cold_wall:2.0;
+      (* Verdicts are facts: re-recording a present key is a no-op. *)
+      Server.Store.record s "kv" Common.Outcome.Verified ~cold_wall:9.0;
+      Server.Store.close s;
+      (* A crashed writer leaves garbage and a torn tail; both must be
+         skipped on replay, not poison the restart. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "not json at all\n";
+      output_string oc "{\"v\":1,\"key\":\"torn";
+      close_out oc;
+      let s2 = Server.Store.create ~path () in
+      Alcotest.(check int) "both intact facts replayed" 2
+        (Server.Store.loaded s2);
+      (match Server.Store.find s2 "kv" with
+      | Some (Common.Outcome.Verified, w) ->
+          Util.check_close ~eps:0.0 "first record's cost wins" 1.25 w
+      | _ -> Alcotest.fail "verified fact lost");
+      (match Server.Store.find s2 "kr" with
+      | Some (Common.Outcome.Refuted x, _) ->
+          Alcotest.(check int) "witness dimension" 2 (Array.length x);
+          Array.iteri
+            (fun i v ->
+              Util.check_close ~eps:0.0 "witness bit-exact" witness.(i) v)
+            x
+      | _ -> Alcotest.fail "refuted fact lost");
+      Util.check_true "torn key never loaded"
+        (Server.Store.find s2 "torn" = None);
+      (* An LRU eviction must fall through to the store: capacity 1,
+         two puts, and the evicted verdict still answers. *)
+      let c = Server.Cache.create ~capacity:1 ~store:s2 () in
+      Server.Cache.put c "a" Common.Outcome.Verified ~cold_wall:0.1;
+      Server.Cache.put c "b" Common.Outcome.Verified ~cold_wall:0.2;
+      (match Server.Cache.get c "a" with
+      | Some (Common.Outcome.Verified, w) ->
+          Util.check_close ~eps:0.0 "evicted verdict served from store" 0.1 w
+      | _ -> Alcotest.fail "evicted verdict lost");
+      Server.Store.close s2)
+
 let () =
   Alcotest.run "cache"
     [
@@ -301,5 +362,12 @@ let () =
           Util.case "journal skips garbage" test_proofcache_journal_skips_garbage;
           Util.case "warm rerun hits at root"
             test_proofcache_warm_rerun_hits_at_root;
+        ] );
+      ( "verdicts",
+        [
+          Util.case "hit rate guarded at cold start"
+            test_verdict_cache_cold_hit_rate;
+          Util.case "store roundtrip skips garbage"
+            test_verdict_store_roundtrip_skips_garbage;
         ] );
     ]

@@ -1,0 +1,336 @@
+(* Protocol fuzz for the charon-serve wire layer (docs/serving.md).
+
+   A real daemon — both transports, tenants configured, a small line
+   bound — is attacked with malformed frames: truncated JSON, oversized
+   lines, wrong-version hellos, raw binary garbage, torn writes, and
+   well-formed JSON that is semantically nonsense.  The contract under
+   fuzz is the accept loop's liveness and its error discipline: every
+   frame gets either a structured reject ({"ok":false,"code":...}) or a
+   clean close — never a hang, never an unhandled exception, and the
+   daemon still answers real work afterwards.
+
+   Case count: CHARON_FUZZ_CASES (default is a quick smoke run under
+   `dune runtest`; `dune build @fuzz` reruns at full depth, see
+   test/dune).  Generation is seeded QCheck through Util.qtest, so
+   failures reproduce from the printed CHARON_TEST_SEED. *)
+
+module J = Telemetry.Jsonw
+
+let cases =
+  match Sys.getenv_opt "CHARON_FUZZ_CASES" with
+  | None -> 40
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | _ -> 40)
+
+(* Small enough that the oversized-line defence triggers on a few KiB
+   of garbage instead of the 8 MiB production default. *)
+let max_line = 4096
+
+let socket =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "charon-fuzz-%d.sock" (Unix.getpid ()))
+
+let tenants =
+  Server.Tenant.of_json
+    (J.parse {|{"tenants":[{"name":"fuzzer","key":"fuzz-key"}]}|})
+
+(* One daemon for the whole executable; the last test stops it and
+   asserts the shutdown is clean. *)
+let handle =
+  (* A fuzz frame cut mid-write makes the daemon's reply hit a closed
+     peer; without this the resulting SIGPIPE would kill *this*
+     process, not the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  Server.Daemon.start ~socket ~tcp:("127.0.0.1", 0) ~workers:2 ~max_line
+    ~tenants ()
+
+let port =
+  match Server.Daemon.tcp_port handle with
+  | Some p -> p
+  | None -> Alcotest.fail "fuzz daemon bound no TCP port"
+
+(* A realistic well-formed submit request, raw material for the
+   truncation fuzz. *)
+let valid_submit_line =
+  let spec =
+    {
+      Server.Protocol.name = "fuzz-donor";
+      network = Nn.Serial.to_string (Nn.Init.xor ());
+      box = Domains.Box.create ~lo:[| 0.3; 0.3 |] ~hi:[| 0.7; 0.7 |];
+      target = 1;
+      delta = 1e-4;
+      timeout = None;
+      max_steps = None;
+      seed = 7;
+    }
+  in
+  J.to_string (Server.Protocol.to_json (Server.Protocol.Submit spec))
+
+(* ------------------------------------------------------------------ *)
+(* Raw-socket plumbing *)
+
+let connect use_tcp =
+  let fd =
+    if use_tcp then begin
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd
+        (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+      fd
+    end
+    else begin
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      fd
+    end
+  in
+  (* The client-side hang detector: if the daemon neither answers nor
+     closes within 5s, reads below raise and the case fails.  (The
+     daemon's own peer timeout is 10s, so a hang is ours to detect,
+     not its.) *)
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0
+   with Unix.Unix_error _ -> ());
+  fd
+
+(* The daemon may reject and close while we are still writing (the
+   oversized defence does exactly that); the resulting EPIPE/reset is
+   the clean close we are testing for, not a failure. *)
+let send_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception
+          Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EPROTOTYPE), _, _)
+        -> ()
+  in
+  go 0
+
+(* One response line, or None on a clean close.  A receive timeout
+   means the daemon hung — the one unforgivable outcome. *)
+let read_response fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+    | n -> (
+        Buffer.add_subbytes buf chunk 0 n;
+        match String.index_opt (Buffer.contents buf) '\n' with
+        | Some i -> Some (String.sub (Buffer.contents buf) 0 i)
+        | None -> go ())
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> None
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Alcotest.fail "daemon hung: no response and no close within 5s"
+  in
+  go ()
+
+(* Every surviving response must be a structured reject: parseable,
+   ok=false, machine-readable code.  [expect] pins the code when the
+   frame determines it. *)
+let check_reject ?expect frame_desc = function
+  | None -> ()  (* clean close: acceptable for every malformed frame *)
+  | Some line -> (
+      match J.parse line with
+      | exception J.Parse_error msg ->
+          Alcotest.failf "%s: daemon answered unparseable %S (%s)" frame_desc
+            line msg
+      | json -> (
+          (match J.member "ok" json with
+          | Some (J.Bool false) -> ()
+          | _ ->
+              Alcotest.failf "%s: malformed frame got a non-error answer %s"
+                frame_desc line);
+          match (Server.Protocol.reject_code json, expect) with
+          | None, _ ->
+              Alcotest.failf "%s: reject carries no code: %s" frame_desc line
+          | Some got, Some want when got <> want ->
+              Alcotest.failf "%s: expected code %S, got %S" frame_desc want got
+          | Some _, _ -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* Frame generation *)
+
+type frame =
+  | Truncated of int  (* valid submit cut to this many bytes *)
+  | Oversized of int  (* newline-terminated line this far past max_line *)
+  | Wrong_version of int
+  | Garbage of string
+  | Torn_write of int  (* valid prefix, no newline, half-close *)
+  | Bad_semantics of string  (* parses fine, means nothing *)
+  | Empty_line
+  | Connect_only
+
+let frame_desc = function
+  | Truncated n -> Printf.sprintf "truncated(%d)" n
+  | Oversized n -> Printf.sprintf "oversized(+%d)" n
+  | Wrong_version v -> Printf.sprintf "wrong_version(%d)" v
+  | Garbage s -> Printf.sprintf "garbage(%d bytes)" (String.length s)
+  | Torn_write n -> Printf.sprintf "torn_write(%d)" n
+  | Bad_semantics s -> Printf.sprintf "bad_semantics(%s)" s
+  | Empty_line -> "empty_line"
+  | Connect_only -> "connect_only"
+
+let gen_frame =
+  let open QCheck2.Gen in
+  let truncated =
+    (* 1 .. len-1: always strictly shorter than the valid line. *)
+    map
+      (fun n -> Truncated (1 + (n mod (String.length valid_submit_line - 1))))
+      nat
+  in
+  let oversized = map (fun n -> Oversized (1 + (n mod 4096))) nat in
+  let wrong_version =
+    map
+      (fun v ->
+        let v = v mod 1000 in
+        Wrong_version (if v = Server.Protocol.Serve.version then v + 1 else v))
+      nat
+  in
+  let garbage =
+    map
+      (fun bytes ->
+        Garbage (String.init (1 + List.length bytes) (fun i ->
+             match List.nth_opt bytes i with
+             | Some b -> Char.chr (b mod 256)
+             | None -> '\xff')))
+      (list_size (int_bound 64) nat)
+  in
+  let torn =
+    map
+      (fun n -> Torn_write (1 + (n mod String.length valid_submit_line)))
+      nat
+  in
+  let bad_semantics =
+    oneofl
+      [
+        Bad_semantics {|[1,2,3]|};
+        Bad_semantics {|"just a string"|};
+        Bad_semantics {|{"op":"frobnicate"}|};
+        Bad_semantics {|{"op":"submit","network":5}|};
+        Bad_semantics {|{"op":"status","id":"not-an-int"}|};
+        Bad_semantics {|{"op":"cancel"}|};
+        Bad_semantics {|{"op":"hello","version":"one"}|};
+        Bad_semantics {|{"op":"hello","version":1,"api_key":42}|};
+        Bad_semantics {|{"op":null}|};
+        Bad_semantics {|123|};
+      ]
+  in
+  oneof
+    [
+      truncated;
+      oversized;
+      wrong_version;
+      garbage;
+      torn;
+      bad_semantics;
+      return Empty_line;
+      return Connect_only;
+    ]
+
+let gen_case = QCheck2.Gen.pair QCheck2.Gen.bool gen_frame
+
+(* ------------------------------------------------------------------ *)
+(* One fuzz exchange *)
+
+let run_frame (use_tcp, frame) =
+  let fd = connect use_tcp in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let desc =
+        Printf.sprintf "%s over %s" (frame_desc frame)
+          (if use_tcp then "tcp" else "unix")
+      in
+      match frame with
+      | Truncated n ->
+          (* Cut mid-JSON but still newline-framed: the daemon must
+             diagnose a parse error, not wedge. *)
+          send_all fd (String.sub valid_submit_line 0 n ^ "\n");
+          check_reject desc (read_response fd)
+      | Oversized over ->
+          send_all fd (String.make (max_line + over) 'a' ^ "\n");
+          check_reject ~expect:"oversized" desc (read_response fd)
+      | Wrong_version v ->
+          send_all fd
+            (J.to_string
+               (J.Obj [ ("op", J.Str "hello"); ("version", J.Int v) ])
+            ^ "\n");
+          check_reject ~expect:"version" desc (read_response fd)
+      | Garbage s ->
+          send_all fd (s ^ "\n");
+          check_reject desc (read_response fd)
+      | Torn_write n ->
+          (* A client dying mid-write: bytes but no newline, then a
+             half-close.  Nobody is left to answer; the daemon must
+             just drop the connection. *)
+          send_all fd (String.sub valid_submit_line 0 n);
+          (try Unix.shutdown fd Unix.SHUTDOWN_SEND
+           with Unix.Unix_error _ -> ());
+          check_reject desc (read_response fd)
+      | Bad_semantics s ->
+          send_all fd (s ^ "\n");
+          check_reject desc (read_response fd)
+      | Empty_line ->
+          send_all fd "\n";
+          check_reject desc (read_response fd)
+      | Connect_only ->
+          (* Connect and leave without a word. *)
+          (try Unix.shutdown fd Unix.SHUTDOWN_SEND
+           with Unix.Unix_error _ -> ()));
+  true
+
+(* ------------------------------------------------------------------ *)
+(* Liveness after the storm, and a clean stop *)
+
+let test_daemon_survives_and_stops () =
+  let addr = Server.Client.Unix_socket socket in
+  let ok = Server.Client.ping ~addr () in
+  (match J.member "ok" ok with
+  | Some (J.Bool true) -> ()
+  | _ -> Alcotest.fail "daemon no longer answers after the fuzz");
+  (* Real work still flows end to end: the XOR example verifies. *)
+  let spec =
+    {
+      Server.Protocol.name = "post-fuzz";
+      network = Nn.Serial.to_string (Nn.Init.xor ());
+      box = Domains.Box.create ~lo:[| 0.3; 0.3 |] ~hi:[| 0.7; 0.7 |];
+      target = 1;
+      delta = 1e-4;
+      timeout = None;
+      max_steps = None;
+      seed = 7;
+    }
+  in
+  let id, _ = Server.Client.submit ~addr spec in
+  let final = Server.Client.wait ~addr ~deadline:60.0 id in
+  (match
+     Option.bind (J.member "verdict" final) (fun v ->
+         Option.bind (J.member "verdict" v) J.to_string_opt)
+   with
+  | Some "verified" -> ()
+  | other ->
+      Alcotest.failf "post-fuzz job did not verify (got %s)"
+        (Option.value ~default:"nothing" other));
+  (* And the fuzz never escaped an exception into the accept loop: the
+     daemon still shuts down cleanly, removing its socket. *)
+  Server.Daemon.stop handle;
+  Alcotest.(check bool) "socket removed" false (Sys.file_exists socket)
+
+let () =
+  Alcotest.run "protocol-fuzz"
+    [
+      ( "malformed frames",
+        [
+          Util.qtest "structured reject or clean close, never a hang"
+            ~count:cases gen_case run_frame;
+          Util.case "daemon survives the storm and stops cleanly"
+            test_daemon_survives_and_stops;
+        ] );
+    ]

@@ -117,15 +117,29 @@ let with_daemon ?(workers = 4) ?(cache_capacity = 16) f =
         (not (Sys.file_exists socket));
       r)
 
-let wait socket id = Server.Client.wait ~socket ~deadline:60.0 id
+(* Label shims: these tests predate the multi-transport client and
+   speak through the trusted Unix socket; the path is the address. *)
+let addr socket = Server.Client.Unix_socket socket
+
+let submit socket spec = Server.Client.submit ~addr:(addr socket) spec
+
+let status socket id = Server.Client.status ~addr:(addr socket) id
+
+let cancel socket id = Server.Client.cancel ~addr:(addr socket) id
+
+let get_stats socket = Server.Client.stats ~addr:(addr socket) ()
+
+let ping socket = Server.Client.ping ~addr:(addr socket) ()
+
+let wait socket id = Server.Client.wait ~addr:(addr socket) ~deadline:60.0 id
 
 (* ------------------------------------------------------------------ *)
 (* Tests *)
 
 let test_ping_and_stats () =
   with_daemon ~workers:2 (fun socket ->
-      check_ok (Server.Client.ping ~socket ());
-      let stats = Server.Client.stats ~socket () in
+      check_ok (ping socket);
+      let stats = get_stats socket in
       check_ok stats;
       Alcotest.(check int) "workers" 2 (jint stats [ "workers" ]);
       Alcotest.(check int) "empty queue" 0 (jint stats [ "queue_depth" ]);
@@ -141,7 +155,7 @@ let test_ping_and_stats () =
 let test_verdicts_round_trip () =
   with_daemon (fun socket ->
       (* The staircase property holds with margin eps. *)
-      let id, _ = Server.Client.submit ~socket (staircase_spec 3) in
+      let id, _ = submit socket (staircase_spec 3) in
       let final = wait socket id in
       Alcotest.(check string) "state" "done" (jstr final [ "state" ]);
       Alcotest.(check string)
@@ -150,7 +164,7 @@ let test_verdicts_round_trip () =
       (* Target class 1 loses by exactly eps everywhere: refuted, and
          the bit-exact witness string round-trips through the wire. *)
       let spec = { (staircase_spec 3) with Server.Protocol.target = 1 } in
-      let id, _ = Server.Client.submit ~socket spec in
+      let id, _ = submit socket spec in
       let final = wait socket id in
       Alcotest.(check string)
         "falsified" "falsified"
@@ -177,7 +191,7 @@ let test_cache_hit_on_repeat () =
       (* Large enough that the cold run costs real wall time, small
          enough to stay far from the test deadline. *)
       let spec = staircase_spec 5 in
-      let id, first = Server.Client.submit ~socket spec in
+      let id, first = submit socket spec in
       Util.check_true "cold submit misses" (not (jbool first [ "cache"; "hit" ]));
       let final = wait socket id in
       let cold_wall = jfloat final [ "wall_seconds" ] in
@@ -185,7 +199,7 @@ let test_cache_hit_on_repeat () =
       (* Same question again: answered synchronously from the cache,
          with the cold run's cost echoed for comparison. *)
       let t0 = Unix.gettimeofday () in
-      let _, second = Server.Client.submit ~socket spec in
+      let _, second = submit socket spec in
       let hit_wall = Unix.gettimeofday () -. t0 in
       Alcotest.(check string) "done at submit" "done" (jstr second [ "state" ]);
       Util.check_true "cache hit" (jbool second [ "cache"; "hit" ]);
@@ -203,10 +217,10 @@ let test_cache_hit_on_repeat () =
         (hit_wall *. 10.0 <= cold_wall);
       (* A different question (other target class) must not hit. *)
       let other = { spec with Server.Protocol.target = 1 } in
-      let id, third = Server.Client.submit ~socket other in
+      let id, third = submit socket other in
       Util.check_true "different key misses" (not (jbool third [ "cache"; "hit" ]));
       ignore (wait socket id);
-      let stats = Server.Client.stats ~socket () in
+      let stats = get_stats socket in
       Util.check_true "hits counted" (jint stats [ "cache"; "hits" ] >= 1);
       Util.check_true "misses counted" (jint stats [ "cache"; "misses" ] >= 2);
       Util.check_true "hit rate reported"
@@ -224,16 +238,22 @@ let test_cache_hit_on_repeat () =
 let test_concurrent_jobs_cancel_timeout () =
   with_daemon ~workers:4 (fun socket ->
       (* Ten effectively-endless jobs on four workers: four get claimed
-         and run, six sit in the queue.  Distinct seeds keep the cache
-         out of the way. *)
+         and run, six sit in the queue.  Distinct deltas make them ten
+         distinct *questions* — same-question submits would coalesce
+         onto one run (and same-seed ones would hit the cache). *)
       let ids =
         List.init 10 (fun i ->
-            fst
-              (Server.Client.submit ~socket
-                 (staircase_spec 20 ~seed:(100 + i)
-                    ~name:(Printf.sprintf "slow-%d" i))))
+            let spec =
+              {
+                (staircase_spec 20 ~seed:(100 + i)
+                   ~name:(Printf.sprintf "slow-%d" i))
+                with
+                Server.Protocol.delta = 1e-4 +. (1e-7 *. float_of_int i);
+              }
+            in
+            fst (submit socket spec))
       in
-      let stats = Server.Client.stats ~socket () in
+      let stats = get_stats socket in
       (* In-flight counts *claimed* jobs only (the queued backlog has
          its own gauge), so it can never exceed the pool width — this
          is the regression test for the gauge that used to count queued
@@ -252,7 +272,7 @@ let test_concurrent_jobs_cancel_timeout () =
         List.length
           (List.filter
              (fun id ->
-               jstr (Server.Client.status ~socket id) [ "state" ] = "running")
+               jstr (status socket id) [ "state" ] = "running")
              ids)
       in
       while running () < 4 && Unix.gettimeofday () < deadline do
@@ -261,18 +281,18 @@ let test_concurrent_jobs_cancel_timeout () =
       Alcotest.(check int) "all four workers busy" 4 (running ());
       (* With all four workers pinned on endless jobs the gauges are
          stable: exactly the pool width in flight, the rest queued. *)
-      let stats = Server.Client.stats ~socket () in
+      let stats = get_stats socket in
       Alcotest.(check int) "in flight = workers" 4 (jint stats [ "in_flight" ]);
       Alcotest.(check int) "backlog queued" 6 (jint stats [ "queued" ]);
       (* A running job reports live progress. *)
       let some_running =
         List.find
           (fun id ->
-            jstr (Server.Client.status ~socket id) [ "state" ] = "running")
+            jstr (status socket id) [ "state" ] = "running")
           ids
       in
       let progressed () =
-        jint (Server.Client.status ~socket some_running) [ "progress"; "nodes" ]
+        jint (status socket some_running) [ "progress"; "nodes" ]
         > 0
       in
       while (not (progressed ())) && Unix.gettimeofday () < deadline do
@@ -281,7 +301,7 @@ let test_concurrent_jobs_cancel_timeout () =
       Util.check_true "running job streams split progress" (progressed ());
       (* Cancel them all: queued ones settle synchronously, running
          ones at the verifier's next region poll. *)
-      List.iter (fun id -> check_ok (Server.Client.cancel ~socket id)) ids;
+      List.iter (fun id -> check_ok (cancel socket id)) ids;
       let finals = List.map (fun id -> wait socket id) ids in
       List.iter
         (fun final ->
@@ -289,7 +309,7 @@ let test_concurrent_jobs_cancel_timeout () =
             "cancelled" "cancelled"
             (jstr final [ "state" ]))
         finals;
-      let stats = Server.Client.stats ~socket () in
+      let stats = get_stats socket in
       Alcotest.(check int) "nothing left in flight" 0
         (jint stats [ "in_flight" ]);
       Alcotest.(check int) "peak realised concurrency = pool width" 4
@@ -299,7 +319,7 @@ let test_concurrent_jobs_cancel_timeout () =
       (* Per-job budgets: a wall-clock timeout comes back as a timeout
          verdict, a step budget likewise; neither verdict is cached. *)
       let id, _ =
-        Server.Client.submit ~socket (staircase_spec 20 ~timeout:0.2)
+        submit socket (staircase_spec 20 ~timeout:0.2)
       in
       let final = wait socket id in
       Alcotest.(check string) "done" "done" (jstr final [ "state" ]);
@@ -307,13 +327,13 @@ let test_concurrent_jobs_cancel_timeout () =
         "wall timeout" "timeout"
         (jstr final [ "verdict"; "verdict" ]);
       let id, resubmit =
-        Server.Client.submit ~socket (staircase_spec 20 ~timeout:0.2)
+        submit socket (staircase_spec 20 ~timeout:0.2)
       in
       Util.check_true "timeouts are not cached"
         (not (jbool resubmit [ "cache"; "hit" ]));
       ignore (wait socket id);
       let id, _ =
-        Server.Client.submit ~socket (staircase_spec 20 ~max_steps:50 ~seed:2)
+        submit socket (staircase_spec 20 ~max_steps:50 ~seed:2)
       in
       let final = wait socket id in
       Alcotest.(check string)
@@ -327,18 +347,18 @@ let test_failed_job_and_bad_requests () =
       let spec =
         { (staircase_spec 2) with Server.Protocol.network = "not a network" }
       in
-      let id, _ = Server.Client.submit ~socket spec in
+      let id, _ = submit socket spec in
       let final = wait socket id in
       Alcotest.(check string) "failed" "failed" (jstr final [ "state" ]);
       Util.check_true "failure reason included"
         (J.member "error" final <> None);
       (* The daemon survives and still answers. *)
-      let id, _ = Server.Client.submit ~socket (staircase_spec 2) in
+      let id, _ = submit socket (staircase_spec 2) in
       Alcotest.(check string)
         "next job unaffected" "verified"
         (jstr (wait socket id) [ "verdict"; "verdict" ]);
       (* Unknown ids and malformed requests are refusals, not crashes. *)
-      (match Server.Client.status ~socket 999 with
+      (match status socket 999 with
       | _ -> Alcotest.fail "unknown job id must be refused"
       | exception Server.Client.Server_error _ -> ());
       let raw_request line =
@@ -357,7 +377,151 @@ let test_failed_job_and_bad_requests () =
       Util.check_true "unknown op refused"
         (not (jbool (J.parse (raw_request {|{"op":"frobnicate"}|})) [ "ok" ]));
       (* And the daemon is still alive after both. *)
-      check_ok (Server.Client.ping ~socket ()))
+      check_ok (ping socket))
+
+let test_restart_durability () =
+  (* The persistent verdict store: solve cold, stop the daemon, start a
+     fresh one (empty LRU) on the same journal — the same question must
+     answer synchronously from disk, verdict and cold cost intact. *)
+  let socket = fresh_socket () in
+  let store =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "charon-store-test-%d.jsonl" (Unix.getpid ()))
+  in
+  if Sys.file_exists store then Sys.remove store;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists store then Sys.remove store)
+    (fun () ->
+      let handle =
+        Server.Daemon.start ~socket ~workers:2 ~store_path:store ()
+      in
+      let spec = staircase_spec 5 ~name:"durable" in
+      let id, first = submit socket spec in
+      Util.check_true "cold submit misses"
+        (not (jbool first [ "cache"; "hit" ]));
+      let final = wait socket id in
+      Alcotest.(check string)
+        "solved cold" "verified"
+        (jstr final [ "verdict"; "verdict" ]);
+      let cold_wall = jfloat final [ "wall_seconds" ] in
+      Server.Daemon.stop handle;
+      (* Simulate a crash mid-append: a torn half-line at the journal's
+         tail must be skipped on replay, not poison the restart. *)
+      let oc = open_out_gen [ Open_append ] 0o644 store in
+      output_string oc "{\"v\":1,\"key\":\"feedbeef\",\"verd";
+      close_out oc;
+      let handle =
+        Server.Daemon.start ~socket ~workers:2 ~store_path:store ()
+      in
+      let _, second = submit socket spec in
+      Alcotest.(check string)
+        "done at submit" "done"
+        (jstr second [ "state" ]);
+      Util.check_true "answered from disk across the restart"
+        (jbool second [ "cache"; "hit" ]);
+      Alcotest.(check string)
+        "same verdict" "verified"
+        (jstr second [ "verdict"; "verdict" ]);
+      Util.check_close ~eps:1e-9 "cold cost survives the restart" cold_wall
+        (jfloat second [ "cache"; "cold_wall_seconds" ]);
+      let st = get_stats socket in
+      Util.check_true "journal replayed into the store"
+        (jint st [ "store"; "loaded" ] >= 1);
+      Util.check_true "store hit counted" (jint st [ "store"; "hits" ] >= 1);
+      Server.Daemon.stop handle)
+
+let test_tcp_tenants_quota_coalescing () =
+  (* The multi-tenant TCP endpoint: hello handshake, API keys, quotas,
+     and cross-tenant coalescing — all deterministic (the statistical
+     fairness properties live in the soak test). *)
+  let tenants =
+    Server.Tenant.of_json
+      (J.parse
+         {|{"tenants":[
+             {"name":"alice","key":"ka","quota":2},
+             {"name":"bob","key":"kb","weight":2.0}]}|})
+  in
+  let handle =
+    Server.Daemon.start ~tcp:("127.0.0.1", 0) ~workers:2 ~tenants ()
+  in
+  Fun.protect
+    ~finally:(fun () -> try Server.Daemon.stop handle with _ -> ())
+    (fun () ->
+      let port =
+        match Server.Daemon.tcp_port handle with
+        | Some p -> p
+        | None -> Alcotest.fail "daemon bound no TCP port"
+      in
+      let addr = Server.Client.Tcp ("127.0.0.1", port) in
+      (* No key: refused at the handshake, terminally. *)
+      (match Server.Client.ping ~addr () with
+      | _ -> Alcotest.fail "anonymous TCP must be refused under tenancy"
+      | exception Server.Client.Rejected r ->
+          Alcotest.(check string) "auth code" "auth" r.code;
+          Util.check_true "auth is not retryable" (not r.retryable));
+      (* Wrong key: same refusal. *)
+      (match Server.Client.ping ~api_key:"nope" ~addr () with
+      | _ -> Alcotest.fail "unknown key must be refused"
+      | exception Server.Client.Rejected r ->
+          Alcotest.(check string) "auth code" "auth" r.code);
+      (* A configured key verifies end to end over TCP. *)
+      check_ok (Server.Client.ping ~api_key:"ka" ~addr ());
+      let id, _ = Server.Client.submit ~api_key:"ka" ~addr (staircase_spec 3) in
+      let final = Server.Client.wait ~api_key:"ka" ~addr ~deadline:60.0 id in
+      Alcotest.(check string)
+        "verified over TCP" "verified"
+        (jstr final [ "verdict"; "verdict" ]);
+      (* Quota: alice may hold two outstanding jobs; the third submit
+         is a retryable structured reject, charged to her alone. *)
+      let slow i =
+        {
+          (staircase_spec 20 ~seed:(300 + i))
+          with
+          Server.Protocol.delta = 1e-4 +. (1e-7 *. float_of_int i);
+        }
+      in
+      let a = fst (Server.Client.submit ~api_key:"ka" ~addr (slow 0)) in
+      let b = fst (Server.Client.submit ~api_key:"ka" ~addr (slow 1)) in
+      (match Server.Client.submit ~api_key:"ka" ~addr (slow 2) with
+      | _ -> Alcotest.fail "third outstanding job must trip the quota"
+      | exception Server.Client.Rejected r ->
+          Alcotest.(check string) "quota code" "quota" r.code;
+          Util.check_true "quota is retryable" r.retryable);
+      (* Bob is unaffected by alice's quota, and his submit of alice's
+         exact question coalesces onto her in-flight run instead of
+         queueing a second one. *)
+      let c = fst (Server.Client.submit ~api_key:"kb" ~addr (slow 0)) in
+      let st = Server.Client.stats ~api_key:"kb" ~addr () in
+      Util.check_true "coalesced counted"
+        (jint st [ "coalesce"; "coalesced_total" ] >= 1);
+      let tenant_block name =
+        match jget st [ "tenants" ] with
+        | J.Arr ts -> (
+            match
+              List.find_opt (fun t -> jstr t [ "name" ] = name) ts
+            with
+            | Some t -> t
+            | None -> Alcotest.failf "no tenant %S in stats" name)
+        | _ -> Alcotest.fail "tenants must be an array"
+      in
+      Util.check_true "alice's quota reject counted"
+        (jint (tenant_block "alice") [ "rejected_quota" ] >= 1);
+      Util.check_true "bob's coalesce counted"
+        (jint (tenant_block "bob") [ "coalesced" ] >= 1);
+      (* Everyone cancels cleanly; bob's detach must not kill alice's
+         run, and vice versa. *)
+      check_ok (Server.Client.cancel ~api_key:"kb" ~addr c);
+      check_ok (Server.Client.cancel ~api_key:"ka" ~addr a);
+      check_ok (Server.Client.cancel ~api_key:"ka" ~addr b);
+      List.iter
+        (fun (key, id) ->
+          Alcotest.(check string)
+            "cancelled" "cancelled"
+            (jstr
+               (Server.Client.wait ~api_key:key ~addr ~deadline:60.0 id)
+               [ "state" ]))
+        [ ("kb", c); ("ka", a); ("ka", b) ])
 
 let test_shutdown_cancels_pending () =
   (* Shutdown with a full queue: pending jobs are cancelled, every
@@ -367,17 +531,17 @@ let test_shutdown_cancels_pending () =
   let handle = Server.Daemon.start ~socket ~workers:2 () in
   let ids =
     List.init 6 (fun i ->
-        fst (Server.Client.submit ~socket (staircase_spec 20 ~seed:(200 + i))))
+        fst (submit socket (staircase_spec 20 ~seed:(200 + i))))
   in
   Alcotest.(check int) "six submitted" 6 (List.length ids);
   Server.Daemon.stop handle;
   Util.check_true "socket removed" (not (Sys.file_exists socket));
-  (match Server.Client.ping ~socket () with
+  (match ping socket with
   | _ -> Alcotest.fail "daemon still answering after stop"
   | exception (Unix.Unix_error _ | Sys_error _) -> ());
   (* Same path, fresh daemon: nothing from the first life leaks in. *)
   let handle = Server.Daemon.start ~socket ~workers:2 () in
-  let stats = Server.Client.stats ~socket () in
+  let stats = get_stats socket in
   Alcotest.(check int) "fresh job table" 0 (jint stats [ "jobs"; "submitted" ]);
   Server.Daemon.stop handle;
   Util.check_true "socket removed again" (not (Sys.file_exists socket))
@@ -393,6 +557,9 @@ let () =
           Util.slow_case "concurrency, cancellation, timeouts"
             test_concurrent_jobs_cancel_timeout;
           Util.case "failed jobs stay isolated" test_failed_job_and_bad_requests;
+          Util.case "verdict store survives a restart" test_restart_durability;
+          Util.slow_case "TCP tenants: auth, quota, coalescing"
+            test_tcp_tenants_quota_coalescing;
           Util.case "shutdown cancels pending work" test_shutdown_cancels_pending;
         ] );
     ]
